@@ -1,0 +1,59 @@
+package titant_test
+
+import (
+	"testing"
+
+	"titant"
+)
+
+// TestPublicAPIQuickstart exercises the facade end to end on a tiny world:
+// generate, slice, embed, train, evaluate, deploy, serve.
+func TestPublicAPIQuickstart(t *testing.T) {
+	cfg := titant.DefaultWorldConfig()
+	cfg.Users = 800
+	cfg.Communities = 8
+	cfg.Cities = 20
+	cfg.FraudsterFrac = 0.025
+	world := titant.Generate(cfg)
+
+	ds, err := world.Dataset(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := titant.DefaultOptions()
+	opts.GBDT.Trees = 40
+	opts.LR.Iterations = 5
+	opts.DW.WalksPerNode = 3
+	opts.S2V.Epochs = 2
+
+	emb := titant.LearnEmbeddings(ds, opts)
+	res := titant.TrainEval(world.Users, ds, titant.FeatBasicDW, titant.DetGBDT, emb, opts)
+	if res.F1 < 0 || res.F1 > 1 {
+		t.Fatalf("F1 = %v", res.F1)
+	}
+
+	clf, emb2, threshold, err := titant.TrainForServing(world.Users, ds, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := titant.OpenFeatureTable(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tab.Close()
+	bundle, err := titant.Deploy(world.Users, ds, emb2, clf, threshold, opts, tab, "v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := titant.NewModelServer(tab, bundle, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := srv.Score(&ds.Test[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Score < 0 || v.Score > 1.5 {
+		t.Fatalf("verdict = %+v", v)
+	}
+}

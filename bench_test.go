@@ -1,0 +1,118 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (Section 5). Each benchmark runs its experiment once per iteration and
+// reports the headline numbers as custom metrics; the rendered tables are
+// printed so a `go test -bench` log doubles as the reproduction record.
+//
+// Run all of them with:
+//
+//	go test -bench=. -benchmem -benchtime=1x
+package titant_test
+
+import (
+	"fmt"
+	"testing"
+
+	"titant/internal/exp"
+)
+
+// benchConfig trims the default experiment scale slightly so the full
+// bench suite finishes in minutes on one core; relative shapes are
+// unaffected (see EXPERIMENTS.md for a full-scale run).
+func benchConfig() exp.Config {
+	return exp.Default()
+}
+
+// BenchmarkTable1 regenerates Table 1: F1 of the eleven configurations
+// over seven consecutive test days.
+func BenchmarkTable1(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunTable1(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			fmt.Println(res.Render())
+			b.ReportMetric(res.Mean(4), "F1-Basic+GBDT")
+			b.ReportMetric(res.Mean(8), "F1-Basic+DW+GBDT")
+			b.ReportMetric(res.Mean(0), "F1-IF")
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates Table 2: F1 versus DeepWalk sampling count.
+func BenchmarkTable2(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunTable2(cfg, []int{25, 50, 100, 200})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			fmt.Println(res.Render())
+			f1 := res.Series["F1"]
+			b.ReportMetric(f1[len(f1)-1]-f1[0], "F1-gain-25-to-200")
+		}
+	}
+}
+
+// BenchmarkFigure9 regenerates Figure 9: rec@top1% per detection method.
+func BenchmarkFigure9(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunFigure9(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			fmt.Println(res.Render())
+			b.ReportMetric(res.RecTop1[0], "rec1-IF")
+			b.ReportMetric(res.RecTop1[4], "rec1-GBDT")
+		}
+	}
+}
+
+// BenchmarkFigure10 regenerates Figure 10: DW and GBDT time cost versus
+// machine count on the KunPeng cluster simulation.
+func BenchmarkFigure10(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunFigure10(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			fmt.Println(res.Render())
+			b.ReportMetric(res.DWMinutes[0]/res.DWMinutes[3], "DW-speedup-4-to-40")
+			b.ReportMetric(res.GBDTSeconds[2]/res.GBDTSeconds[3], "GBDT-ratio-20-to-40")
+		}
+	}
+}
+
+// BenchmarkFigure11 regenerates Figure 11: F1 versus embedding dimension.
+func BenchmarkFigure11(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunFigure11(cfg, []int{8, 16, 32, 64})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			fmt.Println(res.Render())
+		}
+	}
+}
+
+// BenchmarkFigure12 regenerates Figure 12: F1 versus GBDT tree count.
+func BenchmarkFigure12(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunFigure12(cfg, []int{100, 200, 400, 800})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			fmt.Println(res.Render())
+		}
+	}
+}

@@ -1,0 +1,81 @@
+// Command msd is the standalone Model Server daemon: it loads a model
+// bundle from disk and serves scoring requests against an existing feature
+// store, with hot reload on SIGHUP-like POST /reload.
+//
+// Usage:
+//
+//	msd -bundle bundle.bin -data /var/lib/titant/hbase [-addr :8070]
+//
+// The bundle file is produced by the offline pipeline (see cmd/titant
+// serve for an all-in-one variant, or core.Deploy + Bundle.Encode in
+// library code).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"titant/internal/hbase"
+	"titant/internal/ms"
+	"titant/internal/txn"
+)
+
+func main() {
+	bundlePath := flag.String("bundle", "", "path to an encoded model bundle (required)")
+	dataDir := flag.String("data", "", "feature store directory (required)")
+	addr := flag.String("addr", ":8070", "listen address")
+	flag.Parse()
+	if *bundlePath == "" || *dataDir == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	raw, err := os.ReadFile(*bundlePath)
+	if err != nil {
+		log.Fatalf("msd: read bundle: %v", err)
+	}
+	bundle, err := ms.DecodeBundle(raw)
+	if err != nil {
+		log.Fatalf("msd: decode bundle: %v", err)
+	}
+	tab, err := hbase.Open(hbase.Config{Dir: *dataDir})
+	if err != nil {
+		log.Fatalf("msd: open feature store: %v", err)
+	}
+	defer tab.Close()
+
+	srv, err := ms.NewServer(tab, bundle, func(t *txn.Transaction, score float64) {
+		log.Printf("ALERT txn=%d score=%.3f from=%d to=%d", t.ID, score, t.From, t.To)
+	})
+	if err != nil {
+		log.Fatalf("msd: %v", err)
+	}
+
+	mux := http.NewServeMux()
+	mux.Handle("/", srv.Handler())
+	mux.HandleFunc("/reload", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		raw, err := os.ReadFile(*bundlePath)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		nb, err := ms.DecodeBundle(raw)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := srv.SetBundle(nb); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		fmt.Fprintf(w, "reloaded version=%s\n", nb.Version)
+	})
+	log.Printf("msd: serving %s on %s (model version %s)", *dataDir, *addr, bundle.Version)
+	log.Fatal(http.ListenAndServe(*addr, mux))
+}

@@ -1,0 +1,156 @@
+// Command titant drives the pipeline end to end.
+//
+// Subcommands:
+//
+//	gen   -out log.bin [-users N] [-seed N]   generate a synthetic world's log
+//	eval  [-users N] [-seed N] [-dataset N]   train and evaluate one dataset
+//	serve [-addr :8070] [-users N] [-seed N]  train, deploy and serve over HTTP
+//
+// serve starts the Model Server of the paper's Figure 5: it trains the
+// production configuration (Basic+DW+GBDT), uploads features and
+// embeddings to the column-family store, and exposes POST /score,
+// GET /healthz and GET /stats.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"titant"
+	"titant/internal/txn"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "gen":
+		cmdGen(os.Args[2:])
+	case "eval":
+		cmdEval(os.Args[2:])
+	case "serve":
+		cmdServe(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: titant <gen|eval|serve> [flags]")
+	os.Exit(2)
+}
+
+func worldFlags(fs *flag.FlagSet) (*int, *uint64) {
+	users := fs.Int("users", 0, "population size (0 = default)")
+	seed := fs.Uint64("seed", 0, "world seed (0 = default)")
+	return users, seed
+}
+
+func buildWorld(users int, seed uint64) *titant.World {
+	cfg := titant.DefaultWorldConfig()
+	if users > 0 {
+		cfg.Users = users
+	}
+	if seed > 0 {
+		cfg.Seed = seed
+	}
+	return titant.Generate(cfg)
+}
+
+func cmdGen(args []string) {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	users, seed := worldFlags(fs)
+	out := fs.String("out", "titant-log.bin", "output file")
+	_ = fs.Parse(args)
+	w := buildWorld(*users, *seed)
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := txn.WriteLog(f, w.Log); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %d transactions to %s\n%s\n", len(w.Log), *out, txn.Summarize(w.Log))
+}
+
+func cmdEval(args []string) {
+	fs := flag.NewFlagSet("eval", flag.ExitOnError)
+	users, seed := worldFlags(fs)
+	dataset := fs.Int("dataset", 1, "dataset number 1-7")
+	_ = fs.Parse(args)
+	w := buildWorld(*users, *seed)
+	ds, err := w.Dataset(*dataset)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := titant.DefaultOptions()
+	fmt.Printf("dataset %d: test day %s, %s\n", ds.Index, ds.TestDay, txn.Summarize(ds.Test))
+	emb := titant.LearnEmbeddings(ds, opts)
+	for _, cfg := range []struct {
+		fs  titant.FeatureSet
+		det titant.Detector
+	}{
+		{titant.FeatBasic, titant.DetIF},
+		{titant.FeatBasic, titant.DetID3},
+		{titant.FeatBasic, titant.DetC50},
+		{titant.FeatBasic, titant.DetLR},
+		{titant.FeatBasic, titant.DetGBDT},
+		{titant.FeatBasicDW, titant.DetGBDT},
+	} {
+		r := titant.TrainEval(w.Users, ds, cfg.fs, cfg.det, emb, opts)
+		fmt.Printf("%-14s + %-5s  F1=%6.2f%%  rec@1%%=%6.2f%%  AUC=%.4f\n",
+			cfg.fs, cfg.det, 100*r.F1, 100*r.RecTop1, r.AUC)
+	}
+}
+
+func cmdServe(args []string) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	users, seed := worldFlags(fs)
+	addr := fs.String("addr", ":8070", "listen address")
+	dir := fs.String("data", "", "feature store directory (default: temp)")
+	_ = fs.Parse(args)
+	w := buildWorld(*users, *seed)
+	ds, err := w.Dataset(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := titant.DefaultOptions()
+	log.Printf("training production configuration (Basic+DW+GBDT)...")
+	clf, emb, threshold, err := titant.TrainForServing(w.Users, ds, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d := *dir
+	if d == "" {
+		d, err = os.MkdirTemp("", "titant-hbase-*")
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	tab, err := titant.OpenFeatureTable(d)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer tab.Close()
+	log.Printf("uploading %d users to the feature store...", len(w.Users))
+	version := time.Now().Format("2006-01-02T15:04:05")
+	bundle, err := titant.Deploy(w.Users, ds, emb, clf, threshold, opts, tab, version)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := titant.NewModelServer(tab, bundle, func(t *titant.Transaction, score float64) {
+		log.Printf("ALERT txn=%d score=%.3f: interrupting transfer %d -> %d",
+			t.ID, score, t.From, t.To)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("model server %s listening on %s (threshold %.3f)", version, *addr, threshold)
+	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+}

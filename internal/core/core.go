@@ -1,0 +1,344 @@
+// Package core implements the TitAnt pipeline of Figure 3: offline
+// periodical training (build the transaction network from 90 days of
+// records, learn user node embeddings, extract basic features, train a
+// detector, freeze a decision threshold) and the artefacts the online side
+// consumes (model bundles and HBase feature uploads).
+//
+// The paper's "T+1" protocol is encoded in TrainEval: models train on the
+// 14-day labeled window and are evaluated on the following test day, with
+// the decision threshold selected on the last two training days (labels
+// are delayed, so no online tuning is possible).
+package core
+
+import (
+	"fmt"
+
+	"titant/internal/feature"
+	"titant/internal/graph"
+	"titant/internal/hbase"
+	"titant/internal/metrics"
+	"titant/internal/model"
+	"titant/internal/model/gbdt"
+	"titant/internal/model/iforest"
+	"titant/internal/model/lr"
+	"titant/internal/model/ruletree"
+	"titant/internal/ms"
+	"titant/internal/nrl"
+	"titant/internal/nrl/deepwalk"
+	"titant/internal/nrl/struc2vec"
+	"titant/internal/txn"
+)
+
+// FeatureSet selects which features feed the detector (Table 1 rows).
+type FeatureSet int
+
+// Feature sets of Table 1.
+const (
+	FeatBasic FeatureSet = iota
+	FeatBasicS2V
+	FeatBasicDW
+	FeatBasicDWS2V
+)
+
+func (f FeatureSet) String() string {
+	switch f {
+	case FeatBasic:
+		return "Basic"
+	case FeatBasicS2V:
+		return "Basic+S2V"
+	case FeatBasicDW:
+		return "Basic+DW"
+	case FeatBasicDWS2V:
+		return "Basic+DW+S2V"
+	}
+	return fmt.Sprintf("FeatureSet(%d)", int(f))
+}
+
+// Detector selects the detection method (Table 1 columns / Figure 9 bars).
+type Detector int
+
+// Detectors evaluated in the paper.
+const (
+	DetIF Detector = iota
+	DetID3
+	DetC50
+	DetLR
+	DetGBDT
+)
+
+func (d Detector) String() string {
+	switch d {
+	case DetIF:
+		return "IF"
+	case DetID3:
+		return "ID3"
+	case DetC50:
+		return "C5.0"
+	case DetLR:
+		return "LR"
+	case DetGBDT:
+		return "GBDT"
+	}
+	return fmt.Sprintf("Detector(%d)", int(d))
+}
+
+// Options bundles every component's hyperparameters. DefaultOptions
+// matches the paper's Section 5.1 settings (GBDT 400x3 with 0.4
+// subsampling, LR with 200 bins and L1 0.1, IF with 100 trees, embedding
+// dimension 32) with laptop-scale NRL sampling effort.
+type Options struct {
+	Cities  int // city-table size for aggregates
+	ValDays int // training days reserved for threshold selection
+	Dim     int // embedding dimension
+	DW      deepwalk.Config
+	S2V     struc2vec.Config
+	LR      lr.Config
+	GBDT    gbdt.Config
+	ID3     ruletree.Config
+	C50     ruletree.Config
+	IF      iforest.Config
+	Seed    uint64
+}
+
+// DefaultOptions returns the paper-aligned configuration.
+func DefaultOptions() Options {
+	o := Options{
+		Cities:  128,
+		ValDays: 2,
+		Dim:     32,
+		DW:      deepwalk.BenchConfig(),
+		S2V:     struc2vec.DefaultConfig(),
+		LR:      lr.DefaultConfig(),
+		GBDT:    gbdt.DefaultConfig(),
+		ID3:     ruletree.DefaultID3(),
+		C50:     ruletree.DefaultC50(),
+		IF:      iforest.DefaultConfig(),
+		Seed:    1,
+	}
+	o.DW.Dim = o.Dim
+	o.S2V.Dim = o.Dim
+	return o
+}
+
+// Embeddings caches the two NRL methods' outputs for one dataset, shared
+// across detector configurations (the paper trains embeddings once per
+// day, not once per configuration).
+type Embeddings struct {
+	DW  *nrl.Embeddings
+	S2V *nrl.Embeddings
+}
+
+// LearnEmbeddings builds the transaction network from the dataset's
+// 90-day window and trains both NRL methods.
+func LearnEmbeddings(ds *txn.Dataset, opts Options) *Embeddings {
+	g := graph.FromTransactions(ds.Network)
+	dwCfg := opts.DW
+	dwCfg.Dim = opts.Dim
+	dwCfg.Seed = opts.Seed
+	s2vCfg := opts.S2V
+	s2vCfg.Dim = opts.Dim
+	s2vCfg.Seed = opts.Seed
+	return &Embeddings{
+		DW:  deepwalk.Train(g, dwCfg),
+		S2V: struc2vec.Train(g, s2vCfg),
+	}
+}
+
+// LearnDW trains only DeepWalk (for sweeps that do not need S2V).
+func LearnDW(ds *txn.Dataset, opts Options) *Embeddings {
+	g := graph.FromTransactions(ds.Network)
+	dwCfg := opts.DW
+	dwCfg.Dim = opts.Dim
+	dwCfg.Seed = opts.Seed
+	return &Embeddings{DW: deepwalk.Train(g, dwCfg)}
+}
+
+// buildMatrix assembles the feature matrix for a transaction slice under a
+// feature set.
+func buildMatrix(ex *feature.Extractor, ts []txn.Transaction, fs FeatureSet, emb *Embeddings, dim int) *feature.Matrix {
+	m := ex.BasicMatrix(ts)
+	switch fs {
+	case FeatBasic:
+		return m
+	case FeatBasicS2V:
+		return feature.WithEmbeddings(m, ts, dim, emb.S2V.Lookup)
+	case FeatBasicDW:
+		return feature.WithEmbeddings(m, ts, dim, emb.DW.Lookup)
+	case FeatBasicDWS2V:
+		m = feature.WithEmbeddings(m, ts, dim, emb.DW.Lookup)
+		return feature.WithEmbeddings(m, ts, dim, emb.S2V.Lookup)
+	}
+	panic(fmt.Sprintf("core: unknown feature set %d", int(fs)))
+}
+
+// Result is one configuration's evaluation on one test day.
+type Result struct {
+	Dataset    int
+	Features   FeatureSet
+	Detector   Detector
+	F1         float64
+	RecTop1    float64
+	AUC        float64
+	Threshold  float64
+	TrainRows  int
+	TestRows   int
+	TestFrauds int
+}
+
+// TrainEval runs the full T+1 pipeline for one (dataset, feature set,
+// detector) cell: extract features, train on the early training days,
+// select the F1-maximising threshold on the validation days, evaluate on
+// the test day. emb may be nil for FeatBasic.
+func TrainEval(users []txn.User, ds *txn.Dataset, fs FeatureSet, det Detector, emb *Embeddings, opts Options) Result {
+	agg := feature.BuildAggregates(ds.Network, opts.Cities)
+	ex := feature.NewExtractor(users, agg)
+
+	trainM := buildMatrix(ex, ds.Train, fs, emb, opts.Dim)
+	testM := buildMatrix(ex, ds.Test, fs, emb, opts.Dim)
+	labels := feature.LabelsOf(ds.Train)
+
+	// Split the 14 training days into fit + validation by day.
+	valStart := ds.TrainEnd - txn.Day(opts.ValDays)
+	fitRows, valRows := splitByDay(ds.Train, valStart)
+	fitM, fitL := subset(trainM, labels, fitRows)
+	valM, valL := subset(trainM, labels, valRows)
+
+	clf := trainDetector(det, fitM, fitL, opts)
+
+	valScores := model.ScoreMatrix(clf, valM)
+	_, threshold := metrics.BestF1(valScores, valL)
+
+	testScores := scoreFast(clf, testM)
+	testLabels := feature.LabelsOf(ds.Test)
+	return Result{
+		Dataset:    ds.Index,
+		Features:   fs,
+		Detector:   det,
+		F1:         metrics.F1At(testScores, testLabels, threshold),
+		RecTop1:    metrics.RecallAtTop(testScores, testLabels, 0.01),
+		AUC:        metrics.AUC(testScores, testLabels),
+		Threshold:  threshold,
+		TrainRows:  fitM.Rows,
+		TestRows:   testM.Rows,
+		TestFrauds: countTrue(testLabels),
+	}
+}
+
+func countTrue(bs []bool) int {
+	n := 0
+	for _, b := range bs {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+// trainDetector dispatches to the concrete trainer.
+func trainDetector(det Detector, m *feature.Matrix, labels []bool, opts Options) model.Classifier {
+	switch det {
+	case DetIF:
+		cfg := opts.IF
+		cfg.Seed = opts.Seed
+		return iforest.Train(m, cfg)
+	case DetID3:
+		return ruletree.Train(m, labels, opts.ID3)
+	case DetC50:
+		return ruletree.Train(m, labels, opts.C50)
+	case DetLR:
+		cfg := opts.LR
+		cfg.Seed = opts.Seed
+		return lr.Train(m, labels, cfg)
+	case DetGBDT:
+		cfg := opts.GBDT
+		cfg.Seed = opts.Seed
+		return gbdt.Train(m, labels, cfg)
+	}
+	panic(fmt.Sprintf("core: unknown detector %d", int(det)))
+}
+
+// scoreFast uses the batch path for GBDT and the generic path otherwise.
+func scoreFast(clf model.Classifier, m *feature.Matrix) []float64 {
+	if g, ok := clf.(*gbdt.Model); ok {
+		return g.ScoreBinned(m)
+	}
+	return model.ScoreMatrix(clf, m)
+}
+
+// splitByDay partitions row indices of ts by whether their day is before
+// valStart.
+func splitByDay(ts []txn.Transaction, valStart txn.Day) (fit, val []int) {
+	for i := range ts {
+		if ts[i].Day < valStart {
+			fit = append(fit, i)
+		} else {
+			val = append(val, i)
+		}
+	}
+	return fit, val
+}
+
+// subset materialises the given rows of m (and labels).
+func subset(m *feature.Matrix, labels []bool, rows []int) (*feature.Matrix, []bool) {
+	out := feature.NewMatrix(len(rows), m.Cols)
+	ls := make([]bool, len(rows))
+	for i, r := range rows {
+		copy(out.Row(i), m.Row(r))
+		ls[i] = labels[r]
+	}
+	return out, ls
+}
+
+// TrainMatrix builds the full 14-day training matrix and labels for a
+// feature set - exposed for the experiment harness (e.g. the distributed
+// GBDT of Figure 10 trains on the same matrix the single-machine path
+// uses).
+func TrainMatrix(users []txn.User, ds *txn.Dataset, fs FeatureSet, emb *Embeddings, opts Options) (*feature.Matrix, []bool) {
+	agg := feature.BuildAggregates(ds.Network, opts.Cities)
+	ex := feature.NewExtractor(users, agg)
+	return buildMatrix(ex, ds.Train, fs, emb, opts.Dim), feature.LabelsOf(ds.Train)
+}
+
+// Deploy materialises a trained day into the online stores: uploads every
+// user's profile, aggregate fragment and DW embedding to HBase and returns
+// the model bundle for the Model Server. version follows the paper's
+// date-time convention.
+func Deploy(users []txn.User, ds *txn.Dataset, emb *Embeddings, clf model.Classifier, threshold float64, opts Options, tab *hbase.Table, version string) (*ms.Bundle, error) {
+	agg := feature.BuildAggregates(ds.Network, opts.Cities)
+	up := &ms.Uploader{Table: tab}
+	for i := range users {
+		u := &users[i]
+		var vec []float32
+		if emb != nil && emb.DW != nil {
+			vec = emb.DW.Lookup(u.ID)
+		}
+		if err := up.PutUser(u, agg.Stats(u.ID), vec); err != nil {
+			return nil, fmt.Errorf("core: upload user %d: %w", u.ID, err)
+		}
+	}
+	dim := 0
+	if emb != nil && emb.DW != nil {
+		dim = emb.DW.Dim()
+	}
+	return ms.NewBundle(version, clf, threshold, agg.CityTable(), dim)
+}
+
+// TrainForServing runs the paper's production configuration (Basic+DW+
+// GBDT, the Table 1 winner) on a dataset and returns everything the
+// online side needs.
+func TrainForServing(users []txn.User, ds *txn.Dataset, opts Options) (model.Classifier, *Embeddings, float64, error) {
+	emb := LearnDW(ds, opts)
+	agg := feature.BuildAggregates(ds.Network, opts.Cities)
+	ex := feature.NewExtractor(users, agg)
+	trainM := buildMatrix(ex, ds.Train, FeatBasicDW, emb, opts.Dim)
+	labels := feature.LabelsOf(ds.Train)
+	valStart := ds.TrainEnd - txn.Day(opts.ValDays)
+	fitRows, valRows := splitByDay(ds.Train, valStart)
+	fitM, fitL := subset(trainM, labels, fitRows)
+	valM, valL := subset(trainM, labels, valRows)
+	cfg := opts.GBDT
+	cfg.Seed = opts.Seed
+	clf := gbdt.Train(fitM, fitL, cfg)
+	_, threshold := metrics.BestF1(model.ScoreMatrix(clf, valM), valL)
+	return clf, emb, threshold, nil
+}

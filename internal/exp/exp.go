@@ -1,0 +1,389 @@
+// Package exp regenerates every table and figure of the paper's Section 5
+// (see DESIGN.md §3 for the experiment index). Each entry point returns
+// structured rows plus a paper-style text rendering; the bench harness and
+// the titant-exp binary are thin wrappers around it.
+package exp
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"titant/internal/core"
+	"titant/internal/graph"
+	"titant/internal/ps"
+	"titant/internal/synth"
+)
+
+// Config scales an experiment run.
+type Config struct {
+	World synth.Config
+	Opts  core.Options
+	Days  int // test days to evaluate (paper: 7)
+}
+
+// Default returns the laptop-scale default experiment configuration.
+func Default() Config {
+	return Config{World: synth.DefaultConfig(), Opts: core.DefaultOptions(), Days: 7}
+}
+
+// Quick returns a reduced configuration for tests: a smaller world, fewer
+// days, lighter models. Shapes still hold on average but with more noise.
+func Quick() Config {
+	c := Default()
+	c.World.Users = 3000
+	c.Days = 2
+	c.Opts.GBDT.Trees = 150
+	c.Opts.LR.Iterations = 10
+	c.Opts.DW.WalksPerNode = 6
+	c.Opts.S2V.Epochs = 4
+	return c
+}
+
+// Table1Config enumerates the paper's eleven configurations in table order.
+type Table1Config struct {
+	Number   int
+	Label    string
+	Features core.FeatureSet
+	Detector core.Detector
+}
+
+// Table1Configs returns the eleven rows of Table 1.
+func Table1Configs() []Table1Config {
+	return []Table1Config{
+		{1, "Basic Features/Attributes+IF", core.FeatBasic, core.DetIF},
+		{2, "Basic Features/Rules+ID3", core.FeatBasic, core.DetID3},
+		{3, "Basic Features/Rules+C5.0", core.FeatBasic, core.DetC50},
+		{4, "Basic Features+LR", core.FeatBasic, core.DetLR},
+		{5, "Basic Features+GBDT", core.FeatBasic, core.DetGBDT},
+		{6, "Basic Features+S2V+LR", core.FeatBasicS2V, core.DetLR},
+		{7, "Basic Features+S2V+GBDT", core.FeatBasicS2V, core.DetGBDT},
+		{8, "Basic Features+DW+LR", core.FeatBasicDW, core.DetLR},
+		{9, "Basic Features+DW+GBDT", core.FeatBasicDW, core.DetGBDT},
+		{10, "Basic Features+DW+S2V+LR", core.FeatBasicDWS2V, core.DetLR},
+		{11, "Basic Features+DW+S2V+GBDT", core.FeatBasicDWS2V, core.DetGBDT},
+	}
+}
+
+// Table1Result holds F1 per configuration per day plus the day-1 detector
+// results reused by Figure 9.
+type Table1Result struct {
+	Configs []Table1Config
+	Days    []string    // test-day dates
+	F1      [][]float64 // [config][day]
+	RecTop1 [][]float64 // [config][day] (day 1 column feeds Figure 9)
+	Elapsed time.Duration
+}
+
+// RunTable1 regenerates Table 1: eleven configurations over consecutive
+// test days.
+func RunTable1(cfg Config) (*Table1Result, error) {
+	start := time.Now()
+	w := synth.Generate(cfg.World)
+	configs := Table1Configs()
+	res := &Table1Result{
+		Configs: configs,
+		F1:      make([][]float64, len(configs)),
+		RecTop1: make([][]float64, len(configs)),
+	}
+	for i := range configs {
+		res.F1[i] = make([]float64, cfg.Days)
+		res.RecTop1[i] = make([]float64, cfg.Days)
+	}
+	for d := 0; d < cfg.Days; d++ {
+		ds, err := w.Dataset(d + 1)
+		if err != nil {
+			return nil, err
+		}
+		res.Days = append(res.Days, ds.TestDay.String())
+		emb := core.LearnEmbeddings(ds, cfg.Opts)
+		for i, c := range configs {
+			r := core.TrainEval(w.Users, ds, c.Features, c.Detector, emb, cfg.Opts)
+			res.F1[i][d] = r.F1
+			res.RecTop1[i][d] = r.RecTop1
+		}
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// Mean returns a config's across-day mean F1.
+func (t *Table1Result) Mean(config int) float64 {
+	var s float64
+	for _, v := range t.F1[config] {
+		s += v
+	}
+	return s / float64(len(t.F1[config]))
+}
+
+// Render prints the table in the paper's layout.
+func (t *Table1Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1: F1 under the eleven configurations\n")
+	fmt.Fprintf(&b, "%-3s %-30s", "No", "Configuration")
+	for _, d := range t.Days {
+		fmt.Fprintf(&b, " %10s", d[5:])
+	}
+	fmt.Fprintf(&b, " %10s\n", "mean")
+	for i, c := range t.Configs {
+		fmt.Fprintf(&b, "%-3d %-30s", c.Number, c.Label)
+		for d := range t.Days {
+			fmt.Fprintf(&b, " %9.2f%%", 100*t.F1[i][d])
+		}
+		fmt.Fprintf(&b, " %9.2f%%\n", 100*t.Mean(i))
+	}
+	return b.String()
+}
+
+// Figure9Result holds rec@top1% for the five detectors (basic features).
+type Figure9Result struct {
+	Detectors []core.Detector
+	RecTop1   []float64
+	Elapsed   time.Duration
+}
+
+// RunFigure9 regenerates Figure 9: recall of the top 1% most-suspicious
+// transactions per detection method, on Dataset 1.
+func RunFigure9(cfg Config) (*Figure9Result, error) {
+	start := time.Now()
+	w := synth.Generate(cfg.World)
+	ds, err := w.Dataset(1)
+	if err != nil {
+		return nil, err
+	}
+	dets := []core.Detector{core.DetIF, core.DetID3, core.DetC50, core.DetLR, core.DetGBDT}
+	res := &Figure9Result{Detectors: dets}
+	for _, det := range dets {
+		r := core.TrainEval(w.Users, ds, core.FeatBasic, det, nil, cfg.Opts)
+		res.RecTop1 = append(res.RecTop1, r.RecTop1)
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// Render prints the figure as a bar list.
+func (f *Figure9Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 9: rec@top1%% per detection method (Dataset 1)\n")
+	for i, det := range f.Detectors {
+		fmt.Fprintf(&b, "%-5s %6.2f%% %s\n", det, 100*f.RecTop1[i], bar(f.RecTop1[i], 1))
+	}
+	return b.String()
+}
+
+func bar(v, max float64) string {
+	n := int(v / max * 40)
+	if n < 0 {
+		n = 0
+	}
+	return strings.Repeat("#", n)
+}
+
+// Figure10Result holds simulated training time versus machine count.
+type Figure10Result struct {
+	Machines    []int
+	DWMinutes   []float64
+	GBDTSeconds []float64
+	Elapsed     time.Duration
+}
+
+// RunFigure10 regenerates Figure 10: DeepWalk and GBDT time cost over the
+// number of machines, on the KunPeng simulation (see internal/ps for the
+// cost model; the distributed algorithms run for real, time is simulated).
+func RunFigure10(cfg Config) (*Figure10Result, error) {
+	start := time.Now()
+	w := synth.Generate(cfg.World)
+	ds, err := w.Dataset(1)
+	if err != nil {
+		return nil, err
+	}
+	g := graph.FromTransactions(ds.Network)
+	// Feature matrix for distributed GBDT.
+	emb := core.LearnDW(ds, cfg.Opts)
+	trainM, labels := core.TrainMatrix(w.Users, ds, core.FeatBasicDW, emb, cfg.Opts)
+
+	res := &Figure10Result{Machines: []int{4, 10, 20, 40}, Elapsed: 0}
+	dwCfg := ps.DefaultDWConfig()
+	dwCfg.DW = cfg.Opts.DW
+	dwCfg.DW.Dim = cfg.Opts.Dim
+
+	gbCfg := ps.DefaultGBDTConfig()
+	gbCfg.GBDT = cfg.Opts.GBDT
+	// Calibrate WorkScale so the 4-machine point represents the paper's
+	// production workload (~8M records): compute-bound at ~1250s for GBDT.
+	// Communication terms (histogram bytes, per-worker messages, barrier
+	// stragglers) do NOT scale with data size, which is exactly why GBDT
+	// stops scaling between 20 and 40 machines.
+	cost := ps.DefaultCostModel()
+	rounds := float64(gbCfg.GBDT.Trees * gbCfg.GBDT.Depth)
+	nCols := float64(int(gbCfg.GBDT.ColSample * float64(trainM.Cols)))
+	opsPerRoundAt2Workers := float64(trainM.Rows) / 2 * nCols * gbCfg.GBDT.Subsample
+	gbCfg.WorkScale = 1250 * cost.ComputeRate / (rounds * opsPerRoundAt2Workers)
+
+	for _, m := range res.Machines {
+		c := ps.NewCluster(m, cost)
+		ps.TrainDeepWalk(c, g, dwCfg)
+		res.DWMinutes = append(res.DWMinutes, c.SimElapsed().Minutes())
+
+		c2 := ps.NewCluster(m, cost)
+		ps.TrainGBDT(c2, trainM, labels, gbCfg)
+		res.GBDTSeconds = append(res.GBDTSeconds, c2.SimElapsed().Seconds())
+	}
+	// DeepWalk's simulated time is linear in its WorkScale; normalise the
+	// curve so 4 machines sit at the paper's ~550 minutes.
+	if res.DWMinutes[0] > 0 {
+		f := 550 / res.DWMinutes[0]
+		for i := range res.DWMinutes {
+			res.DWMinutes[i] *= f
+		}
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// Render prints both curves.
+func (f *Figure10Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 10: time cost over the numbers of machines (simulated cluster)\n")
+	fmt.Fprintf(&b, "%-9s %-18s %-18s\n", "machines", "DW (minutes)", "GBDT (seconds)")
+	for i, m := range f.Machines {
+		fmt.Fprintf(&b, "%-9d %-18.1f %-18.1f\n", m, f.DWMinutes[i], f.GBDTSeconds[i])
+	}
+	return b.String()
+}
+
+// SweepResult is a generic (x, series) result for Table 2 and Figures
+// 11-12.
+type SweepResult struct {
+	Name    string
+	XLabel  string
+	Xs      []int
+	Series  map[string][]float64
+	Order   []string
+	Elapsed time.Duration
+}
+
+// Render prints the sweep as a table.
+func (s *SweepResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n%-28s", s.Name, s.XLabel)
+	for _, x := range s.Xs {
+		fmt.Fprintf(&b, " %8d", x)
+	}
+	fmt.Fprintln(&b)
+	for _, name := range s.Order {
+		fmt.Fprintf(&b, "%-28s", name)
+		for _, v := range s.Series[name] {
+			fmt.Fprintf(&b, " %7.2f%%", 100*v)
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+// RunTable2 regenerates Table 2: F1 versus the DeepWalk sampling count
+// (walks per node), Dataset 1, Basic+DW+GBDT.
+func RunTable2(cfg Config, samplings []int) (*SweepResult, error) {
+	start := time.Now()
+	if len(samplings) == 0 {
+		samplings = []int{25, 50, 100, 200}
+	}
+	w := synth.Generate(cfg.World)
+	ds, err := w.Dataset(1)
+	if err != nil {
+		return nil, err
+	}
+	res := &SweepResult{
+		Name:   "Table 2: F1 vs number of node sampling (Basic+DW+GBDT, Dataset 1)",
+		XLabel: "No. of Sampling",
+		Xs:     samplings,
+		Series: map[string][]float64{"F1": nil},
+		Order:  []string{"F1"},
+	}
+	for _, s := range samplings {
+		opts := cfg.Opts
+		opts.DW.WalksPerNode = s
+		emb := core.LearnDW(ds, opts)
+		r := core.TrainEval(w.Users, ds, core.FeatBasicDW, core.DetGBDT, emb, opts)
+		res.Series["F1"] = append(res.Series["F1"], r.F1)
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// RunFigure11 regenerates Figure 11: F1 versus embedding dimension for the
+// three embedding-augmented GBDT configurations, Dataset 1.
+func RunFigure11(cfg Config, dims []int) (*SweepResult, error) {
+	start := time.Now()
+	if len(dims) == 0 {
+		dims = []int{8, 16, 32, 64}
+	}
+	w := synth.Generate(cfg.World)
+	ds, err := w.Dataset(1)
+	if err != nil {
+		return nil, err
+	}
+	order := []string{"Basic+S2V+GBDT", "Basic+DW+GBDT", "Basic+DW+S2V+GBDT"}
+	fsOf := map[string]core.FeatureSet{
+		"Basic+S2V+GBDT":    core.FeatBasicS2V,
+		"Basic+DW+GBDT":     core.FeatBasicDW,
+		"Basic+DW+S2V+GBDT": core.FeatBasicDWS2V,
+	}
+	res := &SweepResult{
+		Name:   "Figure 11: F1 vs embedding dimension (Dataset 1)",
+		XLabel: "Dimensions",
+		Xs:     dims,
+		Series: map[string][]float64{},
+		Order:  order,
+	}
+	for _, dim := range dims {
+		opts := cfg.Opts
+		opts.Dim = dim
+		emb := core.LearnEmbeddings(ds, opts)
+		for _, name := range order {
+			r := core.TrainEval(w.Users, ds, fsOf[name], core.DetGBDT, emb, opts)
+			res.Series[name] = append(res.Series[name], r.F1)
+		}
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// RunFigure12 regenerates Figure 12: F1 versus the number of GBDT trees
+// for the four feature sets, Dataset 1.
+func RunFigure12(cfg Config, trees []int) (*SweepResult, error) {
+	start := time.Now()
+	if len(trees) == 0 {
+		trees = []int{100, 200, 400, 800}
+	}
+	w := synth.Generate(cfg.World)
+	ds, err := w.Dataset(1)
+	if err != nil {
+		return nil, err
+	}
+	emb := core.LearnEmbeddings(ds, cfg.Opts)
+	order := []string{"Basic+GBDT", "Basic+S2V+GBDT", "Basic+DW+GBDT", "Basic+DW+S2V+GBDT"}
+	fsOf := map[string]core.FeatureSet{
+		"Basic+GBDT":        core.FeatBasic,
+		"Basic+S2V+GBDT":    core.FeatBasicS2V,
+		"Basic+DW+GBDT":     core.FeatBasicDW,
+		"Basic+DW+S2V+GBDT": core.FeatBasicDWS2V,
+	}
+	res := &SweepResult{
+		Name:   "Figure 12: F1 vs numbers of GBDT decision trees (Dataset 1)",
+		XLabel: "Numbers of Trees",
+		Xs:     trees,
+		Series: map[string][]float64{},
+		Order:  order,
+	}
+	for _, n := range trees {
+		opts := cfg.Opts
+		opts.GBDT.Trees = n
+		for _, name := range order {
+			r := core.TrainEval(w.Users, ds, fsOf[name], core.DetGBDT, emb, opts)
+			res.Series[name] = append(res.Series[name], r.F1)
+		}
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}

@@ -1,0 +1,361 @@
+package feature
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"titant/internal/rng"
+	"titant/internal/synth"
+	"titant/internal/txn"
+)
+
+func world(t testing.TB) (*synth.World, *txn.Dataset) {
+	t.Helper()
+	w := synth.Generate(synth.TestConfig())
+	d, err := w.Dataset(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, d
+}
+
+func TestBasicNamesComplete(t *testing.T) {
+	seen := map[string]bool{}
+	for i, n := range BasicNames {
+		if n == "" {
+			t.Fatalf("feature %d unnamed", i)
+		}
+		if seen[n] {
+			t.Fatalf("duplicate feature name %q", n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestBasicVectorShape(t *testing.T) {
+	w, d := world(t)
+	agg := BuildAggregates(d.Network, w.Config.Cities)
+	e := NewExtractor(w.Users, agg)
+	v := e.Basic(&d.Train[0], nil)
+	if len(v) != NumBasic {
+		t.Fatalf("vector length %d, want %d", len(v), NumBasic)
+	}
+	for i, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			t.Errorf("feature %s = %v", BasicNames[i], x)
+		}
+	}
+}
+
+func TestBasicDeterministic(t *testing.T) {
+	w, d := world(t)
+	agg := BuildAggregates(d.Network, w.Config.Cities)
+	e := NewExtractor(w.Users, agg)
+	a := e.Basic(&d.Train[0], nil)
+	b := e.Basic(&d.Train[0], nil)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("feature %d differs across calls", i)
+		}
+	}
+}
+
+func TestBasicMatrix(t *testing.T) {
+	w, d := world(t)
+	agg := BuildAggregates(d.Network, w.Config.Cities)
+	e := NewExtractor(w.Users, agg)
+	m := e.BasicMatrix(d.Test)
+	if m.Rows != len(d.Test) || m.Cols != NumBasic {
+		t.Fatalf("matrix %dx%d", m.Rows, m.Cols)
+	}
+	// Row view and At agree.
+	if m.Row(0)[3] != m.At(0, 3) {
+		t.Error("Row/At disagree")
+	}
+}
+
+func TestAggregatesCounts(t *testing.T) {
+	ts := []txn.Transaction{
+		{From: 1, To: 2, Amount: 10, Day: 0, TransCity: 0},
+		{From: 1, To: 2, Amount: 20, Day: 1, TransCity: 0},
+		{From: 1, To: 3, Amount: 30, Day: 1, TransCity: 1, Fraud: true},
+		{From: 2, To: 1, Amount: 5, Day: 2, TransCity: 0},
+	}
+	a := BuildAggregates(ts, 2)
+	u1 := a.users[1]
+	if u1.outCount != 3 || len(u1.distinctRcv) != 2 || u1.inCount != 1 {
+		t.Errorf("user1 agg: %+v", u1)
+	}
+	if len(u1.outDays) != 2 {
+		t.Errorf("user1 outDays = %d, want 2", len(u1.outDays))
+	}
+	if a.pairCount[pairKey{1, 2}] != 2 {
+		t.Errorf("pair(1,2) = %v, want 2", a.pairCount[pairKey{1, 2}])
+	}
+	// City 1 has 1 txn, 1 fraud: smoothed rate must be well above city 0's.
+	if a.cityFraud[1] <= a.cityFraud[0] {
+		t.Errorf("city fraud rates: %v", a.cityFraud)
+	}
+	// Shares sum to 1.
+	if s := a.cityShare[0] + a.cityShare[1]; math.Abs(s-1) > 1e-12 {
+		t.Errorf("city shares sum to %v", s)
+	}
+}
+
+func TestUnknownUserGetsEmptyAggregates(t *testing.T) {
+	w, d := world(t)
+	agg := BuildAggregates(d.Network[:10], w.Config.Cities)
+	e := NewExtractor(w.Users, agg)
+	// A user not in the tiny reference window must extract without panic
+	// and with zero aggregate features.
+	v := e.Basic(&d.Test[0], nil)
+	if len(v) != NumBasic {
+		t.Fatal("wrong length")
+	}
+}
+
+func TestWithEmbeddings(t *testing.T) {
+	w, d := world(t)
+	agg := BuildAggregates(d.Network, w.Config.Cities)
+	e := NewExtractor(w.Users, agg)
+	ts := d.Test[:5]
+	m := e.BasicMatrix(ts)
+	dim := 4
+	lookup := func(u txn.UserID) []float32 {
+		if u%2 == 0 {
+			return nil // cold start
+		}
+		return []float32{1, 2, 3, 4}
+	}
+	out := WithEmbeddings(m, ts, dim, lookup)
+	if out.Cols != NumBasic+2*dim {
+		t.Fatalf("cols = %d, want %d", out.Cols, NumBasic+2*dim)
+	}
+	for i, tx := range ts {
+		fromEmb := out.Row(i)[NumBasic : NumBasic+dim]
+		if tx.From%2 == 0 {
+			for _, v := range fromEmb {
+				if v != 0 {
+					t.Fatalf("cold-start user got non-zero embedding")
+				}
+			}
+		} else if fromEmb[0] != 1 || fromEmb[3] != 4 {
+			t.Fatalf("embedding not copied: %v", fromEmb)
+		}
+	}
+}
+
+func TestConcat(t *testing.T) {
+	a := NewMatrix(2, 2)
+	b := NewMatrix(2, 3)
+	a.Set(0, 0, 1)
+	b.Set(0, 2, 9)
+	out := Concat(a, b)
+	if out.Cols != 5 || out.At(0, 0) != 1 || out.At(0, 4) != 9 {
+		t.Fatalf("concat wrong: %+v", out)
+	}
+}
+
+func TestConcatPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Concat(NewMatrix(2, 2), NewMatrix(3, 2))
+}
+
+func TestDiscretizerBasics(t *testing.T) {
+	m := NewMatrix(100, 1)
+	for i := 0; i < 100; i++ {
+		m.Set(i, 0, float64(i))
+	}
+	d := FitDiscretizer(m, 4)
+	if d.NumCols() != 1 {
+		t.Fatal("cols wrong")
+	}
+	if n := d.NumBins(0); n != 4 {
+		t.Fatalf("bins = %d, want 4", n)
+	}
+	// Equal-frequency: 0..24 -> bin 0, 25..49 -> 1, etc.
+	if d.Bin(0, 0) != 0 || d.Bin(0, 30) != 1 || d.Bin(0, 60) != 2 || d.Bin(0, 99) != 3 {
+		t.Errorf("bins: %d %d %d %d", d.Bin(0, 0), d.Bin(0, 30), d.Bin(0, 60), d.Bin(0, 99))
+	}
+	// Out-of-range values clamp to the extreme buckets.
+	if d.Bin(0, -5) != 0 || d.Bin(0, 1e9) != 3 {
+		t.Error("out-of-range values not clamped")
+	}
+}
+
+func TestDiscretizerConstantColumn(t *testing.T) {
+	m := NewMatrix(50, 1)
+	for i := 0; i < 50; i++ {
+		m.Set(i, 0, 7)
+	}
+	d := FitDiscretizer(m, 8)
+	if n := d.NumBins(0); n != 1 {
+		t.Fatalf("constant column has %d bins, want 1", n)
+	}
+	if d.Bin(0, 7) != 0 || d.Bin(0, 100) != 0 {
+		t.Error("constant column binning broken")
+	}
+}
+
+// Property: Bin is monotone non-decreasing in the value and always within
+// [0, NumBins).
+func TestDiscretizerMonotoneProperty(t *testing.T) {
+	r := rng.New(8)
+	m := NewMatrix(500, 3)
+	for i := 0; i < 500; i++ {
+		m.Set(i, 0, r.NormFloat64())
+		m.Set(i, 1, r.Float64()*1000)
+		m.Set(i, 2, float64(r.Intn(5))) // low-cardinality
+	}
+	d := FitDiscretizer(m, 16)
+	f := func(a, b float64, colRaw uint8) bool {
+		col := int(colRaw) % 3
+		if a > b {
+			a, b = b, a
+		}
+		ba, bb := d.Bin(col, a), d.Bin(col, b)
+		if ba > bb {
+			return false
+		}
+		n := d.NumBins(col)
+		return ba >= 0 && bb < n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransformRoundTrip(t *testing.T) {
+	r := rng.New(10)
+	m := NewMatrix(200, 4)
+	for i := 0; i < 200; i++ {
+		for j := 0; j < 4; j++ {
+			m.Set(i, j, r.NormFloat64()*float64(j+1))
+		}
+	}
+	d := FitDiscretizer(m, 8)
+	b := d.Transform(m)
+	if b.Rows != 200 || b.Cols != 4 {
+		t.Fatalf("binned %dx%d", b.Rows, b.Cols)
+	}
+	for i := 0; i < b.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			if got, want := int(b.At(i, j)), d.Bin(j, m.At(i, j)); got != want {
+				t.Fatalf("(%d,%d): binned %d, Bin %d", i, j, got, want)
+			}
+			if int(b.At(i, j)) >= b.NumBins[j] {
+				t.Fatalf("(%d,%d): bin out of range", i, j)
+			}
+		}
+	}
+	if b.Row(3)[2] != b.At(3, 2) {
+		t.Error("Binned Row/At disagree")
+	}
+}
+
+func TestFraudFeatureSignalExists(t *testing.T) {
+	// Sanity: mean amount and IP risk of fraud rows must exceed honest rows
+	// (the generator is built that way; extraction must preserve it).
+	w, d := world(t)
+	agg := BuildAggregates(d.Network, w.Config.Cities)
+	e := NewExtractor(w.Users, agg)
+	m := e.BasicMatrix(d.Train)
+	labels := LabelsOf(d.Train)
+	var fAmt, nAmt, fIP, nIP, nf, nn float64
+	for i := 0; i < m.Rows; i++ {
+		if labels[i] {
+			fAmt += m.At(i, 0)
+			fIP += m.At(i, 12)
+			nf++
+		} else {
+			nAmt += m.At(i, 0)
+			nIP += m.At(i, 12)
+			nn++
+		}
+	}
+	if nf == 0 {
+		t.Skip("no fraud in tiny training window")
+	}
+	if fAmt/nf <= nAmt/nn {
+		t.Errorf("fraud mean amount %.1f <= honest %.1f", fAmt/nf, nAmt/nn)
+	}
+	if fIP/nf <= nIP/nn {
+		t.Errorf("fraud mean IP risk %.3f <= honest %.3f", fIP/nf, nIP/nn)
+	}
+}
+
+func BenchmarkBasicMatrix(b *testing.B) {
+	w := synth.Generate(synth.TestConfig())
+	d, _ := w.Dataset(1)
+	agg := BuildAggregates(d.Network, w.Config.Cities)
+	e := NewExtractor(w.Users, agg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.BasicMatrix(d.Train)
+	}
+}
+
+func TestBasicFromPartsMatchesExtractor(t *testing.T) {
+	// The Model Server assembles features from independently fetched
+	// fragments (BasicFromParts); the offline pipeline uses the Extractor.
+	// They MUST agree, or online scores diverge from the trained model's
+	// distribution.
+	w, d := world(t)
+	agg := BuildAggregates(d.Network, w.Config.Cities)
+	e := NewExtractor(w.Users, agg)
+	city := agg.CityTable()
+	for i := range d.Test {
+		tx := &d.Test[i]
+		offline := e.Basic(tx, nil)
+		online := BasicFromParts(tx, &w.Users[tx.From], &w.Users[tx.To], city, nil)
+		for j := range offline {
+			if offline[j] != online[j] {
+				t.Fatalf("txn %d feature %s: offline %v != online %v",
+					tx.ID, BasicNames[j], offline[j], online[j])
+			}
+		}
+	}
+}
+
+func TestAggregateFragments(t *testing.T) {
+	ts := []txn.Transaction{
+		{From: 1, To: 2, Amount: 10, Day: 0},
+		{From: 1, To: 2, Amount: 20, Day: 1},
+		{From: 2, To: 1, Amount: 5, Day: 2},
+	}
+	a := BuildAggregates(ts, 4)
+	s1 := a.Stats(1)
+	if s1.OutCount != 2 || s1.OutAmount != 30 || s1.DistinctRcv != 1 || s1.InCount != 1 || s1.OutDays != 2 {
+		t.Fatalf("stats(1) = %+v", s1)
+	}
+	if a.Stats(99) != (UserStats{}) {
+		t.Fatal("unknown user stats not zero")
+	}
+	if a.PairPrior(1, 2) != 2 || a.PairPrior(2, 1) != 1 || a.PairPrior(3, 1) != 0 {
+		t.Fatal("pair priors wrong")
+	}
+	ct := a.CityTable()
+	if len(ct.Fraud) != 4 || len(ct.Share) != 4 {
+		t.Fatalf("city table %+v", ct)
+	}
+	f0, s0 := ct.Lookup(0)
+	if f0 <= 0 || s0 != 1 {
+		t.Fatalf("city 0 lookup = %v, %v", f0, s0)
+	}
+	// Out-of-range city clamps.
+	fHi, _ := ct.Lookup(9999)
+	fLast, _ := ct.Lookup(3)
+	if fHi != fLast {
+		t.Fatal("city clamp broken")
+	}
+	// Empty table.
+	var empty CityTable
+	if f, s := empty.Lookup(0); f != 0 || s != 0 {
+		t.Fatal("empty city table lookup non-zero")
+	}
+}

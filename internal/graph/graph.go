@@ -1,0 +1,346 @@
+// Package graph implements the transaction network of the paper's
+// Definition 2: a directed graph G = (V, E) whose nodes are users and whose
+// edges are transfer relationships from transferor to transferee.
+//
+// The network is stored in compressed sparse row (CSR) form for both
+// directions so random walks (DeepWalk) and neighbourhood aggregation
+// (Structure2Vec) touch contiguous memory. Node identifiers are dense
+// indices assigned at build time; Users maps them back to txn.UserID.
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"titant/internal/txn"
+)
+
+// NodeID is a dense node index in [0, NumNodes).
+type NodeID int32
+
+// Edge is one directed edge with a weight (number of transfers aggregated)
+// and a fraud mark (true if any aggregated transfer was fraudulent). Edge
+// fraud marks are the supervision signal for Structure2Vec.
+type Edge struct {
+	From, To NodeID
+	Weight   float32
+	Fraud    bool
+}
+
+// Graph is an immutable directed transaction network in CSR form.
+type Graph struct {
+	users   []txn.UserID          // dense index -> user
+	index   map[txn.UserID]NodeID // user -> dense index
+	outOff  []int32               // CSR offsets, len = n+1
+	outDst  []NodeID
+	outWt   []float32
+	outFr   []bool
+	inOff   []int32
+	inSrc   []NodeID
+	inWt    []float32
+	inFr    []bool
+	numEdge int
+}
+
+// Builder accumulates transfers and produces a Graph. Parallel transfers
+// between the same ordered pair are aggregated into a single weighted edge.
+type Builder struct {
+	index map[txn.UserID]NodeID
+	users []txn.UserID
+	edges map[pairKey]*edgeAgg
+}
+
+type pairKey struct{ from, to NodeID }
+
+type edgeAgg struct {
+	weight float32
+	fraud  bool
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder {
+	return &Builder{
+		index: make(map[txn.UserID]NodeID),
+		edges: make(map[pairKey]*edgeAgg),
+	}
+}
+
+func (b *Builder) node(u txn.UserID) NodeID {
+	if id, ok := b.index[u]; ok {
+		return id
+	}
+	id := NodeID(len(b.users))
+	b.index[u] = id
+	b.users = append(b.users, u)
+	return id
+}
+
+// AddTransfer records one transfer from -> to. Self-transfers are dropped
+// (they carry no relational information and would bias random walks).
+func (b *Builder) AddTransfer(from, to txn.UserID, fraud bool) {
+	if from == to {
+		return
+	}
+	k := pairKey{b.node(from), b.node(to)}
+	if e, ok := b.edges[k]; ok {
+		e.weight++
+		e.fraud = e.fraud || fraud
+		return
+	}
+	b.edges[k] = &edgeAgg{weight: 1, fraud: fraud}
+}
+
+// AddTransactions records a batch of transactions.
+func (b *Builder) AddTransactions(ts []txn.Transaction) {
+	for i := range ts {
+		b.AddTransfer(ts[i].From, ts[i].To, ts[i].Fraud)
+	}
+}
+
+// Build freezes the builder into an immutable Graph.
+func (b *Builder) Build() *Graph {
+	n := len(b.users)
+	g := &Graph{
+		users:   b.users,
+		index:   b.index,
+		numEdge: len(b.edges),
+	}
+	// Sort edges for deterministic CSR layout regardless of map order.
+	keys := make([]pairKey, 0, len(b.edges))
+	for k := range b.edges {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].from != keys[j].from {
+			return keys[i].from < keys[j].from
+		}
+		return keys[i].to < keys[j].to
+	})
+
+	g.outOff = make([]int32, n+1)
+	g.inOff = make([]int32, n+1)
+	for _, k := range keys {
+		g.outOff[k.from+1]++
+		g.inOff[k.to+1]++
+	}
+	for i := 0; i < n; i++ {
+		g.outOff[i+1] += g.outOff[i]
+		g.inOff[i+1] += g.inOff[i]
+	}
+	m := len(keys)
+	g.outDst = make([]NodeID, m)
+	g.outWt = make([]float32, m)
+	g.outFr = make([]bool, m)
+	g.inSrc = make([]NodeID, m)
+	g.inWt = make([]float32, m)
+	g.inFr = make([]bool, m)
+	outPos := make([]int32, n)
+	copy(outPos, g.outOff[:n])
+	inPos := make([]int32, n)
+	copy(inPos, g.inOff[:n])
+	for _, k := range keys {
+		e := b.edges[k]
+		p := outPos[k.from]
+		g.outDst[p] = k.to
+		g.outWt[p] = e.weight
+		g.outFr[p] = e.fraud
+		outPos[k.from]++
+		q := inPos[k.to]
+		g.inSrc[q] = k.from
+		g.inWt[q] = e.weight
+		g.inFr[q] = e.fraud
+		inPos[k.to]++
+	}
+	return g
+}
+
+// FromTransactions is shorthand for building a graph from a transaction log.
+func FromTransactions(ts []txn.Transaction) *Graph {
+	b := NewBuilder()
+	b.AddTransactions(ts)
+	return b.Build()
+}
+
+// NumNodes returns the node count.
+func (g *Graph) NumNodes() int { return len(g.users) }
+
+// NumEdges returns the distinct directed edge count.
+func (g *Graph) NumEdges() int { return g.numEdge }
+
+// User returns the txn.UserID behind dense node id.
+func (g *Graph) User(id NodeID) txn.UserID { return g.users[id] }
+
+// Node returns the dense node for user u, or (-1, false) if u never
+// transacted in the window.
+func (g *Graph) Node(u txn.UserID) (NodeID, bool) {
+	id, ok := g.index[u]
+	if !ok {
+		return -1, false
+	}
+	return id, true
+}
+
+// OutNeighbors returns the out-neighbour IDs of v (shared slice; callers
+// must not mutate).
+func (g *Graph) OutNeighbors(v NodeID) []NodeID {
+	return g.outDst[g.outOff[v]:g.outOff[v+1]]
+}
+
+// OutWeights returns edge weights parallel to OutNeighbors.
+func (g *Graph) OutWeights(v NodeID) []float32 {
+	return g.outWt[g.outOff[v]:g.outOff[v+1]]
+}
+
+// OutFraud returns per-out-edge fraud marks parallel to OutNeighbors.
+func (g *Graph) OutFraud(v NodeID) []bool {
+	return g.outFr[g.outOff[v]:g.outOff[v+1]]
+}
+
+// InNeighbors returns the in-neighbour IDs of v.
+func (g *Graph) InNeighbors(v NodeID) []NodeID {
+	return g.inSrc[g.inOff[v]:g.inOff[v+1]]
+}
+
+// InWeights returns edge weights parallel to InNeighbors.
+func (g *Graph) InWeights(v NodeID) []float32 {
+	return g.inWt[g.inOff[v]:g.inOff[v+1]]
+}
+
+// InFraud returns per-in-edge fraud marks parallel to InNeighbors.
+func (g *Graph) InFraud(v NodeID) []bool {
+	return g.inFr[g.inOff[v]:g.inOff[v+1]]
+}
+
+// OutDegree returns the out-degree of v.
+func (g *Graph) OutDegree(v NodeID) int { return int(g.outOff[v+1] - g.outOff[v]) }
+
+// InDegree returns the in-degree of v.
+func (g *Graph) InDegree(v NodeID) int { return int(g.inOff[v+1] - g.inOff[v]) }
+
+// Degree returns in+out degree of v.
+func (g *Graph) Degree(v NodeID) int { return g.OutDegree(v) + g.InDegree(v) }
+
+// HasEdge reports whether the directed edge from->to exists.
+func (g *Graph) HasEdge(from, to NodeID) bool {
+	ns := g.OutNeighbors(from)
+	// CSR rows are sorted by destination; binary search.
+	lo, hi := 0, len(ns)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ns[mid] < to {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(ns) && ns[lo] == to
+}
+
+// Edges returns all edges in deterministic order.
+func (g *Graph) Edges() []Edge {
+	es := make([]Edge, 0, g.numEdge)
+	for v := NodeID(0); int(v) < g.NumNodes(); v++ {
+		off := g.outOff[v]
+		for i, w := range g.OutNeighbors(v) {
+			es = append(es, Edge{From: v, To: w, Weight: g.outWt[off+int32(i)], Fraud: g.outFr[off+int32(i)]})
+		}
+	}
+	return es
+}
+
+// TwoHopNeighbors returns the set of nodes reachable from v in exactly two
+// undirected hops, excluding v itself and direct neighbours. The paper's
+// motivating observation (Figure 2) is that victims of the same fraudster
+// are 2-hop neighbours of each other.
+func (g *Graph) TwoHopNeighbors(v NodeID) map[NodeID]struct{} {
+	direct := make(map[NodeID]struct{})
+	for _, w := range g.OutNeighbors(v) {
+		direct[w] = struct{}{}
+	}
+	for _, w := range g.InNeighbors(v) {
+		direct[w] = struct{}{}
+	}
+	two := make(map[NodeID]struct{})
+	for w := range direct {
+		for _, x := range g.OutNeighbors(w) {
+			two[x] = struct{}{}
+		}
+		for _, x := range g.InNeighbors(w) {
+			two[x] = struct{}{}
+		}
+	}
+	delete(two, v)
+	for w := range direct {
+		delete(two, w)
+	}
+	return two
+}
+
+// Stats summarises the network.
+type Stats struct {
+	Nodes, Edges     int
+	MaxOutDeg        int
+	MaxInDeg         int
+	FraudEdges       int
+	WeaklyConnected  int // number of weakly connected components
+	LargestComponent int
+}
+
+// Summarize computes Stats (including a union-find pass over components).
+func (g *Graph) Summarize() Stats {
+	s := Stats{Nodes: g.NumNodes(), Edges: g.NumEdges()}
+	for v := NodeID(0); int(v) < g.NumNodes(); v++ {
+		if d := g.OutDegree(v); d > s.MaxOutDeg {
+			s.MaxOutDeg = d
+		}
+		if d := g.InDegree(v); d > s.MaxInDeg {
+			s.MaxInDeg = d
+		}
+	}
+	for _, f := range g.outFr {
+		if f {
+			s.FraudEdges++
+		}
+	}
+	// Weakly connected components via union-find.
+	parent := make([]int32, g.NumNodes())
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	var find func(x int32) int32
+	find = func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int32) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	for v := NodeID(0); int(v) < g.NumNodes(); v++ {
+		for _, w := range g.OutNeighbors(v) {
+			union(int32(v), int32(w))
+		}
+	}
+	sizes := make(map[int32]int)
+	for i := range parent {
+		sizes[find(int32(i))]++
+	}
+	s.WeaklyConnected = len(sizes)
+	for _, sz := range sizes {
+		if sz > s.LargestComponent {
+			s.LargestComponent = sz
+		}
+	}
+	return s
+}
+
+// String renders the stats.
+func (s Stats) String() string {
+	return fmt.Sprintf("nodes=%d edges=%d maxOut=%d maxIn=%d fraudEdges=%d wcc=%d largest=%d",
+		s.Nodes, s.Edges, s.MaxOutDeg, s.MaxInDeg, s.FraudEdges, s.WeaklyConnected, s.LargestComponent)
+}

@@ -1,0 +1,250 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"titant/internal/rng"
+	"titant/internal/txn"
+)
+
+// star builds the paper's Figure 2 scenario: one fraudster receiving
+// transfers from several victims.
+func star(victims int) *Graph {
+	b := NewBuilder()
+	for i := 1; i <= victims; i++ {
+		b.AddTransfer(txn.UserID(i), txn.UserID(0), true)
+	}
+	return b.Build()
+}
+
+func TestStarTopology(t *testing.T) {
+	g := star(4)
+	if g.NumNodes() != 5 || g.NumEdges() != 4 {
+		t.Fatalf("star(4): nodes=%d edges=%d", g.NumNodes(), g.NumEdges())
+	}
+	fraudster, ok := g.Node(0)
+	if !ok {
+		t.Fatal("fraudster node missing")
+	}
+	if g.InDegree(fraudster) != 4 || g.OutDegree(fraudster) != 0 {
+		t.Errorf("fraudster degrees: in=%d out=%d", g.InDegree(fraudster), g.OutDegree(fraudster))
+	}
+	// Paper's Figure 2 claim: victims of the same fraudster are 2-hop
+	// neighbours of each other.
+	v1, _ := g.Node(1)
+	v2, _ := g.Node(2)
+	two := g.TwoHopNeighbors(v1)
+	if _, ok := two[v2]; !ok {
+		t.Error("victims are not 2-hop neighbours")
+	}
+	if _, ok := two[fraudster]; ok {
+		t.Error("direct neighbour leaked into 2-hop set")
+	}
+	if _, ok := two[v1]; ok {
+		t.Error("self leaked into 2-hop set")
+	}
+}
+
+func TestAggregation(t *testing.T) {
+	b := NewBuilder()
+	b.AddTransfer(1, 2, false)
+	b.AddTransfer(1, 2, false)
+	b.AddTransfer(1, 2, true)
+	g := b.Build()
+	if g.NumEdges() != 1 {
+		t.Fatalf("parallel edges not aggregated: %d", g.NumEdges())
+	}
+	n1, _ := g.Node(1)
+	if w := g.OutWeights(n1); len(w) != 1 || w[0] != 3 {
+		t.Errorf("weight = %v, want [3]", w)
+	}
+	if f := g.OutFraud(n1); len(f) != 1 || !f[0] {
+		t.Errorf("fraud mark = %v, want [true]", f)
+	}
+}
+
+func TestSelfLoopDropped(t *testing.T) {
+	b := NewBuilder()
+	b.AddTransfer(5, 5, false)
+	g := b.Build()
+	if g.NumEdges() != 0 {
+		t.Fatalf("self-loop not dropped: edges=%d", g.NumEdges())
+	}
+}
+
+func TestHasEdge(t *testing.T) {
+	b := NewBuilder()
+	b.AddTransfer(1, 2, false)
+	b.AddTransfer(1, 4, false)
+	b.AddTransfer(1, 3, false)
+	b.AddTransfer(2, 3, false)
+	g := b.Build()
+	n1, _ := g.Node(1)
+	n2, _ := g.Node(2)
+	n3, _ := g.Node(3)
+	n4, _ := g.Node(4)
+	for _, to := range []NodeID{n2, n3, n4} {
+		if !g.HasEdge(n1, to) {
+			t.Errorf("missing edge 1->%d", to)
+		}
+	}
+	if g.HasEdge(n2, n1) {
+		t.Error("phantom reverse edge")
+	}
+	if !g.HasEdge(n2, n3) {
+		t.Error("missing edge 2->3")
+	}
+}
+
+func TestNodeUnknown(t *testing.T) {
+	g := star(2)
+	if _, ok := g.Node(99); ok {
+		t.Error("unknown user resolved to a node")
+	}
+}
+
+func TestFromTransactions(t *testing.T) {
+	ts := []txn.Transaction{
+		{From: 1, To: 2, Fraud: false},
+		{From: 2, To: 3, Fraud: true},
+		{From: 1, To: 2, Fraud: false},
+	}
+	g := FromTransactions(ts)
+	if g.NumNodes() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("nodes=%d edges=%d", g.NumNodes(), g.NumEdges())
+	}
+	s := g.Summarize()
+	if s.FraudEdges != 1 {
+		t.Errorf("fraud edges = %d, want 1", s.FraudEdges)
+	}
+	if s.WeaklyConnected != 1 || s.LargestComponent != 3 {
+		t.Errorf("components: %+v", s)
+	}
+	if s.String() == "" {
+		t.Error("empty stats string")
+	}
+}
+
+func TestComponents(t *testing.T) {
+	b := NewBuilder()
+	b.AddTransfer(1, 2, false)
+	b.AddTransfer(3, 4, false)
+	b.AddTransfer(4, 5, false)
+	g := b.Build()
+	s := g.Summarize()
+	if s.WeaklyConnected != 2 {
+		t.Errorf("wcc = %d, want 2", s.WeaklyConnected)
+	}
+	if s.LargestComponent != 3 {
+		t.Errorf("largest = %d, want 3", s.LargestComponent)
+	}
+}
+
+func TestEdgesDeterministic(t *testing.T) {
+	mk := func() *Graph {
+		b := NewBuilder()
+		r := rng.New(4)
+		for i := 0; i < 500; i++ {
+			b.AddTransfer(txn.UserID(r.Intn(50)), txn.UserID(r.Intn(50)), r.Bool(0.1))
+		}
+		return b.Build()
+	}
+	e1 := mk().Edges()
+	e2 := mk().Edges()
+	if len(e1) != len(e2) {
+		t.Fatalf("edge counts differ: %d vs %d", len(e1), len(e2))
+	}
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatalf("edge %d differs: %+v vs %+v", i, e1[i], e2[i])
+		}
+	}
+}
+
+// Property: the CSR representation agrees with a reference adjacency map,
+// in both directions, for random graphs.
+func TestCSRMatchesReferenceProperty(t *testing.T) {
+	base := rng.New(123)
+	f := func(seed uint32) bool {
+		r := base.Split(uint64(seed))
+		n := 2 + r.Intn(30)
+		edges := make(map[[2]int]int)
+		b := NewBuilder()
+		for i := 0; i < 5*n; i++ {
+			from, to := r.Intn(n), r.Intn(n)
+			b.AddTransfer(txn.UserID(from), txn.UserID(to), false)
+			if from != to {
+				edges[[2]int{from, to}]++
+			}
+		}
+		g := b.Build()
+		if g.NumEdges() != len(edges) {
+			return false
+		}
+		total := 0
+		for v := NodeID(0); int(v) < g.NumNodes(); v++ {
+			u := int(g.User(v))
+			ws := g.OutWeights(v)
+			for i, w := range g.OutNeighbors(v) {
+				cnt, ok := edges[[2]int{u, int(g.User(w))}]
+				if !ok || float32(cnt) != ws[i] {
+					return false
+				}
+				total++
+			}
+		}
+		if total != len(edges) {
+			return false
+		}
+		// In-edges mirror out-edges.
+		inTotal := 0
+		for v := NodeID(0); int(v) < g.NumNodes(); v++ {
+			for _, w := range g.InNeighbors(v) {
+				if !g.HasEdge(w, v) {
+					return false
+				}
+				inTotal++
+			}
+		}
+		return inTotal == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: sum of out-degrees == sum of in-degrees == edge count.
+func TestDegreeSumProperty(t *testing.T) {
+	base := rng.New(321)
+	f := func(seed uint32) bool {
+		r := base.Split(uint64(seed))
+		n := 2 + r.Intn(40)
+		b := NewBuilder()
+		for i := 0; i < 3*n; i++ {
+			b.AddTransfer(txn.UserID(r.Intn(n)), txn.UserID(r.Intn(n)), false)
+		}
+		g := b.Build()
+		outSum, inSum := 0, 0
+		for v := NodeID(0); int(v) < g.NumNodes(); v++ {
+			outSum += g.OutDegree(v)
+			inSum += g.InDegree(v)
+		}
+		return outSum == g.NumEdges() && inSum == g.NumEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBuild(b *testing.B) {
+	r := rng.New(1)
+	ts := make([]txn.Transaction, 100000)
+	for i := range ts {
+		ts[i] = txn.Transaction{From: txn.UserID(r.Intn(10000)), To: txn.UserID(r.Intn(10000))}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FromTransactions(ts)
+	}
+}

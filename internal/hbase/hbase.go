@@ -1,0 +1,445 @@
+// Package hbase implements the Ali-HBase analogue of Section 4.4: the
+// column-family store serving online feature reads for the Model Server.
+//
+// Data is organised exactly as in the paper's Figure 7 - row keys index
+// users, column families group "basic features" and "user node embeddings",
+// qualifiers name individual values, and every write is versioned by
+// timestamp ("the data is uploaded to Ali-HBase by the version of date
+// time"). The engine is a log-structured merge tree in the Bigtable
+// tradition: a write-ahead log for durability, an in-memory MemStore,
+// immutable sorted HFile segments flushed from it, and major compaction
+// that merges segments while enforcing the per-cell version limit.
+package hbase
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ErrNotFound is returned when a cell has no live value.
+var ErrNotFound = errors.New("hbase: not found")
+
+// Config controls a table's engine.
+type Config struct {
+	Dir              string // data directory
+	MaxVersions      int    // versions retained per cell at compaction (default 3)
+	FlushThreshold   int    // MemStore cells that trigger an automatic flush (default 65536)
+	CompactThreshold int    // segment count that triggers automatic compaction (default 6)
+}
+
+func (c *Config) fillDefaults() {
+	if c.MaxVersions == 0 {
+		c.MaxVersions = 3
+	}
+	if c.FlushThreshold == 0 {
+		c.FlushThreshold = 1 << 16
+	}
+	if c.CompactThreshold == 0 {
+		c.CompactThreshold = 6
+	}
+}
+
+// Table is a column-family table. Safe for concurrent use.
+type Table struct {
+	mu       sync.RWMutex
+	cfg      Config
+	mem      map[string][]Cell // key -> versions, newest first
+	memCount int
+	segments []*segment // oldest first
+	log      *wal
+	nextSeg  uint64
+	lastTS   int64
+}
+
+// Open opens (creating if necessary) a table rooted at cfg.Dir, replaying
+// the WAL and loading existing segments.
+func Open(cfg Config) (*Table, error) {
+	cfg.fillDefaults()
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("hbase: empty data directory")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("hbase: mkdir: %w", err)
+	}
+	t := &Table{cfg: cfg, mem: make(map[string][]Cell)}
+
+	// Load segments in id order.
+	entries, err := os.ReadDir(cfg.Dir)
+	if err != nil {
+		return nil, fmt.Errorf("hbase: readdir: %w", err)
+	}
+	var ids []uint64
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasPrefix(name, "seg-") && strings.HasSuffix(name, ".hfile") {
+			id, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "seg-"), ".hfile"), 10, 64)
+			if err != nil {
+				continue
+			}
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		seg, err := openSegment(t.segPath(id), id)
+		if err != nil {
+			return nil, err
+		}
+		t.segments = append(t.segments, seg)
+		if id >= t.nextSeg {
+			t.nextSeg = id + 1
+		}
+		for i := range seg.cells {
+			if seg.cells[i].Timestamp > t.lastTS {
+				t.lastTS = seg.cells[i].Timestamp
+			}
+		}
+	}
+
+	// Replay WAL into the MemStore.
+	log, cells, err := openWAL(filepath.Join(cfg.Dir, "wal.log"))
+	if err != nil {
+		return nil, err
+	}
+	t.log = log
+	for i := range cells {
+		t.applyMem(&cells[i])
+		if cells[i].Timestamp > t.lastTS {
+			t.lastTS = cells[i].Timestamp
+		}
+	}
+	return t, nil
+}
+
+func (t *Table) segPath(id uint64) string {
+	return filepath.Join(t.cfg.Dir, fmt.Sprintf("seg-%08d.hfile", id))
+}
+
+// nextTimestamp returns a strictly monotone logical timestamp seeded by the
+// wall clock.
+func (t *Table) nextTimestamp() int64 {
+	ts := time.Now().UnixNano()
+	if ts <= t.lastTS {
+		ts = t.lastTS + 1
+	}
+	t.lastTS = ts
+	return ts
+}
+
+func (t *Table) applyMem(c *Cell) {
+	key := c.Key()
+	vs := t.mem[key]
+	// Insert keeping newest-first order (appends are usually newest).
+	pos := sort.Search(len(vs), func(i int) bool { return vs[i].Timestamp <= c.Timestamp })
+	vs = append(vs, Cell{})
+	copy(vs[pos+1:], vs[pos:])
+	vs[pos] = *c
+	t.mem[key] = vs
+	t.memCount++
+}
+
+// Put writes a value. ts <= 0 assigns the next logical timestamp. The
+// assigned version is returned.
+func (t *Table) Put(row, family, qualifier string, value []byte, ts int64) (int64, error) {
+	return t.write(Cell{Row: row, Family: family, Qualifier: qualifier, Value: value, Timestamp: ts})
+}
+
+// Delete writes a tombstone that masks all versions at or below its
+// timestamp.
+func (t *Table) Delete(row, family, qualifier string, ts int64) (int64, error) {
+	return t.write(Cell{Row: row, Family: family, Qualifier: qualifier, Timestamp: ts, Tombstone: true})
+}
+
+func (t *Table) write(c Cell) (int64, error) {
+	if err := validateName("row", c.Row); err != nil {
+		return 0, err
+	}
+	if err := validateName("family", c.Family); err != nil {
+		return 0, err
+	}
+	if err := validateName("qualifier", c.Qualifier); err != nil {
+		return 0, err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if c.Timestamp <= 0 {
+		c.Timestamp = t.nextTimestamp()
+	} else if c.Timestamp > t.lastTS {
+		t.lastTS = c.Timestamp
+	}
+	if err := t.log.append(&c); err != nil {
+		return 0, err
+	}
+	if err := t.log.sync(); err != nil {
+		return 0, err
+	}
+	t.applyMem(&c)
+	if t.memCount >= t.cfg.FlushThreshold {
+		if err := t.flushLocked(); err != nil {
+			return 0, err
+		}
+	}
+	return c.Timestamp, nil
+}
+
+// Get returns the newest live value of a cell.
+func (t *Table) Get(row, family, qualifier string) ([]byte, int64, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	c, ok := t.newest(cellKey(row, family, qualifier))
+	if !ok || c.Tombstone {
+		return nil, 0, fmt.Errorf("%w: %s/%s/%s", ErrNotFound, row, family, qualifier)
+	}
+	return c.Value, c.Timestamp, nil
+}
+
+// newest returns the highest-timestamp version of key across MemStore and
+// segments.
+func (t *Table) newest(key string) (Cell, bool) {
+	var best Cell
+	found := false
+	if vs := t.mem[key]; len(vs) > 0 {
+		best = vs[0]
+		found = true
+	}
+	for _, seg := range t.segments {
+		i := seg.firstIndex(key)
+		if i < len(seg.cells) && seg.cells[i].Key() == key {
+			if !found || seg.cells[i].Timestamp > best.Timestamp {
+				best = seg.cells[i]
+				found = true
+			}
+		}
+	}
+	return best, found
+}
+
+// Versions returns up to max versions of a cell, newest first, excluding
+// values masked by tombstones.
+func (t *Table) Versions(row, family, qualifier string, max int) ([]Cell, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	key := cellKey(row, family, qualifier)
+	var all []Cell
+	all = append(all, t.mem[key]...)
+	for _, seg := range t.segments {
+		all = seg.versions(key, all)
+	}
+	live := resolveVersions(all)
+	if max > 0 && len(live) > max {
+		live = live[:max]
+	}
+	if len(live) == 0 {
+		return nil, fmt.Errorf("%w: %s/%s/%s", ErrNotFound, row, family, qualifier)
+	}
+	return live, nil
+}
+
+// resolveVersions sorts versions newest-first and drops tombstones plus
+// anything at or below the newest tombstone.
+func resolveVersions(all []Cell) []Cell {
+	sortCells(all)
+	var live []Cell
+	var tombTS int64 = -1 << 62
+	for _, c := range all {
+		if c.Tombstone {
+			if c.Timestamp > tombTS {
+				tombTS = c.Timestamp
+			}
+			continue
+		}
+		if c.Timestamp > tombTS {
+			live = append(live, c)
+		}
+	}
+	return live
+}
+
+// GetRow returns the newest live value of every cell in a row, as
+// family -> qualifier -> value.
+func (t *Table) GetRow(row string) (map[string]map[string][]byte, error) {
+	if err := validateName("row", row); err != nil {
+		return nil, err
+	}
+	out := make(map[string]map[string][]byte)
+	err := t.Scan(row, row+"\x01", func(c Cell) bool {
+		fam, ok := out[c.Family]
+		if !ok {
+			fam = make(map[string][]byte)
+			out[c.Family] = fam
+		}
+		fam[c.Qualifier] = c.Value
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%w: row %s", ErrNotFound, row)
+	}
+	return out, nil
+}
+
+// Scan streams the newest live version of every cell whose row is in
+// [startRow, endRow) (endRow "" means unbounded) in key order. fn returns
+// false to stop early.
+func (t *Table) Scan(startRow, endRow string, fn func(c Cell) bool) error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	startKey := startRow // row prefix compares correctly against full keys
+	endKey := endRow
+	var all []Cell
+	for key, vs := range t.mem {
+		if key >= startKey && (endKey == "" || key < endKey) {
+			all = append(all, vs...)
+		}
+	}
+	for _, seg := range t.segments {
+		all = seg.scanRange(startKey, endKey, all)
+	}
+	sortCells(all)
+	// Emit the newest live version per key.
+	i := 0
+	for i < len(all) {
+		j := i
+		key := all[i].Key()
+		for j < len(all) && all[j].Key() == key {
+			j++
+		}
+		if live := resolveVersions(all[i:j]); len(live) > 0 {
+			if !fn(live[0]) {
+				return nil
+			}
+		}
+		i = j
+	}
+	return nil
+}
+
+// Flush persists the MemStore as a new segment and truncates the WAL.
+func (t *Table) Flush() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.flushLocked()
+}
+
+func (t *Table) flushLocked() error {
+	if t.memCount == 0 {
+		return nil
+	}
+	cells := make([]Cell, 0, t.memCount)
+	for _, vs := range t.mem {
+		cells = append(cells, vs...)
+	}
+	sortCells(cells)
+	id := t.nextSeg
+	seg, err := writeSegment(t.segPath(id), id, cells)
+	if err != nil {
+		return err
+	}
+	t.nextSeg++
+	t.segments = append(t.segments, seg)
+	t.mem = make(map[string][]Cell)
+	t.memCount = 0
+	if err := t.log.reset(); err != nil {
+		return err
+	}
+	if len(t.segments) >= t.cfg.CompactThreshold {
+		return t.compactLocked()
+	}
+	return nil
+}
+
+// Compact merges all segments into one, enforcing MaxVersions and dropping
+// tombstones and the versions they mask (major compaction).
+func (t *Table) Compact() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.flushLocked(); err != nil {
+		return err
+	}
+	return t.compactLocked()
+}
+
+func (t *Table) compactLocked() error {
+	if len(t.segments) <= 1 && t.memCount == 0 {
+		return nil
+	}
+	var all []Cell
+	for _, seg := range t.segments {
+		all = append(all, seg.cells...)
+	}
+	for _, vs := range t.mem {
+		all = append(all, vs...)
+	}
+	sortCells(all)
+	var merged []Cell
+	i := 0
+	for i < len(all) {
+		j := i
+		key := all[i].Key()
+		for j < len(all) && all[j].Key() == key {
+			j++
+		}
+		live := resolveVersions(all[i:j])
+		if len(live) > t.cfg.MaxVersions {
+			live = live[:t.cfg.MaxVersions]
+		}
+		merged = append(merged, live...)
+		i = j
+	}
+	id := t.nextSeg
+	seg, err := writeSegment(t.segPath(id), id, merged)
+	if err != nil {
+		return err
+	}
+	t.nextSeg++
+	old := t.segments
+	t.segments = []*segment{seg}
+	t.mem = make(map[string][]Cell)
+	t.memCount = 0
+	if err := t.log.reset(); err != nil {
+		return err
+	}
+	for _, s := range old {
+		_ = os.Remove(s.path)
+	}
+	return nil
+}
+
+// Stats reports engine state.
+type Stats struct {
+	MemCells int
+	Segments int
+	SegCells int
+	WALBytes int64
+}
+
+// Stats returns current engine statistics.
+func (t *Table) Stats() Stats {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	s := Stats{MemCells: t.memCount, Segments: len(t.segments), WALBytes: t.log.len}
+	for _, seg := range t.segments {
+		s.SegCells += len(seg.cells)
+	}
+	return s
+}
+
+// Close flushes and releases the table.
+func (t *Table) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.flushLocked(); err != nil {
+		t.log.close()
+		return err
+	}
+	return t.log.close()
+}

@@ -1,0 +1,110 @@
+package hbase
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sort"
+)
+
+// segment is one immutable sorted file of cells (the HFile analogue).
+// Entries are ordered by (key asc, timestamp desc) so that the newest
+// version of a cell is encountered first.
+type segment struct {
+	id    uint64
+	path  string
+	cells []Cell // sorted
+}
+
+const segMagic = 0x48464C45 // "HFLE"
+
+// sortCells orders cells by (key asc, ts desc).
+func sortCells(cells []Cell) {
+	sort.SliceStable(cells, func(i, j int) bool {
+		ki, kj := cells[i].Key(), cells[j].Key()
+		if ki != kj {
+			return ki < kj
+		}
+		return cells[i].Timestamp > cells[j].Timestamp
+	})
+}
+
+// writeSegment persists sorted cells as a new segment file.
+func writeSegment(path string, id uint64, cells []Cell) (*segment, error) {
+	body := make([]byte, 0, 64*len(cells))
+	for i := range cells {
+		body = encodeCell(body, &cells[i])
+	}
+	buf := make([]byte, 16, 16+len(body))
+	le := binary.LittleEndian
+	le.PutUint32(buf[0:], segMagic)
+	le.PutUint32(buf[4:], uint32(len(cells)))
+	le.PutUint32(buf[8:], crc32.Checksum(body, walTable))
+	buf = append(buf, body...)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return nil, fmt.Errorf("hbase: write segment: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		_ = os.Remove(tmp)
+		return nil, fmt.Errorf("hbase: commit segment: %w", err)
+	}
+	return &segment{id: id, path: path, cells: cells}, nil
+}
+
+// openSegment loads and verifies a segment file.
+func openSegment(path string, id uint64) (*segment, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("hbase: read segment: %w", err)
+	}
+	if len(buf) < 16 || binary.LittleEndian.Uint32(buf[0:]) != segMagic {
+		return nil, fmt.Errorf("hbase: segment %s: bad header", path)
+	}
+	n := int(binary.LittleEndian.Uint32(buf[4:]))
+	wantCRC := binary.LittleEndian.Uint32(buf[8:])
+	body := buf[16:]
+	if crc32.Checksum(body, walTable) != wantCRC {
+		return nil, fmt.Errorf("hbase: segment %s: checksum mismatch", path)
+	}
+	cells := make([]Cell, 0, n)
+	off := 0
+	for i := 0; i < n; i++ {
+		c, used, err := decodeCell(body[off:])
+		if err != nil {
+			return nil, fmt.Errorf("hbase: segment %s cell %d: %w", path, i, err)
+		}
+		cells = append(cells, c)
+		off += used
+	}
+	return &segment{id: id, path: path, cells: cells}, nil
+}
+
+// firstIndex returns the index of the first cell with the given key, or
+// where it would be inserted.
+func (s *segment) firstIndex(key string) int {
+	return sort.Search(len(s.cells), func(i int) bool {
+		return s.cells[i].Key() >= key
+	})
+}
+
+// versions appends (to dst) all versions of key in this segment, newest
+// first.
+func (s *segment) versions(key string, dst []Cell) []Cell {
+	for i := s.firstIndex(key); i < len(s.cells) && s.cells[i].Key() == key; i++ {
+		dst = append(dst, s.cells[i])
+	}
+	return dst
+}
+
+// scanRange appends cells with key in [startKey, endKey) to dst.
+func (s *segment) scanRange(startKey, endKey string, dst []Cell) []Cell {
+	for i := s.firstIndex(startKey); i < len(s.cells); i++ {
+		if endKey != "" && s.cells[i].Key() >= endKey {
+			break
+		}
+		dst = append(dst, s.cells[i])
+	}
+	return dst
+}

@@ -1,0 +1,124 @@
+package hbase
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"io/fs"
+	"os"
+)
+
+// wal is the write-ahead log: every mutation is appended (with a CRC) and
+// fsync-ordered before it touches the MemStore, so an unflushed MemStore is
+// recoverable after a crash. The log is truncated after each successful
+// flush to an HFile.
+type wal struct {
+	f   *os.File
+	w   *bufio.Writer
+	len int64
+}
+
+var walTable = crc32.MakeTable(crc32.Castagnoli)
+
+func openWAL(path string) (*wal, []Cell, error) {
+	// Replay any existing log first.
+	cells, err := replayWAL(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("hbase: open wal: %w", err)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("hbase: stat wal: %w", err)
+	}
+	return &wal{f: f, w: bufio.NewWriterSize(f, 1<<16), len: fi.Size()}, cells, nil
+}
+
+// replayWAL reads every intact record; a torn tail (partial last record,
+// e.g. after a crash) is tolerated and ignored.
+func replayWAL(path string) ([]Cell, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("hbase: read wal: %w", err)
+	}
+	var cells []Cell
+	off := 0
+	for off+8 <= len(data) {
+		le := binary.LittleEndian
+		n := int(le.Uint32(data[off:]))
+		crc := le.Uint32(data[off+4:])
+		if off+8+n > len(data) {
+			break // torn tail
+		}
+		payload := data[off+8 : off+8+n]
+		if crc32.Checksum(payload, walTable) != crc {
+			break // corrupt tail; stop replay here
+		}
+		c, used, err := decodeCell(payload)
+		if err != nil || used != n {
+			break
+		}
+		cells = append(cells, c)
+		off += 8 + n
+	}
+	return cells, nil
+}
+
+// append logs one cell.
+func (l *wal) append(c *Cell) error {
+	payload := encodeCell(nil, c)
+	var hdr [8]byte
+	le := binary.LittleEndian
+	le.PutUint32(hdr[0:], uint32(len(payload)))
+	le.PutUint32(hdr[4:], crc32.Checksum(payload, walTable))
+	if _, err := l.w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("hbase: wal append: %w", err)
+	}
+	if _, err := l.w.Write(payload); err != nil {
+		return fmt.Errorf("hbase: wal append: %w", err)
+	}
+	l.len += int64(8 + len(payload))
+	return nil
+}
+
+// sync flushes buffered records to the OS.
+func (l *wal) sync() error {
+	if err := l.w.Flush(); err != nil {
+		return fmt.Errorf("hbase: wal sync: %w", err)
+	}
+	return nil
+}
+
+// reset truncates the log (called after a successful MemStore flush).
+func (l *wal) reset() error {
+	if err := l.w.Flush(); err != nil {
+		return err
+	}
+	if err := l.f.Truncate(0); err != nil {
+		return fmt.Errorf("hbase: wal truncate: %w", err)
+	}
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("hbase: wal seek: %w", err)
+	}
+	l.len = 0
+	l.w.Reset(l.f)
+	return nil
+}
+
+func (l *wal) close() error {
+	if err := l.w.Flush(); err != nil {
+		l.f.Close()
+		return err
+	}
+	return l.f.Close()
+}

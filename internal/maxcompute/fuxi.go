@@ -1,0 +1,61 @@
+package maxcompute
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Fuxi is the resource scheduling module of the storage & compute layer
+// (Zhang et al., VLDB 2014): executors request compute resources from it
+// before running subtasks. This implementation is a counting resource pool
+// with usage accounting.
+type Fuxi struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	total int
+	inUse int
+	peak  int
+	grant uint64
+}
+
+// NewFuxi creates a resource manager with the given compute slots.
+func NewFuxi(slots int) *Fuxi {
+	if slots < 1 {
+		panic(fmt.Sprintf("maxcompute: fuxi needs at least 1 slot, got %d", slots))
+	}
+	f := &Fuxi{total: slots}
+	f.cond = sync.NewCond(&f.mu)
+	return f
+}
+
+// Acquire blocks until a compute slot is available.
+func (f *Fuxi) Acquire() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for f.inUse >= f.total {
+		f.cond.Wait()
+	}
+	f.inUse++
+	f.grant++
+	if f.inUse > f.peak {
+		f.peak = f.inUse
+	}
+}
+
+// Release returns a slot.
+func (f *Fuxi) Release() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.inUse == 0 {
+		panic("maxcompute: fuxi release without acquire")
+	}
+	f.inUse--
+	f.cond.Broadcast()
+}
+
+// Stats returns (total, in-use, peak concurrent, total grants).
+func (f *Fuxi) Stats() (total, inUse, peak int, grants uint64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.total, f.inUse, f.peak, f.grant
+}

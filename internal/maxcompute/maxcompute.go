@@ -1,0 +1,444 @@
+// Package maxcompute implements the offline storage-and-compute platform of
+// the paper's Section 4.2 (Figure 4), the substrate where TitAnt's feature
+// extraction, label collection and transaction-network construction jobs
+// run.
+//
+// The job lifecycle mirrors the paper's description: a client submits a job
+// with cloud-account credentials (the HTTP-server verification step); a
+// worker accepts it and hands the instance to the scheduler; the scheduler
+// registers the instance in OTS with status "running", splits it into
+// subtasks and queues them in priority order; executors pull subtasks,
+// request compute resources from Fuxi, and run them; when all subtasks of
+// an instance finish, the executor sets the OTS status to "terminated" and
+// the results are persisted in Pangu.
+//
+// Two job types are supported, matching "heterogeneous jobs, such as
+// mapreduce, SQL and etc.": SQL (executed by the sqlmini engine) and
+// MapReduce (map over row shards, shuffle by key, reduce per key).
+package maxcompute
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"titant/internal/sqlmini"
+	"titant/internal/store/ots"
+	"titant/internal/store/pangu"
+)
+
+// Errors.
+var (
+	ErrAuth        = errors.New("maxcompute: authentication failed")
+	ErrUnknownJob  = errors.New("maxcompute: unknown job")
+	ErrJobFailed   = errors.New("maxcompute: job failed")
+	ErrClosed      = errors.New("maxcompute: platform closed")
+	ErrNoSuchTable = errors.New("maxcompute: unknown table")
+)
+
+// Config sizes the platform.
+type Config struct {
+	Dir          string // pangu directory for job results
+	ComputeSlots int    // Fuxi compute slots (default 4)
+	Executors    int    // executor goroutines (default 4)
+	MapShards    int    // shards per MapReduce job (default 8)
+}
+
+func (c *Config) fillDefaults() {
+	if c.ComputeSlots == 0 {
+		c.ComputeSlots = 4
+	}
+	if c.Executors == 0 {
+		c.Executors = 4
+	}
+	if c.MapShards == 0 {
+		c.MapShards = 8
+	}
+}
+
+// Credentials authenticate a submission.
+type Credentials struct {
+	Account string
+	Secret  string
+}
+
+// KV is an intermediate MapReduce pair.
+type KV struct {
+	Key   string
+	Value float64
+}
+
+// MapReduceSpec describes a MapReduce job over a registered table.
+type MapReduceSpec struct {
+	Table  string
+	Map    func(row []sqlmini.Value) []KV
+	Reduce func(key string, values []float64) float64
+}
+
+// jobKind enumerates job types.
+type jobKind int
+
+const (
+	jobSQL jobKind = iota
+	jobMapReduce
+)
+
+type job struct {
+	id    string
+	kind  jobKind
+	query string
+	mr    MapReduceSpec
+	prio  int
+}
+
+type subtask struct {
+	job   *job
+	shard int
+	prio  int
+	seq   int
+	run   func() error
+}
+
+// Platform is the MaxCompute analogue. Create with New, release with Close.
+type Platform struct {
+	cfg      Config
+	store    *pangu.Store
+	ots      *ots.Table
+	fuxi     *Fuxi
+	mu       sync.Mutex
+	accounts map[string]string
+	tables   sqlmini.MapCatalog
+	pending  map[string]*jobState // job id -> state
+	taskCh   chan struct{}        // wake executors
+	queue    []*subtask
+	seq      int
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+type jobState struct {
+	job       *job
+	remaining int
+	failed    error
+	// MapReduce intermediate state.
+	mrMu      sync.Mutex
+	mrPartial [][]KV
+}
+
+// New builds and starts the platform.
+func New(cfg Config) (*Platform, error) {
+	cfg.fillDefaults()
+	store, err := pangu.Open(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	p := &Platform{
+		cfg:      cfg,
+		store:    store,
+		ots:      ots.NewTable(),
+		fuxi:     NewFuxi(cfg.ComputeSlots),
+		accounts: make(map[string]string),
+		tables:   make(sqlmini.MapCatalog),
+		pending:  make(map[string]*jobState),
+		taskCh:   make(chan struct{}, 1<<16),
+	}
+	for i := 0; i < cfg.Executors; i++ {
+		p.wg.Add(1)
+		go p.executor()
+	}
+	return p, nil
+}
+
+// CreateAccount registers a cloud account.
+func (p *Platform) CreateAccount(account, secret string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.accounts[account] = secret
+}
+
+// RegisterTable makes a table visible to jobs.
+func (p *Platform) RegisterTable(t *sqlmini.Table) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, dup := p.tables[t.Name]; dup {
+		return fmt.Errorf("maxcompute: table %q already registered", t.Name)
+	}
+	p.tables[t.Name] = t
+	return nil
+}
+
+// authenticate performs the client-layer credential check.
+func (p *Platform) authenticate(c Credentials) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	secret, ok := p.accounts[c.Account]
+	if !ok || secret != c.Secret {
+		return ErrAuth
+	}
+	return nil
+}
+
+// SubmitSQL submits a SQL job and returns its instance ID.
+func (p *Platform) SubmitSQL(c Credentials, query string) (string, error) {
+	if err := p.authenticate(c); err != nil {
+		return "", err
+	}
+	// Parse up front so syntactically invalid jobs are rejected at the
+	// worker, as a production front-end would.
+	if _, err := sqlmini.Parse(query); err != nil {
+		return "", err
+	}
+	return p.schedule(&job{kind: jobSQL, query: query})
+}
+
+// SubmitMapReduce submits a MapReduce job and returns its instance ID.
+func (p *Platform) SubmitMapReduce(c Credentials, spec MapReduceSpec) (string, error) {
+	if err := p.authenticate(c); err != nil {
+		return "", err
+	}
+	if spec.Map == nil || spec.Reduce == nil {
+		return "", fmt.Errorf("maxcompute: MapReduce spec needs Map and Reduce")
+	}
+	p.mu.Lock()
+	_, ok := p.tables[spec.Table]
+	p.mu.Unlock()
+	if !ok {
+		return "", fmt.Errorf("%w: %s", ErrNoSuchTable, spec.Table)
+	}
+	return p.schedule(&job{kind: jobMapReduce, mr: spec})
+}
+
+// schedule is the worker + scheduler path: register the instance in OTS,
+// split into subtasks, queue them.
+func (p *Platform) schedule(j *job) (string, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return "", ErrClosed
+	}
+	id := p.ots.Register(kindName(j.kind))
+	j.id = id
+	_ = p.ots.SetStatus(id, ots.StatusRunning, "")
+	st := &jobState{job: j}
+	var tasks []*subtask
+	switch j.kind {
+	case jobSQL:
+		tasks = append(tasks, &subtask{job: j, run: func() error { return p.runSQL(j) }})
+	case jobMapReduce:
+		tab := p.tables[j.mr.Table]
+		shards := p.cfg.MapShards
+		n := tab.NumRows()
+		if shards > n && n > 0 {
+			shards = n
+		}
+		if shards == 0 {
+			shards = 1
+		}
+		st.mrPartial = make([][]KV, shards)
+		for s := 0; s < shards; s++ {
+			s := s
+			lo := s * n / shards
+			hi := (s + 1) * n / shards
+			tasks = append(tasks, &subtask{job: j, shard: s, run: func() error {
+				return p.runMapShard(st, tab, s, lo, hi)
+			}})
+		}
+	}
+	st.remaining = len(tasks)
+	p.pending[id] = st
+	for _, t := range tasks {
+		t.seq = p.seq
+		p.seq++
+		p.queue = append(p.queue, t)
+	}
+	// Priority order: by (prio desc, seq asc). FIFO within priority.
+	sort.SliceStable(p.queue, func(a, b int) bool {
+		if p.queue[a].prio != p.queue[b].prio {
+			return p.queue[a].prio > p.queue[b].prio
+		}
+		return p.queue[a].seq < p.queue[b].seq
+	})
+	for range tasks {
+		select {
+		case p.taskCh <- struct{}{}:
+		default:
+		}
+	}
+	return id, nil
+}
+
+func kindName(k jobKind) string {
+	if k == jobSQL {
+		return "sql"
+	}
+	return "mapreduce"
+}
+
+// executor pulls subtasks, acquires Fuxi resources and runs them.
+func (p *Platform) executor() {
+	defer p.wg.Done()
+	for range p.taskCh {
+		p.mu.Lock()
+		if len(p.queue) == 0 {
+			p.mu.Unlock()
+			continue
+		}
+		t := p.queue[0]
+		p.queue = p.queue[1:]
+		p.mu.Unlock()
+
+		p.fuxi.Acquire()
+		err := t.run()
+		p.fuxi.Release()
+
+		p.finishSubtask(t, err)
+	}
+}
+
+func (p *Platform) finishSubtask(t *subtask, err error) {
+	p.mu.Lock()
+	st := p.pending[t.job.id]
+	if st == nil {
+		p.mu.Unlock()
+		return
+	}
+	if err != nil && st.failed == nil {
+		st.failed = err
+	}
+	st.remaining--
+	done := st.remaining == 0
+	p.mu.Unlock()
+	if !done {
+		return
+	}
+	// Final phase: MapReduce reduce step runs after all map shards.
+	if st.failed == nil && t.job.kind == jobMapReduce {
+		if err := p.runReduce(st); err != nil {
+			st.failed = err
+		}
+	}
+	p.mu.Lock()
+	delete(p.pending, t.job.id)
+	p.mu.Unlock()
+	if st.failed != nil {
+		_ = p.ots.SetStatus(t.job.id, ots.StatusFailed, st.failed.Error())
+		return
+	}
+	_ = p.ots.SetStatus(t.job.id, ots.StatusTerminated, "")
+}
+
+func (p *Platform) runSQL(j *job) error {
+	p.mu.Lock()
+	cat := make(sqlmini.MapCatalog, len(p.tables))
+	for k, v := range p.tables {
+		cat[k] = v
+	}
+	p.mu.Unlock()
+	res, err := sqlmini.Run(j.query, cat)
+	if err != nil {
+		return err
+	}
+	return p.persist(j.id, res)
+}
+
+func (p *Platform) runMapShard(st *jobState, tab *sqlmini.Table, shard, lo, hi int) error {
+	var out []KV
+	row := make([]sqlmini.Value, len(tab.Columns))
+	for i := lo; i < hi; i++ {
+		for c, col := range tab.Columns {
+			row[c] = col.Value(i)
+		}
+		out = append(out, st.job.mr.Map(row)...)
+	}
+	st.mrMu.Lock()
+	st.mrPartial[shard] = out
+	st.mrMu.Unlock()
+	return nil
+}
+
+func (p *Platform) runReduce(st *jobState) error {
+	// Shuffle: group by key across shards.
+	grouped := make(map[string][]float64)
+	st.mrMu.Lock()
+	for _, part := range st.mrPartial {
+		for _, kv := range part {
+			grouped[kv.Key] = append(grouped[kv.Key], kv.Value)
+		}
+	}
+	st.mrMu.Unlock()
+	out := make(map[string]float64, len(grouped))
+	for k, vs := range grouped {
+		out[k] = st.job.mr.Reduce(k, vs)
+	}
+	return p.persist(st.job.id, out)
+}
+
+// persist gob-encodes a job result into Pangu.
+func (p *Platform) persist(jobID string, result interface{}) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(result); err != nil {
+		return fmt.Errorf("maxcompute: encode result: %w", err)
+	}
+	return p.store.Put("jobs/"+jobID+"/result", buf.Bytes())
+}
+
+// Wait blocks until the job reaches a terminal state.
+func (p *Platform) Wait(jobID string, timeout time.Duration) (ots.Instance, error) {
+	inst, err := p.ots.WaitFor(jobID, ots.StatusTerminated, timeout)
+	if err != nil {
+		return inst, err
+	}
+	if inst.Status == ots.StatusFailed {
+		return inst, fmt.Errorf("%w: %s", ErrJobFailed, inst.Detail)
+	}
+	return inst, nil
+}
+
+// SQLResult fetches the persisted result of a finished SQL job.
+func (p *Platform) SQLResult(jobID string) (*sqlmini.Result, error) {
+	data, err := p.store.Get("jobs/" + jobID + "/result")
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownJob, jobID)
+	}
+	var res sqlmini.Result
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&res); err != nil {
+		return nil, fmt.Errorf("maxcompute: decode result: %w", err)
+	}
+	return &res, nil
+}
+
+// MRResult fetches the persisted result of a finished MapReduce job.
+func (p *Platform) MRResult(jobID string) (map[string]float64, error) {
+	data, err := p.store.Get("jobs/" + jobID + "/result")
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownJob, jobID)
+	}
+	var res map[string]float64
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&res); err != nil {
+		return nil, fmt.Errorf("maxcompute: decode result: %w", err)
+	}
+	return res, nil
+}
+
+// Status returns the OTS row of a job.
+func (p *Platform) Status(jobID string) (ots.Instance, error) { return p.ots.Get(jobID) }
+
+// FuxiStats exposes the resource manager's accounting.
+func (p *Platform) FuxiStats() (total, inUse, peak int, grants uint64) { return p.fuxi.Stats() }
+
+// Close drains executors and shuts the platform down.
+func (p *Platform) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	close(p.taskCh)
+	p.wg.Wait()
+}

@@ -1,0 +1,258 @@
+package maxcompute
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"titant/internal/sqlmini"
+	"titant/internal/store/ots"
+)
+
+var creds = Credentials{Account: "ant", Secret: "s3cret"}
+
+func platform(t *testing.T) *Platform {
+	t.Helper()
+	p, err := New(Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Close)
+	p.CreateAccount(creds.Account, creds.Secret)
+	tab, err := sqlmini.NewTable("txns",
+		&sqlmini.Column{Name: "user_id", Kind: sqlmini.KindInt, Ints: []int64{1, 1, 2, 2, 3}},
+		&sqlmini.Column{Name: "amount", Kind: sqlmini.KindFloat, Floats: []float64{10, 20, 30, 40, 50}},
+		&sqlmini.Column{Name: "fraud", Kind: sqlmini.KindBool, Bools: []bool{false, true, false, false, true}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.RegisterTable(tab); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestSQLJobLifecycle(t *testing.T) {
+	p := platform(t)
+	id, err := p.SubmitSQL(creds, "SELECT user_id, SUM(amount) AS total FROM txns GROUP BY user_id ORDER BY user_id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := p.Wait(id, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Status != ots.StatusTerminated {
+		t.Fatalf("status = %v", inst.Status)
+	}
+	res, err := p.SQLResult(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 || res.Rows[0][1].Float != 30 || res.Rows[2][1].Float != 50 {
+		t.Fatalf("result = %+v", res.Rows)
+	}
+}
+
+func TestAuthRequired(t *testing.T) {
+	p := platform(t)
+	if _, err := p.SubmitSQL(Credentials{"ant", "wrong"}, "SELECT * FROM txns"); !errors.Is(err, ErrAuth) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := p.SubmitSQL(Credentials{"ghost", ""}, "SELECT * FROM txns"); !errors.Is(err, ErrAuth) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBadSQLRejectedAtSubmit(t *testing.T) {
+	p := platform(t)
+	if _, err := p.SubmitSQL(creds, "SELEKT nothing"); err == nil {
+		t.Fatal("bad SQL accepted")
+	}
+}
+
+func TestSQLRuntimeFailureMarksFailed(t *testing.T) {
+	p := platform(t)
+	id, err := p.SubmitSQL(creds, "SELECT missing_col FROM txns")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Wait(id, 5*time.Second); !errors.Is(err, ErrJobFailed) {
+		t.Fatalf("err = %v", err)
+	}
+	inst, _ := p.Status(id)
+	if inst.Status != ots.StatusFailed || inst.Detail == "" {
+		t.Fatalf("instance = %+v", inst)
+	}
+}
+
+func TestMapReduce(t *testing.T) {
+	p := platform(t)
+	id, err := p.SubmitMapReduce(creds, MapReduceSpec{
+		Table: "txns",
+		Map: func(row []sqlmini.Value) []KV {
+			// Per-user transfer count: user_id is column 0.
+			return []KV{{Key: row[0].String(), Value: 1}}
+		},
+		Reduce: func(key string, values []float64) float64 {
+			var s float64
+			for _, v := range values {
+				s += v
+			}
+			return s
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Wait(id, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.MRResult(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res["1"] != 2 || res["2"] != 2 || res["3"] != 1 {
+		t.Fatalf("MR result = %v", res)
+	}
+}
+
+func TestMapReduceValidation(t *testing.T) {
+	p := platform(t)
+	if _, err := p.SubmitMapReduce(creds, MapReduceSpec{Table: "txns"}); err == nil {
+		t.Error("nil Map/Reduce accepted")
+	}
+	spec := MapReduceSpec{
+		Table:  "missing",
+		Map:    func(row []sqlmini.Value) []KV { return nil },
+		Reduce: func(k string, v []float64) float64 { return 0 },
+	}
+	if _, err := p.SubmitMapReduce(creds, spec); !errors.Is(err, ErrNoSuchTable) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestConcurrentJobs(t *testing.T) {
+	p := platform(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, 20)
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			id, err := p.SubmitSQL(creds, "SELECT COUNT(*) FROM txns WHERE fraud = TRUE")
+			if err != nil {
+				errs <- err
+				return
+			}
+			if _, err := p.Wait(id, 10*time.Second); err != nil {
+				errs <- err
+				return
+			}
+			res, err := p.SQLResult(id)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if res.Rows[0][0].Int != 2 {
+				errs <- errors.New("wrong count")
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestFuxiLimitsConcurrency(t *testing.T) {
+	p, err := New(Config{Dir: t.TempDir(), ComputeSlots: 2, Executors: 8, MapShards: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Close)
+	p.CreateAccount(creds.Account, creds.Secret)
+	n := 2000
+	ids := make([]int64, n)
+	for i := range ids {
+		ids[i] = int64(i % 7)
+	}
+	tab, _ := sqlmini.NewTable("big", &sqlmini.Column{Name: "k", Kind: sqlmini.KindInt, Ints: ids})
+	_ = p.RegisterTable(tab)
+	id, err := p.SubmitMapReduce(creds, MapReduceSpec{
+		Table: "big",
+		Map: func(row []sqlmini.Value) []KV {
+			time.Sleep(time.Millisecond)
+			return []KV{{Key: row[0].String(), Value: 1}}
+		},
+		Reduce: func(k string, vs []float64) float64 { return float64(len(vs)) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Wait(id, 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	_, _, peak, grants := p.FuxiStats()
+	if peak > 2 {
+		t.Errorf("fuxi peak concurrency %d exceeds 2 slots", peak)
+	}
+	if grants < 16 {
+		t.Errorf("grants = %d, want >= shards", grants)
+	}
+}
+
+func TestRegisterTableTwice(t *testing.T) {
+	p := platform(t)
+	tab, _ := sqlmini.NewTable("txns", &sqlmini.Column{Name: "x", Kind: sqlmini.KindInt})
+	if err := p.RegisterTable(tab); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+}
+
+func TestSubmitAfterClose(t *testing.T) {
+	p, err := New(Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.CreateAccount(creds.Account, creds.Secret)
+	tab, _ := sqlmini.NewTable("txns", &sqlmini.Column{Name: "x", Kind: sqlmini.KindInt})
+	_ = p.RegisterTable(tab)
+	p.Close()
+	if _, err := p.SubmitSQL(creds, "SELECT x FROM txns"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v", err)
+	}
+	p.Close() // double close is safe
+}
+
+func TestUnknownJobResult(t *testing.T) {
+	p := platform(t)
+	if _, err := p.SQLResult("inst-999999"); !errors.Is(err, ErrUnknownJob) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := p.MRResult("inst-999999"); !errors.Is(err, ErrUnknownJob) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFuxiPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on 0 slots")
+		}
+	}()
+	NewFuxi(0)
+}
+
+func TestFuxiReleaseWithoutAcquire(t *testing.T) {
+	f := NewFuxi(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on release without acquire")
+		}
+	}()
+	f.Release()
+}

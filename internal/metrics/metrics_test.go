@@ -1,0 +1,232 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"titant/internal/rng"
+)
+
+func TestConfuseBasics(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.3, 0.1}
+	labels := []bool{true, false, true, false}
+	c := Confuse(scores, labels, 0.5)
+	if c.TP != 1 || c.FP != 1 || c.FN != 1 || c.TN != 1 {
+		t.Fatalf("confusion = %+v", c)
+	}
+	if c.Precision() != 0.5 || c.Recall() != 0.5 || c.F1() != 0.5 || c.Accuracy() != 0.5 {
+		t.Fatalf("derived metrics wrong: %s", c)
+	}
+}
+
+func TestConfuseEmptyEdges(t *testing.T) {
+	var c Confusion
+	if c.Precision() != 0 || c.Recall() != 0 || c.F1() != 0 || c.Accuracy() != 0 {
+		t.Fatal("zero confusion must yield zero metrics")
+	}
+}
+
+func TestConfusePanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on length mismatch")
+		}
+	}()
+	Confuse([]float64{1}, []bool{true, false}, 0.5)
+}
+
+func TestPerfectClassifier(t *testing.T) {
+	scores := []float64{0.99, 0.98, 0.01, 0.02}
+	labels := []bool{true, true, false, false}
+	if f1 := F1At(scores, labels, 0.5); f1 != 1 {
+		t.Errorf("perfect F1 = %v", f1)
+	}
+	if auc := AUC(scores, labels); auc != 1 {
+		t.Errorf("perfect AUC = %v", auc)
+	}
+	if r := RecallAtTop(scores, labels, 0.5); r != 1 {
+		t.Errorf("perfect rec@top50%% = %v", r)
+	}
+}
+
+func TestInvertedClassifier(t *testing.T) {
+	scores := []float64{0.01, 0.02, 0.99, 0.98}
+	labels := []bool{true, true, false, false}
+	if auc := AUC(scores, labels); auc != 0 {
+		t.Errorf("inverted AUC = %v, want 0", auc)
+	}
+}
+
+func TestAUCRandomIsHalf(t *testing.T) {
+	r := rng.New(17)
+	n := 20000
+	scores := make([]float64, n)
+	labels := make([]bool, n)
+	for i := range scores {
+		scores[i] = r.Float64()
+		labels[i] = r.Bool(0.3)
+	}
+	if auc := AUC(scores, labels); math.Abs(auc-0.5) > 0.02 {
+		t.Errorf("random AUC = %v, want ~0.5", auc)
+	}
+}
+
+func TestAUCTies(t *testing.T) {
+	// All scores identical: AUC must be exactly 0.5 via tie correction.
+	scores := []float64{0.5, 0.5, 0.5, 0.5}
+	labels := []bool{true, false, true, false}
+	if auc := AUC(scores, labels); auc != 0.5 {
+		t.Errorf("all-ties AUC = %v, want 0.5", auc)
+	}
+}
+
+func TestAUCDegenerateClasses(t *testing.T) {
+	if auc := AUC([]float64{1, 2}, []bool{true, true}); auc != 0.5 {
+		t.Errorf("single-class AUC = %v, want 0.5", auc)
+	}
+}
+
+func TestBestF1FindsOptimum(t *testing.T) {
+	scores := []float64{0.9, 0.7, 0.6, 0.4, 0.2}
+	labels := []bool{true, true, false, true, false}
+	f1, th := BestF1(scores, labels)
+	// Predicting top-4 positive: tp=3, fp=1, fn=0 -> p=0.75 r=1 f1=6/7.
+	want := 6.0 / 7.0
+	if math.Abs(f1-want) > 1e-12 {
+		t.Errorf("BestF1 = %v, want %v", f1, want)
+	}
+	if got := F1At(scores, labels, th); math.Abs(got-f1) > 1e-12 {
+		t.Errorf("threshold %v reproduces F1 %v, want %v", th, got, f1)
+	}
+}
+
+func TestBestF1NoPositives(t *testing.T) {
+	f1, _ := BestF1([]float64{0.1, 0.9}, []bool{false, false})
+	if f1 != 0 {
+		t.Errorf("BestF1 with no positives = %v", f1)
+	}
+}
+
+func TestBestF1Empty(t *testing.T) {
+	f1, _ := BestF1(nil, nil)
+	if f1 != 0 {
+		t.Errorf("BestF1(nil) = %v", f1)
+	}
+}
+
+// Property: BestF1 dominates F1 at any particular threshold.
+func TestBestF1DominatesProperty(t *testing.T) {
+	r := rng.New(5)
+	f := func(seed uint32, th float64) bool {
+		rr := r.Split(uint64(seed))
+		n := 5 + rr.Intn(50)
+		scores := make([]float64, n)
+		labels := make([]bool, n)
+		for i := range scores {
+			scores[i] = rr.Float64()
+			labels[i] = rr.Bool(0.3)
+		}
+		best, _ := BestF1(scores, labels)
+		return best+1e-12 >= F1At(scores, labels, math.Mod(math.Abs(th), 1))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecallAtTop(t *testing.T) {
+	// 10 txns, 2 frauds, both in the top 10% (k=1)? k=ceil(0.1*10)=1.
+	scores := []float64{10, 9, 8, 7, 6, 5, 4, 3, 2, 1}
+	labels := []bool{true, false, true, false, false, false, false, false, false, false}
+	if r := RecallAtTop(scores, labels, 0.1); r != 0.5 {
+		t.Errorf("rec@top10%% = %v, want 0.5 (1 of 2 frauds in top-1)", r)
+	}
+	if r := RecallAtTop(scores, labels, 0.3); r != 1 {
+		t.Errorf("rec@top30%% = %v, want 1", r)
+	}
+	if r := RecallAtTop(scores, labels, 0); r != 0 {
+		t.Errorf("rec@top0%% = %v, want 0", r)
+	}
+	if r := RecallAtTop(scores, labels, 2.0); r != 1 {
+		t.Errorf("rec@top200%% = %v, want 1 (clamped)", r)
+	}
+}
+
+func TestRecallAtTopNoFraud(t *testing.T) {
+	if r := RecallAtTop([]float64{1, 2}, []bool{false, false}, 0.5); r != 0 {
+		t.Errorf("rec with no fraud = %v", r)
+	}
+}
+
+// Property: recall@top is monotone non-decreasing in the fraction.
+func TestRecallMonotoneProperty(t *testing.T) {
+	r := rng.New(99)
+	f := func(seed uint32) bool {
+		rr := r.Split(uint64(seed))
+		n := 10 + rr.Intn(100)
+		scores := make([]float64, n)
+		labels := make([]bool, n)
+		for i := range scores {
+			scores[i] = rr.Float64()
+			labels[i] = rr.Bool(0.2)
+		}
+		prev := 0.0
+		for _, frac := range []float64{0.01, 0.05, 0.1, 0.25, 0.5, 1.0} {
+			cur := RecallAtTop(scores, labels, frac)
+			if cur+1e-12 < prev {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPRCurveShape(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.7, 0.6}
+	labels := []bool{true, false, true, false}
+	curve := PRCurve(scores, labels)
+	if len(curve) != 4 {
+		t.Fatalf("curve has %d points, want 4", len(curve))
+	}
+	// Recall must be non-decreasing along the curve.
+	for i := 1; i < len(curve); i++ {
+		if curve[i].Recall < curve[i-1].Recall {
+			t.Errorf("recall decreased at point %d", i)
+		}
+	}
+	if curve[len(curve)-1].Recall != 1 {
+		t.Errorf("final recall = %v, want 1", curve[len(curve)-1].Recall)
+	}
+	if PRCurve(nil, nil) != nil {
+		t.Error("PRCurve(nil) != nil")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if m := Mean([]float64{1, 2, 3}); m != 2 {
+		t.Errorf("Mean = %v, want 2", m)
+	}
+}
+
+func BenchmarkBestF1(b *testing.B) {
+	r := rng.New(1)
+	n := 10000
+	scores := make([]float64, n)
+	labels := make([]bool, n)
+	for i := range scores {
+		scores[i] = r.Float64()
+		labels[i] = r.Bool(0.01)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BestF1(scores, labels)
+	}
+}

@@ -1,0 +1,161 @@
+// Package iforest implements Isolation Forest (Liu, Ting, Zhou, ICDM 2008),
+// the unsupervised anomaly detector the paper evaluates as configuration 1
+// of Table 1 ("Basic Features/Attributes + IF", 100 trees, raw basic
+// features as attributes, no labels).
+package iforest
+
+import (
+	"encoding/gob"
+	"fmt"
+	"math"
+
+	"titant/internal/feature"
+	"titant/internal/model"
+	"titant/internal/rng"
+)
+
+func init() { gob.Register(&Forest{}) }
+
+// Config holds Isolation Forest hyperparameters.
+type Config struct {
+	Trees      int    // number of isolation trees (paper: 100)
+	SampleSize int    // subsample per tree (original paper default: 256)
+	Seed       uint64 // RNG seed
+}
+
+// DefaultConfig returns the paper's settings.
+func DefaultConfig() Config {
+	return Config{Trees: 100, SampleSize: 256, Seed: 1}
+}
+
+// Node is one node of an isolation tree. Exported for gob.
+type Node struct {
+	// Leaf fields.
+	Size int // number of training points isolated here (leaf only)
+	// Split fields (Left == nil means leaf).
+	Col         int
+	Threshold   float64
+	Left, Right *Node
+}
+
+// Forest is a trained isolation forest.
+type Forest struct {
+	Trees    []*Node
+	Features int
+	C        float64 // average path length normaliser c(SampleSize)
+}
+
+var _ model.Classifier = (*Forest)(nil)
+
+// avgPathLength is c(n): the average path length of unsuccessful BST
+// searches, used to normalise isolation depth.
+func avgPathLength(n int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	h := math.Log(float64(n-1)) + 0.5772156649015329 // Euler-Mascheroni
+	return 2*h - 2*float64(n-1)/float64(n)
+}
+
+// Train fits an isolation forest on the raw feature matrix. Labels are not
+// used (IF is unsupervised).
+func Train(m *feature.Matrix, cfg Config) *Forest {
+	if cfg.Trees <= 0 || cfg.SampleSize <= 1 {
+		panic(fmt.Sprintf("iforest: bad config %+v", cfg))
+	}
+	r := rng.New(cfg.Seed)
+	sample := cfg.SampleSize
+	if sample > m.Rows {
+		sample = m.Rows
+	}
+	maxDepth := int(math.Ceil(math.Log2(float64(sample)))) + 1
+	f := &Forest{
+		Trees:    make([]*Node, cfg.Trees),
+		Features: m.Cols,
+		C:        avgPathLength(sample),
+	}
+	idx := make([]int, sample)
+	for t := 0; t < cfg.Trees; t++ {
+		tr := r.Split(uint64(t) + 1)
+		for i := range idx {
+			idx[i] = tr.Intn(m.Rows)
+		}
+		f.Trees[t] = build(m, idx, 0, maxDepth, tr)
+	}
+	return f
+}
+
+func build(m *feature.Matrix, idx []int, depth, maxDepth int, r *rng.RNG) *Node {
+	if len(idx) <= 1 || depth >= maxDepth {
+		return &Node{Size: len(idx)}
+	}
+	// Pick a random feature with spread; give up after a few attempts (all
+	// remaining points identical).
+	for attempt := 0; attempt < 8; attempt++ {
+		col := r.Intn(m.Cols)
+		lo, hi := m.At(idx[0], col), m.At(idx[0], col)
+		for _, i := range idx[1:] {
+			v := m.At(i, col)
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if hi <= lo {
+			continue
+		}
+		thr := lo + r.Float64()*(hi-lo)
+		var left, right []int
+		for _, i := range idx {
+			if m.At(i, col) < thr {
+				left = append(left, i)
+			} else {
+				right = append(right, i)
+			}
+		}
+		if len(left) == 0 || len(right) == 0 {
+			continue
+		}
+		return &Node{
+			Col:       col,
+			Threshold: thr,
+			Left:      build(m, left, depth+1, maxDepth, r),
+			Right:     build(m, right, depth+1, maxDepth, r),
+		}
+	}
+	return &Node{Size: len(idx)}
+}
+
+// pathLength returns the isolation depth of x in one tree, with the
+// standard c(size) correction at non-singleton leaves.
+func pathLength(n *Node, x []float64, depth float64) float64 {
+	if n.Left == nil {
+		return depth + avgPathLength(n.Size)
+	}
+	if x[n.Col] < n.Threshold {
+		return pathLength(n.Left, x, depth+1)
+	}
+	return pathLength(n.Right, x, depth+1)
+}
+
+// Score returns the anomaly score s(x) = 2^(-E[h(x)]/c(n)) in (0, 1);
+// values near 1 indicate isolation in few splits, i.e. outliers.
+func (f *Forest) Score(x []float64) float64 {
+	if len(x) != f.Features {
+		panic(fmt.Sprintf("iforest: input has %d features, model wants %d", len(x), f.Features))
+	}
+	var sum float64
+	for _, t := range f.Trees {
+		sum += pathLength(t, x, 0)
+	}
+	mean := sum / float64(len(f.Trees))
+	if f.C == 0 {
+		return 0.5
+	}
+	return math.Pow(2, -mean/f.C)
+}
+
+// NumFeatures implements model.Classifier.
+func (f *Forest) NumFeatures() int { return f.Features }

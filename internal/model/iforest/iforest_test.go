@@ -1,0 +1,161 @@
+package iforest
+
+import (
+	"testing"
+
+	"titant/internal/feature"
+	"titant/internal/model"
+	"titant/internal/rng"
+)
+
+// cluster builds a matrix of n points near the origin plus k far outliers
+// at the end.
+func cluster(n, k int) *feature.Matrix {
+	r := rng.New(42)
+	m := feature.NewMatrix(n+k, 3)
+	for i := 0; i < n; i++ {
+		for j := 0; j < 3; j++ {
+			m.Set(i, j, r.NormFloat64())
+		}
+	}
+	for i := n; i < n+k; i++ {
+		for j := 0; j < 3; j++ {
+			m.Set(i, j, 25+5*r.NormFloat64())
+		}
+	}
+	return m
+}
+
+func TestOutliersScoreHigher(t *testing.T) {
+	m := cluster(500, 10)
+	f := Train(m, Config{Trees: 100, SampleSize: 128, Seed: 7})
+	var inlier, outlier float64
+	for i := 0; i < 500; i++ {
+		inlier += f.Score(m.Row(i))
+	}
+	inlier /= 500
+	for i := 500; i < 510; i++ {
+		outlier += f.Score(m.Row(i))
+	}
+	outlier /= 10
+	if outlier <= inlier+0.1 {
+		t.Errorf("outlier score %.3f not above inlier %.3f", outlier, inlier)
+	}
+}
+
+func TestScoresInUnitInterval(t *testing.T) {
+	m := cluster(200, 5)
+	f := Train(m, DefaultConfig())
+	for i := 0; i < m.Rows; i++ {
+		s := f.Score(m.Row(i))
+		if s <= 0 || s >= 1 {
+			t.Fatalf("score %v outside (0,1)", s)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	m := cluster(300, 5)
+	cfg := Config{Trees: 50, SampleSize: 64, Seed: 3}
+	f1 := Train(m, cfg)
+	f2 := Train(m, cfg)
+	for i := 0; i < m.Rows; i += 17 {
+		if f1.Score(m.Row(i)) != f2.Score(m.Row(i)) {
+			t.Fatalf("same seed, different scores at row %d", i)
+		}
+	}
+}
+
+func TestConstantData(t *testing.T) {
+	m := feature.NewMatrix(100, 2)
+	for i := 0; i < 100; i++ {
+		m.Set(i, 0, 1)
+		m.Set(i, 1, 2)
+	}
+	f := Train(m, Config{Trees: 10, SampleSize: 32, Seed: 1})
+	s := f.Score([]float64{1, 2})
+	if s <= 0 || s >= 1 {
+		t.Fatalf("constant-data score %v", s)
+	}
+}
+
+func TestSmallSample(t *testing.T) {
+	m := cluster(10, 1)
+	f := Train(m, Config{Trees: 5, SampleSize: 256, Seed: 1}) // clamps to 11
+	if f.NumFeatures() != 3 {
+		t.Fatal("feature count wrong")
+	}
+	_ = f.Score(m.Row(0))
+}
+
+func TestEncodeDecode(t *testing.T) {
+	m := cluster(200, 5)
+	f := Train(m, Config{Trees: 20, SampleSize: 64, Seed: 9})
+	data, err := model.Encode(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := model.Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < m.Rows; i += 31 {
+		if c.Score(m.Row(i)) != f.Score(m.Row(i)) {
+			t.Fatal("decoded model scores differ")
+		}
+	}
+}
+
+func TestScorePanicsOnWidth(t *testing.T) {
+	m := cluster(50, 1)
+	f := Train(m, Config{Trees: 5, SampleSize: 32, Seed: 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on wrong width")
+		}
+	}()
+	f.Score([]float64{1})
+}
+
+func TestTrainPanicsOnBadConfig(t *testing.T) {
+	m := cluster(50, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on zero trees")
+		}
+	}()
+	Train(m, Config{Trees: 0, SampleSize: 32})
+}
+
+func TestAvgPathLength(t *testing.T) {
+	if avgPathLength(1) != 0 || avgPathLength(0) != 0 {
+		t.Error("c(<=1) must be 0")
+	}
+	// c(2) = 2*(ln 1 + gamma) - 2*1/2 = 2*gamma - 1 ~ 0.1544
+	got := avgPathLength(2)
+	if got < 0.15 || got > 0.16 {
+		t.Errorf("c(2) = %v", got)
+	}
+	if avgPathLength(256) <= avgPathLength(64) {
+		t.Error("c(n) must grow with n")
+	}
+}
+
+func BenchmarkTrain(b *testing.B) {
+	m := cluster(2000, 20)
+	cfg := DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Train(m, cfg)
+	}
+}
+
+func BenchmarkScore(b *testing.B) {
+	m := cluster(2000, 20)
+	f := Train(m, DefaultConfig())
+	x := m.Row(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Score(x)
+	}
+}

@@ -1,0 +1,91 @@
+// Package model defines the common classifier contract shared by the
+// paper's five detection methods (Isolation Forest, ID3, C5.0, Logistic
+// Regression, GBDT) and helpers to score feature matrices.
+//
+// Every concrete model is self-contained: models that require discretised
+// inputs embed their own fitted discretiser, so a trained model always
+// scores raw feature vectors. That is what lets the Model Server load one
+// opaque bundle and serve any detector.
+package model
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"math"
+
+	"titant/internal/feature"
+)
+
+// Classifier scores a raw feature vector; higher means more suspicious.
+// Scores are comparable within one model (for ranking and thresholding) but
+// not across models.
+type Classifier interface {
+	// Score returns the fraud suspicion of one feature vector.
+	Score(x []float64) float64
+	// NumFeatures returns the expected input width.
+	NumFeatures() int
+}
+
+// ScoreMatrix scores every row of m.
+func ScoreMatrix(c Classifier, m *feature.Matrix) []float64 {
+	if m.Cols != c.NumFeatures() {
+		panic(fmt.Sprintf("model: matrix has %d features, model wants %d", m.Cols, c.NumFeatures()))
+	}
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		out[i] = c.Score(m.Row(i))
+	}
+	return out
+}
+
+// Encode serialises a model with gob. Concrete model types must be
+// registered with gob.Register (each package does so in init).
+func Encode(c Classifier) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	// Encode through an interface wrapper so Decode can recover the
+	// concrete type.
+	w := wrapper{C: c}
+	if err := enc.Encode(&w); err != nil {
+		return nil, fmt.Errorf("model: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode deserialises a model encoded by Encode.
+func Decode(data []byte) (Classifier, error) {
+	var w wrapper
+	dec := gob.NewDecoder(bytes.NewReader(data))
+	if err := dec.Decode(&w); err != nil {
+		return nil, fmt.Errorf("model: decode: %w", err)
+	}
+	if w.C == nil {
+		return nil, fmt.Errorf("model: decoded nil classifier")
+	}
+	return w.C, nil
+}
+
+type wrapper struct {
+	C Classifier
+}
+
+// Sigmoid is the logistic function, shared by LR, GBDT calibration and
+// Structure2Vec.
+func Sigmoid(z float64) float64 {
+	if z >= 0 {
+		return 1 / (1 + exp(-z))
+	}
+	e := exp(z)
+	return e / (1 + e)
+}
+
+// exp is a clamped exponential that avoids overflow for |z| > 700.
+func exp(z float64) float64 {
+	if z > 700 {
+		z = 700
+	} else if z < -700 {
+		z = -700
+	}
+	return math.Exp(z)
+}

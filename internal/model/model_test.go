@@ -1,0 +1,84 @@
+package model
+
+import (
+	"encoding/gob"
+	"math"
+	"testing"
+
+	"titant/internal/feature"
+)
+
+// constModel is a trivial classifier for testing the helpers.
+type constModel struct {
+	V float64
+	N int
+}
+
+func (c *constModel) Score(x []float64) float64 { return c.V }
+func (c *constModel) NumFeatures() int          { return c.N }
+
+func init() { gob.Register(&constModel{}) }
+
+func TestSigmoid(t *testing.T) {
+	if s := Sigmoid(0); s != 0.5 {
+		t.Errorf("Sigmoid(0) = %v", s)
+	}
+	if s := Sigmoid(1000); s != 1 {
+		t.Errorf("Sigmoid(1000) = %v", s)
+	}
+	if s := Sigmoid(-1000); s != 0 && s > 1e-300 {
+		t.Errorf("Sigmoid(-1000) = %v", s)
+	}
+	// Symmetry: sigmoid(-z) = 1 - sigmoid(z).
+	for _, z := range []float64{0.1, 1, 5, 20} {
+		if d := math.Abs(Sigmoid(-z) - (1 - Sigmoid(z))); d > 1e-12 {
+			t.Errorf("symmetry broken at %v: %v", z, d)
+		}
+	}
+	// Monotone.
+	if Sigmoid(1) <= Sigmoid(0) || Sigmoid(2) <= Sigmoid(1) {
+		t.Error("sigmoid not monotone")
+	}
+}
+
+func TestScoreMatrix(t *testing.T) {
+	m := feature.NewMatrix(3, 2)
+	c := &constModel{V: 0.7, N: 2}
+	out := ScoreMatrix(c, m)
+	if len(out) != 3 || out[0] != 0.7 {
+		t.Fatalf("ScoreMatrix = %v", out)
+	}
+}
+
+func TestScoreMatrixPanicsOnWidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	ScoreMatrix(&constModel{N: 5}, feature.NewMatrix(2, 3))
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	c := &constModel{V: 0.42, N: 7}
+	data, err := Encode(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Score(nil) != 0.42 || got.NumFeatures() != 7 {
+		t.Fatalf("decoded %+v", got)
+	}
+}
+
+func TestDecodeGarbage(t *testing.T) {
+	if _, err := Decode([]byte("garbage")); err == nil {
+		t.Fatal("Decode accepted garbage")
+	}
+	if _, err := Decode(nil); err == nil {
+		t.Fatal("Decode accepted empty input")
+	}
+}

@@ -1,0 +1,71 @@
+package ms
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"titant/internal/feature"
+	"titant/internal/model"
+)
+
+// Bundle is the model file the offline pipeline uploads to the Model
+// Server after each T+1 training run: the classifier, the decision
+// threshold frozen on the validation day, the city feature table, and the
+// embedding dimensionality the model was trained with (0 when the model
+// uses basic features only).
+type Bundle struct {
+	Version      string // e.g. the training date, per the paper's versioning
+	ModelBytes   []byte // gob-encoded model.Classifier
+	Threshold    float64
+	City         feature.CityTable
+	EmbeddingDim int
+
+	clf model.Classifier // decoded lazily
+}
+
+// NewBundle builds a bundle around a trained classifier.
+func NewBundle(version string, clf model.Classifier, threshold float64, city feature.CityTable, embDim int) (*Bundle, error) {
+	mb, err := model.Encode(clf)
+	if err != nil {
+		return nil, err
+	}
+	return &Bundle{
+		Version: version, ModelBytes: mb, Threshold: threshold,
+		City: city, EmbeddingDim: embDim, clf: clf,
+	}, nil
+}
+
+// Classifier returns the decoded model.
+func (b *Bundle) Classifier() (model.Classifier, error) {
+	if b.clf != nil {
+		return b.clf, nil
+	}
+	clf, err := model.Decode(b.ModelBytes)
+	if err != nil {
+		return nil, err
+	}
+	b.clf = clf
+	return clf, nil
+}
+
+// Encode serialises the bundle for upload.
+func (b *Bundle) Encode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(b); err != nil {
+		return nil, fmt.Errorf("ms: encode bundle: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeBundle deserialises a bundle.
+func DecodeBundle(data []byte) (*Bundle, error) {
+	var b Bundle
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&b); err != nil {
+		return nil, fmt.Errorf("ms: decode bundle: %w", err)
+	}
+	if _, err := b.Classifier(); err != nil {
+		return nil, err
+	}
+	return &b, nil
+}

@@ -1,0 +1,352 @@
+package ms
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"titant/internal/feature"
+	"titant/internal/hbase"
+	"titant/internal/model"
+	"titant/internal/model/lr"
+	"titant/internal/rng"
+	"titant/internal/txn"
+)
+
+// trainToy returns a tiny trained LR bundle: fraud iff amount feature high.
+func trainToy(t testing.TB, embDim int) *Bundle {
+	t.Helper()
+	r := rng.New(1)
+	n := 2000
+	width := feature.NumBasic + 2*embDim
+	m := feature.NewMatrix(n, width)
+	labels := make([]bool, n)
+	for i := 0; i < n; i++ {
+		// Mirror BasicFromParts: feature 0 is the amount, feature 1 its
+		// log1p, so serve-time vectors match the training distribution.
+		amt := r.Float64() * 2000
+		m.Set(i, 0, amt)
+		m.Set(i, 1, math.Log1p(amt))
+		labels[i] = amt > 1200 && r.Bool(0.9)
+	}
+	clf := lr.Train(m, labels, lr.Config{Bins: 32, L1: 0.01, L2: 0.5, Alpha: 0.1, Beta: 1, Iterations: 10, Seed: 1})
+	city := feature.CityTable{Fraud: []float64{0.01, 0.2}, Share: []float64{0.9, 0.1}}
+	b, err := NewBundle("2017-04-10", clf, 0.5, city, embDim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func table(t testing.TB) *hbase.Table {
+	t.Helper()
+	tab, err := hbase.Open(hbase.Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { tab.Close() })
+	return tab
+}
+
+func TestBundleRoundTrip(t *testing.T) {
+	b := trainToy(t, 0)
+	data, err := b.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeBundle(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != b.Version || got.Threshold != b.Threshold {
+		t.Fatalf("bundle = %+v", got)
+	}
+	c1, _ := b.Classifier()
+	c2, _ := got.Classifier()
+	x := make([]float64, feature.NumBasic)
+	x[0] = 1500
+	if c1.Score(x) != c2.Score(x) {
+		t.Fatal("decoded classifier scores differ")
+	}
+}
+
+func TestDecodeBundleGarbage(t *testing.T) {
+	if _, err := DecodeBundle([]byte("junk")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestProfileCodec(t *testing.T) {
+	u := txn.User{
+		ID: 42, Age: 31, Gender: txn.GenderFemale, HomeCity: 7,
+		AccountAge: 900, DeviceCount: 2, KYCLevel: 3,
+		AvgDailyTxns: 0.4, AvgAmount: 123.5, MerchantFlag: true,
+	}
+	got, err := decodeProfile(encodeProfile(&u))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != u {
+		t.Fatalf("round trip: %+v != %+v", got, u)
+	}
+	if _, err := decodeProfile([]byte{1, 2}); err == nil {
+		t.Fatal("short profile accepted")
+	}
+}
+
+func TestStatsCodec(t *testing.T) {
+	s := feature.UserStats{OutCount: 1, InCount: 2, OutAmount: 3.5, InAmount: 4.5,
+		DistinctRcv: 5, DistinctSnd: 6, OutDays: 7, InDays: 8}
+	got, err := decodeStats(encodeStats(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != s {
+		t.Fatalf("round trip: %+v != %+v", got, s)
+	}
+	if _, err := decodeStats(nil); err == nil {
+		t.Fatal("short stats accepted")
+	}
+}
+
+func TestVecCodec(t *testing.T) {
+	v := []float32{0.5, -1.25, 3}
+	got := decodeVec(encodeVec(v))
+	for i := range v {
+		if got[i] != v[i] {
+			t.Fatalf("vec round trip: %v != %v", got, v)
+		}
+	}
+}
+
+func TestUploadFetch(t *testing.T) {
+	tab := table(t)
+	u := txn.User{ID: 9, Age: 40, HomeCity: 1, AvgAmount: 50}
+	stats := feature.UserStats{OutCount: 12, InCount: 3}
+	emb := []float32{1, 2, 3, 4}
+	up := &Uploader{Table: tab}
+	if err := up.PutUser(&u, stats, emb); err != nil {
+		t.Fatal(err)
+	}
+	parts, err := fetchUser(tab, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parts.user.Age != 40 || parts.stats.OutCount != 12 || len(parts.emb) != 4 {
+		t.Fatalf("parts = %+v", parts)
+	}
+	// Unknown user: zero fragments, no error.
+	parts, err = fetchUser(tab, 999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parts.user.Age != 0 || parts.emb != nil {
+		t.Fatalf("cold user parts = %+v", parts)
+	}
+}
+
+func TestVersionedUploadNewestWins(t *testing.T) {
+	tab := table(t)
+	u := txn.User{ID: 5, Age: 30}
+	up1 := &Uploader{Table: tab, Version: 100}
+	up2 := &Uploader{Table: tab, Version: 200}
+	_ = up1.PutUser(&u, feature.UserStats{OutCount: 1}, nil)
+	u.Age = 31
+	_ = up2.PutUser(&u, feature.UserStats{OutCount: 2}, nil)
+	parts, err := fetchUser(tab, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parts.user.Age != 31 || parts.stats.OutCount != 2 {
+		t.Fatalf("stale version served: %+v", parts)
+	}
+}
+
+func TestScoreAndAlert(t *testing.T) {
+	tab := table(t)
+	up := &Uploader{Table: tab}
+	for i := txn.UserID(1); i <= 2; i++ {
+		u := txn.User{ID: i, Age: 30, AvgAmount: 100}
+		if err := up.PutUser(&u, feature.UserStats{}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var alerts []txn.TxnID
+	var mu sync.Mutex
+	srv, err := NewServer(tab, trainToy(t, 0), func(t *txn.Transaction, score float64) {
+		mu.Lock()
+		alerts = append(alerts, t.ID)
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// High amount -> fraud alert.
+	hot := txn.Transaction{ID: 2, From: 1, To: 2, Amount: 1900}
+	v, err := srv.Score(&hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Fraud || v.Score < 0.5 {
+		t.Fatalf("verdict = %+v", v)
+	}
+	// Low amount -> pass.
+	cold := txn.Transaction{ID: 3, From: 1, To: 2, Amount: 5}
+	v, err = srv.Score(&cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Fraud {
+		t.Fatalf("verdict = %+v", v)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(alerts) != 1 || alerts[0] != 2 {
+		t.Fatalf("alerts = %v", alerts)
+	}
+	st := srv.Latency()
+	if st.Count != 2 || st.Alerted != 1 || st.Max <= 0 {
+		t.Fatalf("latency stats = %+v", st)
+	}
+}
+
+func TestScoreWithEmbeddings(t *testing.T) {
+	tab := table(t)
+	up := &Uploader{Table: tab}
+	emb := make([]float32, 8)
+	emb[0] = 1
+	u1 := txn.User{ID: 1}
+	u2 := txn.User{ID: 2}
+	_ = up.PutUser(&u1, feature.UserStats{}, emb)
+	_ = up.PutUser(&u2, feature.UserStats{}, nil) // cold: no embedding
+	srv, err := NewServer(tab, trainToy(t, 8), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := txn.Transaction{ID: 1, From: 1, To: 2, Amount: 100}
+	if _, err := srv.Score(&tx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHotSwapBundle(t *testing.T) {
+	tab := table(t)
+	srv, err := NewServer(tab, trainToy(t, 0), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.BundleVersion() != "2017-04-10" {
+		t.Fatal("version wrong")
+	}
+	nb := trainToy(t, 0)
+	nb.Version = "2017-04-11"
+	if err := srv.SetBundle(nb); err != nil {
+		t.Fatal(err)
+	}
+	if srv.BundleVersion() != "2017-04-11" {
+		t.Fatal("hot swap failed")
+	}
+}
+
+func TestHTTPEndpoints(t *testing.T) {
+	tab := table(t)
+	up := &Uploader{Table: tab}
+	for i := txn.UserID(1); i <= 2; i++ {
+		u := txn.User{ID: i}
+		_ = up.PutUser(&u, feature.UserStats{}, nil)
+	}
+	srv, err := NewServer(tab, trainToy(t, 0), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// /score
+	body, _ := json.Marshal(TxnRequest{ID: 7, From: 1, To: 2, Amount: 1800})
+	resp, err := http.Post(ts.URL+"/score", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v Verdict
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if v.TxnID != 7 || !v.Fraud {
+		t.Fatalf("verdict = %+v", v)
+	}
+
+	// /score rejects GET and bad JSON.
+	if resp, _ := http.Get(ts.URL + "/score"); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /score = %d", resp.StatusCode)
+	}
+	if resp, _ := http.Post(ts.URL+"/score", "application/json", bytes.NewReader([]byte("{"))); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad JSON = %d", resp.StatusCode)
+	}
+
+	// /healthz
+	if resp, _ := http.Get(ts.URL + "/healthz"); resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz = %d", resp.StatusCode)
+	}
+	// /stats
+	resp, err = http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats map[string]interface{}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats["scored"].(float64) < 1 {
+		t.Errorf("stats = %v", stats)
+	}
+}
+
+func TestMillisecondLatency(t *testing.T) {
+	// The paper's headline: prediction in mere milliseconds. With an
+	// in-process HBase the p99 must be far below 10ms.
+	tab := table(t)
+	up := &Uploader{Table: tab}
+	for i := txn.UserID(0); i < 200; i++ {
+		u := txn.User{ID: i, Age: uint8(20 + i%50)}
+		_ = up.PutUser(&u, feature.UserStats{OutCount: float64(i)}, nil)
+	}
+	srv, err := NewServer(tab, trainToy(t, 0), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(2)
+	for i := 0; i < 500; i++ {
+		tx := txn.Transaction{
+			ID:   txn.TxnID(i),
+			From: txn.UserID(r.Intn(200)), To: txn.UserID(r.Intn(200)),
+			Amount: float32(r.Float64() * 2000),
+		}
+		if _, err := srv.Score(&tx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := srv.Latency()
+	if st.P99 > 10*time.Millisecond {
+		t.Errorf("p99 latency %v exceeds 10ms", st.P99)
+	}
+}
+
+func TestNewServerValidation(t *testing.T) {
+	tab := table(t)
+	if _, err := NewServer(nil, trainToy(t, 0), nil); err == nil {
+		t.Error("nil table accepted")
+	}
+	if _, err := NewServer(tab, nil, nil); err == nil {
+		t.Error("nil bundle accepted")
+	}
+}
+
+var _ = model.Sigmoid // referenced for doc purposes

@@ -1,0 +1,230 @@
+// Package ms implements the Model Server of the paper's Figure 5: the
+// online component that receives a transfer request from the Alipay
+// server, fetches the latest basic features and user node embeddings from
+// Ali-HBase, scores the transaction in milliseconds, and alerts the Alipay
+// server to interrupt the transfer when the predicted fraud probability
+// crosses the threshold.
+package ms
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"titant/internal/feature"
+	"titant/internal/hbase"
+	"titant/internal/txn"
+)
+
+// Alert is the callback invoked for transactions predicted fraudulent; in
+// production it tells the Alipay server to interrupt the transfer and
+// notify the transferor.
+type Alert func(t *txn.Transaction, score float64)
+
+// Server scores transactions against the current model bundle. Safe for
+// concurrent use; the bundle can be hot-swapped between requests.
+type Server struct {
+	table *hbase.Table
+
+	mu     sync.RWMutex
+	bundle *Bundle
+
+	alert Alert
+
+	latMu     sync.Mutex
+	latencies []time.Duration
+	scored    int64
+	alerted   int64
+}
+
+// NewServer builds a Model Server over a feature table. alert may be nil.
+func NewServer(table *hbase.Table, bundle *Bundle, alert Alert) (*Server, error) {
+	if table == nil {
+		return nil, errors.New("ms: nil feature table")
+	}
+	if bundle == nil {
+		return nil, errors.New("ms: nil bundle")
+	}
+	if _, err := bundle.Classifier(); err != nil {
+		return nil, err
+	}
+	return &Server{table: table, bundle: bundle, alert: alert}, nil
+}
+
+// SetBundle hot-swaps the model (the paper's periodic model-file update).
+func (s *Server) SetBundle(b *Bundle) error {
+	if _, err := b.Classifier(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.bundle = b
+	return nil
+}
+
+// BundleVersion returns the active bundle's version string.
+func (s *Server) BundleVersion() string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.bundle.Version
+}
+
+// Verdict is a scoring outcome.
+type Verdict struct {
+	TxnID   txn.TxnID     `json:"txn_id"`
+	Score   float64       `json:"score"`
+	Fraud   bool          `json:"fraud"`
+	Version string        `json:"model_version"`
+	Latency time.Duration `json:"latency_ns"`
+}
+
+// Score runs the full online path for one transaction: fetch both users'
+// fragments from HBase, assemble the feature vector, run the model, fire
+// the alert if the score crosses the threshold.
+func (s *Server) Score(t *txn.Transaction) (Verdict, error) {
+	start := time.Now()
+	s.mu.RLock()
+	bundle := s.bundle
+	s.mu.RUnlock()
+	clf, err := bundle.Classifier()
+	if err != nil {
+		return Verdict{}, err
+	}
+
+	from, err := fetchUser(s.table, t.From)
+	if err != nil {
+		return Verdict{}, fmt.Errorf("ms: fetch sender: %w", err)
+	}
+	to, err := fetchUser(s.table, t.To)
+	if err != nil {
+		return Verdict{}, fmt.Errorf("ms: fetch receiver: %w", err)
+	}
+
+	dim := bundle.EmbeddingDim
+	width := feature.NumBasic + 2*dim
+	x := make([]float64, width)
+	feature.BasicFromParts(t, &from.user, &to.user, bundle.City, x[:feature.NumBasic])
+	if dim > 0 {
+		copyEmb(x[feature.NumBasic:feature.NumBasic+dim], from.emb)
+		copyEmb(x[feature.NumBasic+dim:], to.emb)
+	}
+
+	score := clf.Score(x)
+	v := Verdict{
+		TxnID:   t.ID,
+		Score:   score,
+		Fraud:   score >= bundle.Threshold,
+		Version: bundle.Version,
+		Latency: time.Since(start),
+	}
+	s.latMu.Lock()
+	s.scored++
+	if v.Fraud {
+		s.alerted++
+	}
+	s.latencies = append(s.latencies, v.Latency)
+	s.latMu.Unlock()
+	if v.Fraud && s.alert != nil {
+		s.alert(t, score)
+	}
+	return v, nil
+}
+
+func copyEmb(dst []float64, src []float32) {
+	for i := 0; i < len(dst) && i < len(src); i++ {
+		dst[i] = float64(src[i])
+	}
+}
+
+// LatencyStats summarises serving latency.
+type LatencyStats struct {
+	Count   int64
+	Alerted int64
+	P50     time.Duration
+	P99     time.Duration
+	Max     time.Duration
+}
+
+// Latency returns percentile statistics over all scored requests.
+func (s *Server) Latency() LatencyStats {
+	s.latMu.Lock()
+	defer s.latMu.Unlock()
+	st := LatencyStats{Count: s.scored, Alerted: s.alerted}
+	if len(s.latencies) == 0 {
+		return st
+	}
+	ls := append([]time.Duration(nil), s.latencies...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+	st.P50 = ls[len(ls)/2]
+	st.P99 = ls[(len(ls)*99)/100]
+	st.Max = ls[len(ls)-1]
+	return st
+}
+
+// --- HTTP front end ---
+
+// TxnRequest is the JSON wire format of a scoring request.
+type TxnRequest struct {
+	ID         int64   `json:"id"`
+	Day        int     `json:"day"`
+	Sec        int32   `json:"sec"`
+	From       int32   `json:"from"`
+	To         int32   `json:"to"`
+	Amount     float32 `json:"amount"`
+	TransCity  uint16  `json:"trans_city"`
+	DeviceRisk float32 `json:"device_risk"`
+	IPRisk     float32 `json:"ip_risk"`
+	Channel    uint8   `json:"channel"`
+}
+
+// Txn converts the wire format to the internal record.
+func (r *TxnRequest) Txn() txn.Transaction {
+	return txn.Transaction{
+		ID: txn.TxnID(r.ID), Day: txn.Day(r.Day), Sec: r.Sec,
+		From: txn.UserID(r.From), To: txn.UserID(r.To),
+		Amount: r.Amount, TransCity: r.TransCity,
+		DeviceRisk: r.DeviceRisk, IPRisk: r.IPRisk,
+		Channel: txn.Channel(r.Channel),
+	}
+}
+
+// Handler returns the HTTP mux: POST /score, GET /healthz, GET /stats.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/score", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		var req TxnRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		t := req.Txn()
+		v, err := s.Score(&t)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(v)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, "ok version=%s\n", s.BundleVersion())
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		st := s.Latency()
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]interface{}{
+			"scored": st.Count, "alerted": st.Alerted,
+			"p50_us": st.P50.Microseconds(), "p99_us": st.P99.Microseconds(),
+			"max_us": st.Max.Microseconds(), "version": s.BundleVersion(),
+		})
+	})
+	return mux
+}

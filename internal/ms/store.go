@@ -1,0 +1,175 @@
+package ms
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"strconv"
+
+	"titant/internal/feature"
+	"titant/internal/hbase"
+	"titant/internal/txn"
+)
+
+// HBase layout (the paper's Figure 7): one row per user keyed "u:<id>",
+// column family "bf" for the profile and aggregate fragments, column
+// family "emb" for the user node embedding. Values are versioned by the
+// upload timestamp, so the Model Server always reads "the latest version
+// of user node embeddings and basic features".
+const (
+	FamilyBasic = "bf"
+	FamilyEmb   = "emb"
+
+	QualProfile = "profile"
+	QualStats   = "stats"
+	QualVector  = "vec"
+)
+
+// RowKey returns the HBase row key of a user.
+func RowKey(u txn.UserID) string { return "u:" + strconv.FormatInt(int64(u), 10) }
+
+// encodeProfile packs a user profile into a fixed 24-byte value.
+func encodeProfile(u *txn.User) []byte {
+	b := make([]byte, 24)
+	le := binary.LittleEndian
+	le.PutUint32(b[0:], uint32(u.ID))
+	b[4] = u.Age
+	b[5] = byte(u.Gender)
+	le.PutUint16(b[6:], u.HomeCity)
+	le.PutUint16(b[8:], uint16(u.AccountAge))
+	b[10] = u.DeviceCount
+	b[11] = u.KYCLevel
+	le.PutUint32(b[12:], math.Float32bits(u.AvgDailyTxns))
+	le.PutUint32(b[16:], math.Float32bits(u.AvgAmount))
+	if u.MerchantFlag {
+		b[20] = 1
+	}
+	return b
+}
+
+func decodeProfile(b []byte) (txn.User, error) {
+	if len(b) < 24 {
+		return txn.User{}, fmt.Errorf("ms: profile value has %d bytes, want 24", len(b))
+	}
+	le := binary.LittleEndian
+	return txn.User{
+		ID:           txn.UserID(le.Uint32(b[0:])),
+		Age:          b[4],
+		Gender:       txn.Gender(b[5]),
+		HomeCity:     le.Uint16(b[6:]),
+		AccountAge:   txn.AccountAgeDays(le.Uint16(b[8:])),
+		DeviceCount:  b[10],
+		KYCLevel:     b[11],
+		AvgDailyTxns: math.Float32frombits(le.Uint32(b[12:])),
+		AvgAmount:    math.Float32frombits(le.Uint32(b[16:])),
+		MerchantFlag: b[20] == 1,
+	}, nil
+}
+
+// encodeStats packs the aggregate fragment (8 float64s).
+func encodeStats(s feature.UserStats) []byte {
+	b := make([]byte, 64)
+	le := binary.LittleEndian
+	vals := [8]float64{s.OutCount, s.InCount, s.OutAmount, s.InAmount,
+		s.DistinctRcv, s.DistinctSnd, s.OutDays, s.InDays}
+	for i, v := range vals {
+		le.PutUint64(b[i*8:], math.Float64bits(v))
+	}
+	return b
+}
+
+func decodeStats(b []byte) (feature.UserStats, error) {
+	if len(b) < 64 {
+		return feature.UserStats{}, fmt.Errorf("ms: stats value has %d bytes, want 64", len(b))
+	}
+	le := binary.LittleEndian
+	f := func(i int) float64 { return math.Float64frombits(le.Uint64(b[i*8:])) }
+	return feature.UserStats{
+		OutCount: f(0), InCount: f(1), OutAmount: f(2), InAmount: f(3),
+		DistinctRcv: f(4), DistinctSnd: f(5), OutDays: f(6), InDays: f(7),
+	}, nil
+}
+
+// encodeVec packs an embedding as float32s.
+func encodeVec(v []float32) []byte {
+	b := make([]byte, 4*len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint32(b[i*4:], math.Float32bits(x))
+	}
+	return b
+}
+
+func decodeVec(b []byte) []float32 {
+	v := make([]float32, len(b)/4)
+	for i := range v {
+		v[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[i*4:]))
+	}
+	return v
+}
+
+// Uploader writes users' serving fragments into HBase; the offline
+// pipeline runs it after every training day ("every time offline training
+// is completed, the data is uploaded to Ali-HBase by the version of date
+// time").
+type Uploader struct {
+	Table   *hbase.Table
+	Version int64 // timestamp for this upload wave; 0 = auto
+}
+
+// PutUser uploads one user's profile, aggregate fragment and (optional)
+// embedding.
+func (up *Uploader) PutUser(u *txn.User, stats feature.UserStats, emb []float32) error {
+	row := RowKey(u.ID)
+	if _, err := up.Table.Put(row, FamilyBasic, QualProfile, encodeProfile(u), up.Version); err != nil {
+		return err
+	}
+	if _, err := up.Table.Put(row, FamilyBasic, QualStats, encodeStats(stats), up.Version); err != nil {
+		return err
+	}
+	if emb != nil {
+		if _, err := up.Table.Put(row, FamilyEmb, QualVector, encodeVec(emb), up.Version); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// userParts is what the Model Server fetches per endpoint.
+type userParts struct {
+	user  txn.User
+	stats feature.UserStats
+	emb   []float32
+}
+
+// fetchUser reads one user's row. Missing rows yield zero fragments
+// (cold-start users are served with empty history, never errors).
+func fetchUser(tab *hbase.Table, u txn.UserID) (userParts, error) {
+	var out userParts
+	out.user.ID = u
+	row, err := tab.GetRow(RowKey(u))
+	if err != nil {
+		return out, nil // unknown user: all-zero fragments
+	}
+	if bf, ok := row[FamilyBasic]; ok {
+		if pb, ok := bf[QualProfile]; ok {
+			p, err := decodeProfile(pb)
+			if err != nil {
+				return out, err
+			}
+			out.user = p
+		}
+		if sb, ok := bf[QualStats]; ok {
+			s, err := decodeStats(sb)
+			if err != nil {
+				return out, err
+			}
+			out.stats = s
+		}
+	}
+	if ef, ok := row[FamilyEmb]; ok {
+		if vb, ok := ef[QualVector]; ok {
+			out.emb = decodeVec(vb)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,261 @@
+// Package deepwalk implements DeepWalk (Perozzi et al., KDD 2014), the
+// unsupervised network-representation-learning method TitAnt selects "for
+// its efficiency, effectiveness and simplicity" (Section 3.2).
+//
+// Random walks over the (undirected view of the) transaction network turn
+// topology into linear node sequences; Skip-gram with negative sampling
+// (word2vec, Mikolov et al. 2013) then embeds nodes so that walk
+// co-occurrence implies vector similarity. The paper's production settings
+// are walk length 50, 100 walks per node ("number of sampling"), and
+// dimension 32.
+package deepwalk
+
+import (
+	"fmt"
+	"math"
+
+	"titant/internal/graph"
+	"titant/internal/nrl"
+	"titant/internal/rng"
+)
+
+// Config holds DeepWalk hyperparameters.
+type Config struct {
+	Dim          int     // embedding dimension (paper: 32)
+	WalkLength   int     // nodes per walk (paper: 50)
+	WalksPerNode int     // walks started at each node (paper: 100)
+	Window       int     // skip-gram context window
+	Negatives    int     // negative samples per positive pair
+	LearningRate float64 // initial SGD step, decays linearly
+	MinLR        float64 // learning-rate floor
+	Seed         uint64
+}
+
+// DefaultConfig returns the paper's NRL settings with standard word2vec
+// training constants.
+func DefaultConfig() Config {
+	return Config{
+		Dim: 32, WalkLength: 50, WalksPerNode: 100,
+		Window: 5, Negatives: 5,
+		LearningRate: 0.025, MinLR: 0.0001, Seed: 1,
+	}
+}
+
+// BenchConfig returns laptop-scale settings: the hyperparameters that shape
+// embedding quality (dim, window, negatives) match the paper; the sampling
+// effort is reduced. Table 2 sweeps WalksPerNode explicitly.
+func BenchConfig() Config {
+	c := DefaultConfig()
+	c.WalkLength = 20
+	c.WalksPerNode = 10
+	c.Window = 3
+	c.Negatives = 4
+	return c
+}
+
+// Walks streams random walks over the undirected view of g: each node
+// starts cfg.WalksPerNode walks of cfg.WalkLength steps; each step moves to
+// a uniformly random in- or out-neighbour (degree-proportional transition,
+// as in the original DeepWalk). fn receives each walk; the slice is reused
+// across calls.
+func Walks(g *graph.Graph, walkLength, walksPerNode int, seed uint64, fn func(walk []graph.NodeID)) {
+	if walkLength < 1 || walksPerNode < 1 {
+		panic(fmt.Sprintf("deepwalk: bad walk parameters length=%d per-node=%d", walkLength, walksPerNode))
+	}
+	r := rng.New(seed)
+	walk := make([]graph.NodeID, 0, walkLength)
+	n := g.NumNodes()
+	for rep := 0; rep < walksPerNode; rep++ {
+		// A fresh permutation per repetition, as in the original paper.
+		order := r.Perm(n)
+		for _, start := range order {
+			walk = walk[:0]
+			cur := graph.NodeID(start)
+			walk = append(walk, cur)
+			for len(walk) < walkLength {
+				out := g.OutNeighbors(cur)
+				in := g.InNeighbors(cur)
+				deg := len(out) + len(in)
+				if deg == 0 {
+					break
+				}
+				k := r.Intn(deg)
+				if k < len(out) {
+					cur = out[k]
+				} else {
+					cur = in[k-len(out)]
+				}
+				walk = append(walk, cur)
+			}
+			fn(walk)
+		}
+	}
+}
+
+// SGNS is the skip-gram-with-negative-sampling trainer state. It is
+// exported so the parameter-server reimplementation (internal/ps) can run
+// the identical math with distributed parameter storage.
+type SGNS struct {
+	Dim  int
+	Syn0 [][]float32 // input (node) vectors - these become the embeddings
+	Syn1 [][]float32 // output (context) vectors
+}
+
+// NewSGNS allocates trainer state for n nodes, with small random init on
+// the input vectors (as in word2vec).
+func NewSGNS(n, dim int, r *rng.RNG) *SGNS {
+	s := &SGNS{Dim: dim, Syn0: make([][]float32, n), Syn1: make([][]float32, n)}
+	for i := 0; i < n; i++ {
+		v0 := make([]float32, dim)
+		for j := range v0 {
+			v0[j] = (float32(r.Float64()) - 0.5) / float32(dim)
+		}
+		s.Syn0[i] = v0
+		s.Syn1[i] = make([]float32, dim)
+	}
+	return s
+}
+
+// Update applies one positive pair (center, context) plus the given
+// negative samples, with learning rate lr. It returns the summed absolute
+// update magnitude (useful for convergence diagnostics).
+func (s *SGNS) Update(center, context graph.NodeID, negatives []graph.NodeID, lr float32) float32 {
+	in := s.Syn0[center]
+	work := make([]float32, s.Dim)
+	var total float32
+	apply := func(target graph.NodeID, label float32) {
+		out := s.Syn1[target]
+		var dot float64
+		for i := range in {
+			dot += float64(in[i]) * float64(out[i])
+		}
+		pred := float32(sigmoid(dot))
+		g := (label - pred) * lr
+		for i := range in {
+			work[i] += g * out[i]
+			out[i] += g * in[i]
+		}
+		if g < 0 {
+			total -= g
+		} else {
+			total += g
+		}
+	}
+	apply(context, 1)
+	for _, neg := range negatives {
+		if neg == context {
+			continue
+		}
+		apply(neg, 0)
+	}
+	for i := range in {
+		in[i] += work[i]
+	}
+	return total
+}
+
+func sigmoid(z float64) float64 {
+	if z > 8 {
+		return 1
+	}
+	if z < -8 {
+		return 0
+	}
+	return 1 / (1 + math.Exp(-z))
+}
+
+// NegativeTable is the unigram^0.75 sampling table of word2vec.
+type NegativeTable struct {
+	table []graph.NodeID
+}
+
+// NewNegativeTable builds the table from node frequencies (walk visit
+// counts or degrees). size bounds the table length.
+func NewNegativeTable(freq []float64, size int) *NegativeTable {
+	if size < 1 {
+		size = 1 << 16
+	}
+	var total float64
+	pow := make([]float64, len(freq))
+	for i, f := range freq {
+		p := math.Pow(f+1, 0.75)
+		pow[i] = p
+		total += p
+	}
+	t := &NegativeTable{table: make([]graph.NodeID, 0, size)}
+	for i, p := range pow {
+		n := int(p / total * float64(size))
+		if n < 1 {
+			n = 1
+		}
+		for k := 0; k < n; k++ {
+			t.table = append(t.table, graph.NodeID(i))
+		}
+	}
+	return t
+}
+
+// Sample draws one negative node.
+func (t *NegativeTable) Sample(r *rng.RNG) graph.NodeID {
+	return t.table[r.Intn(len(t.table))]
+}
+
+// Train runs DeepWalk on g and returns the learned user embeddings.
+func Train(g *graph.Graph, cfg Config) *nrl.Embeddings {
+	if cfg.Dim < 1 || cfg.Window < 1 || cfg.Negatives < 0 {
+		panic(fmt.Sprintf("deepwalk: bad config %+v", cfg))
+	}
+	n := g.NumNodes()
+	out := nrl.NewEmbeddings(cfg.Dim)
+	if n == 0 {
+		return out
+	}
+	r := rng.New(cfg.Seed)
+	s := NewSGNS(n, cfg.Dim, r.Split(1))
+
+	// Degree-based negative table (degree approximates walk visit counts).
+	freq := make([]float64, n)
+	for v := graph.NodeID(0); int(v) < n; v++ {
+		freq[v] = float64(g.Degree(v))
+	}
+	neg := NewNegativeTable(freq, 1<<17)
+
+	totalWalks := n * cfg.WalksPerNode
+	walkIdx := 0
+	trainRNG := r.Split(2)
+	negBuf := make([]graph.NodeID, cfg.Negatives)
+	Walks(g, cfg.WalkLength, cfg.WalksPerNode, cfg.Seed+7, func(walk []graph.NodeID) {
+		// Linear learning-rate decay over all walks.
+		progress := float64(walkIdx) / float64(totalWalks)
+		lr := cfg.LearningRate * (1 - progress)
+		if lr < cfg.MinLR {
+			lr = cfg.MinLR
+		}
+		walkIdx++
+		for i, center := range walk {
+			// Dynamic window, as in word2vec: uniform in [1, Window].
+			w := 1 + trainRNG.Intn(cfg.Window)
+			lo, hi := i-w, i+w
+			if lo < 0 {
+				lo = 0
+			}
+			if hi >= len(walk) {
+				hi = len(walk) - 1
+			}
+			for j := lo; j <= hi; j++ {
+				if j == i || walk[j] == center {
+					continue
+				}
+				for k := range negBuf {
+					negBuf[k] = neg.Sample(trainRNG)
+				}
+				s.Update(center, walk[j], negBuf, float32(lr))
+			}
+		}
+	})
+
+	for v := graph.NodeID(0); int(v) < n; v++ {
+		out.Set(g.User(v), s.Syn0[v])
+	}
+	return out
+}

@@ -1,0 +1,177 @@
+// Package nrl holds the shared types of the network-representation-learning
+// methods (Section 3.2): a container mapping users to learned node
+// embeddings, with lookup, similarity and serialisation helpers. Concrete
+// learners live in nrl/deepwalk (unsupervised) and nrl/struc2vec
+// (supervised).
+package nrl
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"titant/internal/txn"
+)
+
+// Embeddings maps users to d-dimensional vectors. Users absent from the
+// training window have no entry (cold start); Lookup returns nil for them.
+type Embeddings struct {
+	dim  int
+	vecs map[txn.UserID][]float32
+}
+
+// NewEmbeddings creates an empty container of the given dimension.
+func NewEmbeddings(dim int) *Embeddings {
+	if dim < 1 {
+		panic(fmt.Sprintf("nrl: bad dimension %d", dim))
+	}
+	return &Embeddings{dim: dim, vecs: make(map[txn.UserID][]float32)}
+}
+
+// Dim returns the embedding dimension.
+func (e *Embeddings) Dim() int { return e.dim }
+
+// Len returns the number of embedded users.
+func (e *Embeddings) Len() int { return len(e.vecs) }
+
+// Set stores (a copy of) vec for user u.
+func (e *Embeddings) Set(u txn.UserID, vec []float32) {
+	if len(vec) != e.dim {
+		panic(fmt.Sprintf("nrl: vector has %d dims, container wants %d", len(vec), e.dim))
+	}
+	c := make([]float32, e.dim)
+	copy(c, vec)
+	e.vecs[u] = c
+}
+
+// Lookup returns the vector of u, or nil when u was never embedded.
+func (e *Embeddings) Lookup(u txn.UserID) []float32 { return e.vecs[u] }
+
+// Users returns all embedded users in ascending order.
+func (e *Embeddings) Users() []txn.UserID {
+	us := make([]txn.UserID, 0, len(e.vecs))
+	for u := range e.vecs {
+		us = append(us, u)
+	}
+	sort.Slice(us, func(i, j int) bool { return us[i] < us[j] })
+	return us
+}
+
+// Cosine returns the cosine similarity of two users' embeddings; it returns
+// 0 when either is missing or zero.
+func (e *Embeddings) Cosine(a, b txn.UserID) float64 {
+	va, vb := e.vecs[a], e.vecs[b]
+	return CosineVec(va, vb)
+}
+
+// CosineVec returns cosine similarity of two vectors (0 on nil/zero).
+func CosineVec(va, vb []float32) float64 {
+	if va == nil || vb == nil || len(va) != len(vb) {
+		return 0
+	}
+	var dot, na, nb float64
+	for i := range va {
+		dot += float64(va[i]) * float64(vb[i])
+		na += float64(va[i]) * float64(va[i])
+		nb += float64(vb[i]) * float64(vb[i])
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / math.Sqrt(na*nb)
+}
+
+// Neighbor is one nearest-neighbour result.
+type Neighbor struct {
+	User txn.UserID
+	Sim  float64
+}
+
+// Nearest returns the k most cosine-similar users to u (excluding u).
+func (e *Embeddings) Nearest(u txn.UserID, k int) []Neighbor {
+	target := e.vecs[u]
+	if target == nil || k < 1 {
+		return nil
+	}
+	ns := make([]Neighbor, 0, len(e.vecs))
+	for v, vec := range e.vecs {
+		if v == u {
+			continue
+		}
+		ns = append(ns, Neighbor{User: v, Sim: CosineVec(target, vec)})
+	}
+	sort.Slice(ns, func(i, j int) bool {
+		if ns[i].Sim != ns[j].Sim {
+			return ns[i].Sim > ns[j].Sim
+		}
+		return ns[i].User < ns[j].User
+	})
+	if len(ns) > k {
+		ns = ns[:k]
+	}
+	return ns
+}
+
+// binary serialisation: this is the payload uploaded to Ali-HBase (one row
+// per user, column family "emb") and shipped to the Model Server.
+
+const embMagic = 0x54454D42 // "TEMB"
+
+// Write serialises the embeddings.
+func (e *Embeddings) Write(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	var hdr [12]byte
+	le := binary.LittleEndian
+	le.PutUint32(hdr[0:], embMagic)
+	le.PutUint32(hdr[4:], uint32(e.dim))
+	le.PutUint32(hdr[8:], uint32(len(e.vecs)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return fmt.Errorf("nrl: write header: %w", err)
+	}
+	buf := make([]byte, 4+4*e.dim)
+	for _, u := range e.Users() {
+		le.PutUint32(buf[0:], uint32(u))
+		for i, v := range e.vecs[u] {
+			le.PutUint32(buf[4+4*i:], math.Float32bits(v))
+		}
+		if _, err := bw.Write(buf); err != nil {
+			return fmt.Errorf("nrl: write vector: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEmbeddings deserialises embeddings written by Write.
+func ReadEmbeddings(r io.Reader) (*Embeddings, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var hdr [12]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("nrl: read header: %w", err)
+	}
+	le := binary.LittleEndian
+	if le.Uint32(hdr[0:]) != embMagic {
+		return nil, fmt.Errorf("nrl: bad magic %#x", le.Uint32(hdr[0:]))
+	}
+	dim := int(le.Uint32(hdr[4:]))
+	n := int(le.Uint32(hdr[8:]))
+	if dim < 1 || dim > 1<<16 {
+		return nil, fmt.Errorf("nrl: implausible dimension %d", dim)
+	}
+	e := NewEmbeddings(dim)
+	buf := make([]byte, 4+4*dim)
+	vec := make([]float32, dim)
+	for i := 0; i < n; i++ {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("nrl: read vector %d/%d: %w", i, n, err)
+		}
+		u := txn.UserID(le.Uint32(buf[0:]))
+		for j := 0; j < dim; j++ {
+			vec[j] = math.Float32frombits(le.Uint32(buf[4+4*j:]))
+		}
+		e.Set(u, vec)
+	}
+	return e, nil
+}

@@ -1,0 +1,159 @@
+package nrl
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"titant/internal/txn"
+)
+
+func TestSetLookup(t *testing.T) {
+	e := NewEmbeddings(3)
+	e.Set(7, []float32{1, 2, 3})
+	v := e.Lookup(7)
+	if v == nil || v[1] != 2 {
+		t.Fatalf("Lookup = %v", v)
+	}
+	if e.Lookup(8) != nil {
+		t.Fatal("missing user returned a vector")
+	}
+	if e.Len() != 1 || e.Dim() != 3 {
+		t.Fatal("Len/Dim wrong")
+	}
+}
+
+func TestSetCopies(t *testing.T) {
+	e := NewEmbeddings(2)
+	src := []float32{1, 1}
+	e.Set(1, src)
+	src[0] = 99
+	if e.Lookup(1)[0] != 1 {
+		t.Fatal("Set did not copy the vector")
+	}
+}
+
+func TestSetPanicsOnDim(t *testing.T) {
+	e := NewEmbeddings(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	e.Set(1, []float32{1})
+}
+
+func TestNewPanicsOnDim(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewEmbeddings(0)
+}
+
+func TestCosine(t *testing.T) {
+	e := NewEmbeddings(2)
+	e.Set(1, []float32{1, 0})
+	e.Set(2, []float32{1, 0})
+	e.Set(3, []float32{0, 1})
+	e.Set(4, []float32{-1, 0})
+	e.Set(5, []float32{0, 0})
+	if c := e.Cosine(1, 2); math.Abs(c-1) > 1e-6 {
+		t.Errorf("parallel cosine = %v", c)
+	}
+	if c := e.Cosine(1, 3); math.Abs(c) > 1e-6 {
+		t.Errorf("orthogonal cosine = %v", c)
+	}
+	if c := e.Cosine(1, 4); math.Abs(c+1) > 1e-6 {
+		t.Errorf("antiparallel cosine = %v", c)
+	}
+	if c := e.Cosine(1, 5); c != 0 {
+		t.Errorf("zero-vector cosine = %v", c)
+	}
+	if c := e.Cosine(1, 99); c != 0 {
+		t.Errorf("missing-user cosine = %v", c)
+	}
+}
+
+func TestNearest(t *testing.T) {
+	e := NewEmbeddings(2)
+	e.Set(1, []float32{1, 0})
+	e.Set(2, []float32{0.9, 0.1})
+	e.Set(3, []float32{0, 1})
+	e.Set(4, []float32{-1, -1})
+	ns := e.Nearest(1, 2)
+	if len(ns) != 2 {
+		t.Fatalf("got %d neighbours", len(ns))
+	}
+	if ns[0].User != 2 {
+		t.Errorf("nearest = %v, want user 2", ns[0])
+	}
+	if ns[0].Sim < ns[1].Sim {
+		t.Error("neighbours not sorted by similarity")
+	}
+	if e.Nearest(99, 3) != nil {
+		t.Error("Nearest for missing user != nil")
+	}
+}
+
+func TestUsersSorted(t *testing.T) {
+	e := NewEmbeddings(1)
+	for _, u := range []txn.UserID{5, 1, 9, 3} {
+		e.Set(u, []float32{1})
+	}
+	us := e.Users()
+	for i := 1; i < len(us); i++ {
+		if us[i-1] >= us[i] {
+			t.Fatalf("Users not sorted: %v", us)
+		}
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	e := NewEmbeddings(4)
+	e.Set(1, []float32{0.5, -1, 2, 0})
+	e.Set(100, []float32{9, 8, 7, 6})
+	var buf bytes.Buffer
+	if err := e.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadEmbeddings(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Dim() != 4 || got.Len() != 2 {
+		t.Fatalf("decoded dim=%d len=%d", got.Dim(), got.Len())
+	}
+	for _, u := range []txn.UserID{1, 100} {
+		a, b := e.Lookup(u), got.Lookup(u)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("user %d dim %d: %v != %v", u, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := ReadEmbeddings(bytes.NewReader([]byte("nope"))); err == nil {
+		t.Fatal("accepted garbage")
+	}
+	var buf bytes.Buffer
+	e := NewEmbeddings(2)
+	e.Set(1, []float32{1, 2})
+	_ = e.Write(&buf)
+	b := buf.Bytes()
+	if _, err := ReadEmbeddings(bytes.NewReader(b[:len(b)-3])); err == nil {
+		t.Fatal("accepted truncated input")
+	}
+}
+
+func TestCosineVecMismatched(t *testing.T) {
+	if CosineVec([]float32{1}, []float32{1, 2}) != 0 {
+		t.Fatal("mismatched lengths must give 0")
+	}
+	if CosineVec(nil, nil) != 0 {
+		t.Fatal("nil vectors must give 0")
+	}
+}

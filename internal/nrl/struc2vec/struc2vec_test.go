@@ -1,0 +1,159 @@
+package struc2vec
+
+import (
+	"math"
+	"testing"
+
+	"titant/internal/graph"
+	"titant/internal/nrl"
+	"titant/internal/txn"
+)
+
+// hubGraph builds fraud hubs (high in-degree receivers of fraud edges) and
+// normal chains.
+func hubGraph() *graph.Graph {
+	b := graph.NewBuilder()
+	// Fraud hub: users 0,1 receive fraud from many victims.
+	id := 100
+	for hub := 0; hub < 2; hub++ {
+		for v := 0; v < 12; v++ {
+			b.AddTransfer(txn.UserID(id), txn.UserID(hub), true)
+			id++
+		}
+	}
+	// Normal pairs.
+	for i := 200; i < 260; i += 2 {
+		b.AddTransfer(txn.UserID(i), txn.UserID(i+1), false)
+		b.AddTransfer(txn.UserID(i+1), txn.UserID(i), false)
+	}
+	return b.Build()
+}
+
+func TestEmbeddingShapes(t *testing.T) {
+	g := hubGraph()
+	cfg := DefaultConfig()
+	cfg.Dim = 8
+	emb := Train(g, cfg)
+	if emb.Len() != g.NumNodes() {
+		t.Fatalf("embedded %d of %d nodes", emb.Len(), g.NumNodes())
+	}
+	if emb.Dim() != 8 {
+		t.Fatalf("dim = %d", emb.Dim())
+	}
+	for _, u := range emb.Users() {
+		for _, v := range emb.Lookup(u) {
+			if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+				t.Fatal("NaN/Inf in embedding")
+			}
+			if v < -1.0001 || v > 1.0001 {
+				t.Fatalf("tanh latent out of range: %v", v)
+			}
+		}
+	}
+}
+
+func TestSupervisedSeparatesHubs(t *testing.T) {
+	// Fraud-hub nodes must be more similar to each other than to normal
+	// nodes: the supervision pushes their latents into a common region.
+	g := hubGraph()
+	cfg := DefaultConfig()
+	cfg.Dim = 16
+	cfg.Epochs = 20
+	emb := Train(g, cfg)
+	hubSim := emb.Cosine(0, 1)
+	var crossSim float64
+	n := 0
+	for i := 200; i < 210; i++ {
+		crossSim += emb.Cosine(0, txn.UserID(i))
+		n++
+	}
+	crossSim /= float64(n)
+	if hubSim <= crossSim {
+		t.Errorf("hub-hub cosine %.3f <= hub-normal %.3f", hubSim, crossSim)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	g := hubGraph()
+	cfg := DefaultConfig()
+	cfg.Dim = 8
+	cfg.Epochs = 3
+	a := Train(g, cfg)
+	b := Train(g, cfg)
+	for _, u := range a.Users() {
+		va, vb := a.Lookup(u), b.Lookup(u)
+		for i := range va {
+			if va[i] != vb[i] {
+				t.Fatalf("user %d differs across runs", u)
+			}
+		}
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := graph.NewBuilder().Build()
+	emb := Train(g, DefaultConfig())
+	if emb.Len() != 0 {
+		t.Fatal("empty graph produced embeddings")
+	}
+}
+
+func TestEdgelessNodes(t *testing.T) {
+	// A graph whose only edges got dropped (self-loops) yields zero
+	// embeddings but no panic.
+	b := graph.NewBuilder()
+	b.AddTransfer(1, 1, false)
+	g := b.Build()
+	emb := Train(g, DefaultConfig())
+	if emb.Len() != g.NumNodes() {
+		t.Fatalf("embedded %d of %d", emb.Len(), g.NumNodes())
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Train(hubGraph(), Config{Dim: 0})
+}
+
+func TestNodeFeaturesStructural(t *testing.T) {
+	g := hubGraph()
+	hub, _ := g.Node(0)
+	leaf, _ := g.Node(100)
+	fh := nodeFeatures(g, hub)
+	fl := nodeFeatures(g, leaf)
+	// The hub has high in-degree; the victim leaf has out-degree only.
+	if fh[1] <= fl[1] {
+		t.Errorf("hub in-degree feature %v <= leaf %v", fh[1], fl[1])
+	}
+	if fh[5] != 1 || fl[5] != 1 {
+		t.Error("bias input missing")
+	}
+}
+
+func TestPosWeightChangesResult(t *testing.T) {
+	g := hubGraph()
+	a := Train(g, Config{Dim: 8, Rounds: 2, Epochs: 4, LearningRate: 0.05, PosWeight: 1, Seed: 1})
+	b := Train(g, Config{Dim: 8, Rounds: 2, Epochs: 4, LearningRate: 0.05, PosWeight: 10, Seed: 1})
+	diff := 0.0
+	for _, u := range a.Users() {
+		diff += 1 - nrl.CosineVec(a.Lookup(u), b.Lookup(u))
+	}
+	if diff == 0 {
+		t.Error("PosWeight had no effect on embeddings")
+	}
+}
+
+func BenchmarkTrain(b *testing.B) {
+	g := hubGraph()
+	cfg := DefaultConfig()
+	cfg.Dim = 16
+	cfg.Epochs = 4
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Train(g, cfg)
+	}
+}

@@ -1,0 +1,269 @@
+package ps
+
+import (
+	"titant/internal/feature"
+	"titant/internal/model/gbdt"
+	"titant/internal/rng"
+)
+
+// GBDTConfig configures the distributed GBDT job.
+type GBDTConfig struct {
+	GBDT      gbdt.Config
+	WorkScale float64 // accounting multiplier, as in DWConfig
+}
+
+// DefaultGBDTConfig returns the paper's GBDT settings with unit accounting.
+func DefaultGBDTConfig() GBDTConfig {
+	return GBDTConfig{GBDT: gbdt.DefaultConfig(), WorkScale: 1}
+}
+
+// TrainGBDT trains the paper's GBDT on the cluster with data parallelism:
+// rows are sharded across workers; at every tree level each worker builds
+// gradient histograms over its shard and pushes them to the server tier,
+// which merges them (one message per worker per server - the all-reduce
+// whose per-server message load grows with the worker count and produces
+// Figure 10's flattening); the merged histograms determine the splits,
+// which are broadcast back.
+//
+// The returned model is a genuine gbdt.Model: scoring it gives the same
+// kind of output as the single-machine trainer.
+func TrainGBDT(c *Cluster, m *feature.Matrix, labels []bool, cfg GBDTConfig) *gbdt.Model {
+	g := cfg.GBDT
+	if cfg.WorkScale <= 0 {
+		cfg.WorkScale = 1
+	}
+	disc := feature.FitDiscretizer(m, g.Bins)
+	binned := disc.Transform(m)
+
+	y := make([]float64, m.Rows)
+	var base float64
+	for i, l := range labels {
+		if l {
+			y[i] = 1
+			base++
+		}
+	}
+	base /= float64(m.Rows)
+
+	out := &gbdt.Model{
+		Disc: disc, Base: base, Features: m.Cols, Depth: g.Depth,
+		TreesArr: make([]gbdt.Tree, 0, g.Trees),
+	}
+
+	pred := make([]float64, m.Rows)
+	for i := range pred {
+		pred[i] = base
+	}
+	grad := make([]float64, m.Rows)
+	nodeOf := make([]int32, m.Rows)
+
+	r := rng.New(g.Seed)
+	shards := c.Shard(m.Rows)
+	nSample := int(g.Subsample * float64(m.Rows))
+	if nSample < 1 {
+		nSample = 1
+	}
+	nCols := int(g.ColSample * float64(m.Cols))
+	if nCols < 1 {
+		nCols = 1
+	}
+	rows := make([]int, m.Rows)
+	for i := range rows {
+		rows[i] = i
+	}
+
+	histBytes := float64(nCols*g.Bins) * 16 // sum+count float64 per bin
+	maxShard := 0.0
+	for _, s := range shards {
+		if f := float64(s[1] - s[0]); f > maxShard {
+			maxShard = f
+		}
+	}
+
+	maxNodes := 1 << g.Depth
+	histSum := make([][]float64, maxNodes)
+	histCnt := make([][]float64, maxNodes)
+	for i := range histSum {
+		histSum[i] = make([]float64, m.Cols*g.Bins)
+		histCnt[i] = make([]float64, m.Cols*g.Bins)
+	}
+
+	for t := 0; t < g.Trees; t++ {
+		tr := r.Split(uint64(t) + 1)
+		for i := range grad {
+			grad[i] = y[i] - pred[i]
+		}
+		for i := 0; i < nSample; i++ {
+			j := i + tr.Intn(m.Rows-i)
+			rows[i], rows[j] = rows[j], rows[i]
+		}
+		sample := rows[:nSample]
+		cols := tr.Perm(m.Cols)[:nCols]
+
+		nNodes := 1<<(g.Depth+1) - 1
+		tree := gbdt.Tree{Nodes: make([]gbdt.TreeNode, nNodes)}
+		for i := range tree.Nodes {
+			tree.Nodes[i].Col = -1
+		}
+		for _, i := range sample {
+			nodeOf[i] = 0
+		}
+
+		for depth := 0; depth < g.Depth; depth++ {
+			first := int32(1<<depth) - 1
+			count := 1 << depth
+			for n := 0; n < count; n++ {
+				hs, hc := histSum[n], histCnt[n]
+				for k := range hs {
+					hs[k] = 0
+					hc[k] = 0
+				}
+			}
+			// Workers build local histograms over their shard of the
+			// sampled rows; merging into the shared arrays stands in for
+			// the server-side merge. The cluster clock is charged below.
+			for _, i := range sample {
+				nd := nodeOf[i]
+				if nd < 0 {
+					continue
+				}
+				local := nd - first
+				rowBins := binned.Row(i)
+				hs, hc := histSum[local], histCnt[local]
+				gv := grad[i]
+				for _, cIdx := range cols {
+					k := cIdx*g.Bins + int(rowBins[cIdx])
+					hs[k] += gv
+					hc[k]++
+				}
+			}
+			// Account one all-reduce barrier: every worker sends its full
+			// histogram to the server tier and receives the merge back.
+			// Only the worker compute scales with the data size
+			// (WorkScale); histogram traffic, message counts and the
+			// barrier penalty are data-independent, which is precisely why
+			// GBDT becomes communication-bound at high machine counts.
+			c.AccountRound(RoundCost{
+				MaxWorkerOps:  maxShard * float64(nCols) * g.Subsample * cfg.WorkScale,
+				TotalBytes:    2 * float64(c.Workers) * histBytes * float64(count),
+				ServerOps:     float64(c.Workers) * histBytes / 8 * float64(count),
+				MsgsPerServer: float64(c.Workers),
+				RPCRounds:     2,
+				Barriers:      1,
+			})
+
+			// Server tier picks the splits from the merged histograms.
+			type split struct {
+				col, thr int
+				valid    bool
+			}
+			splits := make([]split, count)
+			for n := 0; n < count; n++ {
+				flat := first + int32(n)
+				hs, hc := histSum[n], histCnt[n]
+				var totSum, totCnt float64
+				c0 := cols[0]
+				for bin := 0; bin < g.Bins; bin++ {
+					totSum += hs[c0*g.Bins+bin]
+					totCnt += hc[c0*g.Bins+bin]
+				}
+				if totCnt < float64(2*g.MinLeaf) {
+					finalizeLeaf(&tree, flat, totSum, totCnt, g.Lambda)
+					continue
+				}
+				parentScore := totSum * totSum / (totCnt + g.Lambda)
+				bestGain := 1e-12
+				var best split
+				for _, cIdx := range cols {
+					var lSum, lCnt float64
+					for bin := 0; bin < g.Bins-1; bin++ {
+						k := cIdx*g.Bins + bin
+						lSum += hs[k]
+						lCnt += hc[k]
+						rCnt := totCnt - lCnt
+						if lCnt < float64(g.MinLeaf) || rCnt < float64(g.MinLeaf) {
+							continue
+						}
+						rSum := totSum - lSum
+						gain := lSum*lSum/(lCnt+g.Lambda) + rSum*rSum/(rCnt+g.Lambda) - parentScore
+						if gain > bestGain {
+							bestGain = gain
+							best = split{col: cIdx, thr: bin, valid: true}
+						}
+					}
+				}
+				if !best.valid {
+					finalizeLeaf(&tree, flat, totSum, totCnt, g.Lambda)
+					continue
+				}
+				splits[n] = best
+				tree.Nodes[flat].Col = int32(best.col)
+				tree.Nodes[flat].Thr = uint8(best.thr)
+			}
+			for _, i := range sample {
+				nd := nodeOf[i]
+				if nd < 0 {
+					continue
+				}
+				sp := splits[nd-first]
+				if !sp.valid {
+					nodeOf[i] = -1
+					continue
+				}
+				if binned.At(i, sp.col) <= uint8(sp.thr) {
+					nodeOf[i] = 2*nd + 1
+				} else {
+					nodeOf[i] = 2*nd + 2
+				}
+			}
+		}
+		// Leaves.
+		first := int32(1<<g.Depth) - 1
+		count := 1 << g.Depth
+		sums := make([]float64, count)
+		cnts := make([]float64, count)
+		for _, i := range sample {
+			nd := nodeOf[i]
+			if nd < 0 {
+				continue
+			}
+			sums[nd-first] += grad[i]
+			cnts[nd-first]++
+		}
+		for n := 0; n < count; n++ {
+			finalizeLeaf(&tree, first+int32(n), sums[n], cnts[n], g.Lambda)
+		}
+		for i := range tree.Nodes {
+			if tree.Nodes[i].Col < 0 {
+				tree.Nodes[i].Value *= g.LearningRate
+			}
+		}
+		for i := 0; i < m.Rows; i++ {
+			pred[i] += evalTree(&tree, binned.Row(i))
+		}
+		out.TreesArr = append(out.TreesArr, tree)
+	}
+	return out
+}
+
+func finalizeLeaf(tree *gbdt.Tree, flat int32, sum, cnt, lambda float64) {
+	tree.Nodes[flat].Col = -1
+	if cnt > 0 {
+		tree.Nodes[flat].Value = sum / (cnt + lambda)
+	}
+}
+
+func evalTree(t *gbdt.Tree, bins []uint8) float64 {
+	i := int32(0)
+	for {
+		n := &t.Nodes[i]
+		if n.Col < 0 {
+			return n.Value
+		}
+		if bins[n.Col] <= n.Thr {
+			i = 2*i + 1
+		} else {
+			i = 2*i + 2
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAliasMatchesWeights(t *testing.T) {
+	weights := []float64{1, 2, 3, 4}
+	a := NewAlias(weights)
+	r := New(77)
+	const draws = 400000
+	counts := make([]float64, len(weights))
+	for i := 0; i < draws; i++ {
+		counts[a.Sample(r)]++
+	}
+	for i, w := range weights {
+		want := w / 10 * draws
+		if math.Abs(counts[i]-want) > 4*math.Sqrt(want) {
+			t.Errorf("outcome %d: got %v draws, want ~%v", i, counts[i], want)
+		}
+	}
+}
+
+func TestAliasZeroWeightNeverSampled(t *testing.T) {
+	a := NewAlias([]float64{0, 1, 0, 1})
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		v := a.Sample(r)
+		if v == 0 || v == 2 {
+			t.Fatalf("sampled zero-weight outcome %d", v)
+		}
+	}
+}
+
+func TestAliasSingle(t *testing.T) {
+	a := NewAlias([]float64{5})
+	r := New(1)
+	for i := 0; i < 100; i++ {
+		if a.Sample(r) != 0 {
+			t.Fatal("single-outcome alias sampled wrong index")
+		}
+	}
+	if a.Len() != 1 {
+		t.Fatal("Len != 1")
+	}
+}
+
+func TestAliasPanics(t *testing.T) {
+	for name, weights := range map[string][]float64{
+		"empty":    {},
+		"zero":     {0, 0},
+		"negative": {1, -1},
+	} {
+		func() {
+			defer func() { _ = recover() }()
+			NewAlias(weights)
+			t.Errorf("NewAlias(%s) did not panic", name)
+		}()
+	}
+}
+
+func BenchmarkAliasSample(b *testing.B) {
+	weights := make([]float64, 10000)
+	r := New(1)
+	for i := range weights {
+		weights[i] = r.Float64() + 0.01
+	}
+	a := NewAlias(weights)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Sample(r)
+	}
+}

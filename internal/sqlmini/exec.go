@@ -1,0 +1,484 @@
+package sqlmini
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Catalog resolves table names for execution.
+type Catalog interface {
+	Lookup(name string) (*Table, bool)
+}
+
+// MapCatalog is a Catalog backed by a map.
+type MapCatalog map[string]*Table
+
+// Lookup implements Catalog.
+func (m MapCatalog) Lookup(name string) (*Table, bool) {
+	t, ok := m[name]
+	return t, ok
+}
+
+// Run parses and executes a query against the catalog.
+func Run(query string, cat Catalog) (*Result, error) {
+	q, err := Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return Exec(q, cat)
+}
+
+// Exec executes a parsed query.
+func Exec(q *Query, cat Catalog) (*Result, error) {
+	tab, ok := cat.Lookup(q.From)
+	if !ok {
+		return nil, fmt.Errorf("sqlmini: unknown table %q", q.From)
+	}
+	// 1. Filter.
+	var rows []int
+	for i := 0; i < tab.NumRows(); i++ {
+		if q.Where == nil {
+			rows = append(rows, i)
+			continue
+		}
+		v, err := evalRow(q.Where, tab, i)
+		if err != nil {
+			return nil, err
+		}
+		if v.Kind != KindBool {
+			return nil, fmt.Errorf("sqlmini: WHERE is %v, not bool", v.Kind)
+		}
+		if v.Bool {
+			rows = append(rows, i)
+		}
+	}
+
+	hasAgg := false
+	for _, it := range q.Items {
+		if !it.Star && containsAgg(it.Expr) {
+			hasAgg = true
+		}
+	}
+
+	var res *Result
+	var orderKeys []Value
+	switch {
+	case len(q.GroupBy) > 0 || hasAgg:
+		var err error
+		res, orderKeys, err = execGrouped(q, tab, rows)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		var err error
+		res, orderKeys, err = execPlain(q, tab, rows)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// ORDER BY over materialised keys. An ORDER BY naming a projected
+	// column or alias sorts by that output column.
+	if j := orderByOutputIndex(q, res.Names); j >= 0 {
+		orderKeys = orderKeys[:0]
+		for _, row := range res.Rows {
+			orderKeys = append(orderKeys, row[j])
+		}
+	}
+	if q.OrderBy != nil {
+		idx := make([]int, len(res.Rows))
+		for i := range idx {
+			idx[i] = i
+		}
+		var sortErr error
+		sort.SliceStable(idx, func(a, b int) bool {
+			less, err := orderKeys[idx[a]].Less(orderKeys[idx[b]])
+			if err != nil && sortErr == nil {
+				sortErr = err
+			}
+			if q.OrderDesc {
+				return !less && !orderKeys[idx[a]].Equal(orderKeys[idx[b]])
+			}
+			return less
+		})
+		if sortErr != nil {
+			return nil, sortErr
+		}
+		sorted := make([][]Value, len(idx))
+		for i, j := range idx {
+			sorted[i] = res.Rows[j]
+		}
+		res.Rows = sorted
+	}
+	if q.Limit >= 0 && len(res.Rows) > q.Limit {
+		res.Rows = res.Rows[:q.Limit]
+	}
+	return res, nil
+}
+
+// execPlain projects each filtered row.
+func execPlain(q *Query, tab *Table, rows []int) (*Result, []Value, error) {
+	res := &Result{}
+	// Expand projections and names.
+	type proj struct {
+		expr Expr
+		name string
+	}
+	var projs []proj
+	for _, it := range q.Items {
+		if it.Star {
+			for _, c := range tab.Columns {
+				c := c
+				projs = append(projs, proj{expr: &ColRef{Name: c.Name}, name: c.Name})
+			}
+			continue
+		}
+		projs = append(projs, proj{expr: it.Expr, name: itemName(it)})
+	}
+	for _, p := range projs {
+		res.Names = append(res.Names, p.name)
+	}
+	evalOrder := q.OrderBy != nil && orderByOutputIndex(q, res.Names) < 0
+	var orderKeys []Value
+	for _, i := range rows {
+		row := make([]Value, len(projs))
+		for j, p := range projs {
+			v, err := evalRow(p.expr, tab, i)
+			if err != nil {
+				return nil, nil, err
+			}
+			row[j] = v
+		}
+		res.Rows = append(res.Rows, row)
+		if evalOrder {
+			k, err := evalRow(q.OrderBy, tab, i)
+			if err != nil {
+				return nil, nil, err
+			}
+			orderKeys = append(orderKeys, k)
+		}
+	}
+	return res, orderKeys, nil
+}
+
+// execGrouped evaluates GROUP BY + aggregates (or a global aggregate when
+// GroupBy is empty).
+func execGrouped(q *Query, tab *Table, rows []int) (*Result, []Value, error) {
+	for _, it := range q.Items {
+		if it.Star {
+			return nil, nil, fmt.Errorf("sqlmini: SELECT * cannot be combined with aggregates")
+		}
+		if !containsAgg(it.Expr) {
+			if cr, ok := it.Expr.(*ColRef); !ok || !inGroupBy(cr.Name, q.GroupBy) {
+				return nil, nil, fmt.Errorf("sqlmini: non-aggregate projection %q must appear in GROUP BY", itemName(it))
+			}
+		}
+	}
+	groupCols := make([]*Column, len(q.GroupBy))
+	for i, g := range q.GroupBy {
+		c, ok := tab.Column(g)
+		if !ok {
+			return nil, nil, fmt.Errorf("sqlmini: unknown GROUP BY column %q", g)
+		}
+		groupCols[i] = c
+	}
+	groups := make(map[string][]int)
+	var order []string
+	for _, i := range rows {
+		var sb strings.Builder
+		for _, c := range groupCols {
+			sb.WriteString(c.Value(i).String())
+			sb.WriteByte('\x00')
+		}
+		k := sb.String()
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], i)
+	}
+	if len(q.GroupBy) == 0 {
+		// Global aggregate: one group, even over zero rows.
+		if len(order) == 0 {
+			order = append(order, "")
+			groups[""] = nil
+		}
+	}
+	res := &Result{}
+	for _, it := range q.Items {
+		res.Names = append(res.Names, itemName(it))
+	}
+	evalOrder := q.OrderBy != nil && orderByOutputIndex(q, res.Names) < 0
+	var orderKeys []Value
+	for _, k := range order {
+		members := groups[k]
+		row := make([]Value, len(q.Items))
+		for j, it := range q.Items {
+			v, err := evalGroup(it.Expr, tab, members)
+			if err != nil {
+				return nil, nil, err
+			}
+			row[j] = v
+		}
+		res.Rows = append(res.Rows, row)
+		if evalOrder {
+			kv, err := evalGroup(q.OrderBy, tab, members)
+			if err != nil {
+				return nil, nil, err
+			}
+			orderKeys = append(orderKeys, kv)
+		}
+	}
+	return res, orderKeys, nil
+}
+
+// orderByOutputIndex returns the projected-column index that ORDER BY
+// refers to (by alias or output name), or -1 when ORDER BY is absent or a
+// general expression.
+func orderByOutputIndex(q *Query, names []string) int {
+	cr, ok := q.OrderBy.(*ColRef)
+	if !ok {
+		return -1
+	}
+	for j, name := range names {
+		if name == cr.Name {
+			return j
+		}
+	}
+	return -1
+}
+
+func inGroupBy(name string, gb []string) bool {
+	for _, g := range gb {
+		if g == name {
+			return true
+		}
+	}
+	return false
+}
+
+func itemName(it SelectItem) string {
+	if it.Alias != "" {
+		return it.Alias
+	}
+	switch e := it.Expr.(type) {
+	case *ColRef:
+		return e.Name
+	case *Agg:
+		if e.Col == nil {
+			return strings.ToLower(e.Fn) + "_all"
+		}
+		if cr, ok := e.Col.(*ColRef); ok {
+			return strings.ToLower(e.Fn) + "_" + cr.Name
+		}
+	}
+	return "expr"
+}
+
+func containsAgg(e Expr) bool {
+	switch x := e.(type) {
+	case *Agg:
+		return true
+	case *BinOp:
+		return containsAgg(x.Left) || containsAgg(x.Right)
+	case *Not:
+		return containsAgg(x.X)
+	}
+	return false
+}
+
+// evalRow evaluates an expression over a single row.
+func evalRow(e Expr, tab *Table, i int) (Value, error) {
+	switch x := e.(type) {
+	case *Lit:
+		return x.Val, nil
+	case *ColRef:
+		c, ok := tab.Column(x.Name)
+		if !ok {
+			return Value{}, fmt.Errorf("sqlmini: unknown column %q", x.Name)
+		}
+		return c.Value(i), nil
+	case *Not:
+		v, err := evalRow(x.X, tab, i)
+		if err != nil {
+			return Value{}, err
+		}
+		if v.Kind != KindBool {
+			return Value{}, fmt.Errorf("sqlmini: NOT of %v", v.Kind)
+		}
+		return B(!v.Bool), nil
+	case *BinOp:
+		return evalBinOp(x, func(sub Expr) (Value, error) { return evalRow(sub, tab, i) })
+	case *Agg:
+		return Value{}, fmt.Errorf("sqlmini: aggregate %s outside GROUP BY context", x.Fn)
+	}
+	return Value{}, fmt.Errorf("sqlmini: unknown expression %T", e)
+}
+
+// evalGroup evaluates an expression over a group of rows (aggregates
+// consume the group; bare columns take the group's first row, valid only
+// for GROUP BY columns which are constant within a group).
+func evalGroup(e Expr, tab *Table, members []int) (Value, error) {
+	switch x := e.(type) {
+	case *Lit:
+		return x.Val, nil
+	case *ColRef:
+		if len(members) == 0 {
+			return Value{}, fmt.Errorf("sqlmini: column %q over empty group", x.Name)
+		}
+		return evalRow(x, tab, members[0])
+	case *Not:
+		v, err := evalGroup(x.X, tab, members)
+		if err != nil {
+			return Value{}, err
+		}
+		if v.Kind != KindBool {
+			return Value{}, fmt.Errorf("sqlmini: NOT of %v", v.Kind)
+		}
+		return B(!v.Bool), nil
+	case *BinOp:
+		return evalBinOp(x, func(sub Expr) (Value, error) { return evalGroup(sub, tab, members) })
+	case *Agg:
+		return evalAgg(x, tab, members)
+	}
+	return Value{}, fmt.Errorf("sqlmini: unknown expression %T", e)
+}
+
+func evalAgg(a *Agg, tab *Table, members []int) (Value, error) {
+	if a.Fn == "COUNT" && a.Col == nil {
+		return I(int64(len(members))), nil
+	}
+	if a.Col == nil {
+		return Value{}, fmt.Errorf("sqlmini: %s requires an argument", a.Fn)
+	}
+	if a.Fn == "COUNT" {
+		return I(int64(len(members))), nil
+	}
+	var sum float64
+	var minV, maxV float64
+	first := true
+	for _, i := range members {
+		v, err := evalRow(a.Col, tab, i)
+		if err != nil {
+			return Value{}, err
+		}
+		f, err := v.AsFloat()
+		if err != nil {
+			return Value{}, fmt.Errorf("sqlmini: %s over non-numeric column", a.Fn)
+		}
+		sum += f
+		if first || f < minV {
+			minV = f
+		}
+		if first || f > maxV {
+			maxV = f
+		}
+		first = false
+	}
+	n := float64(len(members))
+	switch a.Fn {
+	case "SUM":
+		return F(sum), nil
+	case "AVG":
+		if n == 0 {
+			return F(0), nil
+		}
+		return F(sum / n), nil
+	case "MIN":
+		if first {
+			return F(0), nil
+		}
+		return F(minV), nil
+	case "MAX":
+		if first {
+			return F(0), nil
+		}
+		return F(maxV), nil
+	}
+	return Value{}, fmt.Errorf("sqlmini: unknown aggregate %s", a.Fn)
+}
+
+func evalBinOp(x *BinOp, eval func(Expr) (Value, error)) (Value, error) {
+	l, err := eval(x.Left)
+	if err != nil {
+		return Value{}, err
+	}
+	// Short-circuit booleans.
+	if x.Op == "AND" || x.Op == "OR" {
+		if l.Kind != KindBool {
+			return Value{}, fmt.Errorf("sqlmini: %s of %v", x.Op, l.Kind)
+		}
+		if x.Op == "AND" && !l.Bool {
+			return B(false), nil
+		}
+		if x.Op == "OR" && l.Bool {
+			return B(true), nil
+		}
+		r, err := eval(x.Right)
+		if err != nil {
+			return Value{}, err
+		}
+		if r.Kind != KindBool {
+			return Value{}, fmt.Errorf("sqlmini: %s of %v", x.Op, r.Kind)
+		}
+		return B(r.Bool), nil
+	}
+	r, err := eval(x.Right)
+	if err != nil {
+		return Value{}, err
+	}
+	switch x.Op {
+	case "=":
+		return B(l.Equal(r)), nil
+	case "!=":
+		return B(!l.Equal(r)), nil
+	case "<", "<=", ">", ">=":
+		less, err := l.Less(r)
+		if err != nil {
+			return Value{}, err
+		}
+		greater, err := r.Less(l)
+		if err != nil {
+			return Value{}, err
+		}
+		switch x.Op {
+		case "<":
+			return B(less), nil
+		case "<=":
+			return B(!greater), nil
+		case ">":
+			return B(greater), nil
+		default:
+			return B(!less), nil
+		}
+	case "+", "-", "*", "/":
+		fl, err := l.AsFloat()
+		if err != nil {
+			return Value{}, err
+		}
+		fr, err := r.AsFloat()
+		if err != nil {
+			return Value{}, err
+		}
+		var out float64
+		switch x.Op {
+		case "+":
+			out = fl + fr
+		case "-":
+			out = fl - fr
+		case "*":
+			out = fl * fr
+		case "/":
+			if fr == 0 {
+				return Value{}, fmt.Errorf("sqlmini: division by zero")
+			}
+			out = fl / fr
+		}
+		// Preserve int arithmetic when both sides are ints and op is exact.
+		if l.Kind == KindInt && r.Kind == KindInt && x.Op != "/" {
+			return I(int64(out)), nil
+		}
+		return F(out), nil
+	}
+	return Value{}, fmt.Errorf("sqlmini: unknown operator %q", x.Op)
+}

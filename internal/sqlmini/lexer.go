@@ -1,0 +1,135 @@
+package sqlmini
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind enumerates lexer token kinds.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokKeyword
+	tokOp   // symbols: = != < <= > >= + - * / ( ) , .
+	tokStar // * (disambiguated from multiply by the parser)
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"ORDER": true, "LIMIT": true, "AS": true, "AND": true, "OR": true,
+	"NOT": true, "DESC": true, "ASC": true, "TRUE": true, "FALSE": true,
+	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
+}
+
+// lex tokenises a query.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(input)
+	for i < n {
+		ch := input[i]
+		switch {
+		case ch == ' ' || ch == '\t' || ch == '\n' || ch == '\r':
+			i++
+		case ch == '\'':
+			j := i + 1
+			var sb strings.Builder
+			closed := false
+			for j < n {
+				if input[j] == '\'' {
+					if j+1 < n && input[j+1] == '\'' { // escaped quote
+						sb.WriteByte('\'')
+						j += 2
+						continue
+					}
+					closed = true
+					break
+				}
+				sb.WriteByte(input[j])
+				j++
+			}
+			if !closed {
+				return nil, fmt.Errorf("sqlmini: unterminated string at %d", i)
+			}
+			toks = append(toks, token{tokString, sb.String(), i})
+			i = j + 1
+		case ch >= '0' && ch <= '9' || (ch == '.' && i+1 < n && input[i+1] >= '0' && input[i+1] <= '9'):
+			j := i
+			seenDot := false
+			for j < n && (input[j] >= '0' && input[j] <= '9' || (input[j] == '.' && !seenDot)) {
+				if input[j] == '.' {
+					seenDot = true
+				}
+				j++
+			}
+			// Scientific notation: e/E with optional sign and digits.
+			if j < n && (input[j] == 'e' || input[j] == 'E') {
+				k := j + 1
+				if k < n && (input[k] == '+' || input[k] == '-') {
+					k++
+				}
+				if k < n && input[k] >= '0' && input[k] <= '9' {
+					for k < n && input[k] >= '0' && input[k] <= '9' {
+						k++
+					}
+					seenDot = true // exponent implies float
+					j = k
+				}
+			}
+			toks = append(toks, token{tokNumber, input[i:j], i})
+			i = j
+		case isIdentStart(rune(ch)):
+			j := i
+			for j < n && isIdentPart(rune(input[j])) {
+				j++
+			}
+			word := input[i:j]
+			up := strings.ToUpper(word)
+			if keywords[up] {
+				toks = append(toks, token{tokKeyword, up, i})
+			} else {
+				toks = append(toks, token{tokIdent, word, i})
+			}
+			i = j
+		case ch == '*':
+			toks = append(toks, token{tokStar, "*", i})
+			i++
+		case ch == '!' || ch == '<' || ch == '>':
+			if i+1 < n && input[i+1] == '=' {
+				toks = append(toks, token{tokOp, input[i : i+2], i})
+				i += 2
+			} else if ch == '!' {
+				return nil, fmt.Errorf("sqlmini: lone '!' at %d", i)
+			} else {
+				toks = append(toks, token{tokOp, string(ch), i})
+				i++
+			}
+		case strings.ContainsRune("=+-/(),", rune(ch)):
+			toks = append(toks, token{tokOp, string(ch), i})
+			i++
+		default:
+			return nil, fmt.Errorf("sqlmini: unexpected character %q at %d", ch, i)
+		}
+	}
+	toks = append(toks, token{tokEOF, "", n})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

@@ -1,0 +1,386 @@
+package sqlmini
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Expr is an AST expression node.
+type Expr interface{ exprNode() }
+
+// ColRef references a column.
+type ColRef struct{ Name string }
+
+// Lit is a literal value.
+type Lit struct{ Val Value }
+
+// BinOp is a binary operation: arithmetic, comparison or boolean.
+type BinOp struct {
+	Op          string // + - * / = != < <= > >= AND OR
+	Left, Right Expr
+}
+
+// Not negates a boolean expression.
+type Not struct{ X Expr }
+
+// Agg is an aggregate call. Col == nil means COUNT(*).
+type Agg struct {
+	Fn  string // COUNT SUM AVG MIN MAX
+	Col Expr
+}
+
+func (*ColRef) exprNode() {}
+func (*Lit) exprNode()    {}
+func (*BinOp) exprNode()  {}
+func (*Not) exprNode()    {}
+func (*Agg) exprNode()    {}
+
+// SelectItem is one projection with an optional alias.
+type SelectItem struct {
+	Expr  Expr
+	Alias string
+	Star  bool // SELECT *
+}
+
+// Query is a parsed SELECT statement.
+type Query struct {
+	Items     []SelectItem
+	From      string
+	Where     Expr
+	GroupBy   []string
+	OrderBy   Expr
+	OrderDesc bool
+	Limit     int // -1 when absent
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Parse parses one SELECT statement.
+func Parse(input string) (*Query, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atKeyword("") && p.cur().kind != tokEOF {
+		return nil, fmt.Errorf("sqlmini: trailing input at %d: %q", p.cur().pos, p.cur().text)
+	}
+	return q, nil
+}
+
+func (p *parser) cur() token { return p.toks[p.pos] }
+func (p *parser) advance()   { p.pos++ }
+func (p *parser) atKeyword(k string) bool {
+	return p.cur().kind == tokKeyword && (k == "" || p.cur().text == k)
+}
+
+func (p *parser) expectKeyword(k string) error {
+	if !p.atKeyword(k) {
+		return fmt.Errorf("sqlmini: expected %s at %d, got %q", k, p.cur().pos, p.cur().text)
+	}
+	p.advance()
+	return nil
+}
+
+func (p *parser) expectOp(op string) error {
+	if p.cur().kind != tokOp || p.cur().text != op {
+		return fmt.Errorf("sqlmini: expected %q at %d, got %q", op, p.cur().pos, p.cur().text)
+	}
+	p.advance()
+	return nil
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	q := &Query{Limit: -1}
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		q.Items = append(q.Items, item)
+		if p.cur().kind == tokOp && p.cur().text == "," {
+			p.advance()
+			continue
+		}
+		break
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	if p.cur().kind != tokIdent {
+		return nil, fmt.Errorf("sqlmini: expected table name at %d", p.cur().pos)
+	}
+	q.From = p.cur().text
+	p.advance()
+
+	if p.atKeyword("WHERE") {
+		p.advance()
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		q.Where = e
+	}
+	if p.atKeyword("GROUP") {
+		p.advance()
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			if p.cur().kind != tokIdent {
+				return nil, fmt.Errorf("sqlmini: expected column in GROUP BY at %d", p.cur().pos)
+			}
+			q.GroupBy = append(q.GroupBy, p.cur().text)
+			p.advance()
+			if p.cur().kind == tokOp && p.cur().text == "," {
+				p.advance()
+				continue
+			}
+			break
+		}
+	}
+	if p.atKeyword("ORDER") {
+		p.advance()
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		e, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		q.OrderBy = e
+		if p.atKeyword("DESC") {
+			q.OrderDesc = true
+			p.advance()
+		} else if p.atKeyword("ASC") {
+			p.advance()
+		}
+	}
+	if p.atKeyword("LIMIT") {
+		p.advance()
+		if p.cur().kind != tokNumber {
+			return nil, fmt.Errorf("sqlmini: expected number after LIMIT at %d", p.cur().pos)
+		}
+		n, err := strconv.Atoi(p.cur().text)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("sqlmini: bad LIMIT %q", p.cur().text)
+		}
+		q.Limit = n
+		p.advance()
+	}
+	return q, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	if p.cur().kind == tokStar {
+		p.advance()
+		return SelectItem{Star: true}, nil
+	}
+	e, err := p.parseOr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.atKeyword("AS") {
+		p.advance()
+		if p.cur().kind != tokIdent {
+			return SelectItem{}, fmt.Errorf("sqlmini: expected alias at %d", p.cur().pos)
+		}
+		item.Alias = p.cur().text
+		p.advance()
+	}
+	return item, nil
+}
+
+// Precedence climbing: OR < AND < NOT < comparison < additive < multiplicative < unary.
+
+func (p *parser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.atKeyword("OR") {
+		p.advance()
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinOp{Op: "OR", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.atKeyword("AND") {
+		p.advance()
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinOp{Op: "AND", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.atKeyword("NOT") {
+		p.advance()
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &Not{X: x}, nil
+	}
+	return p.parseCmp()
+}
+
+func (p *parser) parseCmp() (Expr, error) {
+	left, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind == tokOp {
+		switch p.cur().text {
+		case "=", "!=", "<", "<=", ">", ">=":
+			op := p.cur().text
+			p.advance()
+			right, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			return &BinOp{Op: op, Left: left, Right: right}, nil
+		}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAdd() (Expr, error) {
+	left, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().kind == tokOp && (p.cur().text == "+" || p.cur().text == "-") {
+		op := p.cur().text
+		p.advance()
+		right, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinOp{Op: op, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseMul() (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for (p.cur().kind == tokOp && p.cur().text == "/") || p.cur().kind == tokStar {
+		op := "*"
+		if p.cur().kind == tokOp {
+			op = "/"
+		}
+		p.advance()
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinOp{Op: op, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokOp && t.text == "-":
+		p.advance()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &BinOp{Op: "-", Left: &Lit{Val: I(0)}, Right: x}, nil
+	case t.kind == tokOp && t.text == "(":
+		p.advance()
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.kind == tokNumber:
+		p.advance()
+		if strings.ContainsAny(t.text, ".eE") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, fmt.Errorf("sqlmini: bad number %q", t.text)
+			}
+			return &Lit{Val: F(f)}, nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sqlmini: bad number %q", t.text)
+		}
+		return &Lit{Val: I(n)}, nil
+	case t.kind == tokString:
+		p.advance()
+		return &Lit{Val: S(t.text)}, nil
+	case t.kind == tokKeyword && (t.text == "TRUE" || t.text == "FALSE"):
+		p.advance()
+		return &Lit{Val: B(t.text == "TRUE")}, nil
+	case t.kind == tokKeyword && isAggFn(t.text):
+		fn := t.text
+		p.advance()
+		if err := p.expectOp("("); err != nil {
+			return nil, err
+		}
+		if p.cur().kind == tokStar {
+			if fn != "COUNT" {
+				return nil, fmt.Errorf("sqlmini: %s(*) is not valid", fn)
+			}
+			p.advance()
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return &Agg{Fn: fn}, nil
+		}
+		arg, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return &Agg{Fn: fn, Col: arg}, nil
+	case t.kind == tokIdent:
+		p.advance()
+		return &ColRef{Name: t.text}, nil
+	}
+	return nil, fmt.Errorf("sqlmini: unexpected token %q at %d", t.text, t.pos)
+}
+
+func isAggFn(s string) bool {
+	switch s {
+	case "COUNT", "SUM", "AVG", "MIN", "MAX":
+		return true
+	}
+	return false
+}

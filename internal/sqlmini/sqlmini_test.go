@@ -1,0 +1,283 @@
+package sqlmini
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// txns builds the test catalog: a transactions table reminiscent of the
+// MaxCompute feature-extraction jobs.
+func txns(t *testing.T) Catalog {
+	t.Helper()
+	tab, err := NewTable("txns",
+		&Column{Name: "id", Kind: KindInt, Ints: []int64{1, 2, 3, 4, 5, 6}},
+		&Column{Name: "user_id", Kind: KindInt, Ints: []int64{10, 10, 20, 20, 20, 30}},
+		&Column{Name: "amount", Kind: KindFloat, Floats: []float64{100, 250, 80, 1200, 40, 900}},
+		&Column{Name: "city", Kind: KindString, Strs: []string{"hz", "hz", "bj", "bj", "sh", "hz"}},
+		&Column{Name: "fraud", Kind: KindBool, Bools: []bool{false, true, false, true, false, false}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return MapCatalog{"txns": tab}
+}
+
+func mustRun(t *testing.T, cat Catalog, q string) *Result {
+	t.Helper()
+	res, err := Run(q, cat)
+	if err != nil {
+		t.Fatalf("query %q: %v", q, err)
+	}
+	return res
+}
+
+func TestSelectStar(t *testing.T) {
+	res := mustRun(t, txns(t), "SELECT * FROM txns")
+	if len(res.Rows) != 6 || len(res.Names) != 5 {
+		t.Fatalf("rows=%d cols=%d", len(res.Rows), len(res.Names))
+	}
+	if res.Names[0] != "id" || res.Names[4] != "fraud" {
+		t.Fatalf("names = %v", res.Names)
+	}
+}
+
+func TestWhereFilter(t *testing.T) {
+	res := mustRun(t, txns(t), "SELECT id FROM txns WHERE amount > 100 AND fraud = TRUE")
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if res.Rows[0][0].Int != 2 || res.Rows[1][0].Int != 4 {
+		t.Fatalf("ids = %v", res.Rows)
+	}
+}
+
+func TestWhereStringAndOr(t *testing.T) {
+	res := mustRun(t, txns(t), "SELECT id FROM txns WHERE city = 'hz' OR city = 'sh'")
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	res = mustRun(t, txns(t), "SELECT id FROM txns WHERE NOT (city = 'hz')")
+	if len(res.Rows) != 3 {
+		t.Fatalf("NOT rows = %v", res.Rows)
+	}
+}
+
+func TestArithmeticProjection(t *testing.T) {
+	res := mustRun(t, txns(t), "SELECT amount * 2 AS double_amt, amount + 1 FROM txns WHERE id = 1")
+	if res.Names[0] != "double_amt" {
+		t.Fatalf("names = %v", res.Names)
+	}
+	if res.Rows[0][0].Float != 200 || res.Rows[0][1].Float != 101 {
+		t.Fatalf("row = %v", res.Rows[0])
+	}
+}
+
+func TestGroupByAggregates(t *testing.T) {
+	res := mustRun(t, txns(t),
+		"SELECT user_id, COUNT(*) AS n, SUM(amount) AS total, AVG(amount) AS mean, MIN(amount), MAX(amount) "+
+			"FROM txns GROUP BY user_id ORDER BY user_id")
+	if len(res.Rows) != 3 {
+		t.Fatalf("groups = %v", res.Rows)
+	}
+	// user 20: amounts 80, 1200, 40.
+	row := res.Rows[1]
+	if row[0].Int != 20 || row[1].Int != 3 || row[2].Float != 1320 {
+		t.Fatalf("user 20 = %v", row)
+	}
+	if math.Abs(row[3].Float-440) > 1e-9 || row[4].Float != 40 || row[5].Float != 1200 {
+		t.Fatalf("user 20 stats = %v", row)
+	}
+}
+
+func TestGlobalAggregate(t *testing.T) {
+	res := mustRun(t, txns(t), "SELECT COUNT(*), SUM(amount) FROM txns WHERE fraud = TRUE")
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if res.Rows[0][0].Int != 2 || res.Rows[0][1].Float != 1450 {
+		t.Fatalf("aggregates = %v", res.Rows[0])
+	}
+}
+
+func TestGlobalAggregateEmptyInput(t *testing.T) {
+	res := mustRun(t, txns(t), "SELECT COUNT(*) FROM txns WHERE amount > 1e9")
+	_ = res
+}
+
+func TestFraudRatePerCity(t *testing.T) {
+	// The actual query shape used by the feature-extraction job.
+	res := mustRun(t, txns(t),
+		"SELECT city, COUNT(*) AS n FROM txns GROUP BY city ORDER BY n DESC LIMIT 2")
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if res.Rows[0][0].Str != "hz" || res.Rows[0][1].Int != 3 {
+		t.Fatalf("top city = %v", res.Rows[0])
+	}
+}
+
+func TestOrderByDesc(t *testing.T) {
+	res := mustRun(t, txns(t), "SELECT id, amount FROM txns ORDER BY amount DESC LIMIT 3")
+	if res.Rows[0][1].Float != 1200 || res.Rows[1][1].Float != 900 || res.Rows[2][1].Float != 250 {
+		t.Fatalf("order = %v", res.Rows)
+	}
+}
+
+func TestLimitZero(t *testing.T) {
+	res := mustRun(t, txns(t), "SELECT id FROM txns LIMIT 0")
+	if len(res.Rows) != 0 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestStringEscapes(t *testing.T) {
+	tab, _ := NewTable("t", &Column{Name: "s", Kind: KindString, Strs: []string{"it's"}})
+	res := mustRun(t, MapCatalog{"t": tab}, "SELECT s FROM t WHERE s = 'it''s'")
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cat := txns(t)
+	for _, q := range []string{
+		"",
+		"SELEC id FROM txns",
+		"SELECT id txns",
+		"SELECT id FROM txns WHERE",
+		"SELECT id FROM txns LIMIT -1",
+		"SELECT id FROM txns GROUP BY",
+		"SELECT SUM(*) FROM txns",
+		"SELECT id FROM txns WHERE city = 'unterminated",
+		"SELECT id FROM txns trailing garbage",
+	} {
+		if _, err := Run(q, cat); err == nil {
+			t.Errorf("query %q did not error", q)
+		}
+	}
+}
+
+func TestExecErrors(t *testing.T) {
+	cat := txns(t)
+	for _, q := range []string{
+		"SELECT id FROM missing",
+		"SELECT nosuch FROM txns",
+		"SELECT id FROM txns WHERE amount",          // non-bool WHERE
+		"SELECT id, COUNT(*) FROM txns",             // bare col with aggregate
+		"SELECT SUM(city) FROM txns",                // non-numeric SUM
+		"SELECT id FROM txns WHERE id / 0 > 1",      // div by zero
+		"SELECT COUNT(*) FROM txns WHERE id AND id", // AND over ints
+		"SELECT * , COUNT(*) FROM txns GROUP BY id", // star with aggregate
+		"SELECT id FROM txns WHERE city > 5",        // incomparable
+	} {
+		if _, err := Run(q, cat); err == nil {
+			t.Errorf("query %q did not error", q)
+		}
+	}
+}
+
+func TestCountColumn(t *testing.T) {
+	res := mustRun(t, txns(t), "SELECT COUNT(amount) FROM txns")
+	if res.Rows[0][0].Int != 6 {
+		t.Fatalf("COUNT(amount) = %v", res.Rows[0][0])
+	}
+}
+
+func TestIntArithmeticStaysInt(t *testing.T) {
+	res := mustRun(t, txns(t), "SELECT id + 1 FROM txns WHERE id = 1")
+	if res.Rows[0][0].Kind != KindInt || res.Rows[0][0].Int != 2 {
+		t.Fatalf("id+1 = %+v", res.Rows[0][0])
+	}
+	// Division always yields float.
+	res = mustRun(t, txns(t), "SELECT id / 2 FROM txns WHERE id = 1")
+	if res.Rows[0][0].Kind != KindFloat {
+		t.Fatalf("id/2 kind = %v", res.Rows[0][0].Kind)
+	}
+}
+
+func TestUnaryMinus(t *testing.T) {
+	res := mustRun(t, txns(t), "SELECT id FROM txns WHERE -amount < -1000")
+	if len(res.Rows) != 1 || res.Rows[0][0].Int != 4 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestTableValidation(t *testing.T) {
+	if _, err := NewTable("x",
+		&Column{Name: "a", Kind: KindInt, Ints: []int64{1}},
+		&Column{Name: "a", Kind: KindInt, Ints: []int64{2}},
+	); err == nil {
+		t.Error("duplicate column accepted")
+	}
+	if _, err := NewTable("x",
+		&Column{Name: "a", Kind: KindInt, Ints: []int64{1}},
+		&Column{Name: "b", Kind: KindInt, Ints: []int64{1, 2}},
+	); err == nil {
+		t.Error("ragged columns accepted")
+	}
+}
+
+func TestColumnAppendWidening(t *testing.T) {
+	c := &Column{Name: "f", Kind: KindFloat}
+	if err := c.Append(I(3)); err != nil {
+		t.Fatal(err)
+	}
+	if c.Floats[0] != 3 {
+		t.Fatal("int not widened")
+	}
+	if err := c.Append(S("no")); err == nil {
+		t.Fatal("string into float accepted")
+	}
+}
+
+func TestValueString(t *testing.T) {
+	for v, want := range map[*Value]string{
+		{Kind: KindInt, Int: 5}:       "5",
+		{Kind: KindString, Str: "x"}:  "x",
+		{Kind: KindBool, Bool: true}:  "true",
+		{Kind: KindFloat, Float: 2.0}: "2.0",
+	} {
+		if got := v.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindInt.String() != "int" || Kind(9).String() == "" {
+		t.Error("Kind.String broken")
+	}
+}
+
+func TestWhitespaceAndCase(t *testing.T) {
+	res := mustRun(t, txns(t), strings.ToLower("select id from txns where fraud = true"))
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func BenchmarkGroupBy(b *testing.B) {
+	n := 50000
+	ids := make([]int64, n)
+	amounts := make([]float64, n)
+	for i := range ids {
+		ids[i] = int64(i % 1000)
+		amounts[i] = float64(i)
+	}
+	tab, _ := NewTable("t",
+		&Column{Name: "user_id", Kind: KindInt, Ints: ids},
+		&Column{Name: "amount", Kind: KindFloat, Floats: amounts},
+	)
+	cat := MapCatalog{"t": tab}
+	q, err := Parse("SELECT user_id, SUM(amount) FROM t GROUP BY user_id")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Exec(q, cat); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,239 @@
+// Package sqlmini implements the SQL execution engine of the MaxCompute
+// analogue (the paper's Section 4.2: "MaxCompute supports SQL and MapReduce
+// for extracting basic features/labels and constructing transaction
+// network").
+//
+// It supports a practical subset over columnar in-memory tables:
+//
+//	SELECT expr [AS name], ... FROM table
+//	  [WHERE predicate]
+//	  [GROUP BY col, ...]
+//	  [ORDER BY expr [DESC]]
+//	  [LIMIT n]
+//
+// with arithmetic, comparisons, AND/OR/NOT, and the aggregates COUNT(*),
+// COUNT(x), SUM, AVG, MIN, MAX. The package is organised as a classic
+// three-stage pipeline: lexer -> recursive-descent parser -> executor.
+package sqlmini
+
+import (
+	"fmt"
+	"math"
+)
+
+// Kind is a column type.
+type Kind int
+
+// Column kinds.
+const (
+	KindInt Kind = iota
+	KindFloat
+	KindString
+	KindBool
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindString:
+		return "string"
+	case KindBool:
+		return "bool"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Value is a dynamically typed SQL value.
+type Value struct {
+	Kind  Kind
+	Int   int64
+	Float float64
+	Str   string
+	Bool  bool
+}
+
+// I, F, S, B build values.
+func I(v int64) Value   { return Value{Kind: KindInt, Int: v} }
+func F(v float64) Value { return Value{Kind: KindFloat, Float: v} }
+func S(v string) Value  { return Value{Kind: KindString, Str: v} }
+func B(v bool) Value    { return Value{Kind: KindBool, Bool: v} }
+
+// AsFloat coerces numeric values to float64.
+func (v Value) AsFloat() (float64, error) {
+	switch v.Kind {
+	case KindInt:
+		return float64(v.Int), nil
+	case KindFloat:
+		return v.Float, nil
+	}
+	return 0, fmt.Errorf("sqlmini: %v is not numeric", v.Kind)
+}
+
+// Equal compares two values with numeric coercion.
+func (v Value) Equal(o Value) bool {
+	if v.Kind == o.Kind {
+		switch v.Kind {
+		case KindInt:
+			return v.Int == o.Int
+		case KindFloat:
+			return v.Float == o.Float
+		case KindString:
+			return v.Str == o.Str
+		case KindBool:
+			return v.Bool == o.Bool
+		}
+	}
+	a, errA := v.AsFloat()
+	b, errB := o.AsFloat()
+	return errA == nil && errB == nil && a == b
+}
+
+// Less orders two values (numeric coercion; strings lexicographic; bools
+// false<true). Returns an error on incomparable kinds.
+func (v Value) Less(o Value) (bool, error) {
+	if v.Kind == KindString && o.Kind == KindString {
+		return v.Str < o.Str, nil
+	}
+	if v.Kind == KindBool && o.Kind == KindBool {
+		return !v.Bool && o.Bool, nil
+	}
+	a, errA := v.AsFloat()
+	b, errB := o.AsFloat()
+	if errA != nil || errB != nil {
+		return false, fmt.Errorf("sqlmini: cannot compare %v and %v", v.Kind, o.Kind)
+	}
+	return a < b, nil
+}
+
+// String renders the value.
+func (v Value) String() string {
+	switch v.Kind {
+	case KindInt:
+		return fmt.Sprintf("%d", v.Int)
+	case KindFloat:
+		if v.Float == math.Trunc(v.Float) && math.Abs(v.Float) < 1e15 {
+			return fmt.Sprintf("%.1f", v.Float)
+		}
+		return fmt.Sprintf("%g", v.Float)
+	case KindString:
+		return v.Str
+	case KindBool:
+		return fmt.Sprintf("%t", v.Bool)
+	}
+	return "?"
+}
+
+// Column is one typed column.
+type Column struct {
+	Name   string
+	Kind   Kind
+	Ints   []int64
+	Floats []float64
+	Strs   []string
+	Bools  []bool
+}
+
+// Len returns the column length.
+func (c *Column) Len() int {
+	switch c.Kind {
+	case KindInt:
+		return len(c.Ints)
+	case KindFloat:
+		return len(c.Floats)
+	case KindString:
+		return len(c.Strs)
+	case KindBool:
+		return len(c.Bools)
+	}
+	return 0
+}
+
+// Value returns element i.
+func (c *Column) Value(i int) Value {
+	switch c.Kind {
+	case KindInt:
+		return I(c.Ints[i])
+	case KindFloat:
+		return F(c.Floats[i])
+	case KindString:
+		return S(c.Strs[i])
+	case KindBool:
+		return B(c.Bools[i])
+	}
+	return Value{}
+}
+
+// Append adds a value (must match the column kind).
+func (c *Column) Append(v Value) error {
+	if v.Kind != c.Kind {
+		// Allow int -> float widening.
+		if c.Kind == KindFloat && v.Kind == KindInt {
+			c.Floats = append(c.Floats, float64(v.Int))
+			return nil
+		}
+		return fmt.Errorf("sqlmini: appending %v to %v column %q", v.Kind, c.Kind, c.Name)
+	}
+	switch c.Kind {
+	case KindInt:
+		c.Ints = append(c.Ints, v.Int)
+	case KindFloat:
+		c.Floats = append(c.Floats, v.Float)
+	case KindString:
+		c.Strs = append(c.Strs, v.Str)
+	case KindBool:
+		c.Bools = append(c.Bools, v.Bool)
+	}
+	return nil
+}
+
+// Table is a named columnar table.
+type Table struct {
+	Name    string
+	Columns []*Column
+	byName  map[string]int
+}
+
+// NewTable creates a table with the given typed columns.
+func NewTable(name string, cols ...*Column) (*Table, error) {
+	t := &Table{Name: name, byName: make(map[string]int)}
+	n := -1
+	for i, c := range cols {
+		if _, dup := t.byName[c.Name]; dup {
+			return nil, fmt.Errorf("sqlmini: duplicate column %q", c.Name)
+		}
+		if n == -1 {
+			n = c.Len()
+		} else if c.Len() != n {
+			return nil, fmt.Errorf("sqlmini: column %q has %d rows, want %d", c.Name, c.Len(), n)
+		}
+		t.byName[c.Name] = i
+		t.Columns = append(t.Columns, c)
+	}
+	return t, nil
+}
+
+// NumRows returns the row count.
+func (t *Table) NumRows() int {
+	if len(t.Columns) == 0 {
+		return 0
+	}
+	return t.Columns[0].Len()
+}
+
+// Column returns a column by name.
+func (t *Table) Column(name string) (*Column, bool) {
+	i, ok := t.byName[name]
+	if !ok {
+		return nil, false
+	}
+	return t.Columns[i], true
+}
+
+// Result is a materialised query result.
+type Result struct {
+	Names []string
+	Rows  [][]Value
+}

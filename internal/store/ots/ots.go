@@ -1,0 +1,154 @@
+// Package ots implements the Open Table Service of the paper's MaxCompute
+// description (Section 4.2): the table that "maintains the status of all
+// the instances". The scheduler registers each job instance here, sets it
+// running, and the executor marks it terminated when its subtasks finish.
+//
+// It is an in-memory concurrent status table with condition-variable waits,
+// which is exactly the role OTS plays in the paper's job lifecycle.
+package ots
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Status is a job instance lifecycle state.
+type Status int
+
+// Instance lifecycle states, in order.
+const (
+	StatusPending Status = iota
+	StatusRunning
+	StatusTerminated
+	StatusFailed
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusPending:
+		return "pending"
+	case StatusRunning:
+		return "running"
+	case StatusTerminated:
+		return "terminated"
+	case StatusFailed:
+		return "failed"
+	}
+	return fmt.Sprintf("Status(%d)", int(s))
+}
+
+// ErrNotFound is returned for unknown instance IDs.
+var ErrNotFound = errors.New("ots: instance not found")
+
+// Instance is one registered job instance.
+type Instance struct {
+	ID       string
+	Owner    string
+	Status   Status
+	Detail   string // error message or progress note
+	Created  time.Time
+	Updated  time.Time
+	Attempts int
+}
+
+// Table is the instance-status table. The zero value is not usable; call
+// NewTable.
+type Table struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	rows map[string]*Instance
+	seq  int
+}
+
+// NewTable returns an empty status table.
+func NewTable() *Table {
+	t := &Table{rows: make(map[string]*Instance)}
+	t.cond = sync.NewCond(&t.mu)
+	return t
+}
+
+// Register creates a pending instance and returns its generated ID.
+func (t *Table) Register(owner string) string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.seq++
+	id := fmt.Sprintf("inst-%06d", t.seq)
+	now := time.Now()
+	t.rows[id] = &Instance{ID: id, Owner: owner, Status: StatusPending, Created: now, Updated: now}
+	t.cond.Broadcast()
+	return id
+}
+
+// SetStatus transitions an instance to the given status.
+func (t *Table) SetStatus(id string, s Status, detail string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	row, ok := t.rows[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	row.Status = s
+	row.Detail = detail
+	row.Updated = time.Now()
+	if s == StatusRunning {
+		row.Attempts++
+	}
+	t.cond.Broadcast()
+	return nil
+}
+
+// Get returns a copy of an instance row.
+func (t *Table) Get(id string) (Instance, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	row, ok := t.rows[id]
+	if !ok {
+		return Instance{}, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	return *row, nil
+}
+
+// List returns copies of all rows, ordered by ID, optionally filtered by
+// status (pass -1 for all).
+func (t *Table) List(filter Status) []Instance {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Instance, 0, len(t.rows))
+	for _, row := range t.rows {
+		if filter < 0 || row.Status == filter {
+			out = append(out, *row)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// WaitFor blocks until the instance reaches status s (or a later terminal
+// state) or the timeout expires. It returns the final observed row.
+func (t *Table) WaitFor(id string, s Status, timeout time.Duration) (Instance, error) {
+	deadline := time.Now().Add(timeout)
+	timer := time.AfterFunc(timeout, func() {
+		t.mu.Lock()
+		t.cond.Broadcast()
+		t.mu.Unlock()
+	})
+	defer timer.Stop()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for {
+		row, ok := t.rows[id]
+		if !ok {
+			return Instance{}, fmt.Errorf("%w: %s", ErrNotFound, id)
+		}
+		if row.Status >= s {
+			return *row, nil
+		}
+		if time.Now().After(deadline) {
+			return *row, fmt.Errorf("ots: timeout waiting for %s to reach %v (now %v)", id, s, row.Status)
+		}
+		t.cond.Wait()
+	}
+}

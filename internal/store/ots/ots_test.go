@@ -1,0 +1,165 @@
+package ots
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRegisterAndGet(t *testing.T) {
+	tab := NewTable()
+	id := tab.Register("sql")
+	inst, err := tab.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Status != StatusPending || inst.Owner != "sql" {
+		t.Fatalf("instance = %+v", inst)
+	}
+}
+
+func TestUniqueIDs(t *testing.T) {
+	tab := NewTable()
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		id := tab.Register("x")
+		if seen[id] {
+			t.Fatalf("duplicate id %s", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestLifecycle(t *testing.T) {
+	tab := NewTable()
+	id := tab.Register("mr")
+	if err := tab.SetStatus(id, StatusRunning, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.SetStatus(id, StatusTerminated, "ok"); err != nil {
+		t.Fatal(err)
+	}
+	inst, _ := tab.Get(id)
+	if inst.Status != StatusTerminated || inst.Detail != "ok" || inst.Attempts != 1 {
+		t.Fatalf("instance = %+v", inst)
+	}
+}
+
+func TestUnknownInstance(t *testing.T) {
+	tab := NewTable()
+	if err := tab.SetStatus("nope", StatusRunning, ""); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := tab.Get("nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := tab.WaitFor("nope", StatusRunning, time.Millisecond); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestListFilter(t *testing.T) {
+	tab := NewTable()
+	a := tab.Register("x")
+	tab.Register("y")
+	_ = tab.SetStatus(a, StatusRunning, "")
+	if got := tab.List(StatusRunning); len(got) != 1 || got[0].ID != a {
+		t.Fatalf("List(running) = %v", got)
+	}
+	if got := tab.List(-1); len(got) != 2 {
+		t.Fatalf("List(all) = %v", got)
+	}
+	// Sorted by ID.
+	all := tab.List(-1)
+	if all[0].ID > all[1].ID {
+		t.Fatal("List not sorted")
+	}
+}
+
+func TestWaitForImmediate(t *testing.T) {
+	tab := NewTable()
+	id := tab.Register("x")
+	_ = tab.SetStatus(id, StatusTerminated, "")
+	inst, err := tab.WaitFor(id, StatusRunning, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Terminal state satisfies a wait for an earlier state.
+	if inst.Status != StatusTerminated {
+		t.Fatalf("status = %v", inst.Status)
+	}
+}
+
+func TestWaitForBlocksUntilTransition(t *testing.T) {
+	tab := NewTable()
+	id := tab.Register("x")
+	done := make(chan Instance, 1)
+	go func() {
+		inst, err := tab.WaitFor(id, StatusTerminated, 5*time.Second)
+		if err != nil {
+			t.Error(err)
+		}
+		done <- inst
+	}()
+	time.Sleep(10 * time.Millisecond)
+	_ = tab.SetStatus(id, StatusRunning, "")
+	time.Sleep(10 * time.Millisecond)
+	_ = tab.SetStatus(id, StatusTerminated, "done")
+	select {
+	case inst := <-done:
+		if inst.Status != StatusTerminated {
+			t.Fatalf("status = %v", inst.Status)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("WaitFor never returned")
+	}
+}
+
+func TestWaitForTimeout(t *testing.T) {
+	tab := NewTable()
+	id := tab.Register("x")
+	start := time.Now()
+	_, err := tab.WaitFor(id, StatusTerminated, 50*time.Millisecond)
+	if err == nil {
+		t.Fatal("no timeout error")
+	}
+	if time.Since(start) > 3*time.Second {
+		t.Fatal("timeout wildly overshot")
+	}
+}
+
+func TestConcurrentTransitions(t *testing.T) {
+	tab := NewTable()
+	var wg sync.WaitGroup
+	ids := make([]string, 50)
+	for i := range ids {
+		ids[i] = tab.Register("bulk")
+	}
+	for _, id := range ids {
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			_ = tab.SetStatus(id, StatusRunning, "")
+			_ = tab.SetStatus(id, StatusTerminated, "")
+		}(id)
+	}
+	wg.Wait()
+	if got := tab.List(StatusTerminated); len(got) != 50 {
+		t.Fatalf("%d terminated, want 50", len(got))
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	for s, want := range map[Status]string{
+		StatusPending: "pending", StatusRunning: "running",
+		StatusTerminated: "terminated", StatusFailed: "failed",
+	} {
+		if s.String() != want {
+			t.Errorf("%d.String() = %s", s, s.String())
+		}
+	}
+	if Status(42).String() == "" {
+		t.Error("unknown status empty")
+	}
+}

@@ -1,0 +1,193 @@
+// Package pangu implements the disk storage module of MaxCompute's storage
+// & compute layer (the paper's Section 4.2 describes Pangu as the module
+// where job results are persisted).
+//
+// It is an append-only object store: immutable blobs keyed by name, each
+// persisted with a CRC32C checksum and written atomically (temp file +
+// rename) so a crash can never leave a half-written visible object. Names
+// may contain '/' to form directories.
+package pangu
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+var (
+	// ErrNotFound is returned when an object does not exist.
+	ErrNotFound = errors.New("pangu: object not found")
+	// ErrCorrupt is returned when an object fails its checksum.
+	ErrCorrupt = errors.New("pangu: object corrupt")
+	// ErrExists is returned when writing over an existing object.
+	ErrExists = errors.New("pangu: object already exists")
+)
+
+const (
+	magic      = 0x50414E47 // "PANG"
+	headerSize = 16
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Store is a directory-backed object store. It is safe for concurrent use.
+type Store struct {
+	mu  sync.RWMutex
+	dir string
+}
+
+// Open opens (creating if needed) a store rooted at dir.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("pangu: open %s: %w", dir, err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// path maps an object name to its file path, rejecting escapes.
+func (s *Store) path(name string) (string, error) {
+	if name == "" || strings.Contains(name, "..") || strings.HasPrefix(name, "/") {
+		return "", fmt.Errorf("pangu: invalid object name %q", name)
+	}
+	return filepath.Join(s.dir, name+".pangu"), nil
+}
+
+// Put writes an immutable object. It fails with ErrExists if name is taken.
+func (s *Store) Put(name string, data []byte) error {
+	p, err := s.path(name)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := os.Stat(p); err == nil {
+		return fmt.Errorf("%w: %s", ErrExists, name)
+	}
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return fmt.Errorf("pangu: mkdir for %s: %w", name, err)
+	}
+	buf := make([]byte, headerSize+len(data))
+	binary.LittleEndian.PutUint32(buf[0:], magic)
+	binary.LittleEndian.PutUint32(buf[4:], uint32(len(data)))
+	binary.LittleEndian.PutUint32(buf[8:], crc32.Checksum(data, castagnoli))
+	copy(buf[headerSize:], data)
+	tmp := p + ".tmp"
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return fmt.Errorf("pangu: write %s: %w", name, err)
+	}
+	if err := os.Rename(tmp, p); err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("pangu: commit %s: %w", name, err)
+	}
+	return nil
+}
+
+// Get reads an object and verifies its checksum.
+func (s *Store) Get(name string) ([]byte, error) {
+	p, err := s.path(name)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	buf, err := os.ReadFile(p)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, fmt.Errorf("%w: %s", ErrNotFound, name)
+		}
+		return nil, fmt.Errorf("pangu: read %s: %w", name, err)
+	}
+	if len(buf) < headerSize || binary.LittleEndian.Uint32(buf[0:]) != magic {
+		return nil, fmt.Errorf("%w: %s (bad header)", ErrCorrupt, name)
+	}
+	n := binary.LittleEndian.Uint32(buf[4:])
+	want := binary.LittleEndian.Uint32(buf[8:])
+	data := buf[headerSize:]
+	if uint32(len(data)) != n {
+		return nil, fmt.Errorf("%w: %s (length %d != %d)", ErrCorrupt, name, len(data), n)
+	}
+	if crc32.Checksum(data, castagnoli) != want {
+		return nil, fmt.Errorf("%w: %s (checksum)", ErrCorrupt, name)
+	}
+	return data, nil
+}
+
+// Delete removes an object (idempotent).
+func (s *Store) Delete(name string) error {
+	p, err := s.path(name)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := os.Remove(p); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("pangu: delete %s: %w", name, err)
+	}
+	return nil
+}
+
+// Exists reports whether an object is present.
+func (s *Store) Exists(name string) bool {
+	p, err := s.path(name)
+	if err != nil {
+		return false
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, err = os.Stat(p)
+	return err == nil
+}
+
+// List returns object names with the given prefix, sorted.
+func (s *Store) List(prefix string) ([]string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var names []string
+	err := filepath.WalkDir(s.dir, func(p string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(p, ".pangu") {
+			return nil
+		}
+		rel, err := filepath.Rel(s.dir, p)
+		if err != nil {
+			return err
+		}
+		name := strings.TrimSuffix(filepath.ToSlash(rel), ".pangu")
+		if strings.HasPrefix(name, prefix) {
+			names = append(names, name)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("pangu: list: %w", err)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Size returns the payload size of an object.
+func (s *Store) Size(name string) (int64, error) {
+	p, err := s.path(name)
+	if err != nil {
+		return 0, err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	fi, err := os.Stat(p)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return 0, fmt.Errorf("%w: %s", ErrNotFound, name)
+		}
+		return 0, err
+	}
+	return fi.Size() - headerSize, nil
+}

@@ -1,0 +1,219 @@
+package pangu
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func open(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPutGet(t *testing.T) {
+	s := open(t)
+	data := []byte("hello pangu")
+	if err := s.Put("a/b/c", data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get("a/b/c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	s := open(t)
+	if _, err := s.Get("nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestPutTwiceFails(t *testing.T) {
+	s := open(t)
+	if err := s.Put("x", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("x", []byte("2")); !errors.Is(err, ErrExists) {
+		t.Fatalf("err = %v, want ErrExists", err)
+	}
+}
+
+func TestDeleteIdempotent(t *testing.T) {
+	s := open(t)
+	if err := s.Put("x", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("x"); err != nil {
+		t.Fatal("second delete errored:", err)
+	}
+	if s.Exists("x") {
+		t.Fatal("object still exists")
+	}
+}
+
+func TestCorruptionDetected(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("x", []byte("important bytes")); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload byte on disk.
+	p := filepath.Join(dir, "x.pangu")
+	raw, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xFF
+	if err := os.WriteFile(p, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("x"); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestTruncationDetected(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir)
+	if err := s.Put("x", []byte("important bytes")); err != nil {
+		t.Fatal(err)
+	}
+	p := filepath.Join(dir, "x.pangu")
+	raw, _ := os.ReadFile(p)
+	if err := os.WriteFile(p, raw[:len(raw)-4], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("x"); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestList(t *testing.T) {
+	s := open(t)
+	for _, n := range []string{"t/1", "t/2", "u/1"} {
+		if err := s.Put(n, []byte(n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := s.List("t/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != "t/1" || got[1] != "t/2" {
+		t.Fatalf("List = %v", got)
+	}
+	all, _ := s.List("")
+	if len(all) != 3 {
+		t.Fatalf("List(\"\") = %v", all)
+	}
+}
+
+func TestSize(t *testing.T) {
+	s := open(t)
+	if err := s.Put("x", make([]byte, 1234)); err != nil {
+		t.Fatal(err)
+	}
+	n, err := s.Size("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1234 {
+		t.Fatalf("Size = %d", n)
+	}
+	if _, err := s.Size("missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("missing Size did not ErrNotFound")
+	}
+}
+
+func TestInvalidNames(t *testing.T) {
+	s := open(t)
+	for _, n := range []string{"", "../escape", "/abs"} {
+		if err := s.Put(n, []byte("x")); err == nil {
+			t.Errorf("Put(%q) accepted", n)
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	s := open(t)
+	i := 0
+	f := func(data []byte) bool {
+		i++
+		name := string(rune('a'+i%26)) + "/" + string(rune('0'+i%10)) + "-" + itoa(i)
+		if err := s.Put(name, data); err != nil {
+			return false
+		}
+		got, err := s.Get(name)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}
+
+func TestConcurrentPuts(t *testing.T) {
+	s := open(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				name := "g" + itoa(g) + "/" + itoa(i)
+				if err := s.Put(name, []byte(name)); err != nil {
+					errs <- err
+					return
+				}
+				got, err := s.Get(name)
+				if err != nil || string(got) != name {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	all, _ := s.List("")
+	if len(all) != 160 {
+		t.Fatalf("have %d objects, want 160", len(all))
+	}
+}

@@ -1,0 +1,286 @@
+package synth
+
+import (
+	"testing"
+
+	"titant/internal/graph"
+	"titant/internal/txn"
+)
+
+func testWorld(t *testing.T) *World {
+	t.Helper()
+	return Generate(TestConfig())
+}
+
+func TestDeterminism(t *testing.T) {
+	w1 := Generate(TestConfig())
+	w2 := Generate(TestConfig())
+	if len(w1.Log) != len(w2.Log) {
+		t.Fatalf("log lengths differ: %d vs %d", len(w1.Log), len(w2.Log))
+	}
+	for i := range w1.Log {
+		if w1.Log[i] != w2.Log[i] {
+			t.Fatalf("log diverges at %d: %+v vs %+v", i, w1.Log[i], w2.Log[i])
+		}
+	}
+}
+
+func TestSeedChangesWorld(t *testing.T) {
+	c1, c2 := TestConfig(), TestConfig()
+	c2.Seed = 999
+	w1, w2 := Generate(c1), Generate(c2)
+	if len(w1.Log) == len(w2.Log) {
+		same := true
+		for i := range w1.Log {
+			if w1.Log[i] != w2.Log[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical logs")
+		}
+	}
+}
+
+func TestFraudRateInBand(t *testing.T) {
+	w := testWorld(t)
+	rate := txn.FraudRate(w.Log)
+	if rate < 0.003 || rate > 0.05 {
+		t.Errorf("fraud rate %.4f outside [0.003, 0.05]", rate)
+	}
+}
+
+func TestLabelsOnlyOnScams(t *testing.T) {
+	w := testWorld(t)
+	for _, tx := range w.Log {
+		if tx.Fraud && !w.Users[tx.To].IsFraudster {
+			t.Fatalf("fraud txn %d paid a non-fraudster %d", tx.ID, tx.To)
+		}
+		if tx.Fraud && w.Users[tx.From].IsFraudster {
+			t.Fatalf("fraud txn %d sent by a fraudster %d", tx.ID, tx.From)
+		}
+	}
+}
+
+func TestRepeatOffenderShare(t *testing.T) {
+	// The paper observes ~70% of fraudsters defraud more than once. Allow a
+	// wide band; the property we must preserve is "most repeat".
+	w := Generate(DefaultConfig())
+	once, repeat := w.FraudsterStats()
+	if once == 0 {
+		t.Fatal("no fraudsters committed any scam")
+	}
+	share := float64(repeat) / float64(once)
+	if share < 0.5 || share > 0.98 {
+		t.Errorf("repeat-offender share %.2f outside [0.5, 0.98] (once=%d repeat=%d)", share, once, repeat)
+	}
+}
+
+func TestLogOrdered(t *testing.T) {
+	w := testWorld(t)
+	for i := 1; i < len(w.Log); i++ {
+		a, b := w.Log[i-1], w.Log[i]
+		if b.Day < a.Day || (b.Day == a.Day && b.Sec < a.Sec) {
+			t.Fatalf("log out of order at %d", i)
+		}
+	}
+}
+
+func TestTxnFieldsSane(t *testing.T) {
+	w := testWorld(t)
+	n := txn.UserID(len(w.Users))
+	for _, tx := range w.Log {
+		if tx.From == tx.To {
+			t.Fatalf("self transfer %d", tx.ID)
+		}
+		if tx.From < 0 || tx.From >= n || tx.To < 0 || tx.To >= n {
+			t.Fatalf("txn %d references unknown user", tx.ID)
+		}
+		if tx.Amount <= 0 {
+			t.Fatalf("txn %d non-positive amount %v", tx.ID, tx.Amount)
+		}
+		if tx.Sec < 0 || tx.Sec >= 86400 {
+			t.Fatalf("txn %d second-of-day %d out of range", tx.ID, tx.Sec)
+		}
+		if tx.DeviceRisk < 0 || tx.DeviceRisk > 1 || tx.IPRisk < 0 || tx.IPRisk > 1 {
+			t.Fatalf("txn %d risk out of [0,1]", tx.ID)
+		}
+		if int(tx.TransCity) >= w.Config.Cities {
+			t.Fatalf("txn %d city %d out of range", tx.ID, tx.TransCity)
+		}
+	}
+}
+
+func TestDatasetSlicing(t *testing.T) {
+	w := testWorld(t)
+	for i := 1; i <= 7; i++ {
+		d, err := w.Dataset(i)
+		if err != nil {
+			t.Fatalf("dataset %d: %v", i, err)
+		}
+		if d.TestDay != txn.Day(txn.NetworkDays+txn.TrainDays+i-1) {
+			t.Errorf("dataset %d test day = %d", i, d.TestDay)
+		}
+		if txn.FraudRate(d.Test) == 0 {
+			t.Errorf("dataset %d has no fraud on test day", i)
+		}
+	}
+	if _, err := w.Dataset(0); err == nil {
+		t.Error("Dataset(0) did not error")
+	}
+	if _, err := w.Dataset(8); err == nil {
+		t.Error("Dataset(8) did not error")
+	}
+}
+
+func TestGatheringBehaviour(t *testing.T) {
+	// Victims of the same fraudster must be 2-hop neighbours in the
+	// network-window graph (the paper's Figure 2). Needs the full-size
+	// world so multi-victim fraudsters exist in the window.
+	w := Generate(DefaultConfig())
+	d, err := w.Dataset(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.FromTransactions(d.Network)
+	// Find a fraudster with >= 2 distinct victims inside the window.
+	victimsOf := make(map[txn.UserID][]txn.UserID)
+	for _, tx := range d.Network {
+		if tx.Fraud {
+			victimsOf[tx.To] = append(victimsOf[tx.To], tx.From)
+		}
+	}
+	checked := 0
+	for f, vs := range victimsOf {
+		if len(vs) < 2 || vs[0] == vs[1] {
+			continue
+		}
+		fn, ok := g.Node(f)
+		if !ok {
+			t.Fatalf("fraudster %d missing from graph", f)
+		}
+		v0, ok0 := g.Node(vs[0])
+		v1, ok1 := g.Node(vs[1])
+		if !ok0 || !ok1 {
+			continue
+		}
+		_ = fn
+		two := g.TwoHopNeighbors(v0)
+		if _, isTwoHop := two[v1]; !isTwoHop {
+			// v1 may also be a direct neighbour through other traffic;
+			// only fail when neither relation holds.
+			if !g.HasEdge(v0, v1) && !g.HasEdge(v1, v0) {
+				t.Errorf("victims %d and %d of fraudster %d are not 2-hop neighbours", vs[0], vs[1], f)
+			}
+		}
+		checked++
+		if checked > 20 {
+			break
+		}
+	}
+	if checked == 0 {
+		t.Error("no multi-victim fraudster found in the network window; gathering behaviour untestable")
+	}
+}
+
+func TestRingTopologyDense(t *testing.T) {
+	// Ring members and mules must be connected in the network window for
+	// long-lived rings (the subgraph embeddings pick out).
+	w := testWorld(t)
+	d, _ := w.Dataset(1)
+	g := graph.FromTransactions(d.Network)
+	tested := 0
+	for _, ring := range w.Rings {
+		if !ring.LongLived || ring.StartDay > 30 {
+			continue
+		}
+		linked := 0
+		total := 0
+		for _, m := range ring.Members {
+			n, ok := g.Node(m)
+			if !ok {
+				continue
+			}
+			total++
+			for _, mule := range ring.Mules {
+				mn, ok := g.Node(mule)
+				if ok && (g.HasEdge(n, mn) || g.HasEdge(mn, n)) {
+					linked++
+					break
+				}
+			}
+		}
+		if total > 0 {
+			tested++
+			if linked == 0 {
+				t.Errorf("ring %d: no member linked to any mule", ring.ID)
+			}
+		}
+	}
+	if tested == 0 {
+		t.Skip("no long-lived early ring in tiny test world")
+	}
+}
+
+func TestColdStartRingsExist(t *testing.T) {
+	w := Generate(DefaultConfig())
+	cold := 0
+	for _, r := range w.Rings {
+		if r.StartDay >= txn.Day(txn.NetworkDays+txn.TrainDays) {
+			cold++
+		}
+	}
+	if cold == 0 {
+		t.Error("no cold-start rings; embedding lift would be unrealistically easy")
+	}
+}
+
+func TestFraudsterProfilesShifted(t *testing.T) {
+	w := Generate(DefaultConfig())
+	var fAge, nAge, fCount, nCount float64
+	for i := range w.Users {
+		u := &w.Users[i]
+		if u.IsFraudster {
+			fAge += float64(u.AccountAge)
+			fCount++
+		} else {
+			nAge += float64(u.AccountAge)
+			nCount++
+		}
+	}
+	if fCount == 0 {
+		t.Fatal("no fraudsters generated")
+	}
+	if fAge/fCount >= nAge/nCount {
+		t.Errorf("fraudster mean account age %.0f >= honest %.0f; profile shift missing",
+			fAge/fCount, nAge/nCount)
+	}
+}
+
+func TestPoisson(t *testing.T) {
+	w := testWorld(t)
+	_ = w
+	// poisson is internal; exercise through the generator plus direct edge
+	// cases here.
+	if got := poisson(nil, 0); got != 0 {
+		t.Errorf("poisson(0) = %d", got)
+	}
+}
+
+func TestGeneratePanicsOnTinyPopulation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Generate with 10 users did not panic")
+		}
+	}()
+	Generate(Config{Users: 10, Days: 5})
+}
+
+func BenchmarkGenerateDefault(b *testing.B) {
+	cfg := DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Generate(cfg)
+	}
+}

@@ -1,0 +1,240 @@
+// Package txn defines the core data model of the TitAnt reproduction:
+// users, transactions, fraud labels, and the day-windowed datasets used by
+// the paper's "T+1" training mode (90 days to build the transaction network,
+// 14 days of labeled records for training, 1 day for testing).
+package txn
+
+import (
+	"fmt"
+	"time"
+)
+
+// UserID identifies a user node in the transaction network.
+type UserID int32
+
+// TxnID identifies a single transfer.
+type TxnID int64
+
+// Day is a day index on the synthetic timeline (day 0 is the first day of
+// the earliest network window). The paper's datasets are anchored to
+// calendar dates (April 10-16, 2017); Date converts between the two.
+type Day int
+
+// Epoch is day 0 of the synthetic timeline. The paper's Dataset 1 tests on
+// April 10, 2017 with 14 training days and 90 network days before it, so day
+// 0 (the first network day) corresponds to 2016-12-27 and April 10 is day
+// 104.
+var Epoch = time.Date(2016, time.December, 27, 0, 0, 0, 0, time.UTC)
+
+// Date returns the calendar date of d.
+func (d Day) Date() time.Time { return Epoch.AddDate(0, 0, int(d)) }
+
+// String renders the day as its calendar date.
+func (d Day) String() string { return d.Date().Format("2006-01-02") }
+
+// Gender of a user profile.
+type Gender uint8
+
+// Gender values.
+const (
+	GenderUnknown Gender = iota
+	GenderFemale
+	GenderMale
+)
+
+// User is a user profile. Profile fields feed the "basic features" of
+// Figure 1(a); Risk fields are latent generator state (never exposed to
+// models) that determines ground-truth fraud behaviour.
+type User struct {
+	ID            UserID
+	Age           uint8
+	Gender        Gender
+	HomeCity      uint16         // residence city code
+	AccountAge    AccountAgeDays // account age at timeline day 0
+	DeviceCount   uint8          // number of devices seen on the account
+	KYCLevel      uint8          // 0..3 identity verification depth
+	AvgDailyTxns  float32        // historical activity level
+	AvgAmount     float32        // historical mean transfer amount (yuan)
+	MerchantFlag  bool           // receives payments as a merchant
+	IsFraudster   bool           // latent: ground-truth fraudster
+	RingID        int32          // latent: fraud ring membership, -1 if none
+	ActivityScore float32        // latent: propensity to transact
+}
+
+// AccountAgeDays is the account age in days at timeline day 0.
+type AccountAgeDays uint16
+
+// Transaction is a single transfer event (one directed edge occurrence in
+// the transaction network).
+type Transaction struct {
+	ID         TxnID
+	Day        Day
+	Sec        int32 // seconds past midnight
+	From       UserID
+	To         UserID
+	Amount     float32 // yuan
+	TransCity  uint16  // city inferred from transfer IP (paper footnote 4)
+	DeviceRisk float32 // risk score of the initiating device, [0,1]
+	IPRisk     float32 // risk score of the initiating IP, [0,1]
+	Channel    Channel
+	Fraud      bool // ground-truth label (delayed in production; see Labels)
+}
+
+// Channel is the payment channel of a transfer.
+type Channel uint8
+
+// Channel values.
+const (
+	ChannelBalance Channel = iota
+	ChannelBankCard
+	ChannelCredit
+	nChannels
+)
+
+// NumChannels is the number of payment channels.
+const NumChannels = int(nChannels)
+
+// Label carries the delayed fraud label for a transaction. In production
+// labels come from user fraud reports days later; the generator stamps
+// ReportedDay accordingly so pipelines can honour label latency.
+type Label struct {
+	Txn         TxnID
+	Fraud       bool
+	ReportedDay Day
+}
+
+// Dataset is one experiment unit in the paper's "T+1" protocol: a 90-day
+// window of transactions to build the transaction network, 14 days of
+// labeled transactions for classifier training, and one test day.
+type Dataset struct {
+	Index      int // 1-based dataset number (paper: 1..7)
+	Network    []Transaction
+	Train      []Transaction
+	Test       []Transaction
+	NetworkEnd Day // first day after the network window
+	TrainEnd   Day // first day after the training window
+	TestDay    Day
+}
+
+// Window describes the paper's slicing constants.
+const (
+	NetworkDays = 90
+	TrainDays   = 14
+	TestDays    = 1
+	// TimelineDays is the number of days the generator must produce to
+	// support the paper's seven consecutive test days (April 10-16):
+	// 90 + 14 + 7 = 111.
+	TimelineDays = NetworkDays + TrainDays + 7*TestDays
+)
+
+// Slice carves a dataset out of a day-ordered transaction log. testDay is an
+// absolute day index on the timeline; the network window covers
+// [testDay-104, testDay-15] and the training window [testDay-14, testDay-1],
+// matching Figure 8.
+func Slice(log []Transaction, index int, testDay Day) (*Dataset, error) {
+	netStart := testDay - TrainDays - NetworkDays
+	if netStart < 0 {
+		return nil, fmt.Errorf("txn: test day %d needs %d prior days, have %d", testDay, TrainDays+NetworkDays, testDay)
+	}
+	trainStart := testDay - TrainDays
+	d := &Dataset{
+		Index:      index,
+		NetworkEnd: trainStart,
+		TrainEnd:   testDay,
+		TestDay:    testDay,
+	}
+	for _, t := range log {
+		switch {
+		case t.Day >= netStart && t.Day < trainStart:
+			d.Network = append(d.Network, t)
+		case t.Day >= trainStart && t.Day < testDay:
+			d.Train = append(d.Train, t)
+		case t.Day == testDay:
+			d.Test = append(d.Test, t)
+		}
+	}
+	if len(d.Network) == 0 || len(d.Train) == 0 || len(d.Test) == 0 {
+		return nil, fmt.Errorf("txn: dataset %d has empty window (network=%d train=%d test=%d)",
+			index, len(d.Network), len(d.Train), len(d.Test))
+	}
+	return d, nil
+}
+
+// FraudRate returns the fraction of transactions labeled fraudulent.
+func FraudRate(ts []Transaction) float64 {
+	if len(ts) == 0 {
+		return 0
+	}
+	n := 0
+	for _, t := range ts {
+		if t.Fraud {
+			n++
+		}
+	}
+	return float64(n) / float64(len(ts))
+}
+
+// Labels extracts delayed labels from a transaction slice. Fraud reports
+// arrive lagDays after the transaction (uniform lag is sufficient for the
+// pipeline's purposes; the paper only requires that labels are not
+// real-time).
+func Labels(ts []Transaction, lagDays int) []Label {
+	ls := make([]Label, len(ts))
+	for i, t := range ts {
+		ls[i] = Label{Txn: t.ID, Fraud: t.Fraud, ReportedDay: t.Day + Day(lagDays)}
+	}
+	return ls
+}
+
+// Stats summarises a transaction slice.
+type Stats struct {
+	Count     int
+	Frauds    int
+	Users     int
+	Days      int
+	MinAmount float32
+	MaxAmount float32
+	SumAmount float64
+}
+
+// Summarize computes Stats over ts.
+func Summarize(ts []Transaction) Stats {
+	s := Stats{Count: len(ts)}
+	if len(ts) == 0 {
+		return s
+	}
+	users := make(map[UserID]struct{}, len(ts)/4)
+	days := make(map[Day]struct{})
+	s.MinAmount = ts[0].Amount
+	for _, t := range ts {
+		if t.Fraud {
+			s.Frauds++
+		}
+		users[t.From] = struct{}{}
+		users[t.To] = struct{}{}
+		days[t.Day] = struct{}{}
+		if t.Amount < s.MinAmount {
+			s.MinAmount = t.Amount
+		}
+		if t.Amount > s.MaxAmount {
+			s.MaxAmount = t.Amount
+		}
+		s.SumAmount += float64(t.Amount)
+	}
+	s.Users = len(users)
+	s.Days = len(days)
+	return s
+}
+
+// String renders the stats in a single human-readable line.
+func (s Stats) String() string {
+	return fmt.Sprintf("txns=%d frauds=%d (%.3f%%) users=%d days=%d amount=[%.2f,%.2f] total=%.0f",
+		s.Count, s.Frauds, 100*float64(s.Frauds)/max1(s.Count), s.Users, s.Days, s.MinAmount, s.MaxAmount, s.SumAmount)
+}
+
+func max1(n int) float64 {
+	if n == 0 {
+		return 1
+	}
+	return float64(n)
+}

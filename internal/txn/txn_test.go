@@ -1,0 +1,231 @@
+package txn
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func mkLog() []Transaction {
+	var ts []Transaction
+	id := TxnID(0)
+	for day := Day(0); day < 120; day++ {
+		for i := 0; i < 3; i++ {
+			ts = append(ts, Transaction{
+				ID: id, Day: day, Sec: int32(i * 1000),
+				From: UserID(i), To: UserID(i + 1),
+				Amount: float32(10*i + 1), TransCity: uint16(i),
+				Fraud: i == 2 && day%7 == 0,
+			})
+			id++
+		}
+	}
+	return ts
+}
+
+func TestSliceWindows(t *testing.T) {
+	log := mkLog()
+	d, err := Slice(log, 1, 104)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Network) != 90*3 {
+		t.Errorf("network window: got %d txns, want %d", len(d.Network), 90*3)
+	}
+	if len(d.Train) != 14*3 {
+		t.Errorf("train window: got %d txns, want %d", len(d.Train), 14*3)
+	}
+	if len(d.Test) != 3 {
+		t.Errorf("test window: got %d txns, want 3", len(d.Test))
+	}
+	for _, tx := range d.Network {
+		if tx.Day < 0 || tx.Day >= 90 {
+			t.Fatalf("network txn on day %d outside [0,90)", tx.Day)
+		}
+	}
+	for _, tx := range d.Train {
+		if tx.Day < 90 || tx.Day >= 104 {
+			t.Fatalf("train txn on day %d outside [90,104)", tx.Day)
+		}
+	}
+	for _, tx := range d.Test {
+		if tx.Day != 104 {
+			t.Fatalf("test txn on day %d, want 104", tx.Day)
+		}
+	}
+}
+
+func TestSliceWindowsDisjointAndComplete(t *testing.T) {
+	log := mkLog()
+	d, err := Slice(log, 1, 104)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[TxnID]int)
+	for _, tx := range d.Network {
+		seen[tx.ID]++
+	}
+	for _, tx := range d.Train {
+		seen[tx.ID]++
+	}
+	for _, tx := range d.Test {
+		seen[tx.ID]++
+	}
+	for id, n := range seen {
+		if n != 1 {
+			t.Fatalf("txn %d appears in %d windows", id, n)
+		}
+	}
+	if want := (90 + 14 + 1) * 3; len(seen) != want {
+		t.Errorf("windows cover %d txns, want %d", len(seen), want)
+	}
+}
+
+func TestSliceTooEarly(t *testing.T) {
+	if _, err := Slice(mkLog(), 1, 50); err == nil {
+		t.Fatal("Slice with insufficient history did not error")
+	}
+}
+
+func TestSliceEmptyWindow(t *testing.T) {
+	// A log with no transactions on the test day must error.
+	log := mkLog()
+	var filtered []Transaction
+	for _, tx := range log {
+		if tx.Day != 104 {
+			filtered = append(filtered, tx)
+		}
+	}
+	if _, err := Slice(filtered, 1, 104); err == nil {
+		t.Fatal("Slice with empty test day did not error")
+	}
+}
+
+func TestFraudRate(t *testing.T) {
+	ts := []Transaction{{Fraud: true}, {}, {}, {Fraud: true}}
+	if got := FraudRate(ts); got != 0.5 {
+		t.Errorf("FraudRate = %v, want 0.5", got)
+	}
+	if got := FraudRate(nil); got != 0 {
+		t.Errorf("FraudRate(nil) = %v, want 0", got)
+	}
+}
+
+func TestLabelsLag(t *testing.T) {
+	ts := []Transaction{{ID: 7, Day: 10, Fraud: true}}
+	ls := Labels(ts, 3)
+	if len(ls) != 1 || ls[0].Txn != 7 || !ls[0].Fraud || ls[0].ReportedDay != 13 {
+		t.Fatalf("Labels = %+v", ls)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	ts := []Transaction{
+		{From: 1, To: 2, Day: 0, Amount: 5, Fraud: true},
+		{From: 2, To: 3, Day: 1, Amount: 15},
+	}
+	s := Summarize(ts)
+	if s.Count != 2 || s.Frauds != 1 || s.Users != 3 || s.Days != 2 {
+		t.Errorf("Summarize = %+v", s)
+	}
+	if s.MinAmount != 5 || s.MaxAmount != 15 || s.SumAmount != 20 {
+		t.Errorf("amounts = %+v", s)
+	}
+	if Summarize(nil).Count != 0 {
+		t.Error("Summarize(nil) non-zero")
+	}
+	if s.String() == "" {
+		t.Error("Stats.String empty")
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	ts := mkLog()
+	var buf bytes.Buffer
+	if err := WriteLog(&buf, ts); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadLog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ts) {
+		t.Fatalf("round trip length %d != %d", len(got), len(ts))
+	}
+	for i := range ts {
+		if got[i] != ts[i] {
+			t.Fatalf("record %d: got %+v want %+v", i, got[i], ts[i])
+		}
+	}
+}
+
+func TestCodecRoundTripProperty(t *testing.T) {
+	f := func(id int64, day int16, sec int32, from, to int32, amount float32, city uint16, ch uint8, fraud bool, dr, ir float32) bool {
+		if day < 0 {
+			day = -day
+		}
+		in := Transaction{
+			ID: TxnID(id), Day: Day(day), Sec: sec % 86400,
+			From: UserID(from), To: UserID(to), Amount: amount,
+			TransCity: city, Channel: Channel(ch % 3), Fraud: fraud,
+			DeviceRisk: dr, IPRisk: ir,
+		}
+		var buf bytes.Buffer
+		if err := WriteLog(&buf, []Transaction{in}); err != nil {
+			return false
+		}
+		out, err := ReadLog(&buf)
+		if err != nil || len(out) != 1 {
+			return false
+		}
+		// NaN != NaN, so compare bit patterns via struct equality only when
+		// floats are not NaN.
+		if amount != amount || dr != dr || ir != ir {
+			return true
+		}
+		return out[0] == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCodecRejectsGarbage(t *testing.T) {
+	if _, err := ReadLog(bytes.NewReader([]byte("not a log at all"))); err == nil {
+		t.Fatal("ReadLog accepted garbage")
+	}
+	if _, err := ReadLog(bytes.NewReader(nil)); err == nil {
+		t.Fatal("ReadLog accepted empty input")
+	}
+}
+
+func TestCodecTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteLog(&buf, mkLog()[:10]); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	if _, err := ReadLog(bytes.NewReader(b[:len(b)-5])); err == nil {
+		t.Fatal("ReadLog accepted truncated input")
+	}
+}
+
+func TestDayString(t *testing.T) {
+	if got := Day(0).String(); got != "2016-12-27" {
+		t.Errorf("Day(0) = %s, want 2016-12-27", got)
+	}
+}
+
+func TestEpochAlignment(t *testing.T) {
+	// The first test day used by the paper (April 10, 2017) must sit exactly
+	// at day NetworkDays+TrainDays so it has a full history on our timeline.
+	apr10 := Day(NetworkDays + TrainDays)
+	if got := apr10.String(); got != "2017-04-10" {
+		t.Errorf("Day(%d) = %s, want 2017-04-10", int(apr10), got)
+	}
+	// And the last paper test day, April 16, must fit within TimelineDays.
+	apr16 := apr10 + 6
+	if int(apr16) != TimelineDays-1 {
+		t.Errorf("April 16 at day %d, want %d", int(apr16), TimelineDays-1)
+	}
+}

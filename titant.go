@@ -1,0 +1,128 @@
+// Package titant is a from-scratch reproduction of "TitAnt: Online
+// Real-time Transaction Fraud Detection in Ant Financial" (Cao et al.,
+// VLDB 2019): an end-to-end fraud-detection pipeline with offline
+// periodical training over a transaction store, network-representation
+// learning on the transaction graph, classical detectors over
+// basic-features-plus-embeddings, and a millisecond-latency online model
+// server backed by a column-family feature store.
+//
+// This top-level package is the public API; it re-exports the pieces a
+// downstream user needs:
+//
+//	world := titant.Generate(titant.DefaultWorldConfig()) // synthetic workload
+//	ds, _ := world.Dataset(1)                             // 90d network / 14d train / 1d test
+//	opts := titant.DefaultOptions()
+//	emb := titant.LearnEmbeddings(ds, opts)               // DeepWalk + Structure2Vec
+//	res := titant.TrainEval(world.Users, ds, titant.FeatBasicDW, titant.DetGBDT, emb, opts)
+//	fmt.Println(res.F1)
+//
+// See the examples/ directory for runnable end-to-end programs, DESIGN.md
+// for the system inventory, and EXPERIMENTS.md for the paper-vs-measured
+// record of every table and figure.
+package titant
+
+import (
+	"titant/internal/core"
+	"titant/internal/exp"
+	"titant/internal/hbase"
+	"titant/internal/model"
+	"titant/internal/ms"
+	"titant/internal/synth"
+	"titant/internal/txn"
+)
+
+// Re-exported core types.
+type (
+	// WorldConfig controls the synthetic transaction workload.
+	WorldConfig = synth.Config
+	// World is a generated environment: users, fraud rings, transaction log.
+	World = synth.World
+	// Dataset is one "T+1" experiment unit (network/train/test windows).
+	Dataset = txn.Dataset
+	// Transaction is a single transfer record.
+	Transaction = txn.Transaction
+	// User is a user profile.
+	User = txn.User
+	// Options bundles all model hyperparameters (paper Section 5.1).
+	Options = core.Options
+	// FeatureSet selects the detector's input features (Table 1 rows).
+	FeatureSet = core.FeatureSet
+	// Detector selects the detection method.
+	Detector = core.Detector
+	// Embeddings caches the two NRL methods' outputs for a dataset.
+	Embeddings = core.Embeddings
+	// Result is one configuration's evaluation on one test day.
+	Result = core.Result
+	// Classifier is a trained scoring model.
+	Classifier = model.Classifier
+	// Bundle is the model artefact served by the Model Server.
+	Bundle = ms.Bundle
+	// ModelServer scores live transactions (Figure 5).
+	ModelServer = ms.Server
+	// FeatureTable is the column-family online feature store (Figure 7).
+	FeatureTable = hbase.Table
+	// ExperimentConfig scales a paper-experiment run.
+	ExperimentConfig = exp.Config
+)
+
+// Feature sets of Table 1.
+const (
+	FeatBasic      = core.FeatBasic
+	FeatBasicS2V   = core.FeatBasicS2V
+	FeatBasicDW    = core.FeatBasicDW
+	FeatBasicDWS2V = core.FeatBasicDWS2V
+)
+
+// Detectors evaluated in the paper.
+const (
+	DetIF   = core.DetIF
+	DetID3  = core.DetID3
+	DetC50  = core.DetC50
+	DetLR   = core.DetLR
+	DetGBDT = core.DetGBDT
+)
+
+// DefaultWorldConfig returns the laptop-scale synthetic world settings.
+func DefaultWorldConfig() WorldConfig { return synth.DefaultConfig() }
+
+// Generate builds a synthetic world from the configuration.
+func Generate(cfg WorldConfig) *World { return synth.Generate(cfg) }
+
+// DefaultOptions returns the paper-aligned hyperparameters.
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// LearnEmbeddings trains DeepWalk and Structure2Vec on the dataset's
+// 90-day transaction network.
+func LearnEmbeddings(ds *Dataset, opts Options) *Embeddings {
+	return core.LearnEmbeddings(ds, opts)
+}
+
+// TrainEval runs the full T+1 pipeline for one configuration cell.
+func TrainEval(users []User, ds *Dataset, fs FeatureSet, det Detector, emb *Embeddings, opts Options) Result {
+	return core.TrainEval(users, ds, fs, det, emb, opts)
+}
+
+// TrainForServing trains the production configuration (Basic+DW+GBDT) and
+// returns the classifier, embeddings and frozen threshold.
+func TrainForServing(users []User, ds *Dataset, opts Options) (Classifier, *Embeddings, float64, error) {
+	return core.TrainForServing(users, ds, opts)
+}
+
+// OpenFeatureTable opens (or creates) an online feature store.
+func OpenFeatureTable(dir string) (*FeatureTable, error) {
+	return hbase.Open(hbase.Config{Dir: dir})
+}
+
+// Deploy uploads user fragments and embeddings to the feature table and
+// builds the model bundle for serving.
+func Deploy(users []User, ds *Dataset, emb *Embeddings, clf Classifier, threshold float64, opts Options, tab *FeatureTable, version string) (*Bundle, error) {
+	return core.Deploy(users, ds, emb, clf, threshold, opts, tab, version)
+}
+
+// NewModelServer builds the online scoring server over the feature table.
+func NewModelServer(tab *FeatureTable, bundle *Bundle, alert ms.Alert) (*ModelServer, error) {
+	return ms.NewServer(tab, bundle, alert)
+}
+
+// DefaultExperiments returns the default-scale experiment configuration.
+func DefaultExperiments() ExperimentConfig { return exp.Default() }
