@@ -9,10 +9,18 @@
 package titant_test
 
 import (
+	"context"
 	"fmt"
+	"math"
 	"testing"
 
 	"titant/internal/exp"
+	"titant/internal/feature"
+	"titant/internal/hbase"
+	"titant/internal/model/lr"
+	"titant/internal/ms"
+	"titant/internal/rng"
+	"titant/internal/txn"
 )
 
 // benchConfig trims the default experiment scale slightly so the full
@@ -87,6 +95,96 @@ func BenchmarkFigure10(b *testing.B) {
 			b.ReportMetric(res.GBDTSeconds[2]/res.GBDTSeconds[3], "GBDT-ratio-20-to-40")
 		}
 	}
+}
+
+// servingFixture builds a serving engine over an uploaded feature store
+// and a 1k-transaction batch drawn from a hot user set, so the batch path
+// has fetch work to deduplicate.
+func servingFixture(b *testing.B) (*ms.Server, []txn.Transaction) {
+	b.Helper()
+	const (
+		users  = 1000
+		hot    = 200 // txns draw from this prefix: ~5 txns per hot user
+		embDim = 8
+		nTxns  = 1000
+	)
+	tab, err := hbase.Open(hbase.Config{Dir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { tab.Close() })
+	r := rng.New(3)
+	up := &ms.Uploader{Table: tab}
+	for i := 0; i < users; i++ {
+		u := txn.User{ID: txn.UserID(i), Age: uint8(20 + i%50), AvgAmount: float32(50 + i%200)}
+		emb := make([]float32, embDim)
+		for j := range emb {
+			emb[j] = float32(r.Float64() - 0.5)
+		}
+		if err := up.PutUser(&u, feature.UserStats{OutCount: float64(i % 10)}, emb); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// A toy LR model over amount (mirroring BasicFromParts' layout) keeps
+	// the benchmark about the serving path, not training.
+	n := 2000
+	m := feature.NewMatrix(n, feature.NumBasic+2*embDim)
+	labels := make([]bool, n)
+	for i := 0; i < n; i++ {
+		amt := r.Float64() * 2000
+		m.Set(i, 0, amt)
+		m.Set(i, 1, math.Log1p(amt))
+		labels[i] = amt > 1200 && r.Bool(0.9)
+	}
+	clf := lr.Train(m, labels, lr.Config{Bins: 32, L1: 0.01, L2: 0.5, Alpha: 0.1, Beta: 1, Iterations: 10, Seed: 1})
+	city := feature.CityTable{Fraud: []float64{0.01, 0.2}, Share: []float64{0.9, 0.1}}
+	bundle, err := ms.NewBundle("bench", clf, 0.5, city, embDim)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := ms.New(tab, bundle)
+	if err != nil {
+		b.Fatal(err)
+	}
+	txns := make([]txn.Transaction, nTxns)
+	for i := range txns {
+		txns[i] = txn.Transaction{
+			ID:   txn.TxnID(i + 1),
+			From: txn.UserID(r.Intn(hot)), To: txn.UserID(r.Intn(hot)),
+			Amount: float32(r.Float64() * 2000),
+		}
+	}
+	return srv, txns
+}
+
+// BenchmarkScoreSequential scores a 1k-transaction batch one Score call
+// at a time — the pre-v1 serving pattern.
+func BenchmarkScoreSequential(b *testing.B) {
+	srv, txns := servingFixture(b)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range txns {
+			if _, err := srv.Score(ctx, &txns[j]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(txns)), "ns/txn")
+}
+
+// BenchmarkScoreBatch scores the same 1k transactions through ScoreBatch:
+// worker fan-out plus per-batch user-fetch deduplication.
+func BenchmarkScoreBatch(b *testing.B) {
+	srv, txns := servingFixture(b)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := srv.ScoreBatch(ctx, txns); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(txns)), "ns/txn")
 }
 
 // BenchmarkFigure11 regenerates Figure 11: F1 versus embedding dimension.

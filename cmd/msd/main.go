@@ -1,10 +1,13 @@
 // Command msd is the standalone Model Server daemon: it loads a model
-// bundle from disk and serves scoring requests against an existing feature
-// store, with hot reload on SIGHUP-like POST /reload.
+// bundle from disk and serves the v1 scoring API against an existing
+// feature store. Models hot-swap over the wire (POST /v1/models with an
+// encoded bundle) or from the bundle file (POST /reload, kept as a
+// deprecated alias); the daemon drains in-flight requests and exits
+// cleanly on SIGINT/SIGTERM.
 //
 // Usage:
 //
-//	msd -bundle bundle.bin -data /var/lib/titant/hbase [-addr :8070]
+//	msd -bundle bundle.bin -data /var/lib/titant/hbase [-addr :8070] [-workers N] [-strict] [-model-token T]
 //
 // The bundle file is produced by the offline pipeline (see cmd/titant
 // serve for an all-in-one variant, or core.Deploy + Bundle.Encode in
@@ -12,11 +15,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"titant/internal/hbase"
 	"titant/internal/ms"
@@ -27,6 +33,9 @@ func main() {
 	bundlePath := flag.String("bundle", "", "path to an encoded model bundle (required)")
 	dataDir := flag.String("data", "", "feature store directory (required)")
 	addr := flag.String("addr", ":8070", "listen address")
+	workers := flag.Int("workers", 0, "batch fan-out width (0 = GOMAXPROCS)")
+	strict := flag.Bool("strict", false, "reject transactions naming users absent from the store (404)")
+	token := flag.String("model-token", "", "bearer token guarding POST /v1/models (empty = open)")
 	flag.Parse()
 	if *bundlePath == "" || *dataDir == "" {
 		flag.Usage()
@@ -46,18 +55,34 @@ func main() {
 	}
 	defer tab.Close()
 
-	srv, err := ms.NewServer(tab, bundle, func(t *txn.Transaction, score float64) {
-		log.Printf("ALERT txn=%d score=%.3f from=%d to=%d", t.ID, score, t.From, t.To)
-	})
+	opts := []ms.Option{
+		ms.WithAlert(func(t *txn.Transaction, score float64) {
+			log.Printf("ALERT txn=%d score=%.3f from=%d to=%d", t.ID, score, t.From, t.To)
+		}),
+		ms.WithWorkers(*workers),
+		ms.WithModelToken(*token),
+	}
+	if *strict {
+		opts = append(opts, ms.WithStrictUsers())
+	}
+	srv, err := ms.New(tab, bundle, opts...)
 	if err != nil {
 		log.Fatalf("msd: %v", err)
 	}
 
 	mux := http.NewServeMux()
 	mux.Handle("/", srv.Handler())
+	// Deprecated: POST /v1/models swaps a bundle over the wire; /reload
+	// re-reads the bundle file for callers of the pre-v1 daemon.
 	mux.HandleFunc("/reload", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		// Same guard as POST /v1/models — an unguarded alias would let
+		// anyone revert the live model to the on-disk bundle.
+		if *token != "" && !ms.CheckBearer(r, *token) {
+			http.Error(w, "model reload requires a valid bearer token", http.StatusUnauthorized)
 			return
 		}
 		raw, err := os.ReadFile(*bundlePath)
@@ -76,6 +101,12 @@ func main() {
 		}
 		fmt.Fprintf(w, "reloaded version=%s\n", nb.Version)
 	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	log.Printf("msd: serving %s on %s (model version %s)", *dataDir, *addr, bundle.Version)
-	log.Fatal(http.ListenAndServe(*addr, mux))
+	if err := ms.ListenAndServe(ctx, *addr, mux); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("msd: shut down cleanly")
 }

@@ -4,20 +4,25 @@
 //
 //	gen   -out log.bin [-users N] [-seed N]   generate a synthetic world's log
 //	eval  [-users N] [-seed N] [-dataset N]   train and evaluate one dataset
-//	serve [-addr :8070] [-users N] [-seed N]  train, deploy and serve over HTTP
+//	serve [-addr :8070] [-users N] [-seed N] [-workers N] [-model-token T]
+//	                                          train, deploy and serve over HTTP
 //
 // serve starts the Model Server of the paper's Figure 5: it trains the
 // production configuration (Basic+DW+GBDT), uploads features and
-// embeddings to the column-family store, and exposes POST /score,
-// GET /healthz and GET /stats.
+// embeddings to the column-family store, and exposes the v1 API —
+// POST /v1/score, POST /v1/score/batch, GET/POST /v1/models,
+// GET /v1/stats and GET /healthz — shutting down gracefully on SIGINT or
+// SIGTERM.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
-	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"titant"
@@ -114,6 +119,8 @@ func cmdServe(args []string) {
 	users, seed := worldFlags(fs)
 	addr := fs.String("addr", ":8070", "listen address")
 	dir := fs.String("data", "", "feature store directory (default: temp)")
+	workers := fs.Int("workers", 0, "batch fan-out width (0 = GOMAXPROCS)")
+	token := fs.String("model-token", "", "bearer token guarding POST /v1/models (empty = open)")
 	_ = fs.Parse(args)
 	w := buildWorld(*users, *seed)
 	ds, err := w.Dataset(1)
@@ -144,13 +151,22 @@ func cmdServe(args []string) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv, err := titant.NewModelServer(tab, bundle, func(t *titant.Transaction, score float64) {
-		log.Printf("ALERT txn=%d score=%.3f: interrupting transfer %d -> %d",
-			t.ID, score, t.From, t.To)
-	})
+	eng, err := titant.NewEngine(tab, bundle,
+		titant.WithAlert(func(t *titant.Transaction, score float64) {
+			log.Printf("ALERT txn=%d score=%.3f: interrupting transfer %d -> %d",
+				t.ID, score, t.From, t.To)
+		}),
+		titant.WithWorkers(*workers),
+		titant.WithModelToken(*token))
 	if err != nil {
 		log.Fatal(err)
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	log.Printf("model server %s listening on %s (threshold %.3f)", version, *addr, threshold)
-	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+	log.Printf("v1 API: POST /v1/score, POST /v1/score/batch, GET|POST /v1/models, GET /v1/stats, GET /healthz")
+	if err := eng.ListenAndServe(ctx, *addr); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("shut down cleanly")
 }

@@ -1,0 +1,3 @@
+module titant
+
+go 1.24

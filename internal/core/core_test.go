@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"titant/internal/hbase"
@@ -119,17 +120,17 @@ func TestEndToEndServing(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := ms.NewServer(tab, bundle, nil)
+	srv, err := ms.New(tab, bundle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verdicts, err := srv.ScoreBatch(context.Background(), ds.Test)
 	if err != nil {
 		t.Fatal(err)
 	}
 	var fraudScores, honestScores float64
 	var nf, nh int
-	for i := range ds.Test {
-		v, err := srv.Score(&ds.Test[i])
-		if err != nil {
-			t.Fatal(err)
-		}
+	for i, v := range verdicts {
 		if ds.Test[i].Fraud {
 			fraudScores += v.Score
 			nf++

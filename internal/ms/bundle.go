@@ -7,6 +7,15 @@ import (
 
 	"titant/internal/feature"
 	"titant/internal/model"
+
+	// Every concrete detector registers its gob type in init; linking
+	// them here makes DecodeBundle self-sufficient, so standalone
+	// consumers (cmd/msd, POST /v1/models) can decode bundles produced
+	// by any training pipeline.
+	_ "titant/internal/model/gbdt"
+	_ "titant/internal/model/iforest"
+	_ "titant/internal/model/lr"
+	_ "titant/internal/model/ruletree"
 )
 
 // Bundle is the model file the offline pipeline uploads to the Model
@@ -30,20 +39,42 @@ func NewBundle(version string, clf model.Classifier, threshold float64, city fea
 	if err != nil {
 		return nil, err
 	}
-	return &Bundle{
+	b := &Bundle{
 		Version: version, ModelBytes: mb, Threshold: threshold,
 		City: city, EmbeddingDim: embDim, clf: clf,
-	}, nil
+	}
+	if err := b.validate(); err != nil {
+		return nil, err
+	}
+	return b, nil
 }
 
-// Classifier returns the decoded model.
+// validate checks the bundle's internal consistency: the classifier must
+// decode and its input width must match the declared embedding
+// dimensionality, so an inconsistent bundle is rejected at publication
+// instead of panicking inside Score.
+func (b *Bundle) validate() error {
+	clf, err := b.Classifier()
+	if err != nil {
+		return err
+	}
+	want := feature.NumBasic + 2*b.EmbeddingDim
+	if got := clf.NumFeatures(); got != want {
+		return fmt.Errorf("%w: classifier wants %d features, bundle declares %d (%d basic + 2×%d embedding)",
+			ErrBundleInvalid, got, want, feature.NumBasic, b.EmbeddingDim)
+	}
+	return nil
+}
+
+// Classifier returns the decoded model. Decode failures wrap
+// ErrBundleInvalid.
 func (b *Bundle) Classifier() (model.Classifier, error) {
 	if b.clf != nil {
 		return b.clf, nil
 	}
 	clf, err := model.Decode(b.ModelBytes)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %v", ErrBundleInvalid, err)
 	}
 	b.clf = clf
 	return clf, nil
@@ -58,13 +89,13 @@ func (b *Bundle) Encode() ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-// DecodeBundle deserialises a bundle.
+// DecodeBundle deserialises a bundle. Failures wrap ErrBundleInvalid.
 func DecodeBundle(data []byte) (*Bundle, error) {
 	var b Bundle
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&b); err != nil {
-		return nil, fmt.Errorf("ms: decode bundle: %w", err)
+		return nil, fmt.Errorf("%w: decode: %v", ErrBundleInvalid, err)
 	}
-	if _, err := b.Classifier(); err != nil {
+	if err := b.validate(); err != nil {
 		return nil, err
 	}
 	return &b, nil

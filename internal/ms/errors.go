@@ -1,0 +1,38 @@
+package ms
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Typed error model of the v1 serving API. Callers (and the HTTP layer)
+// classify failures with errors.Is. Errors the engine can anticipate
+// wrap one of these sentinels with detail in the wrapping message;
+// anything else (storage corruption, context cancellation) carries no
+// sentinel and should be routed as an internal failure.
+var (
+	// ErrUserNotFound reports that a transaction names a user with no row
+	// in the feature store. Only returned when the engine was built with
+	// WithStrictUsers; the default engine serves cold-start users with
+	// all-zero fragments, as the paper's Model Server does.
+	ErrUserNotFound = errors.New("ms: user not found")
+
+	// ErrBundleInvalid reports a model bundle that cannot be decoded or
+	// validated (corrupt bytes, undecodable classifier, nil bundle).
+	ErrBundleInvalid = errors.New("ms: invalid bundle")
+
+	// ErrDimensionMismatch reports a stored user embedding whose length
+	// disagrees with the bundle's EmbeddingDim. Scoring refuses to run on
+	// a half-zero vector; the upload pipeline must re-publish the user.
+	ErrDimensionMismatch = errors.New("ms: embedding dimension mismatch")
+
+	// ErrBatchTooLarge reports a ScoreBatch call exceeding the engine's
+	// configured batch limit (see WithMaxBatch).
+	ErrBatchTooLarge = errors.New("ms: batch too large")
+)
+
+// batchTooLarge builds the single canonical ErrBatchTooLarge error used
+// by both the engine and the HTTP layer's early rejection.
+func batchTooLarge(n, limit int) error {
+	return fmt.Errorf("%w: %d transactions, limit %d", ErrBatchTooLarge, n, limit)
+}

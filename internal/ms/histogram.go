@@ -1,0 +1,109 @@
+package ms
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// histogram is a fixed-size latency histogram with log-spaced buckets:
+// recording is a lock-free O(log buckets) search plus one atomic add, and
+// a percentile read walks the bucket array once. It replaces the pre-v1
+// unbounded sample slice that was fully re-sorted on every /stats call.
+//
+// bucket i counts samples d with bounds[i-1] < d <= bounds[i]; the final
+// bucket counts everything above the last bound. Percentiles are reported
+// as the upper bound of the bucket containing the target rank (clamped to
+// the observed maximum), so they are conservative estimates whose
+// resolution is the bucket spacing.
+type histogram struct {
+	bounds []time.Duration // ascending bucket upper bounds
+	counts []atomic.Int64  // len(bounds)+1; the last is the overflow bucket
+	max    atomic.Int64
+}
+
+// defaultHistBounds covers 1µs..1s in a 1-2-5 progression — 19 buckets,
+// plenty of resolution around the paper's millisecond-scale envelope.
+func defaultHistBounds() []time.Duration {
+	var b []time.Duration
+	for _, decade := range []time.Duration{
+		time.Microsecond, 10 * time.Microsecond, 100 * time.Microsecond,
+		time.Millisecond, 10 * time.Millisecond, 100 * time.Millisecond,
+	} {
+		b = append(b, decade, 2*decade, 5*decade)
+	}
+	return append(b, time.Second)
+}
+
+// newHistogram builds a histogram over the given ascending upper bounds.
+// Bounds are sanitised (sorted, deduplicated, non-positive dropped); an
+// empty set falls back to the defaults.
+func newHistogram(bounds []time.Duration) *histogram {
+	bs := make([]time.Duration, 0, len(bounds))
+	for _, b := range bounds {
+		if b > 0 {
+			bs = append(bs, b)
+		}
+	}
+	sort.Slice(bs, func(i, j int) bool { return bs[i] < bs[j] })
+	dst := bs[:0]
+	for i, b := range bs {
+		if i == 0 || b != dst[len(dst)-1] {
+			dst = append(dst, b)
+		}
+	}
+	bs = dst
+	if len(bs) == 0 {
+		bs = defaultHistBounds()
+	}
+	return &histogram{bounds: bs, counts: make([]atomic.Int64, len(bs)+1)}
+}
+
+// record adds one sample. Safe for concurrent use.
+func (h *histogram) record(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	i := sort.Search(len(h.bounds), func(i int) bool { return d <= h.bounds[i] })
+	h.counts[i].Add(1)
+	for {
+		cur := h.max.Load()
+		if int64(d) <= cur || h.max.CompareAndSwap(cur, int64(d)) {
+			return
+		}
+	}
+}
+
+// snapshot copies the bucket counts and returns them with their sum.
+func (h *histogram) snapshot() ([]int64, int64) {
+	counts := make([]int64, len(h.counts))
+	var total int64
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+	}
+	return counts, total
+}
+
+// quantileFrom reads the p-quantile (0 < p <= 1) out of a snapshot.
+func quantileFrom(bounds []time.Duration, counts []int64, total int64, max time.Duration, p float64) time.Duration {
+	if total == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(p * float64(total)))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i, c := range counts {
+		cum += c
+		if cum >= target {
+			if i < len(bounds) && bounds[i] < max {
+				return bounds[i]
+			}
+			return max
+		}
+	}
+	return max
+}

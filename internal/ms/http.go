@@ -1,0 +1,293 @@
+package ms
+
+import (
+	"context"
+	"crypto/subtle"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"titant/internal/txn"
+)
+
+// Request-body bounds: oversized payloads are rejected before they are
+// buffered or parsed.
+const (
+	maxBundleBytes = 64 << 20 // POST /v1/models
+	maxScoreBytes  = 1 << 20  // POST /v1/score
+	maxBatchBytes  = 64 << 20 // POST /v1/score/batch hard ceiling
+	// maxTxnJSONBytes generously bounds one transaction's wire size; the
+	// batch body cap derives from it (clamped to maxBatchBytes) to keep
+	// the parse cost proportional to the configured batch limit.
+	maxTxnJSONBytes = 512
+)
+
+// TxnRequest is the JSON wire format of a scoring request.
+type TxnRequest struct {
+	ID         int64   `json:"id"`
+	Day        int     `json:"day"`
+	Sec        int32   `json:"sec"`
+	From       int32   `json:"from"`
+	To         int32   `json:"to"`
+	Amount     float32 `json:"amount"`
+	TransCity  uint16  `json:"trans_city"`
+	DeviceRisk float32 `json:"device_risk"`
+	IPRisk     float32 `json:"ip_risk"`
+	Channel    uint8   `json:"channel"`
+}
+
+// Txn converts the wire format to the internal record.
+func (r *TxnRequest) Txn() txn.Transaction {
+	return txn.Transaction{
+		ID: txn.TxnID(r.ID), Day: txn.Day(r.Day), Sec: r.Sec,
+		From: txn.UserID(r.From), To: txn.UserID(r.To),
+		Amount: r.Amount, TransCity: r.TransCity,
+		DeviceRisk: r.DeviceRisk, IPRisk: r.IPRisk,
+		Channel: txn.Channel(r.Channel),
+	}
+}
+
+// BatchRequest is the wire format of POST /v1/score/batch.
+type BatchRequest struct {
+	Transactions []TxnRequest `json:"transactions"`
+}
+
+// BatchResponse carries the batch verdicts in request order.
+type BatchResponse struct {
+	Verdicts []Verdict `json:"verdicts"`
+}
+
+// APIError is the JSON error envelope body of every non-2xx v1 response:
+// {"error": {"code": "...", "message": "..."}}.
+type APIError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+type errorEnvelope struct {
+	Error APIError `json:"error"`
+}
+
+// writeJSON marshals before touching the response so an unencodable value
+// (e.g. a bundle whose threshold froze to +Inf on degenerate training
+// data) yields a 500 envelope rather than a silent empty 200.
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		status = http.StatusInternalServerError
+		data, _ = json.Marshal(errorEnvelope{APIError{
+			Code: "internal", Message: "encode response: " + err.Error(),
+		}})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(append(data, '\n'))
+}
+
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, errorEnvelope{APIError{Code: code, Message: msg}})
+}
+
+// CheckBearer reports whether the request carries the given bearer token,
+// comparing in constant time. Daemons adding their own model-management
+// routes (e.g. cmd/msd's /reload) should guard them with the same check.
+func CheckBearer(r *http.Request, token string) bool {
+	return subtle.ConstantTimeCompare([]byte(r.Header.Get("Authorization")), []byte("Bearer "+token)) == 1
+}
+
+// writeScoreError maps the engine's typed errors onto HTTP statuses.
+func writeScoreError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrUserNotFound):
+		writeError(w, http.StatusNotFound, "user_not_found", err.Error())
+	case errors.Is(err, ErrBatchTooLarge):
+		writeError(w, http.StatusRequestEntityTooLarge, "batch_too_large", err.Error())
+	case errors.Is(err, ErrBundleInvalid):
+		writeError(w, http.StatusInternalServerError, "bundle_invalid", err.Error())
+	case errors.Is(err, ErrDimensionMismatch):
+		writeError(w, http.StatusInternalServerError, "dimension_mismatch", err.Error())
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusServiceUnavailable, "canceled", err.Error())
+	default:
+		writeError(w, http.StatusInternalServerError, "internal", err.Error())
+	}
+}
+
+// decodeBody decodes a JSON request body capped at limit bytes, writing
+// the appropriate envelope (413 for oversize, 400 for malformed) on
+// failure.
+func decodeBody(w http.ResponseWriter, r *http.Request, limit int64, v interface{}) bool {
+	err := json.NewDecoder(http.MaxBytesReader(w, r.Body, limit)).Decode(v)
+	if err == nil {
+		return true
+	}
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		writeError(w, http.StatusRequestEntityTooLarge, "body_too_large", err.Error())
+	} else {
+		writeError(w, http.StatusBadRequest, "bad_request", "malformed JSON: "+err.Error())
+	}
+	return false
+}
+
+// Handler returns the v1 HTTP mux:
+//
+//	POST /v1/score        score one transaction
+//	POST /v1/score/batch  score a batch in order
+//	GET  /v1/models       active bundle metadata
+//	POST /v1/models       hot-swap an encoded bundle
+//	GET  /v1/stats        bounded-histogram latency stats
+//	GET  /healthz         liveness
+//
+// The pre-v1 routes POST /score and GET /stats remain as deprecated
+// aliases.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/score", s.handleScore)
+	mux.HandleFunc("/v1/score/batch", s.handleScoreBatch)
+	mux.HandleFunc("/v1/models", s.handleModels)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	// Deprecated pre-v1 aliases.
+	mux.HandleFunc("/score", s.handleScore)
+	mux.HandleFunc("/stats", s.handleStats)
+	return mux
+}
+
+func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "POST only")
+		return
+	}
+	var req TxnRequest
+	if !decodeBody(w, r, maxScoreBytes, &req) {
+		return
+	}
+	t := req.Txn()
+	v, err := s.Score(r.Context(), &t)
+	if err != nil {
+		writeScoreError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+func (s *Server) handleScoreBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "POST only")
+		return
+	}
+	limit := int64(maxBatchBytes)
+	if s.maxBatch > 0 {
+		if l := int64(s.maxBatch)*maxTxnJSONBytes + 1024; l < limit {
+			limit = l
+		}
+	}
+	var req BatchRequest
+	if !decodeBody(w, r, limit, &req) {
+		return
+	}
+	// Reject oversize batches before converting, so a body of minimal
+	// JSON objects can't cost a second large allocation.
+	if s.maxBatch > 0 && len(req.Transactions) > s.maxBatch {
+		writeScoreError(w, batchTooLarge(len(req.Transactions), s.maxBatch))
+		return
+	}
+	txns := make([]txn.Transaction, len(req.Transactions))
+	for i := range req.Transactions {
+		txns[i] = req.Transactions[i].Txn()
+	}
+	verdicts, err := s.ScoreBatch(r.Context(), txns)
+	if err != nil {
+		writeScoreError(w, err)
+		return
+	}
+	if verdicts == nil {
+		verdicts = []Verdict{}
+	}
+	writeJSON(w, http.StatusOK, BatchResponse{Verdicts: verdicts})
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, s.ModelInfo())
+	case http.MethodPost:
+		if s.modelToken != "" && !CheckBearer(r, s.modelToken) {
+			writeError(w, http.StatusUnauthorized, "unauthorized", "model swap requires a valid bearer token")
+			return
+		}
+		raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBundleBytes))
+		if err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				writeError(w, http.StatusRequestEntityTooLarge, "bundle_too_large", err.Error())
+				return
+			}
+			writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+			return
+		}
+		b, err := DecodeBundle(raw)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bundle_invalid", err.Error())
+			return
+		}
+		if err := s.SetBundle(b); err != nil {
+			writeError(w, http.StatusBadRequest, "bundle_invalid", err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, s.ModelInfo())
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "GET or POST only")
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "GET only")
+		return
+	}
+	st := s.Latency()
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"scored": st.Count, "alerted": st.Alerted,
+		"p50_us": st.P50.Microseconds(), "p99_us": st.P99.Microseconds(),
+		"max_us": st.Max.Microseconds(), "version": s.BundleVersion(),
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	fmt.Fprintf(w, "ok version=%s\n", s.BundleVersion())
+}
+
+// ListenAndServe serves the v1 API on addr until ctx is cancelled, then
+// shuts down gracefully, draining in-flight requests for up to five
+// seconds. It returns nil after a clean shutdown.
+func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
+	return ListenAndServe(ctx, addr, s.Handler())
+}
+
+// ListenAndServe serves handler on addr with the same graceful-shutdown
+// contract as Server.ListenAndServe, for daemons that wrap the v1 mux
+// with extra routes.
+func ListenAndServe(ctx context.Context, addr string, handler http.Handler) error {
+	hs := &http.Server{Addr: addr, Handler: handler}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		serr := hs.Shutdown(sctx)
+		// Surface a startup failure (e.g. address already in use) that
+		// raced the cancellation instead of reporting a clean shutdown.
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return serr
+	}
+}

@@ -1,11 +1,9 @@
 package ms
 
 import (
-	"bytes"
-	"encoding/json"
+	"context"
+	"errors"
 	"math"
-	"net/http"
-	"net/http/httptest"
 	"sync"
 	"testing"
 	"time"
@@ -76,8 +74,12 @@ func TestBundleRoundTrip(t *testing.T) {
 }
 
 func TestDecodeBundleGarbage(t *testing.T) {
-	if _, err := DecodeBundle([]byte("junk")); err == nil {
+	_, err := DecodeBundle([]byte("junk"))
+	if err == nil {
 		t.Fatal("garbage accepted")
+	}
+	if !errors.Is(err, ErrBundleInvalid) {
+		t.Fatalf("err = %v, want ErrBundleInvalid", err)
 	}
 }
 
@@ -133,20 +135,20 @@ func TestUploadFetch(t *testing.T) {
 	if err := up.PutUser(&u, stats, emb); err != nil {
 		t.Fatal(err)
 	}
-	parts, err := fetchUser(tab, 9)
+	parts, found, err := fetchUser(tab, 9)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if parts.user.Age != 40 || parts.stats.OutCount != 12 || len(parts.emb) != 4 {
-		t.Fatalf("parts = %+v", parts)
+	if !found || parts.user.Age != 40 || parts.stats.OutCount != 12 || len(parts.emb) != 4 {
+		t.Fatalf("found=%v parts = %+v", found, parts)
 	}
-	// Unknown user: zero fragments, no error.
-	parts, err = fetchUser(tab, 999)
+	// Unknown user: zero fragments, found=false, no error.
+	parts, found, err = fetchUser(tab, 999)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if parts.user.Age != 0 || parts.emb != nil {
-		t.Fatalf("cold user parts = %+v", parts)
+	if found || parts.user.Age != 0 || parts.emb != nil {
+		t.Fatalf("cold user found=%v parts = %+v", found, parts)
 	}
 }
 
@@ -158,7 +160,7 @@ func TestVersionedUploadNewestWins(t *testing.T) {
 	_ = up1.PutUser(&u, feature.UserStats{OutCount: 1}, nil)
 	u.Age = 31
 	_ = up2.PutUser(&u, feature.UserStats{OutCount: 2}, nil)
-	parts, err := fetchUser(tab, 5)
+	parts, _, err := fetchUser(tab, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,17 +180,18 @@ func TestScoreAndAlert(t *testing.T) {
 	}
 	var alerts []txn.TxnID
 	var mu sync.Mutex
-	srv, err := NewServer(tab, trainToy(t, 0), func(t *txn.Transaction, score float64) {
+	srv, err := New(tab, trainToy(t, 0), WithAlert(func(t *txn.Transaction, score float64) {
 		mu.Lock()
 		alerts = append(alerts, t.ID)
 		mu.Unlock()
-	})
+	}))
 	if err != nil {
 		t.Fatal(err)
 	}
+	ctx := context.Background()
 	// High amount -> fraud alert.
 	hot := txn.Transaction{ID: 2, From: 1, To: 2, Amount: 1900}
-	v, err := srv.Score(&hot)
+	v, err := srv.Score(ctx, &hot)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,7 +200,7 @@ func TestScoreAndAlert(t *testing.T) {
 	}
 	// Low amount -> pass.
 	cold := txn.Transaction{ID: 3, From: 1, To: 2, Amount: 5}
-	v, err = srv.Score(&cold)
+	v, err = srv.Score(ctx, &cold)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,19 +227,158 @@ func TestScoreWithEmbeddings(t *testing.T) {
 	u2 := txn.User{ID: 2}
 	_ = up.PutUser(&u1, feature.UserStats{}, emb)
 	_ = up.PutUser(&u2, feature.UserStats{}, nil) // cold: no embedding
-	srv, err := NewServer(tab, trainToy(t, 8), nil)
+	srv, err := New(tab, trainToy(t, 8))
 	if err != nil {
 		t.Fatal(err)
 	}
 	tx := txn.Transaction{ID: 1, From: 1, To: 2, Amount: 100}
-	if _, err := srv.Score(&tx); err != nil {
+	if _, err := srv.Score(context.Background(), &tx); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// A stored embedding whose length disagrees with the model's dimension is
+// a typed error, never a silently truncated half-zero vector.
+func TestScoreDimensionMismatch(t *testing.T) {
+	tab := table(t)
+	up := &Uploader{Table: tab}
+	u1 := txn.User{ID: 1}
+	u2 := txn.User{ID: 2}
+	_ = up.PutUser(&u1, feature.UserStats{}, []float32{1, 2, 3}) // model wants 8
+	_ = up.PutUser(&u2, feature.UserStats{}, nil)
+	srv, err := New(tab, trainToy(t, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := txn.Transaction{ID: 1, From: 1, To: 2, Amount: 100}
+	if _, err := srv.Score(context.Background(), &tx); !errors.Is(err, ErrDimensionMismatch) {
+		t.Fatalf("err = %v, want ErrDimensionMismatch", err)
+	}
+	if _, err := srv.ScoreBatch(context.Background(), []txn.Transaction{tx}); !errors.Is(err, ErrDimensionMismatch) {
+		t.Fatalf("batch err = %v, want ErrDimensionMismatch", err)
+	}
+}
+
+// Score must respect an already-cancelled context: return promptly with
+// ctx.Err() and never fire the alert callback.
+func TestScoreCancelledContext(t *testing.T) {
+	tab := table(t)
+	up := &Uploader{Table: tab}
+	for i := txn.UserID(1); i <= 2; i++ {
+		u := txn.User{ID: i}
+		_ = up.PutUser(&u, feature.UserStats{}, nil)
+	}
+	alerted := false
+	srv, err := New(tab, trainToy(t, 0), WithAlert(func(*txn.Transaction, float64) { alerted = true }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	hot := txn.Transaction{ID: 1, From: 1, To: 2, Amount: 1900} // would alert
+	start := time.Now()
+	if _, err := srv.Score(ctx, &hot); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if _, err := srv.ScoreBatch(ctx, []txn.Transaction{hot}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("batch err = %v, want context.Canceled", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("cancelled calls took %v, want prompt return", d)
+	}
+	if alerted {
+		t.Fatal("alert fired under a cancelled context")
+	}
+	if st := srv.Latency(); st.Count != 0 {
+		t.Fatalf("cancelled scores recorded: %+v", st)
+	}
+}
+
+func TestStrictUsers(t *testing.T) {
+	tab := table(t)
+	up := &Uploader{Table: tab}
+	u := txn.User{ID: 1}
+	_ = up.PutUser(&u, feature.UserStats{}, nil)
+	srv, err := New(tab, trainToy(t, 0), WithStrictUsers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := txn.Transaction{ID: 1, From: 1, To: 404, Amount: 10}
+	if _, err := srv.Score(context.Background(), &tx); !errors.Is(err, ErrUserNotFound) {
+		t.Fatalf("err = %v, want ErrUserNotFound", err)
+	}
+	if _, err := srv.ScoreBatch(context.Background(), []txn.Transaction{tx}); !errors.Is(err, ErrUserNotFound) {
+		t.Fatalf("batch err = %v, want ErrUserNotFound", err)
+	}
+}
+
+// ScoreBatch preserves input order and agrees verdict-for-verdict with
+// the sequential path.
+func TestScoreBatchMatchesSequential(t *testing.T) {
+	tab := table(t)
+	up := &Uploader{Table: tab}
+	for i := txn.UserID(0); i < 50; i++ {
+		u := txn.User{ID: i, Age: uint8(20 + i%40)}
+		_ = up.PutUser(&u, feature.UserStats{OutCount: float64(i)}, nil)
+	}
+	srv, err := New(tab, trainToy(t, 0), WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(7)
+	txns := make([]txn.Transaction, 300)
+	for i := range txns {
+		txns[i] = txn.Transaction{
+			ID:   txn.TxnID(i + 1),
+			From: txn.UserID(r.Intn(50)), To: txn.UserID(r.Intn(50)),
+			Amount: float32(r.Float64() * 2000),
+		}
+	}
+	ctx := context.Background()
+	verdicts, err := srv.ScoreBatch(ctx, txns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(verdicts) != len(txns) {
+		t.Fatalf("got %d verdicts, want %d", len(verdicts), len(txns))
+	}
+	for i := range txns {
+		want, err := srv.Score(ctx, &txns[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := verdicts[i]
+		if got.TxnID != txns[i].ID {
+			t.Fatalf("verdict %d out of order: txn %d", i, got.TxnID)
+		}
+		if got.Score != want.Score || got.Fraud != want.Fraud {
+			t.Fatalf("verdict %d: batch %+v != sequential %+v", i, got, want)
+		}
+	}
+	if st := srv.Latency(); st.Count != int64(2*len(txns)) {
+		t.Fatalf("stats count = %d, want %d", st.Count, 2*len(txns))
+	}
+}
+
+func TestScoreBatchLimits(t *testing.T) {
+	tab := table(t)
+	srv, err := New(tab, trainToy(t, 0), WithMaxBatch(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if v, err := srv.ScoreBatch(ctx, nil); err != nil || v != nil {
+		t.Fatalf("empty batch: %v, %v", v, err)
+	}
+	txns := make([]txn.Transaction, 3)
+	if _, err := srv.ScoreBatch(ctx, txns); !errors.Is(err, ErrBatchTooLarge) {
+		t.Fatalf("err = %v, want ErrBatchTooLarge", err)
 	}
 }
 
 func TestHotSwapBundle(t *testing.T) {
 	tab := table(t)
-	srv, err := NewServer(tab, trainToy(t, 0), nil)
+	srv, err := New(tab, trainToy(t, 0))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -251,61 +393,48 @@ func TestHotSwapBundle(t *testing.T) {
 	if srv.BundleVersion() != "2017-04-11" {
 		t.Fatal("hot swap failed")
 	}
+	info := srv.ModelInfo()
+	if info.Version != "2017-04-11" || info.Threshold != 0.5 || info.EmbeddingDim != 0 {
+		t.Fatalf("model info = %+v", info)
+	}
+	if err := srv.SetBundle(nil); !errors.Is(err, ErrBundleInvalid) {
+		t.Fatalf("nil bundle: %v, want ErrBundleInvalid", err)
+	}
 }
 
-func TestHTTPEndpoints(t *testing.T) {
+// A bundle whose declared EmbeddingDim disagrees with the classifier's
+// trained input width must be rejected at every publication point —
+// otherwise it would hot-swap cleanly and panic inside Score.
+func TestBundleWidthMismatchRejected(t *testing.T) {
 	tab := table(t)
-	up := &Uploader{Table: tab}
-	for i := txn.UserID(1); i <= 2; i++ {
-		u := txn.User{ID: i}
-		_ = up.PutUser(&u, feature.UserStats{}, nil)
-	}
-	srv, err := NewServer(tab, trainToy(t, 0), nil)
+	good := trainToy(t, 0) // classifier trained on NumBasic features
+	clf, err := good.Classifier()
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(srv.Handler())
-	defer ts.Close()
-
-	// /score
-	body, _ := json.Marshal(TxnRequest{ID: 7, From: 1, To: 2, Amount: 1800})
-	resp, err := http.Post(ts.URL+"/score", "application/json", bytes.NewReader(body))
+	if _, err := NewBundle("bad", clf, 0.5, good.City, 8); !errors.Is(err, ErrBundleInvalid) {
+		t.Fatalf("NewBundle: %v, want ErrBundleInvalid", err)
+	}
+	// Forge the inconsistency past the constructor, as a corrupt or
+	// hand-rolled upload would.
+	bad := trainToy(t, 0)
+	bad.EmbeddingDim = 8
+	if _, err := New(tab, bad); !errors.Is(err, ErrBundleInvalid) {
+		t.Fatalf("New: %v, want ErrBundleInvalid", err)
+	}
+	srv, err := New(tab, good)
 	if err != nil {
 		t.Fatal(err)
 	}
-	var v Verdict
-	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
-		t.Fatal(err)
+	if err := srv.SetBundle(bad); !errors.Is(err, ErrBundleInvalid) {
+		t.Fatalf("SetBundle: %v, want ErrBundleInvalid", err)
 	}
-	resp.Body.Close()
-	if v.TxnID != 7 || !v.Fraud {
-		t.Fatalf("verdict = %+v", v)
-	}
-
-	// /score rejects GET and bad JSON.
-	if resp, _ := http.Get(ts.URL + "/score"); resp.StatusCode != http.StatusMethodNotAllowed {
-		t.Errorf("GET /score = %d", resp.StatusCode)
-	}
-	if resp, _ := http.Post(ts.URL+"/score", "application/json", bytes.NewReader([]byte("{"))); resp.StatusCode != http.StatusBadRequest {
-		t.Errorf("bad JSON = %d", resp.StatusCode)
-	}
-
-	// /healthz
-	if resp, _ := http.Get(ts.URL + "/healthz"); resp.StatusCode != http.StatusOK {
-		t.Errorf("healthz = %d", resp.StatusCode)
-	}
-	// /stats
-	resp, err = http.Get(ts.URL + "/stats")
+	raw, err := bad.Encode()
 	if err != nil {
 		t.Fatal(err)
 	}
-	var stats map[string]interface{}
-	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if stats["scored"].(float64) < 1 {
-		t.Errorf("stats = %v", stats)
+	if _, err := DecodeBundle(raw); !errors.Is(err, ErrBundleInvalid) {
+		t.Fatalf("DecodeBundle: %v, want ErrBundleInvalid", err)
 	}
 }
 
@@ -318,10 +447,11 @@ func TestMillisecondLatency(t *testing.T) {
 		u := txn.User{ID: i, Age: uint8(20 + i%50)}
 		_ = up.PutUser(&u, feature.UserStats{OutCount: float64(i)}, nil)
 	}
-	srv, err := NewServer(tab, trainToy(t, 0), nil)
+	srv, err := New(tab, trainToy(t, 0))
 	if err != nil {
 		t.Fatal(err)
 	}
+	ctx := context.Background()
 	r := rng.New(2)
 	for i := 0; i < 500; i++ {
 		tx := txn.Transaction{
@@ -329,7 +459,7 @@ func TestMillisecondLatency(t *testing.T) {
 			From: txn.UserID(r.Intn(200)), To: txn.UserID(r.Intn(200)),
 			Amount: float32(r.Float64() * 2000),
 		}
-		if _, err := srv.Score(&tx); err != nil {
+		if _, err := srv.Score(ctx, &tx); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -339,13 +469,61 @@ func TestMillisecondLatency(t *testing.T) {
 	}
 }
 
+func TestHistogram(t *testing.T) {
+	h := newHistogram([]time.Duration{time.Millisecond, 10 * time.Millisecond, 100 * time.Millisecond})
+	for i := 0; i < 98; i++ {
+		h.record(500 * time.Microsecond) // first bucket
+	}
+	h.record(5 * time.Millisecond)   // second bucket
+	h.record(250 * time.Millisecond) // overflow bucket
+	counts, total := h.snapshot()
+	if total != 100 {
+		t.Fatalf("total = %d", total)
+	}
+	if counts[0] != 98 || counts[1] != 1 || counts[3] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+	max := time.Duration(h.max.Load())
+	if max != 250*time.Millisecond {
+		t.Fatalf("max = %v", max)
+	}
+	if p50 := quantileFrom(h.bounds, counts, total, max, 0.50); p50 != time.Millisecond {
+		t.Fatalf("p50 = %v", p50)
+	}
+	if p99 := quantileFrom(h.bounds, counts, total, max, 0.99); p99 != 10*time.Millisecond {
+		t.Fatalf("p99 = %v", p99)
+	}
+	if p100 := quantileFrom(h.bounds, counts, total, max, 1); p100 != max {
+		t.Fatalf("p100 = %v", p100)
+	}
+	if empty := quantileFrom(h.bounds, make([]int64, 4), 0, 0, 0.99); empty != 0 {
+		t.Fatalf("empty quantile = %v", empty)
+	}
+}
+
+func TestHistogramSanitisesBounds(t *testing.T) {
+	// Unordered, duplicated and non-positive bounds are cleaned up.
+	h := newHistogram([]time.Duration{time.Second, -1, time.Millisecond, time.Second, 0})
+	if len(h.bounds) != 2 || h.bounds[0] != time.Millisecond || h.bounds[1] != time.Second {
+		t.Fatalf("bounds = %v", h.bounds)
+	}
+	// An all-invalid set falls back to the defaults.
+	if h := newHistogram(nil); len(h.bounds) != len(defaultHistBounds()) {
+		t.Fatalf("default bounds = %v", h.bounds)
+	}
+}
+
 func TestNewServerValidation(t *testing.T) {
 	tab := table(t)
-	if _, err := NewServer(nil, trainToy(t, 0), nil); err == nil {
+	if _, err := New(nil, trainToy(t, 0)); err == nil {
 		t.Error("nil table accepted")
 	}
-	if _, err := NewServer(tab, nil, nil); err == nil {
+	if _, err := New(tab, nil); !errors.Is(err, ErrBundleInvalid) {
 		t.Error("nil bundle accepted")
+	}
+	// The deprecated constructor still works.
+	if _, err := NewServer(tab, trainToy(t, 0), nil); err != nil {
+		t.Errorf("NewServer: %v", err)
 	}
 }
 

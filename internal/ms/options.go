@@ -1,0 +1,62 @@
+package ms
+
+import (
+	"runtime"
+	"time"
+)
+
+// DefaultMaxBatch is the ScoreBatch size limit of an engine built without
+// WithMaxBatch.
+const DefaultMaxBatch = 4096
+
+// Option configures the scoring engine built by New.
+type Option func(*Server)
+
+// WithAlert sets the fraud-interruption callback invoked for every
+// transaction scored at or above the bundle threshold.
+func WithAlert(a Alert) Option {
+	return func(s *Server) { s.alert = a }
+}
+
+// WithWorkers sets the fan-out width of ScoreBatch's fetch and score
+// phases. Values below 1 keep the default (GOMAXPROCS).
+func WithWorkers(n int) Option {
+	return func(s *Server) {
+		if n >= 1 {
+			s.workers = n
+		}
+	}
+}
+
+// WithHistogram replaces the default latency buckets with custom upper
+// bounds (ascending; sanitised by the engine). Percentile resolution is
+// the bucket spacing, so tune the bounds to the deployment's latency
+// envelope.
+func WithHistogram(bounds []time.Duration) Option {
+	return func(s *Server) { s.hist = newHistogram(bounds) }
+}
+
+// WithStrictUsers makes scoring fail with ErrUserNotFound when the sender
+// or receiver has no row in the feature store. The default is the paper's
+// lenient cold-start behaviour: unknown users score with all-zero
+// fragments.
+func WithStrictUsers() Option {
+	return func(s *Server) { s.strict = true }
+}
+
+// WithMaxBatch overrides the ScoreBatch size limit. n <= 0 removes the
+// limit entirely.
+func WithMaxBatch(n int) Option {
+	return func(s *Server) { s.maxBatch = n }
+}
+
+// WithModelToken guards POST /v1/models behind a bearer token: requests
+// must carry "Authorization: Bearer <token>" or are rejected with 401.
+// Without this option the route is open — acceptable on a private
+// network, but any client that can reach the scoring port can then
+// replace the live model.
+func WithModelToken(token string) Option {
+	return func(s *Server) { s.modelToken = token }
+}
+
+func defaultWorkers() int { return runtime.GOMAXPROCS(0) }

@@ -4,19 +4,25 @@
 // Ali-HBase, scores the transaction in milliseconds, and alerts the Alipay
 // server to interrupt the transfer when the predicted fraud probability
 // crosses the threshold.
+//
+// The serving surface is the v1 engine: a functional-options constructor
+// (New), context-aware single scoring (Score), batch scoring with
+// per-batch user-fetch deduplication over a worker pool (ScoreBatch), a
+// bounded log-bucketed latency histogram, a typed error model (errors.go),
+// and a versioned HTTP API (http.go).
 package ms
 
 import (
-	"encoding/json"
+	"context"
 	"errors"
 	"fmt"
-	"net/http"
-	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"titant/internal/feature"
 	"titant/internal/hbase"
+	"titant/internal/model"
 	"titant/internal/txn"
 )
 
@@ -33,31 +39,56 @@ type Server struct {
 	mu     sync.RWMutex
 	bundle *Bundle
 
-	alert Alert
+	alert      Alert
+	workers    int
+	strict     bool
+	maxBatch   int
+	modelToken string
 
-	latMu     sync.Mutex
-	latencies []time.Duration
-	scored    int64
-	alerted   int64
+	hist    *histogram
+	scored  atomic.Int64
+	alerted atomic.Int64
 }
 
-// NewServer builds a Model Server over a feature table. alert may be nil.
-func NewServer(table *hbase.Table, bundle *Bundle, alert Alert) (*Server, error) {
+// New builds the v1 scoring engine over a feature table.
+func New(table *hbase.Table, bundle *Bundle, opts ...Option) (*Server, error) {
 	if table == nil {
 		return nil, errors.New("ms: nil feature table")
 	}
 	if bundle == nil {
-		return nil, errors.New("ms: nil bundle")
+		return nil, fmt.Errorf("%w: nil bundle", ErrBundleInvalid)
 	}
-	if _, err := bundle.Classifier(); err != nil {
+	if err := bundle.validate(); err != nil {
 		return nil, err
 	}
-	return &Server{table: table, bundle: bundle, alert: alert}, nil
+	s := &Server{
+		table:    table,
+		bundle:   bundle,
+		workers:  defaultWorkers(),
+		maxBatch: DefaultMaxBatch,
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	if s.hist == nil {
+		s.hist = newHistogram(defaultHistBounds())
+	}
+	return s, nil
+}
+
+// NewServer builds a Model Server over a feature table. alert may be nil.
+//
+// Deprecated: use New with WithAlert.
+func NewServer(table *hbase.Table, bundle *Bundle, alert Alert) (*Server, error) {
+	return New(table, bundle, WithAlert(alert))
 }
 
 // SetBundle hot-swaps the model (the paper's periodic model-file update).
 func (s *Server) SetBundle(b *Bundle) error {
-	if _, err := b.Classifier(); err != nil {
+	if b == nil {
+		return fmt.Errorf("%w: nil bundle", ErrBundleInvalid)
+	}
+	if err := b.validate(); err != nil {
 		return err
 	}
 	s.mu.Lock()
@@ -66,11 +97,28 @@ func (s *Server) SetBundle(b *Bundle) error {
 	return nil
 }
 
-// BundleVersion returns the active bundle's version string.
-func (s *Server) BundleVersion() string {
+func (s *Server) currentBundle() *Bundle {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return s.bundle.Version
+	return s.bundle
+}
+
+// BundleVersion returns the active bundle's version string.
+func (s *Server) BundleVersion() string {
+	return s.currentBundle().Version
+}
+
+// ModelInfo describes the active bundle (GET /v1/models).
+type ModelInfo struct {
+	Version      string  `json:"version"`
+	Threshold    float64 `json:"threshold"`
+	EmbeddingDim int     `json:"embedding_dim"`
+}
+
+// ModelInfo returns the active bundle's metadata.
+func (s *Server) ModelInfo() ModelInfo {
+	b := s.currentBundle()
+	return ModelInfo{Version: b.Version, Threshold: b.Threshold, EmbeddingDim: b.EmbeddingDim}
 }
 
 // Verdict is a scoring outcome.
@@ -83,60 +131,259 @@ type Verdict struct {
 }
 
 // Score runs the full online path for one transaction: fetch both users'
-// fragments from HBase, assemble the feature vector, run the model, fire
-// the alert if the score crosses the threshold.
-func (s *Server) Score(t *txn.Transaction) (Verdict, error) {
+// fragments from HBase concurrently, assemble the feature vector, run the
+// model, fire the alert if the score crosses the threshold. Cancellation
+// and deadlines on ctx are honoured; a cancelled context returns promptly
+// with ctx.Err() and never fires the alert.
+func (s *Server) Score(ctx context.Context, t *txn.Transaction) (Verdict, error) {
 	start := time.Now()
-	s.mu.RLock()
-	bundle := s.bundle
-	s.mu.RUnlock()
+	if err := ctx.Err(); err != nil {
+		return Verdict{}, err
+	}
+	bundle := s.currentBundle()
 	clf, err := bundle.Classifier()
 	if err != nil {
 		return Verdict{}, err
 	}
-
-	from, err := fetchUser(s.table, t.From)
+	from, to, err := s.fetchPair(ctx, t.From, t.To)
 	if err != nil {
-		return Verdict{}, fmt.Errorf("ms: fetch sender: %w", err)
+		return Verdict{}, err
 	}
-	to, err := fetchUser(s.table, t.To)
+	v, err := scoreCore(t, &from, &to, bundle, clf)
 	if err != nil {
-		return Verdict{}, fmt.Errorf("ms: fetch receiver: %w", err)
+		return Verdict{}, err
+	}
+	// Re-check after all the work so a deadline that expired mid-fetch or
+	// mid-score upholds the no-alert guarantee.
+	if err := ctx.Err(); err != nil {
+		return Verdict{}, err
+	}
+	v.Latency = time.Since(start)
+	s.observe(t, &v)
+	return v, nil
+}
+
+// ScoreBatch scores a batch in input order: it deduplicates the batch's
+// user set, fetches each distinct user once across the worker pool, then
+// fans the scoring itself out over the same pool. The first per-item
+// error aborts the batch. Verdict latencies measure each item's model
+// time plus its amortised share of the batch's fetch phase, so they are
+// comparable with Score's fetch-inclusive latencies in the shared
+// histogram; the batch's end-to-end time is the caller's to observe.
+func (s *Server) ScoreBatch(ctx context.Context, txns []txn.Transaction) ([]Verdict, error) {
+	if len(txns) == 0 {
+		return nil, nil
+	}
+	if s.maxBatch > 0 && len(txns) > s.maxBatch {
+		return nil, batchTooLarge(len(txns), s.maxBatch)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	bundle := s.currentBundle()
+	clf, err := bundle.Classifier()
+	if err != nil {
+		return nil, err
 	}
 
+	// Phase 1: fetch each distinct user in the batch exactly once.
+	fetchStart := time.Now()
+	index := make(map[txn.UserID]int, 2*len(txns))
+	ids := make([]txn.UserID, 0, 2*len(txns))
+	add := func(u txn.UserID) {
+		if _, ok := index[u]; !ok {
+			index[u] = len(ids)
+			ids = append(ids, u)
+		}
+	}
+	for i := range txns {
+		add(txns[i].From)
+		add(txns[i].To)
+	}
+	parts := make([]userParts, len(ids))
+	if err := s.runPool(ctx, len(ids), func(i int) error {
+		p, err := s.fetchOne(ids[i])
+		if err != nil {
+			return err
+		}
+		parts[i] = p
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	fetchShare := time.Since(fetchStart) / time.Duration(len(txns))
+
+	// Phase 2: score every transaction over the pool, preserving order.
+	verdicts := make([]Verdict, len(txns))
+	if err := s.runPool(ctx, len(txns), func(i int) error {
+		t := &txns[i]
+		itemStart := time.Now()
+		v, err := scoreCore(t, &parts[index[t.From]], &parts[index[t.To]], bundle, clf)
+		if err != nil {
+			return fmt.Errorf("ms: txn %d: %w", t.ID, err)
+		}
+		v.Latency = time.Since(itemStart) + fetchShare
+		verdicts[i] = v
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	for i := range verdicts {
+		s.observe(&txns[i], &verdicts[i])
+	}
+	return verdicts, nil
+}
+
+// scoreCore assembles the feature vector and runs the classifier; the
+// caller records latency, counters and alerts.
+func scoreCore(t *txn.Transaction, from, to *userParts, bundle *Bundle, clf model.Classifier) (Verdict, error) {
 	dim := bundle.EmbeddingDim
-	width := feature.NumBasic + 2*dim
-	x := make([]float64, width)
+	x := make([]float64, feature.NumBasic+2*dim)
 	feature.BasicFromParts(t, &from.user, &to.user, bundle.City, x[:feature.NumBasic])
 	if dim > 0 {
-		copyEmb(x[feature.NumBasic:feature.NumBasic+dim], from.emb)
-		copyEmb(x[feature.NumBasic+dim:], to.emb)
+		if err := copyEmb(x[feature.NumBasic:feature.NumBasic+dim], from.emb, t.From); err != nil {
+			return Verdict{}, err
+		}
+		if err := copyEmb(x[feature.NumBasic+dim:], to.emb, t.To); err != nil {
+			return Verdict{}, err
+		}
 	}
-
 	score := clf.Score(x)
-	v := Verdict{
+	return Verdict{
 		TxnID:   t.ID,
 		Score:   score,
 		Fraud:   score >= bundle.Threshold,
 		Version: bundle.Version,
-		Latency: time.Since(start),
-	}
-	s.latMu.Lock()
-	s.scored++
-	if v.Fraud {
-		s.alerted++
-	}
-	s.latencies = append(s.latencies, v.Latency)
-	s.latMu.Unlock()
-	if v.Fraud && s.alert != nil {
-		s.alert(t, score)
-	}
-	return v, nil
+	}, nil
 }
 
-func copyEmb(dst []float64, src []float32) {
-	for i := 0; i < len(dst) && i < len(src); i++ {
-		dst[i] = float64(src[i])
+// copyEmb widens a stored float32 embedding into the feature vector. An
+// absent embedding (cold-start user) leaves the zero vector; any other
+// length disagreement is data corruption and refuses to score.
+func copyEmb(dst []float64, src []float32, u txn.UserID) error {
+	if len(src) == 0 {
+		return nil
+	}
+	if len(src) != len(dst) {
+		return fmt.Errorf("%w: user %d has %d dims, model wants %d",
+			ErrDimensionMismatch, u, len(src), len(dst))
+	}
+	for i, v := range src {
+		dst[i] = float64(v)
+	}
+	return nil
+}
+
+// fetchOne reads one user's fragments, applying the strict-users policy.
+func (s *Server) fetchOne(u txn.UserID) (userParts, error) {
+	parts, found, err := fetchUser(s.table, u)
+	if err != nil {
+		return parts, fmt.Errorf("ms: fetch user %d: %w", u, err)
+	}
+	if !found && s.strict {
+		return parts, fmt.Errorf("%w: user %d", ErrUserNotFound, u)
+	}
+	return parts, nil
+}
+
+// fetchPair reads the sender's and receiver's fragments concurrently:
+// one goroutine for the sender, the receiver inline, so the hot path
+// pays a single spawn rather than a full worker-pool round.
+func (s *Server) fetchPair(ctx context.Context, from, to txn.UserID) (userParts, userParts, error) {
+	type result struct {
+		parts userParts
+		err   error
+	}
+	fc := make(chan result, 1)
+	go func() {
+		p, err := s.fetchOne(from)
+		fc <- result{p, err}
+	}()
+	tp, terr := s.fetchOne(to)
+	var fp userParts
+	if terr != nil {
+		// Surface the receiver's error without waiting out the sender
+		// fetch; fc is buffered, so the goroutine cannot leak.
+		return fp, tp, terr
+	}
+	select {
+	case <-ctx.Done():
+		return fp, tp, ctx.Err()
+	case r := <-fc:
+		if r.err != nil {
+			return fp, tp, r.err
+		}
+		fp = r.parts
+	}
+	return fp, tp, nil
+}
+
+// runPool runs fn(0..n-1) across the engine's worker pool, stopping at
+// the first error or context cancellation.
+func (s *Server) runPool(ctx context.Context, n int, fn func(int) error) error {
+	workers := s.workers
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var (
+		next     atomic.Int64
+		stop     atomic.Bool
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		stop.Store(true)
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+	done := ctx.Done()
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || stop.Load() {
+					return
+				}
+				select {
+				case <-done:
+					fail(ctx.Err())
+					return
+				default:
+				}
+				if err := fn(i); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// observe records one verdict's counters and latency, firing the alert
+// for fraudulent transactions.
+func (s *Server) observe(t *txn.Transaction, v *Verdict) {
+	s.scored.Add(1)
+	s.hist.record(v.Latency)
+	if v.Fraud {
+		s.alerted.Add(1)
+		if s.alert != nil {
+			s.alert(t, v.Score)
+		}
 	}
 }
 
@@ -149,82 +396,17 @@ type LatencyStats struct {
 	Max     time.Duration
 }
 
-// Latency returns percentile statistics over all scored requests.
+// Latency returns percentile statistics over all scored requests. The
+// read is O(buckets): percentiles come from the bounded histogram, not a
+// sample log.
 func (s *Server) Latency() LatencyStats {
-	s.latMu.Lock()
-	defer s.latMu.Unlock()
-	st := LatencyStats{Count: s.scored, Alerted: s.alerted}
-	if len(s.latencies) == 0 {
-		return st
+	counts, total := s.hist.snapshot()
+	max := time.Duration(s.hist.max.Load())
+	return LatencyStats{
+		Count:   s.scored.Load(),
+		Alerted: s.alerted.Load(),
+		P50:     quantileFrom(s.hist.bounds, counts, total, max, 0.50),
+		P99:     quantileFrom(s.hist.bounds, counts, total, max, 0.99),
+		Max:     max,
 	}
-	ls := append([]time.Duration(nil), s.latencies...)
-	sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
-	st.P50 = ls[len(ls)/2]
-	st.P99 = ls[(len(ls)*99)/100]
-	st.Max = ls[len(ls)-1]
-	return st
-}
-
-// --- HTTP front end ---
-
-// TxnRequest is the JSON wire format of a scoring request.
-type TxnRequest struct {
-	ID         int64   `json:"id"`
-	Day        int     `json:"day"`
-	Sec        int32   `json:"sec"`
-	From       int32   `json:"from"`
-	To         int32   `json:"to"`
-	Amount     float32 `json:"amount"`
-	TransCity  uint16  `json:"trans_city"`
-	DeviceRisk float32 `json:"device_risk"`
-	IPRisk     float32 `json:"ip_risk"`
-	Channel    uint8   `json:"channel"`
-}
-
-// Txn converts the wire format to the internal record.
-func (r *TxnRequest) Txn() txn.Transaction {
-	return txn.Transaction{
-		ID: txn.TxnID(r.ID), Day: txn.Day(r.Day), Sec: r.Sec,
-		From: txn.UserID(r.From), To: txn.UserID(r.To),
-		Amount: r.Amount, TransCity: r.TransCity,
-		DeviceRisk: r.DeviceRisk, IPRisk: r.IPRisk,
-		Channel: txn.Channel(r.Channel),
-	}
-}
-
-// Handler returns the HTTP mux: POST /score, GET /healthz, GET /stats.
-func (s *Server) Handler() http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/score", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost {
-			http.Error(w, "POST only", http.StatusMethodNotAllowed)
-			return
-		}
-		var req TxnRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
-			return
-		}
-		t := req.Txn()
-		v, err := s.Score(&t)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-			return
-		}
-		w.Header().Set("Content-Type", "application/json")
-		_ = json.NewEncoder(w).Encode(v)
-	})
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintf(w, "ok version=%s\n", s.BundleVersion())
-	})
-	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
-		st := s.Latency()
-		w.Header().Set("Content-Type", "application/json")
-		_ = json.NewEncoder(w).Encode(map[string]interface{}{
-			"scored": st.Count, "alerted": st.Alerted,
-			"p50_us": st.P50.Microseconds(), "p99_us": st.P99.Microseconds(),
-			"max_us": st.Max.Microseconds(), "version": s.BundleVersion(),
-		})
-	})
-	return mux
 }

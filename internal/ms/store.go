@@ -2,6 +2,7 @@ package ms
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
 	"strconv"
@@ -141,27 +142,31 @@ type userParts struct {
 	emb   []float32
 }
 
-// fetchUser reads one user's row. Missing rows yield zero fragments
-// (cold-start users are served with empty history, never errors).
-func fetchUser(tab *hbase.Table, u txn.UserID) (userParts, error) {
+// fetchUser reads one user's row. Missing rows yield zero fragments with
+// found=false; the engine's strict-users policy decides whether that is
+// an error (the default serves cold-start users with empty history).
+func fetchUser(tab *hbase.Table, u txn.UserID) (userParts, bool, error) {
 	var out userParts
 	out.user.ID = u
 	row, err := tab.GetRow(RowKey(u))
 	if err != nil {
-		return out, nil // unknown user: all-zero fragments
+		if errors.Is(err, hbase.ErrNotFound) {
+			return out, false, nil // unknown user: all-zero fragments
+		}
+		return out, false, err
 	}
 	if bf, ok := row[FamilyBasic]; ok {
 		if pb, ok := bf[QualProfile]; ok {
 			p, err := decodeProfile(pb)
 			if err != nil {
-				return out, err
+				return out, true, err
 			}
 			out.user = p
 		}
 		if sb, ok := bf[QualStats]; ok {
 			s, err := decodeStats(sb)
 			if err != nil {
-				return out, err
+				return out, true, err
 			}
 			out.stats = s
 		}
@@ -171,5 +176,5 @@ func fetchUser(tab *hbase.Table, u txn.UserID) (userParts, error) {
 			out.emb = decodeVec(vb)
 		}
 	}
-	return out, nil
+	return out, true, nil
 }

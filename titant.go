@@ -16,12 +16,23 @@
 //	res := titant.TrainEval(world.Users, ds, titant.FeatBasicDW, titant.DetGBDT, emb, opts)
 //	fmt.Println(res.F1)
 //
+// For online serving, deploy a trained bundle into a feature table and
+// build the v1 scoring engine:
+//
+//	eng, _ := titant.NewEngine(tab, bundle, titant.WithAlert(onFraud))
+//	v, _ := eng.Score(ctx, &tx)                 // single, context-aware
+//	vs, _ := eng.ScoreBatch(ctx, batch)         // fan-out + fetch dedup
+//	_ = eng.ListenAndServe(ctx, ":8070")        // POST /v1/score, ...
+//
 // See the examples/ directory for runnable end-to-end programs, DESIGN.md
 // for the system inventory, and EXPERIMENTS.md for the paper-vs-measured
 // record of every table and figure.
 package titant
 
 import (
+	"context"
+	"time"
+
 	"titant/internal/core"
 	"titant/internal/exp"
 	"titant/internal/hbase"
@@ -57,8 +68,18 @@ type (
 	Classifier = model.Classifier
 	// Bundle is the model artefact served by the Model Server.
 	Bundle = ms.Bundle
-	// ModelServer scores live transactions (Figure 5).
-	ModelServer = ms.Server
+	// Engine is the v1 online scoring engine (Figure 5): context-aware
+	// Score, batch-first ScoreBatch, functional options, typed errors and
+	// the versioned HTTP API.
+	Engine = ms.Server
+	// EngineOption configures the scoring engine (see WithAlert,
+	// WithWorkers, WithHistogram, WithStrictUsers, WithMaxBatch).
+	EngineOption = ms.Option
+	// Alert is the fraud-interruption callback fired for transactions
+	// scored at or above the bundle threshold.
+	Alert = ms.Alert
+	// Verdict is one transaction's scoring outcome.
+	Verdict = ms.Verdict
 	// FeatureTable is the column-family online feature store (Figure 7).
 	FeatureTable = hbase.Table
 	// ExperimentConfig scales a paper-experiment run.
@@ -119,9 +140,53 @@ func Deploy(users []User, ds *Dataset, emb *Embeddings, clf Classifier, threshol
 	return core.Deploy(users, ds, emb, clf, threshold, opts, tab, version)
 }
 
+// NewEngine builds the v1 online scoring engine over the feature table.
+func NewEngine(tab *FeatureTable, bundle *Bundle, opts ...EngineOption) (*Engine, error) {
+	return ms.New(tab, bundle, opts...)
+}
+
+// WithAlert sets the fraud-interruption callback.
+func WithAlert(a Alert) EngineOption { return ms.WithAlert(a) }
+
+// WithWorkers sets the batch fan-out width (default GOMAXPROCS).
+func WithWorkers(n int) EngineOption { return ms.WithWorkers(n) }
+
+// WithHistogram replaces the default latency-histogram bucket bounds.
+func WithHistogram(bounds []time.Duration) EngineOption { return ms.WithHistogram(bounds) }
+
+// WithStrictUsers makes scoring fail with ms.ErrUserNotFound for users
+// absent from the feature store instead of serving zero fragments.
+func WithStrictUsers() EngineOption { return ms.WithStrictUsers() }
+
+// WithMaxBatch overrides the ScoreBatch size limit (n <= 0 removes it).
+func WithMaxBatch(n int) EngineOption { return ms.WithMaxBatch(n) }
+
+// WithModelToken guards POST /v1/models behind a bearer token.
+func WithModelToken(token string) EngineOption { return ms.WithModelToken(token) }
+
+// ModelServer is the pre-v1 serving facade: a thin wrapper over Engine
+// whose Score takes no context.
+//
+// Deprecated: use Engine via NewEngine; its Score takes a
+// context.Context and ScoreBatch serves whole batches.
+type ModelServer struct{ *Engine }
+
+// Score scores one transaction without cancellation support.
+//
+// Deprecated: use Engine.Score with a context.
+func (s *ModelServer) Score(t *Transaction) (Verdict, error) {
+	return s.Engine.Score(context.Background(), t)
+}
+
 // NewModelServer builds the online scoring server over the feature table.
-func NewModelServer(tab *FeatureTable, bundle *Bundle, alert ms.Alert) (*ModelServer, error) {
-	return ms.NewServer(tab, bundle, alert)
+//
+// Deprecated: use NewEngine with WithAlert.
+func NewModelServer(tab *FeatureTable, bundle *Bundle, alert Alert) (*ModelServer, error) {
+	eng, err := ms.New(tab, bundle, ms.WithAlert(alert))
+	if err != nil {
+		return nil, err
+	}
+	return &ModelServer{eng}, nil
 }
 
 // DefaultExperiments returns the default-scale experiment configuration.
