@@ -8,10 +8,18 @@
 // Usage:
 //
 //	msd -bundle bundle.bin -data /var/lib/titant/hbase [-addr :8070] [-workers N] [-strict] [-model-token T]
+//	    [-stream] [-stream-shards N] [-stream-buckets N] [-stream-bucket-secs N]
 //
 // The bundle file is produced by the offline pipeline (see cmd/titant
 // serve for an all-in-one variant, or core.Deploy + Bundle.Encode in
 // library code).
+//
+// By default the daemon maintains a streaming aggregate window fed by
+// POST /v1/ingest. The window starts cold: scoring serves the bundle's
+// frozen city table until the window has absorbed a warm-up quota of
+// traffic (and, past that, for any city with no in-window activity),
+// then tracks live statistics — so a fresh daemon behaves exactly like
+// the T+1 path until it has seen enough real traffic to trust.
 package main
 
 import (
@@ -24,6 +32,7 @@ import (
 	"os/signal"
 	"syscall"
 
+	"titant/internal/feature/stream"
 	"titant/internal/hbase"
 	"titant/internal/ms"
 	"titant/internal/txn"
@@ -36,6 +45,11 @@ func main() {
 	workers := flag.Int("workers", 0, "batch fan-out width (0 = GOMAXPROCS)")
 	strict := flag.Bool("strict", false, "reject transactions naming users absent from the store (404)")
 	token := flag.String("model-token", "", "bearer token guarding POST /v1/models (empty = open)")
+	streaming := flag.Bool("stream", true, "maintain a live aggregate window (POST /v1/ingest)")
+	ingestToken := flag.String("ingest-token", "", "bearer token guarding POST /v1/ingest[/batch] (empty = open)")
+	streamShards := flag.Int("stream-shards", 0, "stream store lock stripes (0 = default)")
+	streamBuckets := flag.Int("stream-buckets", 0, "stream window ring buckets (0 = default, 90)")
+	streamBucketSecs := flag.Int64("stream-bucket-secs", 0, "stream bucket width in seconds (0 = default, 1 day)")
 	flag.Parse()
 	if *bundlePath == "" || *dataDir == "" {
 		flag.Usage()
@@ -61,9 +75,19 @@ func main() {
 		}),
 		ms.WithWorkers(*workers),
 		ms.WithModelToken(*token),
+		ms.WithIngestToken(*ingestToken),
 	}
 	if *strict {
 		opts = append(opts, ms.WithStrictUsers())
+	}
+	if *streaming {
+		st := stream.New(
+			stream.WithShards(*streamShards),
+			stream.WithWindow(*streamBuckets, *streamBucketSecs),
+			stream.WithCities(len(bundle.City.Fraud)))
+		opts = append(opts, ms.WithStreamAggregates(st))
+		log.Printf("msd: live aggregate window: %d buckets x %ds over %d shards (cold start, frozen-table fallback)",
+			st.Buckets(), st.BucketSeconds(), st.Shards())
 	}
 	srv, err := ms.New(tab, bundle, opts...)
 	if err != nil {

@@ -5,14 +5,18 @@
 //	gen   -out log.bin [-users N] [-seed N]   generate a synthetic world's log
 //	eval  [-users N] [-seed N] [-dataset N]   train and evaluate one dataset
 //	serve [-addr :8070] [-users N] [-seed N] [-workers N] [-model-token T]
+//	      [-stream] [-stream-shards N] [-stream-buckets N] [-stream-bucket-secs N]
 //	                                          train, deploy and serve over HTTP
 //
 // serve starts the Model Server of the paper's Figure 5: it trains the
 // production configuration (Basic+DW+GBDT), uploads features and
 // embeddings to the column-family store, and exposes the v1 API —
-// POST /v1/score, POST /v1/score/batch, GET/POST /v1/models,
-// GET /v1/stats and GET /healthz — shutting down gracefully on SIGINT or
-// SIGTERM.
+// POST /v1/score, POST /v1/score/batch, POST /v1/ingest[/batch],
+// GET/POST /v1/models, GET /v1/stats and GET /healthz — shutting down
+// gracefully on SIGINT or SIGTERM. By default it attaches a streaming
+// aggregate store warmed from the training world's 90-day reference
+// window, so scoring reads live per-city statistics and POST /v1/ingest
+// keeps them current; -stream=false serves the paper's pure T+1 mode.
 package main
 
 import (
@@ -121,6 +125,11 @@ func cmdServe(args []string) {
 	dir := fs.String("data", "", "feature store directory (default: temp)")
 	workers := fs.Int("workers", 0, "batch fan-out width (0 = GOMAXPROCS)")
 	token := fs.String("model-token", "", "bearer token guarding POST /v1/models (empty = open)")
+	streaming := fs.Bool("stream", true, "maintain a live aggregate window (POST /v1/ingest)")
+	ingestToken := fs.String("ingest-token", "", "bearer token guarding POST /v1/ingest[/batch] (empty = open)")
+	streamShards := fs.Int("stream-shards", 0, "stream store lock stripes (0 = default)")
+	streamBuckets := fs.Int("stream-buckets", 0, "stream window ring buckets (0 = default, 90)")
+	streamBucketSecs := fs.Int64("stream-bucket-secs", 0, "stream bucket width in seconds (0 = default, 1 day)")
 	_ = fs.Parse(args)
 	w := buildWorld(*users, *seed)
 	ds, err := w.Dataset(1)
@@ -151,20 +160,33 @@ func cmdServe(args []string) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	eng, err := titant.NewEngine(tab, bundle,
+	engOpts := []titant.EngineOption{
 		titant.WithAlert(func(t *titant.Transaction, score float64) {
 			log.Printf("ALERT txn=%d score=%.3f: interrupting transfer %d -> %d",
 				t.ID, score, t.From, t.To)
 		}),
 		titant.WithWorkers(*workers),
-		titant.WithModelToken(*token))
+		titant.WithModelToken(*token),
+		titant.WithIngestToken(*ingestToken),
+	}
+	if *streaming {
+		st := titant.NewStreamStore(
+			titant.WithStreamShards(*streamShards),
+			titant.WithStreamWindow(*streamBuckets, *streamBucketSecs),
+			titant.WithStreamCities(opts.Cities))
+		log.Printf("warming the live aggregate window from the %d-day reference window (%d txns)...",
+			txn.NetworkDays, len(ds.Network))
+		st.IngestBatch(ds.Network)
+		engOpts = append(engOpts, titant.WithStreamAggregates(st))
+	}
+	eng, err := titant.NewEngine(tab, bundle, engOpts...)
 	if err != nil {
 		log.Fatal(err)
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	log.Printf("model server %s listening on %s (threshold %.3f)", version, *addr, threshold)
-	log.Printf("v1 API: POST /v1/score, POST /v1/score/batch, GET|POST /v1/models, GET /v1/stats, GET /healthz")
+	log.Printf("model server %s listening on %s (threshold %.3f, streaming=%v)", version, *addr, threshold, *streaming)
+	log.Printf("v1 API: POST /v1/score, POST /v1/score/batch, POST /v1/ingest[/batch], GET|POST /v1/models, GET /v1/stats, GET /healthz")
 	if err := eng.ListenAndServe(ctx, *addr); err != nil {
 		log.Fatal(err)
 	}

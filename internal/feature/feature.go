@@ -69,6 +69,37 @@ func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
 // Set assigns element (i, j).
 func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
 
+// CitySource provides O(1) reads of per-city statistics (smoothed fraud
+// rate and traffic share). It is the only aggregate surface the 52 basic
+// features consume at assembly time; CityTable satisfies it with a frozen
+// snapshot, the streaming store (internal/feature/stream) with a live
+// sliding window.
+type CitySource interface {
+	Lookup(c uint16) (fraud, share float64)
+}
+
+// Source is the full aggregate read surface: per-user velocity/diversity
+// statistics, pairwise transfer priors, and per-city statistics. The batch
+// *Aggregates (built once from a frozen reference window, the paper's T+1
+// mode) and the streaming store (updated incrementally per transaction)
+// both satisfy it, so the Extractor and the Model Server are indifferent
+// to whether their statistics are a nightly snapshot or seconds old.
+type Source interface {
+	CitySource
+	Stats(u txn.UserID) UserStats
+	PairPrior(from, to txn.UserID) float64
+	CityTable() CityTable
+}
+
+// City-table smoothing constants shared by the batch builder and the
+// streaming store, so both produce bitwise-identical fraud rates from the
+// same window contents: rate = (frauds + CitySmoothing*CityFraudPrior) /
+// (total + CitySmoothing).
+const (
+	CitySmoothing  = 2.0  // Laplace pseudo-count
+	CityFraudPrior = 0.01 // prior fraud rate pulled toward under no data
+)
+
 // userAgg is the per-user historical aggregate state.
 type userAgg struct {
 	outCount, inCount   float64
@@ -144,9 +175,8 @@ func BuildAggregates(ref []txn.Transaction, numCities int) *Aggregates {
 	for _, n := range cityTotal {
 		total += n
 	}
-	const alpha = 2 // Laplace smoothing
 	for c := range a.cityFraud {
-		a.cityFraud[c] = (cityFraud[c] + alpha*0.01) / (cityTotal[c] + alpha)
+		a.cityFraud[c] = (cityFraud[c] + CitySmoothing*CityFraudPrior) / (cityTotal[c] + CitySmoothing)
 		if total > 0 {
 			a.cityShare[c] = cityTotal[c] / total
 		}
@@ -155,18 +185,20 @@ func BuildAggregates(ref []txn.Transaction, numCities int) *Aggregates {
 }
 
 // Extractor turns transactions into basic-feature vectors using user
-// profiles and reference-window aggregates.
+// profiles and an aggregate source — batch-built for offline training,
+// streaming for the online path.
 type Extractor struct {
 	users []txn.User
-	agg   *Aggregates
+	src   Source
 }
 
-// NewExtractor builds an extractor over the profile table and aggregates.
-func NewExtractor(users []txn.User, agg *Aggregates) *Extractor {
-	if agg == nil {
-		agg = BuildAggregates(nil, 1)
+// NewExtractor builds an extractor over the profile table and an aggregate
+// source (nil falls back to empty batch aggregates).
+func NewExtractor(users []txn.User, src Source) *Extractor {
+	if src == nil {
+		src = BuildAggregates(nil, 1)
 	}
-	return &Extractor{users: users, agg: agg}
+	return &Extractor{users: users, src: src}
 }
 
 // UserStats is the per-user aggregate fragment materialised into Ali-HBase
@@ -229,20 +261,29 @@ func (ct CityTable) Lookup(c uint16) (fraud, share float64) {
 	return ct.Fraud[i], ct.Share[i]
 }
 
+// Lookup reads city c's statistics directly from the aggregates without
+// snapshotting, satisfying CitySource.
+func (a *Aggregates) Lookup(c uint16) (fraud, share float64) {
+	return CityTable{Fraud: a.cityFraud, Share: a.cityShare}.Lookup(c)
+}
+
+// Aggregates is the batch implementation of the shared read surface.
+var _ Source = (*Aggregates)(nil)
+
 // Basic writes the 52 basic features of t into dst (which must have length
 // NumBasic) and returns it. Callers may pass nil to allocate.
 func (e *Extractor) Basic(t *txn.Transaction, dst []float64) []float64 {
 	fu := &e.users[t.From]
 	tu := &e.users[t.To]
-	return BasicFromParts(t, fu, tu,
-		CityTable{Fraud: e.agg.cityFraud, Share: e.agg.cityShare}, dst)
+	return BasicFromParts(t, fu, tu, e.src, dst)
 }
 
 // BasicFromParts assembles the 52 basic features from the transaction plus
 // independently fetched profile fragments - the exact computation the
 // Model Server performs after pulling both users' rows from Ali-HBase
-// (Figure 5).
-func BasicFromParts(t *txn.Transaction, fu, tu *txn.User, city CityTable, dst []float64) []float64 {
+// (Figure 5). city supplies the per-city statistics: a frozen CityTable
+// on the T+1 path, the live streaming window on the online path.
+func BasicFromParts(t *txn.Transaction, fu, tu *txn.User, city CitySource, dst []float64) []float64 {
 	if dst == nil {
 		dst = make([]float64, NumBasic)
 	}
@@ -312,7 +353,7 @@ func BasicFromParts(t *txn.Transaction, fu, tu *txn.User, city CityTable, dst []
 	return dst
 }
 
-func putProfile(put func(float64), b2f func(bool) float64, u *txn.User, city CityTable) {
+func putProfile(put func(float64), b2f func(bool) float64, u *txn.User, city CitySource) {
 	put(float64(u.Age))
 	put(b2f(u.Gender == txn.GenderFemale))
 	put(b2f(u.Gender == txn.GenderMale))

@@ -1,8 +1,13 @@
-// Package metrics implements the evaluation metrics used in the paper's
-// Section 5: F1 score (Table 1, Table 2, Figures 11-12), recall at the top
-// k% most-suspicious transactions (Figure 9), plus the supporting machinery
-// (confusion matrices, threshold selection, AUC) a production fraud team
-// needs around them.
+// Package metrics implements the evaluation metrics of the paper's
+// Section 5: F1 score (Table 1, Table 2, Figures 11-12) and recall at the
+// top k% most-suspicious transactions (Figure 9, k=1%), plus the
+// supporting machinery a production fraud team needs around them —
+// confusion matrices, AUC, and BestF1 threshold selection. BestF1 is what
+// the T+1 pipeline (internal/core) uses to freeze the decision threshold
+// on the validation days: fraud labels arrive days late, so the serving
+// threshold cannot be tuned online and must be fixed at training time.
+// internal/exp drives these metrics to regenerate every number in the
+// paper's evaluation.
 package metrics
 
 import (

@@ -29,6 +29,10 @@ var (
 	// ErrBatchTooLarge reports a ScoreBatch call exceeding the engine's
 	// configured batch limit (see WithMaxBatch).
 	ErrBatchTooLarge = errors.New("ms: batch too large")
+
+	// ErrStreamDisabled reports an Ingest call on an engine built without
+	// WithStreamAggregates: there is no live window to update.
+	ErrStreamDisabled = errors.New("ms: streaming aggregates not configured")
 )
 
 // batchTooLarge builds the single canonical ErrBatchTooLarge error used

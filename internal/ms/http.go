@@ -55,6 +55,36 @@ type BatchRequest struct {
 	Transactions []TxnRequest `json:"transactions"`
 }
 
+// IngestRequest is the wire format of POST /v1/ingest: a transaction plus
+// its fraud label, if known. Completed transfers are ingested unlabelled
+// as they happen; when a delayed fraud report arrives (days later, per
+// the paper), the transaction is re-sent with fraud=true so the window's
+// city fraud rates incorporate it.
+type IngestRequest struct {
+	TxnRequest
+	Fraud bool `json:"fraud"`
+}
+
+// Txn converts the wire format to the internal record, label included.
+func (r *IngestRequest) Txn() txn.Transaction {
+	t := r.TxnRequest.Txn()
+	t.Fraud = r.Fraud
+	return t
+}
+
+// IngestBatchRequest is the wire format of POST /v1/ingest/batch.
+type IngestBatchRequest struct {
+	Transactions []IngestRequest `json:"transactions"`
+}
+
+// IngestResponse reports how many transactions an ingest call submitted
+// to the live window. The window itself may still shed a submission as
+// out-of-window (too old, or an uncorroborated far-future timestamp);
+// those show up in the store's Dropped counter, not as request errors.
+type IngestResponse struct {
+	Ingested int `json:"ingested"`
+}
+
 // BatchResponse carries the batch verdicts in request order.
 type BatchResponse struct {
 	Verdicts []Verdict `json:"verdicts"`
@@ -105,6 +135,8 @@ func writeScoreError(w http.ResponseWriter, err error) {
 		writeError(w, http.StatusNotFound, "user_not_found", err.Error())
 	case errors.Is(err, ErrBatchTooLarge):
 		writeError(w, http.StatusRequestEntityTooLarge, "batch_too_large", err.Error())
+	case errors.Is(err, ErrStreamDisabled):
+		writeError(w, http.StatusConflict, "stream_disabled", err.Error())
 	case errors.Is(err, ErrBundleInvalid):
 		writeError(w, http.StatusInternalServerError, "bundle_invalid", err.Error())
 	case errors.Is(err, ErrDimensionMismatch):
@@ -135,19 +167,25 @@ func decodeBody(w http.ResponseWriter, r *http.Request, limit int64, v interface
 
 // Handler returns the v1 HTTP mux:
 //
-//	POST /v1/score        score one transaction
-//	POST /v1/score/batch  score a batch in order
-//	GET  /v1/models       active bundle metadata
-//	POST /v1/models       hot-swap an encoded bundle
-//	GET  /v1/stats        bounded-histogram latency stats
-//	GET  /healthz         liveness
+//	POST /v1/score         score one transaction
+//	POST /v1/score/batch   score a batch in order
+//	POST /v1/ingest        feed one observed transaction into the live window
+//	POST /v1/ingest/batch  feed a batch into the live window
+//	GET  /v1/models        active bundle metadata
+//	POST /v1/models        hot-swap an encoded bundle
+//	GET  /v1/stats         bounded-histogram latency stats
+//	GET  /healthz          liveness
 //
-// The pre-v1 routes POST /score and GET /stats remain as deprecated
-// aliases.
+// The ingest routes answer 409 stream_disabled on an engine built without
+// WithStreamAggregates and can be guarded with WithIngestToken, as model
+// swaps are with WithModelToken. The pre-v1 routes POST /score and
+// GET /stats remain as deprecated aliases.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/score", s.handleScore)
 	mux.HandleFunc("/v1/score/batch", s.handleScoreBatch)
+	mux.HandleFunc("/v1/ingest", s.handleIngest)
+	mux.HandleFunc("/v1/ingest/batch", s.handleIngestBatch)
 	mux.HandleFunc("/v1/models", s.handleModels)
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/healthz", s.handleHealthz)
@@ -175,19 +213,26 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, v)
 }
 
-func (s *Server) handleScoreBatch(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "POST only")
-		return
-	}
+// batchBodyLimit derives a batch route's body cap from the engine's batch
+// limit (clamped to the hard ceiling), keeping parse cost proportional to
+// the configured batch size.
+func (s *Server) batchBodyLimit() int64 {
 	limit := int64(maxBatchBytes)
 	if s.maxBatch > 0 {
 		if l := int64(s.maxBatch)*maxTxnJSONBytes + 1024; l < limit {
 			limit = l
 		}
 	}
+	return limit
+}
+
+func (s *Server) handleScoreBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "POST only")
+		return
+	}
 	var req BatchRequest
-	if !decodeBody(w, r, limit, &req) {
+	if !decodeBody(w, r, s.batchBodyLimit(), &req) {
 		return
 	}
 	// Reject oversize batches before converting, so a body of minimal
@@ -209,6 +254,63 @@ func (s *Server) handleScoreBatch(w http.ResponseWriter, r *http.Request) {
 		verdicts = []Verdict{}
 	}
 	writeJSON(w, http.StatusOK, BatchResponse{Verdicts: verdicts})
+}
+
+// checkIngestAuth enforces the optional ingest bearer token, writing the
+// 401 envelope on failure.
+func (s *Server) checkIngestAuth(w http.ResponseWriter, r *http.Request) bool {
+	if s.ingestToken != "" && !CheckBearer(r, s.ingestToken) {
+		writeError(w, http.StatusUnauthorized, "unauthorized", "ingest requires a valid bearer token")
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "POST only")
+		return
+	}
+	if !s.checkIngestAuth(w, r) {
+		return
+	}
+	var req IngestRequest
+	if !decodeBody(w, r, maxScoreBytes, &req) {
+		return
+	}
+	t := req.Txn()
+	if err := s.Ingest(&t); err != nil {
+		writeScoreError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, IngestResponse{Ingested: 1})
+}
+
+func (s *Server) handleIngestBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "POST only")
+		return
+	}
+	if !s.checkIngestAuth(w, r) {
+		return
+	}
+	var req IngestBatchRequest
+	if !decodeBody(w, r, s.batchBodyLimit(), &req) {
+		return
+	}
+	if s.maxBatch > 0 && len(req.Transactions) > s.maxBatch {
+		writeScoreError(w, batchTooLarge(len(req.Transactions), s.maxBatch))
+		return
+	}
+	txns := make([]txn.Transaction, len(req.Transactions))
+	for i := range req.Transactions {
+		txns[i] = req.Transactions[i].Txn()
+	}
+	if err := s.IngestBatch(txns); err != nil {
+		writeScoreError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, IngestResponse{Ingested: len(txns)})
 }
 
 func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
@@ -251,14 +353,25 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	st := s.Latency()
-	writeJSON(w, http.StatusOK, map[string]interface{}{
+	body := map[string]interface{}{
 		"scored": st.Count, "alerted": st.Alerted,
 		"p50_us": st.P50.Microseconds(), "p99_us": st.P99.Microseconds(),
 		"max_us": st.Max.Microseconds(), "version": s.BundleVersion(),
-	})
+	}
+	if s.StreamEnabled() {
+		body["ingested"] = s.Ingested()
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	// HEAD stays allowed: load balancers commonly probe liveness with it
+	// (net/http suppresses the body automatically).
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "GET only")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintf(w, "ok version=%s\n", s.BundleVersion())
 }
 

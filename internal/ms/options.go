@@ -3,11 +3,18 @@ package ms
 import (
 	"runtime"
 	"time"
+
+	"titant/internal/txn"
 )
 
 // DefaultMaxBatch is the ScoreBatch size limit of an engine built without
 // WithMaxBatch.
 const DefaultMaxBatch = 4096
+
+// DefaultStreamWarmup is the number of transactions a live window must
+// absorb before scoring trusts it over the bundle's frozen city table
+// (see WithStreamWarmup).
+const DefaultStreamWarmup = 1000
 
 // Option configures the scoring engine built by New.
 type Option func(*Server)
@@ -50,6 +57,41 @@ func WithMaxBatch(n int) Option {
 	return func(s *Server) { s.maxBatch = n }
 }
 
+// StreamAggregates is the live-aggregate surface the engine consumes when
+// built with WithStreamAggregates. It is satisfied by
+// internal/feature/stream.Store; the engine depends only on this interface
+// so alternative window implementations can be swapped in.
+type StreamAggregates interface {
+	// Ingest feeds one observed transaction into the live window.
+	Ingest(t *txn.Transaction)
+	// LookupCity returns city c's smoothed fraud rate, traffic share and
+	// in-window transaction count.
+	LookupCity(c uint16) (fraud, share, txns float64)
+	// Ingested reports how many transactions the window has accepted.
+	Ingested() int64
+}
+
+// WithStreamAggregates attaches a streaming aggregate store: scoring reads
+// per-city statistics from the live window (falling back to the bundle's
+// frozen table for cities with no in-window traffic), and the engine
+// accepts transactions through Ingest / POST /v1/ingest to keep the
+// window current. Without this option the engine serves the paper's pure
+// T+1 mode: every statistic is frozen at bundle-build time.
+func WithStreamAggregates(st StreamAggregates) Option {
+	return func(s *Server) { s.stream = st }
+}
+
+// WithStreamWarmup sets how many transactions the live window must have
+// absorbed before scoring reads it instead of the bundle's frozen city
+// table (default DefaultStreamWarmup). Below the threshold a near-empty
+// window would compute distorted statistics — a single transaction reads
+// a traffic share of 1.0. n <= 0 trusts the window immediately; a
+// deployment that warms the window from a reference backfill before
+// serving can set it low.
+func WithStreamWarmup(n int64) Option {
+	return func(s *Server) { s.streamWarmup = n }
+}
+
 // WithModelToken guards POST /v1/models behind a bearer token: requests
 // must carry "Authorization: Bearer <token>" or are rejected with 401.
 // Without this option the route is open — acceptable on a private
@@ -57,6 +99,20 @@ func WithMaxBatch(n int) Option {
 // replace the live model.
 func WithModelToken(token string) Option {
 	return func(s *Server) { s.modelToken = token }
+}
+
+// WithIngestToken guards POST /v1/ingest and /v1/ingest/batch behind a
+// bearer token, for the same reason WithModelToken guards model swaps:
+// an open ingest route lets any client that can reach the scoring port
+// poison the live city statistics scoring reads (flooding a city with
+// fraud labels interrupts its legitimate transfers; flooding it with
+// clean traffic dilutes real fraud), and grow the store's memory by
+// inventing fresh user IDs (each costs a ring of window buckets that
+// cannot be evicted until it expires). Set the token anywhere the
+// scoring port is not a private network. Library callers of Ingest are
+// not affected.
+func WithIngestToken(token string) Option {
+	return func(s *Server) { s.ingestToken = token }
 }
 
 func defaultWorkers() int { return runtime.GOMAXPROCS(0) }

@@ -36,14 +36,18 @@ type Alert func(t *txn.Transaction, score float64)
 type Server struct {
 	table *hbase.Table
 
-	mu     sync.RWMutex
-	bundle *Bundle
+	mu      sync.RWMutex
+	bundle  *Bundle
+	citySrc feature.CitySource // city view scoring reads through; rebuilt on swap
 
-	alert      Alert
-	workers    int
-	strict     bool
-	maxBatch   int
-	modelToken string
+	alert        Alert
+	workers      int
+	strict       bool
+	maxBatch     int
+	modelToken   string
+	ingestToken  string
+	stream       StreamAggregates
+	streamWarmup int64
 
 	hist    *histogram
 	scored  atomic.Int64
@@ -62,10 +66,11 @@ func New(table *hbase.Table, bundle *Bundle, opts ...Option) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		table:    table,
-		bundle:   bundle,
-		workers:  defaultWorkers(),
-		maxBatch: DefaultMaxBatch,
+		table:        table,
+		bundle:       bundle,
+		workers:      defaultWorkers(),
+		maxBatch:     DefaultMaxBatch,
+		streamWarmup: DefaultStreamWarmup,
 	}
 	for _, o := range opts {
 		o(s)
@@ -73,7 +78,47 @@ func New(table *hbase.Table, bundle *Bundle, opts ...Option) (*Server, error) {
 	if s.hist == nil {
 		s.hist = newHistogram(defaultHistBounds())
 	}
+	s.citySrc = s.cityView(bundle)
 	return s, nil
+}
+
+// cityView builds the per-city statistics source scoring reads through:
+// the live streaming window (gated by the warm-up threshold, with
+// frozen-table fallback for unseen cities) when streaming is configured,
+// the bundle's frozen table otherwise. Built once per bundle so the hot
+// path pays no allocation.
+func (s *Server) cityView(b *Bundle) feature.CitySource {
+	if s.stream == nil {
+		return &b.City
+	}
+	return &liveCity{live: s.stream, frozen: &b.City, warmup: s.streamWarmup}
+}
+
+// liveCity reads per-city statistics from the streaming window, guarded
+// two ways against thin data. First, a global warm-up gate: until the
+// window has absorbed `warmup` transactions, every city serves the
+// bundle's frozen table — a cold daemon scores exactly like the T+1 path,
+// and no city computes a traffic share over a near-empty denominator
+// (one lone transaction would otherwise read share=1.0 against a frozen
+// ~1/cities). Second, past warm-up, a per-city fallback: a city with no
+// in-window traffic serves its frozen value rather than the bare
+// smoothing prior.
+type liveCity struct {
+	live   StreamAggregates
+	frozen *feature.CityTable
+	warmup int64
+}
+
+// Lookup satisfies feature.CitySource.
+func (lc *liveCity) Lookup(c uint16) (fraud, share float64) {
+	if lc.live.Ingested() < lc.warmup {
+		return lc.frozen.Lookup(c)
+	}
+	f, sh, n := lc.live.LookupCity(c)
+	if n == 0 {
+		return lc.frozen.Lookup(c)
+	}
+	return f, sh
 }
 
 // NewServer builds a Model Server over a feature table. alert may be nil.
@@ -94,6 +139,7 @@ func (s *Server) SetBundle(b *Bundle) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.bundle = b
+	s.citySrc = s.cityView(b)
 	return nil
 }
 
@@ -101,6 +147,13 @@ func (s *Server) currentBundle() *Bundle {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.bundle
+}
+
+// scoringView reads the bundle and its city source in one lock round.
+func (s *Server) scoringView() (*Bundle, feature.CitySource) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.bundle, s.citySrc
 }
 
 // BundleVersion returns the active bundle's version string.
@@ -140,7 +193,7 @@ func (s *Server) Score(ctx context.Context, t *txn.Transaction) (Verdict, error)
 	if err := ctx.Err(); err != nil {
 		return Verdict{}, err
 	}
-	bundle := s.currentBundle()
+	bundle, city := s.scoringView()
 	clf, err := bundle.Classifier()
 	if err != nil {
 		return Verdict{}, err
@@ -149,7 +202,7 @@ func (s *Server) Score(ctx context.Context, t *txn.Transaction) (Verdict, error)
 	if err != nil {
 		return Verdict{}, err
 	}
-	v, err := scoreCore(t, &from, &to, bundle, clf)
+	v, err := scoreCore(t, &from, &to, bundle, city, clf)
 	if err != nil {
 		return Verdict{}, err
 	}
@@ -180,7 +233,7 @@ func (s *Server) ScoreBatch(ctx context.Context, txns []txn.Transaction) ([]Verd
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	bundle := s.currentBundle()
+	bundle, city := s.scoringView()
 	clf, err := bundle.Classifier()
 	if err != nil {
 		return nil, err
@@ -219,7 +272,7 @@ func (s *Server) ScoreBatch(ctx context.Context, txns []txn.Transaction) ([]Verd
 	if err := s.runPool(ctx, len(txns), func(i int) error {
 		t := &txns[i]
 		itemStart := time.Now()
-		v, err := scoreCore(t, &parts[index[t.From]], &parts[index[t.To]], bundle, clf)
+		v, err := scoreCore(t, &parts[index[t.From]], &parts[index[t.To]], bundle, city, clf)
 		if err != nil {
 			return fmt.Errorf("ms: txn %d: %w", t.ID, err)
 		}
@@ -239,11 +292,12 @@ func (s *Server) ScoreBatch(ctx context.Context, txns []txn.Transaction) ([]Verd
 }
 
 // scoreCore assembles the feature vector and runs the classifier; the
-// caller records latency, counters and alerts.
-func scoreCore(t *txn.Transaction, from, to *userParts, bundle *Bundle, clf model.Classifier) (Verdict, error) {
+// caller records latency, counters and alerts. city supplies the per-city
+// statistics — frozen or live depending on the engine's configuration.
+func scoreCore(t *txn.Transaction, from, to *userParts, bundle *Bundle, city feature.CitySource, clf model.Classifier) (Verdict, error) {
 	dim := bundle.EmbeddingDim
 	x := make([]float64, feature.NumBasic+2*dim)
-	feature.BasicFromParts(t, &from.user, &to.user, bundle.City, x[:feature.NumBasic])
+	feature.BasicFromParts(t, &from.user, &to.user, city, x[:feature.NumBasic])
 	if dim > 0 {
 		if err := copyEmb(x[feature.NumBasic:feature.NumBasic+dim], from.emb, t.From); err != nil {
 			return Verdict{}, err
@@ -385,6 +439,48 @@ func (s *Server) observe(t *txn.Transaction, v *Verdict) {
 			s.alert(t, v.Score)
 		}
 	}
+}
+
+// Ingest feeds one observed transaction into the live aggregate window
+// (POST /v1/ingest). Callers send both scored transfers that completed
+// and delayed fraud reports (re-sent with the Fraud flag set), so the
+// window's city fraud rates track reality as labels arrive. Returns
+// ErrStreamDisabled on an engine built without WithStreamAggregates.
+func (s *Server) Ingest(t *txn.Transaction) error {
+	if s.stream == nil {
+		return ErrStreamDisabled
+	}
+	s.stream.Ingest(t)
+	return nil
+}
+
+// IngestBatch ingests a slice in order, subject to the engine's batch
+// limit. It is all-or-nothing only on the pre-checks; ingestion itself
+// cannot fail.
+func (s *Server) IngestBatch(txns []txn.Transaction) error {
+	if s.stream == nil {
+		return ErrStreamDisabled
+	}
+	if s.maxBatch > 0 && len(txns) > s.maxBatch {
+		return batchTooLarge(len(txns), s.maxBatch)
+	}
+	for i := range txns {
+		s.stream.Ingest(&txns[i])
+	}
+	return nil
+}
+
+// StreamEnabled reports whether the engine maintains a live aggregate
+// window.
+func (s *Server) StreamEnabled() bool { return s.stream != nil }
+
+// Ingested returns the live window's accepted-transaction count (0 when
+// streaming is disabled).
+func (s *Server) Ingested() int64 {
+	if s.stream == nil {
+		return 0
+	}
+	return s.stream.Ingested()
 }
 
 // LatencyStats summarises serving latency.

@@ -1,7 +1,11 @@
-// Package ps implements the KunPeng analogue (Section 4.3, Figure 6): a
-// parameter-server runtime with server nodes holding model state, worker
-// nodes training on data shards, Push/Pull exchange, model-average
-// aggregation, and worker failure recovery.
+// Package ps implements the KunPeng analogue (Section 4.3, Figure 6): the
+// parameter-server runtime the paper trains its production models on,
+// with server nodes holding model state, worker nodes training on data
+// shards, Push/Pull exchange, model-average aggregation, and the
+// single-point-of-failure recovery the paper highlights ("the failed
+// instance can be restarted and recovered to the previous status
+// automatically"). The two distributed trainers are the ones the paper
+// scales in Figure 10: DeepWalk (dw.go) and GBDT (gbdtdist.go).
 //
 // The algorithms execute for real (the distributed DeepWalk and GBDT
 // produce genuine models, identical in kind to the single-machine

@@ -1,12 +1,22 @@
 // Package rng provides a small, fast, deterministic random number generator
 // with splittable streams.
 //
-// Every stochastic component in this repository (workload synthesis, random
-// walks, negative sampling, subsampling, tree building) draws from an
-// rng.RNG seeded from a single experiment seed, so that any table or figure
-// can be regenerated bit-for-bit. The generator is splitmix64 for stream
-// derivation combined with xoshiro256** for the main sequence; both are
-// public-domain algorithms by Blackman and Vigna.
+// The paper's evaluation (Section 5) reports results over seven fixed
+// datasets; reproducing its tables and figures bit-for-bit requires that
+// every stochastic component be replayable. To that end, everything random
+// in this repository draws from an rng.RNG derived from a single
+// experiment seed: the synthetic workload (internal/synth, standing in
+// for Section 5.1's proprietary data), DeepWalk's random walks and
+// negative sampling (Section 3.3), GBDT/IF subsampling (Section 5.1's
+// hyperparameters), and the streaming-store benchmarks. The Alias sampler
+// in this package is what gives DeepWalk and the workload generator O(1)
+// draws from skewed discrete distributions.
+//
+// The generator is splitmix64 for stream derivation combined with
+// xoshiro256** for the main sequence; both are public-domain algorithms
+// by Blackman and Vigna. It is NOT safe for concurrent use — derive one
+// stream per goroutine with Split, which is also what keeps parallel runs
+// deterministic regardless of scheduling.
 package rng
 
 import "math"

@@ -1,10 +1,16 @@
 // Package ots implements the Open Table Service of the paper's MaxCompute
-// description (Section 4.2): the table that "maintains the status of all
-// the instances". The scheduler registers each job instance here, sets it
-// running, and the executor marks it terminated when its subtasks finish.
+// platform (Section 4.2, Figure 4): the table that "maintains the status
+// of all the instances". In the job lifecycle reproduced by
+// internal/maxcompute, the scheduler registers each job instance here
+// with status "running" before splitting it into subtasks, and the
+// executor flips it to "terminated" once every subtask has finished —
+// TitAnt's nightly feature-extraction, label-collection and
+// network-construction jobs all pass through this table.
 //
-// It is an in-memory concurrent status table with condition-variable waits,
-// which is exactly the role OTS plays in the paper's job lifecycle.
+// It is an in-memory concurrent status table with condition-variable
+// waits (clients block until an instance reaches a terminal state),
+// which is exactly the role OTS plays in the paper's job lifecycle; job
+// *results* are persisted separately in internal/store/pangu.
 package ots
 
 import (

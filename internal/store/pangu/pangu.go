@@ -1,11 +1,16 @@
-// Package pangu implements the disk storage module of MaxCompute's storage
-// & compute layer (the paper's Section 4.2 describes Pangu as the module
-// where job results are persisted).
+// Package pangu implements the disk storage module of MaxCompute's
+// storage & compute layer (Section 4.2, Figure 4: the paper describes
+// Pangu as the module where job results are persisted). When an executor
+// finishes the subtasks of a TitAnt offline job — extracted feature
+// tables, collected labels, transaction-network edge lists — the results
+// land here, and the T+1 publishing step reads them back out for upload
+// to Ali-HBase (internal/hbase) and the Model Server bundle.
 //
 // It is an append-only object store: immutable blobs keyed by name, each
 // persisted with a CRC32C checksum and written atomically (temp file +
-// rename) so a crash can never leave a half-written visible object. Names
-// may contain '/' to form directories.
+// rename) so a crash can never leave a half-written visible object — the
+// property a nightly pipeline needs to be safely re-runnable. Names may
+// contain '/' to form directories.
 package pangu
 
 import (

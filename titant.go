@@ -17,12 +17,17 @@
 //	fmt.Println(res.F1)
 //
 // For online serving, deploy a trained bundle into a feature table and
-// build the v1 scoring engine:
+// build the v1 scoring engine; attach a streaming aggregate store so
+// scoring reads statistics updated by live traffic instead of the
+// T+1 snapshot:
 //
-//	eng, _ := titant.NewEngine(tab, bundle, titant.WithAlert(onFraud))
+//	st := titant.NewStreamStore()               // live sliding-window aggregates
+//	eng, _ := titant.NewEngine(tab, bundle,
+//	    titant.WithAlert(onFraud), titant.WithStreamAggregates(st))
 //	v, _ := eng.Score(ctx, &tx)                 // single, context-aware
 //	vs, _ := eng.ScoreBatch(ctx, batch)         // fan-out + fetch dedup
-//	_ = eng.ListenAndServe(ctx, ":8070")        // POST /v1/score, ...
+//	_ = eng.Ingest(&tx)                         // observed transfer -> live window
+//	_ = eng.ListenAndServe(ctx, ":8070")        // POST /v1/score, /v1/ingest, ...
 //
 // See the examples/ directory for runnable end-to-end programs, DESIGN.md
 // for the system inventory, and EXPERIMENTS.md for the paper-vs-measured
@@ -35,6 +40,7 @@ import (
 
 	"titant/internal/core"
 	"titant/internal/exp"
+	"titant/internal/feature/stream"
 	"titant/internal/hbase"
 	"titant/internal/model"
 	"titant/internal/ms"
@@ -82,6 +88,13 @@ type (
 	Verdict = ms.Verdict
 	// FeatureTable is the column-family online feature store (Figure 7).
 	FeatureTable = hbase.Table
+	// StreamStore is the sharded streaming aggregate store: incremental
+	// sliding-window velocity/diversity/city statistics on the hot path
+	// (see internal/feature/stream).
+	StreamStore = stream.Store
+	// StreamOption configures a StreamStore (see WithStreamShards,
+	// WithStreamWindow, WithStreamCities).
+	StreamOption = stream.Option
 	// ExperimentConfig scales a paper-experiment run.
 	ExperimentConfig = exp.Config
 )
@@ -163,6 +176,35 @@ func WithMaxBatch(n int) EngineOption { return ms.WithMaxBatch(n) }
 
 // WithModelToken guards POST /v1/models behind a bearer token.
 func WithModelToken(token string) EngineOption { return ms.WithModelToken(token) }
+
+// WithIngestToken guards POST /v1/ingest[/batch] behind a bearer token.
+func WithIngestToken(token string) EngineOption { return ms.WithIngestToken(token) }
+
+// NewStreamStore builds a streaming aggregate store. The defaults mirror
+// the paper's reference window: 90 day-wide buckets over 64 lock stripes.
+func NewStreamStore(opts ...StreamOption) *StreamStore { return stream.New(opts...) }
+
+// WithStreamShards sets the store's lock-stripe count (rounded up to a
+// power of two).
+func WithStreamShards(n int) StreamOption { return stream.WithShards(n) }
+
+// WithStreamWindow sets the sliding-window geometry: buckets ring slots
+// of bucketSeconds each.
+func WithStreamWindow(buckets int, bucketSeconds int64) StreamOption {
+	return stream.WithWindow(buckets, bucketSeconds)
+}
+
+// WithStreamCities bounds the store's city table.
+func WithStreamCities(n int) StreamOption { return stream.WithCities(n) }
+
+// WithStreamAggregates attaches a streaming store to the engine: scoring
+// reads live per-city statistics and Ingest / POST /v1/ingest keep the
+// window current.
+func WithStreamAggregates(st *StreamStore) EngineOption { return ms.WithStreamAggregates(st) }
+
+// WithStreamWarmup sets how many transactions the live window needs
+// before scoring trusts it over the bundle's frozen city table.
+func WithStreamWarmup(n int64) EngineOption { return ms.WithStreamWarmup(n) }
 
 // ModelServer is the pre-v1 serving facade: a thin wrapper over Engine
 // whose Score takes no context.
