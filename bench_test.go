@@ -101,6 +101,25 @@ func BenchmarkFigure10(b *testing.B) {
 	}
 }
 
+// benchToyLR trains a toy LR model over amount (mirroring BasicFromParts'
+// layout), keeping the serving benchmarks about the serving path, not
+// training.
+func benchToyLR(embDim int) (*lr.Model, feature.CityTable) {
+	r := rng.New(4)
+	n := 2000
+	m := feature.NewMatrix(n, feature.NumBasic+2*embDim)
+	labels := make([]bool, n)
+	for i := 0; i < n; i++ {
+		amt := r.Float64() * 2000
+		m.Set(i, 0, amt)
+		m.Set(i, 1, math.Log1p(amt))
+		labels[i] = amt > 1200 && r.Bool(0.9)
+	}
+	clf := lr.Train(m, labels, lr.Config{Bins: 32, L1: 0.01, L2: 0.5, Alpha: 0.1, Beta: 1, Iterations: 10, Seed: 1})
+	city := feature.CityTable{Fraud: []float64{0.01, 0.2}, Share: []float64{0.9, 0.1}}
+	return clf, city
+}
+
 // servingFixture builds a serving engine over an uploaded feature store
 // and a 1k-transaction batch drawn from a hot user set, so the batch path
 // has fetch work to deduplicate. Extra engine options (e.g. a streaming
@@ -130,19 +149,7 @@ func servingFixture(b *testing.B, opts ...ms.Option) (*ms.Server, []txn.Transact
 			b.Fatal(err)
 		}
 	}
-	// A toy LR model over amount (mirroring BasicFromParts' layout) keeps
-	// the benchmark about the serving path, not training.
-	n := 2000
-	m := feature.NewMatrix(n, feature.NumBasic+2*embDim)
-	labels := make([]bool, n)
-	for i := 0; i < n; i++ {
-		amt := r.Float64() * 2000
-		m.Set(i, 0, amt)
-		m.Set(i, 1, math.Log1p(amt))
-		labels[i] = amt > 1200 && r.Bool(0.9)
-	}
-	clf := lr.Train(m, labels, lr.Config{Bins: 32, L1: 0.01, L2: 0.5, Alpha: 0.1, Beta: 1, Iterations: 10, Seed: 1})
-	city := feature.CityTable{Fraud: []float64{0.01, 0.2}, Share: []float64{0.9, 0.1}}
+	clf, city := benchToyLR(embDim)
 	bundle, err := ms.NewBundle("bench", clf, 0.5, city, embDim)
 	if err != nil {
 		b.Fatal(err)
@@ -179,7 +186,8 @@ func BenchmarkScoreSequential(b *testing.B) {
 }
 
 // BenchmarkScoreBatch scores the same 1k transactions through ScoreBatch:
-// worker fan-out plus per-batch user-fetch deduplication.
+// worker fan-out, per-batch user-fetch deduplication, and the pooled
+// batch-native matrix path.
 func BenchmarkScoreBatch(b *testing.B) {
 	srv, txns := servingFixture(b)
 	ctx := context.Background()
@@ -190,6 +198,40 @@ func BenchmarkScoreBatch(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(txns)), "ns/txn")
+}
+
+// BenchmarkScoreBatchEnsemble scores the 1k-transaction batch through
+// mean-combined ensemble bundles of 1, 2 and 4 LR members: total cost
+// grows with member count, but sublinearly — the fetch and assembly
+// phases are shared across members, so ensemble width is a model cost,
+// not a serving-architecture cost.
+func BenchmarkScoreBatchEnsemble(b *testing.B) {
+	const embDim = 8
+	clf, city := benchToyLR(embDim)
+	for _, n := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("members-%d", n), func(b *testing.B) {
+			srv, txns := servingFixture(b)
+			members := make([]ms.EnsembleMember, n)
+			for k := range members {
+				members[k] = ms.EnsembleMember{Name: fmt.Sprintf("lr%d", k), Clf: clf, Threshold: 0.5}
+			}
+			bundle, err := ms.NewEnsembleBundle("bench-ens", members, ms.CombineMean, 0.5, city, embDim)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := srv.SetBundle(bundle); err != nil {
+				b.Fatal(err)
+			}
+			ctx := context.Background()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := srv.ScoreBatch(ctx, txns); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(txns)), "ns/txn")
+		})
+	}
 }
 
 // scoreP99 runs b.N Score calls, measuring each, and reports the p50/p99

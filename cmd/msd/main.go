@@ -1,9 +1,11 @@
 // Command msd is the standalone Model Server daemon: it loads a model
-// bundle from disk and serves the v1 scoring API against an existing
-// feature store. Models hot-swap over the wire (POST /v1/models with an
-// encoded bundle) or from the bundle file (POST /reload, kept as a
-// deprecated alias); the daemon drains in-flight requests and exits
-// cleanly on SIGINT/SIGTERM.
+// bundle from disk — a v1 single classifier or a v2 ensemble built by
+// `titant train` — and serves the v1 scoring API against an existing
+// feature store. Ensemble bundles score through the batch-native runtime
+// with per-member scores on /v1/score. Models hot-swap over the wire
+// (POST /v1/models with an encoded bundle) or from the bundle file
+// (POST /reload, kept as a deprecated alias); the daemon drains in-flight
+// requests and exits cleanly on SIGINT/SIGTERM.
 //
 // Usage:
 //
@@ -63,6 +65,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("msd: decode bundle: %v", err)
 	}
+	logBundle(bundle)
 	tab, err := hbase.Open(hbase.Config{Dir: *dataDir})
 	if err != nil {
 		log.Fatalf("msd: open feature store: %v", err)
@@ -123,6 +126,7 @@ func main() {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
+		logBundle(nb)
 		fmt.Fprintf(w, "reloaded version=%s\n", nb.Version)
 	})
 
@@ -133,4 +137,25 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Printf("msd: shut down cleanly")
+}
+
+// logBundle describes the loaded bundle: one line for a v1 single model,
+// member-per-line detail for a v2 ensemble.
+func logBundle(b *ms.Bundle) {
+	if len(b.Members) == 0 {
+		log.Printf("msd: bundle %s: single model, threshold %.4f, embedding dim %d",
+			b.Version, b.Threshold, b.EmbeddingDim)
+		return
+	}
+	log.Printf("msd: bundle %s: %d-member ensemble (combiner %s), threshold %.4f, embedding dim %d",
+		b.Version, len(b.Members), b.Combine, b.Threshold, b.EmbeddingDim)
+	for i := range b.Members {
+		m := &b.Members[i]
+		w := m.Weight
+		if w <= 0 {
+			w = 1
+		}
+		log.Printf("msd:   member %-8s weight %.2f threshold %.4f (%d bytes)",
+			m.Name, w, m.Threshold, len(m.ModelBytes))
+	}
 }

@@ -4,19 +4,32 @@
 //
 //	gen   -out log.bin [-users N] [-seed N]   generate a synthetic world's log
 //	eval  [-users N] [-seed N] [-dataset N]   train and evaluate one dataset
+//	train -out bundle.bin [-detectors gbdt,lr,c50] [-combine mean|max|vote]
+//	      [-data dir] [-users N] [-seed N] [-dataset N]
+//	                                          train an ensemble bundle file
 //	serve [-addr :8070] [-users N] [-seed N] [-workers N] [-model-token T]
+//	      [-detectors gbdt,...] [-combine mean]
 //	      [-stream] [-stream-shards N] [-stream-buckets N] [-stream-bucket-secs N]
 //	                                          train, deploy and serve over HTTP
 //
+// train runs the offline pipeline for several detectors at once (the
+// paper deploys Isolation Forest, ID3/C5.0, LR and GBDT side by side) and
+// writes a v2 ensemble bundle: every member carries its own validation
+// threshold, the combiner folds their scores, and cmd/msd or POST
+// /v1/models serves it as-is. With -data it also uploads every user's
+// features and embeddings to that store directory, so msd can serve the
+// pair immediately.
+//
 // serve starts the Model Server of the paper's Figure 5: it trains the
-// production configuration (Basic+DW+GBDT), uploads features and
-// embeddings to the column-family store, and exposes the v1 API —
-// POST /v1/score, POST /v1/score/batch, POST /v1/ingest[/batch],
-// GET/POST /v1/models, GET /v1/stats and GET /healthz — shutting down
-// gracefully on SIGINT or SIGTERM. By default it attaches a streaming
-// aggregate store warmed from the training world's 90-day reference
-// window, so scoring reads live per-city statistics and POST /v1/ingest
-// keeps them current; -stream=false serves the paper's pure T+1 mode.
+// production configuration (Basic+DW+GBDT — or an ensemble when
+// -detectors names several), uploads features and embeddings to the
+// column-family store, and exposes the v1 API — POST /v1/score,
+// POST /v1/score/batch, POST /v1/ingest[/batch], GET/POST /v1/models,
+// GET /v1/stats and GET /healthz — shutting down gracefully on SIGINT or
+// SIGTERM. By default it attaches a streaming aggregate store warmed from
+// the training world's 90-day reference window, so scoring reads live
+// per-city statistics and POST /v1/ingest keeps them current;
+// -stream=false serves the paper's pure T+1 mode.
 package main
 
 import (
@@ -26,6 +39,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -42,6 +56,8 @@ func main() {
 		cmdGen(os.Args[2:])
 	case "eval":
 		cmdEval(os.Args[2:])
+	case "train":
+		cmdTrain(os.Args[2:])
 	case "serve":
 		cmdServe(os.Args[2:])
 	default:
@@ -50,8 +66,27 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: titant <gen|eval|serve> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: titant <gen|eval|train|serve> [flags]")
 	os.Exit(2)
+}
+
+// parseDetectors splits a comma-separated detector list.
+func parseDetectors(spec string) ([]titant.Detector, error) {
+	var dets []titant.Detector
+	for _, name := range strings.Split(spec, ",") {
+		if strings.TrimSpace(name) == "" {
+			continue
+		}
+		d, err := titant.ParseDetector(name)
+		if err != nil {
+			return nil, err
+		}
+		dets = append(dets, d)
+	}
+	if len(dets) == 0 {
+		return nil, fmt.Errorf("no detectors in %q", spec)
+	}
+	return dets, nil
 }
 
 func worldFlags(fs *flag.FlagSet) (*int, *uint64) {
@@ -118,12 +153,75 @@ func cmdEval(args []string) {
 	}
 }
 
+func cmdTrain(args []string) {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	users, seed := worldFlags(fs)
+	out := fs.String("out", "titant-bundle.bin", "output bundle file")
+	dataDir := fs.String("data", "", "feature store directory to upload users into (empty = bundle only)")
+	detectors := fs.String("detectors", "gbdt,lr,c50", "comma-separated detectors (if, id3, c50, lr, gbdt)")
+	combineName := fs.String("combine", "mean", "ensemble combiner: mean, max or vote")
+	dataset := fs.Int("dataset", 1, "dataset number 1-7")
+	_ = fs.Parse(args)
+	dets, err := parseDetectors(*detectors)
+	if err != nil {
+		log.Fatalf("train: %v", err)
+	}
+	combine, err := titant.ParseCombiner(*combineName)
+	if err != nil {
+		log.Fatalf("train: %v", err)
+	}
+	w := buildWorld(*users, *seed)
+	ds, err := w.Dataset(*dataset)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := titant.DefaultOptions()
+	log.Printf("training %d-member ensemble (%s, combiner %s)...", len(dets), *detectors, combine)
+	members, emb, threshold, err := titant.TrainEnsembleForServing(w.Users, ds, dets, combine, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, m := range members {
+		log.Printf("  member %-5s threshold %.4f", m.Name, m.Threshold)
+	}
+	version := time.Now().Format("2006-01-02T15:04:05")
+	var bundle *titant.Bundle
+	if *dataDir != "" {
+		tab, err := titant.OpenFeatureTable(*dataDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer tab.Close()
+		log.Printf("uploading %d users to %s...", len(w.Users), *dataDir)
+		bundle, err = titant.DeployEnsemble(w.Users, ds, emb, members, combine, threshold, opts, tab, version)
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		bundle, err = titant.BuildEnsembleBundle(ds, emb, members, combine, threshold, opts, version)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	raw, err := bundle.Encode()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(*out, raw, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s: version %s, %d members, combiner %s, threshold %.4f (%d bytes)",
+		*out, version, bundle.NumMembers(), combine, threshold, len(raw))
+}
+
 func cmdServe(args []string) {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	users, seed := worldFlags(fs)
 	addr := fs.String("addr", ":8070", "listen address")
 	dir := fs.String("data", "", "feature store directory (default: temp)")
 	workers := fs.Int("workers", 0, "batch fan-out width (0 = GOMAXPROCS)")
+	detectors := fs.String("detectors", "gbdt", "comma-separated detectors to serve (several = ensemble bundle)")
+	combineName := fs.String("combine", "mean", "ensemble combiner when several detectors are named")
 	token := fs.String("model-token", "", "bearer token guarding POST /v1/models (empty = open)")
 	streaming := fs.Bool("stream", true, "maintain a live aggregate window (POST /v1/ingest)")
 	ingestToken := fs.String("ingest-token", "", "bearer token guarding POST /v1/ingest[/batch] (empty = open)")
@@ -137,10 +235,13 @@ func cmdServe(args []string) {
 		log.Fatal(err)
 	}
 	opts := titant.DefaultOptions()
-	log.Printf("training production configuration (Basic+DW+GBDT)...")
-	clf, emb, threshold, err := titant.TrainForServing(w.Users, ds, opts)
+	dets, err := parseDetectors(*detectors)
 	if err != nil {
-		log.Fatal(err)
+		log.Fatalf("serve: %v", err)
+	}
+	combine, err := titant.ParseCombiner(*combineName)
+	if err != nil {
+		log.Fatalf("serve: %v", err)
 	}
 	d := *dir
 	if d == "" {
@@ -154,9 +255,30 @@ func cmdServe(args []string) {
 		log.Fatal(err)
 	}
 	defer tab.Close()
-	log.Printf("uploading %d users to the feature store...", len(w.Users))
 	version := time.Now().Format("2006-01-02T15:04:05")
-	bundle, err := titant.Deploy(w.Users, ds, emb, clf, threshold, opts, tab, version)
+	var bundle *titant.Bundle
+	var threshold float64
+	if len(dets) == 1 && dets[0] == titant.DetGBDT {
+		log.Printf("training production configuration (Basic+DW+GBDT)...")
+		var clf titant.Classifier
+		var emb *titant.Embeddings
+		clf, emb, threshold, err = titant.TrainForServing(w.Users, ds, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("uploading %d users to the feature store...", len(w.Users))
+		bundle, err = titant.Deploy(w.Users, ds, emb, clf, threshold, opts, tab, version)
+	} else {
+		log.Printf("training %d-member ensemble (%s, combiner %s)...", len(dets), *detectors, combine)
+		var members []titant.EnsembleMember
+		var emb *titant.Embeddings
+		members, emb, threshold, err = titant.TrainEnsembleForServing(w.Users, ds, dets, combine, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("uploading %d users to the feature store...", len(w.Users))
+		bundle, err = titant.DeployEnsemble(w.Users, ds, emb, members, combine, threshold, opts, tab, version)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -185,7 +307,8 @@ func cmdServe(args []string) {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	log.Printf("model server %s listening on %s (threshold %.3f, streaming=%v)", version, *addr, threshold, *streaming)
+	log.Printf("model server %s listening on %s (%d member(s), threshold %.3f, streaming=%v)",
+		version, *addr, bundle.NumMembers(), threshold, *streaming)
 	log.Printf("v1 API: POST /v1/score, POST /v1/score/batch, POST /v1/ingest[/batch], GET|POST /v1/models, GET /v1/stats, GET /healthz")
 	if err := eng.ListenAndServe(ctx, *addr); err != nil {
 		log.Fatal(err)

@@ -12,6 +12,7 @@ package core
 
 import (
 	"fmt"
+	"strings"
 
 	"titant/internal/feature"
 	"titant/internal/graph"
@@ -80,6 +81,40 @@ func (d Detector) String() string {
 		return "GBDT"
 	}
 	return fmt.Sprintf("Detector(%d)", int(d))
+}
+
+// Key returns the detector's lowercase CLI/bundle-member name.
+func (d Detector) Key() string {
+	switch d {
+	case DetIF:
+		return "if"
+	case DetID3:
+		return "id3"
+	case DetC50:
+		return "c50"
+	case DetLR:
+		return "lr"
+	case DetGBDT:
+		return "gbdt"
+	}
+	return fmt.Sprintf("detector%d", int(d))
+}
+
+// ParseDetector maps a CLI name back to a Detector.
+func ParseDetector(s string) (Detector, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "if", "iforest":
+		return DetIF, nil
+	case "id3":
+		return DetID3, nil
+	case "c50", "c5.0":
+		return DetC50, nil
+	case "lr":
+		return DetLR, nil
+	case "gbdt":
+		return DetGBDT, nil
+	}
+	return 0, fmt.Errorf("core: unknown detector %q (want if, id3, c50, lr or gbdt)", s)
 }
 
 // Options bundles every component's hyperparameters. DefaultOptions
@@ -205,10 +240,10 @@ func TrainEval(users []txn.User, ds *txn.Dataset, fs FeatureSet, det Detector, e
 
 	clf := trainDetector(det, fitM, fitL, opts)
 
-	valScores := model.ScoreMatrix(clf, valM)
+	valScores := mustScores(clf, valM)
 	_, threshold := metrics.BestF1(valScores, valL)
 
-	testScores := scoreFast(clf, testM)
+	testScores := mustScores(clf, testM)
 	testLabels := feature.LabelsOf(ds.Test)
 	return Result{
 		Dataset:    ds.Index,
@@ -257,12 +292,16 @@ func trainDetector(det Detector, m *feature.Matrix, labels []bool, opts Options)
 	panic(fmt.Sprintf("core: unknown detector %d", int(det)))
 }
 
-// scoreFast uses the batch path for GBDT and the generic path otherwise.
-func scoreFast(clf model.Classifier, m *feature.Matrix) []float64 {
-	if g, ok := clf.(*gbdt.Model); ok {
-		return g.ScoreBinned(m)
+// mustScores scores m through model.ScoreMatrix, which dispatches to the
+// detector's batch path when it implements model.BatchScorer. Training-time
+// matrices are built by the same extractor that shaped the model, so a
+// width mismatch here is a pipeline bug, not recoverable input.
+func mustScores(clf model.Classifier, m *feature.Matrix) []float64 {
+	s, err := model.ScoreMatrix(clf, m)
+	if err != nil {
+		panic(err)
 	}
-	return model.ScoreMatrix(clf, m)
+	return s
 }
 
 // splitByDay partitions row indices of ts by whether their day is before
@@ -299,12 +338,9 @@ func TrainMatrix(users []txn.User, ds *txn.Dataset, fs FeatureSet, emb *Embeddin
 	return buildMatrix(ex, ds.Train, fs, emb, opts.Dim), feature.LabelsOf(ds.Train)
 }
 
-// Deploy materialises a trained day into the online stores: uploads every
-// user's profile, aggregate fragment and DW embedding to HBase and returns
-// the model bundle for the Model Server. version follows the paper's
-// date-time convention.
-func Deploy(users []txn.User, ds *txn.Dataset, emb *Embeddings, clf model.Classifier, threshold float64, opts Options, tab *hbase.Table, version string) (*ms.Bundle, error) {
-	agg := feature.BuildAggregates(ds.Network, opts.Cities)
+// uploadUsers materialises every user's profile, aggregate fragment and
+// DW embedding into the feature table.
+func uploadUsers(users []txn.User, agg *feature.Aggregates, emb *Embeddings, tab *hbase.Table) error {
 	up := &ms.Uploader{Table: tab}
 	for i := range users {
 		u := &users[i]
@@ -313,14 +349,88 @@ func Deploy(users []txn.User, ds *txn.Dataset, emb *Embeddings, clf model.Classi
 			vec = emb.DW.Lookup(u.ID)
 		}
 		if err := up.PutUser(u, agg.Stats(u.ID), vec); err != nil {
-			return nil, fmt.Errorf("core: upload user %d: %w", u.ID, err)
+			return fmt.Errorf("core: upload user %d: %w", u.ID, err)
 		}
 	}
-	dim := 0
+	return nil
+}
+
+func embDim(emb *Embeddings) int {
 	if emb != nil && emb.DW != nil {
-		dim = emb.DW.Dim()
+		return emb.DW.Dim()
 	}
-	return ms.NewBundle(version, clf, threshold, agg.CityTable(), dim)
+	return 0
+}
+
+// Deploy materialises a trained day into the online stores: uploads every
+// user's profile, aggregate fragment and DW embedding to HBase and returns
+// the model bundle for the Model Server. version follows the paper's
+// date-time convention.
+func Deploy(users []txn.User, ds *txn.Dataset, emb *Embeddings, clf model.Classifier, threshold float64, opts Options, tab *hbase.Table, version string) (*ms.Bundle, error) {
+	agg := feature.BuildAggregates(ds.Network, opts.Cities)
+	if err := uploadUsers(users, agg, emb, tab); err != nil {
+		return nil, err
+	}
+	return ms.NewBundle(version, clf, threshold, agg.CityTable(), embDim(emb))
+}
+
+// BuildEnsembleBundle assembles a v2 ensemble bundle from trained members
+// without touching the online stores — the bundle-file half of an
+// ensemble deployment (see DeployEnsemble for the uploading variant).
+func BuildEnsembleBundle(ds *txn.Dataset, emb *Embeddings, members []ms.EnsembleMember, combine ms.Combiner, threshold float64, opts Options, version string) (*ms.Bundle, error) {
+	agg := feature.BuildAggregates(ds.Network, opts.Cities)
+	return ms.NewEnsembleBundle(version, members, combine, threshold, agg.CityTable(), embDim(emb))
+}
+
+// DeployEnsemble is Deploy for ensemble bundles: uploads every user's
+// fragments and returns a v2 bundle combining the trained members.
+func DeployEnsemble(users []txn.User, ds *txn.Dataset, emb *Embeddings, members []ms.EnsembleMember, combine ms.Combiner, threshold float64, opts Options, tab *hbase.Table, version string) (*ms.Bundle, error) {
+	agg := feature.BuildAggregates(ds.Network, opts.Cities)
+	if err := uploadUsers(users, agg, emb, tab); err != nil {
+		return nil, err
+	}
+	return ms.NewEnsembleBundle(version, members, combine, threshold, agg.CityTable(), embDim(emb))
+}
+
+// TrainEnsembleForServing trains one detector per entry of dets on the
+// production feature set (Basic+DW), freezing each member's own threshold
+// and the combined decision threshold on the validation days — the same
+// T+1 protocol TrainForServing applies to the single GBDT. The returned
+// members are ordered as requested, weighted equally, and named by
+// Detector.Key.
+func TrainEnsembleForServing(users []txn.User, ds *txn.Dataset, dets []Detector, combine ms.Combiner, opts Options) ([]ms.EnsembleMember, *Embeddings, float64, error) {
+	if len(dets) == 0 {
+		return nil, nil, 0, fmt.Errorf("core: ensemble needs at least one detector")
+	}
+	emb := LearnDW(ds, opts)
+	agg := feature.BuildAggregates(ds.Network, opts.Cities)
+	ex := feature.NewExtractor(users, agg)
+	trainM := buildMatrix(ex, ds.Train, FeatBasicDW, emb, opts.Dim)
+	labels := feature.LabelsOf(ds.Train)
+	valStart := ds.TrainEnd - txn.Day(opts.ValDays)
+	fitRows, valRows := splitByDay(ds.Train, valStart)
+	fitM, fitL := subset(trainM, labels, fitRows)
+	valM, valL := subset(trainM, labels, valRows)
+
+	members := make([]ms.EnsembleMember, 0, len(dets))
+	for _, det := range dets {
+		clf := trainDetector(det, fitM, fitL, opts)
+		_, thr := metrics.BestF1(mustScores(clf, valM), valL)
+		members = append(members, ms.EnsembleMember{Name: det.Key(), Clf: clf, Weight: 1, Threshold: thr})
+	}
+
+	// Freeze the ensemble threshold on the combined validation scores,
+	// through the same combiner the bundle will serve with.
+	probe, err := ms.NewEnsembleBundle("val", members, combine, 0, agg.CityTable(), opts.Dim)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	combined := make([]float64, valM.Rows)
+	if err := probe.ScoreMatrix(combined, nil, valM); err != nil {
+		return nil, nil, 0, err
+	}
+	_, threshold := metrics.BestF1(combined, valL)
+	return members, emb, threshold, nil
 }
 
 // TrainForServing runs the paper's production configuration (Basic+DW+
@@ -339,6 +449,6 @@ func TrainForServing(users []txn.User, ds *txn.Dataset, opts Options) (model.Cla
 	cfg := opts.GBDT
 	cfg.Seed = opts.Seed
 	clf := gbdt.Train(fitM, fitL, cfg)
-	_, threshold := metrics.BestF1(model.ScoreMatrix(clf, valM), valL)
+	_, threshold := metrics.BestF1(mustScores(clf, valM), valL)
 	return clf, emb, threshold, nil
 }

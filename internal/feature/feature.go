@@ -470,6 +470,18 @@ func FitDiscretizer(m *Matrix, bins int) *Discretizer {
 // NumCols returns the number of columns the discretizer was fitted on.
 func (d *Discretizer) NumCols() int { return len(d.Cuts) }
 
+// BytePackable reports whether every column fits the byte-packed Binned
+// representation (at most 256 buckets). Transform panics when it does
+// not; batch scorers check this to fall back to unpacked binning.
+func (d *Discretizer) BytePackable() bool {
+	for j := range d.Cuts {
+		if d.NumBins(j) > 256 {
+			return false
+		}
+	}
+	return true
+}
+
 // NumBins returns the bucket count of column j.
 func (d *Discretizer) NumBins(j int) int { return len(d.Cuts[j]) + 1 }
 

@@ -9,6 +9,7 @@ package gbdt
 import (
 	"encoding/gob"
 	"fmt"
+	"sync"
 
 	"titant/internal/feature"
 	"titant/internal/model"
@@ -59,9 +60,17 @@ type Model struct {
 	Base     float64 // initial prediction (label mean)
 	Features int
 	Depth    int
+
+	// The compiled predictor is built lazily from the exported fields on
+	// the first batch call, so gob-decoded models (bundles) compile too.
+	compileOnce sync.Once
+	compiledSoA *compiled // nil when the trees cannot be compiled
 }
 
-var _ model.Classifier = (*Model)(nil)
+var (
+	_ model.Classifier  = (*Model)(nil)
+	_ model.BatchScorer = (*Model)(nil)
+)
 
 // Train fits the ensemble on raw features and boolean labels. The RMSE
 // objective regresses residuals toward the 0/1 labels, so raw scores live
@@ -334,22 +343,46 @@ func (mo *Model) Score(x []float64) float64 {
 	return s
 }
 
-// ScoreBinned scores a matrix by binning once - much faster than
-// row-at-a-time Score for batch evaluation.
-func (mo *Model) ScoreBinned(m *feature.Matrix) []float64 {
+// ScoreBatch implements model.BatchScorer through the compiled predictor:
+// the batch is discretised once (not once per row), then the contiguous
+// SoA tree blocks stream over row blocks — across a worker pool for large
+// batches — with the depth-3 traversal fully unrolled. Scores are bitwise
+// identical to calling Score per row; the scalar walk remains as the
+// fallback for models whose trees are not complete arrays.
+func (mo *Model) ScoreBatch(dst []float64, m *feature.Matrix) {
 	if m.Cols != mo.Features {
 		panic(fmt.Sprintf("gbdt: matrix has %d features, model wants %d", m.Cols, mo.Features))
 	}
+	// Train bounds Bins to 256, but a decoded bundle is not trainer
+	// output: fall back to the scalar walk rather than let Transform
+	// panic on an unpackable discretiser.
+	if !mo.Disc.BytePackable() {
+		for i := 0; i < m.Rows; i++ {
+			dst[i] = mo.Score(m.Row(i))
+		}
+		return
+	}
 	binned := mo.Disc.Transform(m)
-	out := make([]float64, m.Rows)
+	mo.compileOnce.Do(func() { mo.compiledSoA = compile(mo) })
+	if c := mo.compiledSoA; c != nil {
+		c.predictAll(dst, binned, mo.Base)
+		return
+	}
 	for i := 0; i < m.Rows; i++ {
 		bins := binned.Row(i)
 		s := mo.Base
 		for t := range mo.TreesArr {
 			s += mo.TreesArr[t].eval(bins)
 		}
-		out[i] = s
+		dst[i] = s
 	}
+}
+
+// ScoreBinned scores a matrix through the batch path, allocating the
+// output slice. Kept for callers predating ScoreBatch.
+func (mo *Model) ScoreBinned(m *feature.Matrix) []float64 {
+	out := make([]float64, m.Rows)
+	mo.ScoreBatch(out, m)
 	return out
 }
 

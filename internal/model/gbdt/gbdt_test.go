@@ -1,6 +1,7 @@
 package gbdt
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
@@ -9,6 +10,15 @@ import (
 	"titant/internal/model"
 	"titant/internal/rng"
 )
+
+// mustScores is a test shim over the error-returning model.ScoreMatrix.
+func mustScores(c model.Classifier, m *feature.Matrix) []float64 {
+	s, err := model.ScoreMatrix(c, m)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
 
 // interactionData labels rows by a rule with feature interactions plus
 // noise: positive iff (x0>0.5 AND x1<0.3) OR (x2>0.8 AND x3>0.6).
@@ -41,7 +51,7 @@ func TestLearnsInteractions(t *testing.T) {
 	cfg := smallConfig()
 	cfg.Trees = 200
 	mo := Train(m, labels, cfg)
-	scores := model.ScoreMatrix(mo, mt)
+	scores := mustScores(mo, mt)
 	if auc := metrics.AUC(scores, lt); auc < 0.95 {
 		t.Errorf("held-out AUC %.3f < 0.95", auc)
 	}
@@ -55,8 +65,8 @@ func TestBeatsLinearOnInteractions(t *testing.T) {
 	deep := smallConfig()
 	stump := smallConfig()
 	stump.Depth = 1
-	aucDeep := metrics.AUC(model.ScoreMatrix(Train(m, labels, deep), mt), lt)
-	aucStump := metrics.AUC(model.ScoreMatrix(Train(m, labels, stump), mt), lt)
+	aucDeep := metrics.AUC(mustScores(Train(m, labels, deep), mt), lt)
+	aucStump := metrics.AUC(mustScores(Train(m, labels, stump), mt), lt)
 	if aucDeep <= aucStump {
 		t.Errorf("depth-3 AUC %.3f <= stump AUC %.3f", aucDeep, aucStump)
 	}
@@ -224,11 +234,78 @@ func BenchmarkTrain400(b *testing.B) {
 	}
 }
 
-func BenchmarkScoreBinned(b *testing.B) {
-	m, labels := interactionData(5000, 1)
-	mo := Train(m, labels, smallConfig())
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		mo.ScoreBinned(m)
+// TestScoreBatchBitwiseIdentical pins the compiled predictor to the scalar
+// walk: identical bits, not just close, across tree shapes (early leaves,
+// non-default depths) and batch sizes on both sides of the worker-pool
+// threshold.
+func TestScoreBatchBitwiseIdentical(t *testing.T) {
+	train, labels := interactionData(3000, 14)
+	cases := map[string]Config{
+		"depth3":      smallConfig(),
+		"earlyLeaves": func() Config { c := smallConfig(); c.MinLeaf = 400; return c }(),
+		"depth2":      func() Config { c := smallConfig(); c.Depth = 2; return c }(),
+		"depth5":      func() Config { c := smallConfig(); c.Depth = 5; return c }(),
+	}
+	for name, cfg := range cases {
+		mo := Train(train, labels, cfg)
+		for _, rows := range []int{1, 7, 300, 1000} {
+			m, _ := interactionData(rows, uint64(rows)+20)
+			got := make([]float64, rows)
+			mo.ScoreBatch(got, m)
+			for i := 0; i < rows; i++ {
+				if want := mo.Score(m.Row(i)); got[i] != want {
+					t.Fatalf("%s rows=%d row %d: batch %v != scalar %v", name, rows, i, got[i], want)
+				}
+			}
+		}
+		if mo.compiledSoA == nil {
+			t.Errorf("%s: trees did not compile", name)
+		}
+	}
+}
+
+// A model whose trees are not the complete arrays the trainer produces
+// must fall back to the scalar walk rather than compile garbage.
+func TestScoreBatchFallbackWithoutCompile(t *testing.T) {
+	train, labels := interactionData(800, 15)
+	mo := Train(train, labels, smallConfig())
+	mo.Depth = 4 // disagrees with the depth-3 node arrays: not compilable
+	m, _ := interactionData(64, 16)
+	got := make([]float64, m.Rows)
+	mo.ScoreBatch(got, m)
+	if mo.compiledSoA != nil {
+		t.Fatal("inconsistent model compiled anyway")
+	}
+	for i := 0; i < m.Rows; i++ {
+		if want := mo.Score(m.Row(i)); got[i] != want {
+			t.Fatalf("fallback row %d: %v != %v", i, got[i], want)
+		}
+	}
+}
+
+// BenchmarkScoreBatch compares the compiled SoA batch path against the
+// per-row scalar walk at the paper's production shape (400 trees, depth
+// 3). The compiled path must hold a wide margin (the serving acceptance
+// bar is 3x per row at 256+ rows).
+func BenchmarkScoreBatch(b *testing.B) {
+	train, labels := interactionData(4000, 1)
+	mo := Train(train, labels, DefaultConfig())
+	for _, rows := range []int{256, 4096} {
+		m, _ := interactionData(rows, 2)
+		dst := make([]float64, rows)
+		b.Run(fmt.Sprintf("compiled-%d", rows), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				mo.ScoreBatch(dst, m)
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*rows), "ns/row")
+		})
+		b.Run(fmt.Sprintf("scalar-%d", rows), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for r := 0; r < rows; r++ {
+					dst[r] = mo.Score(m.Row(r))
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*rows), "ns/row")
+		})
 	}
 }

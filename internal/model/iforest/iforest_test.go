@@ -159,3 +159,29 @@ func BenchmarkScore(b *testing.B) {
 		f.Score(x)
 	}
 }
+
+// TestScoreBatchBitwiseIdentical pins the batch path to the scalar one:
+// same bits, on both sides of any internal chunking.
+func TestScoreBatchBitwiseIdentical(t *testing.T) {
+	train := cluster(600, 12)
+	f := Train(train, DefaultConfig())
+	for _, rows := range []int{1, 9, 300} {
+		m := cluster(rows-rows/10, rows/10)
+		got := make([]float64, m.Rows)
+		f.ScoreBatch(got, m)
+		for i := 0; i < m.Rows; i++ {
+			if want := f.Score(m.Row(i)); got[i] != want {
+				t.Fatalf("rows=%d row %d: batch %v != scalar %v", rows, i, got[i], want)
+			}
+		}
+	}
+	// The degenerate single-point forest serves its 0.5 fallback on the
+	// batch path too.
+	one := feature.NewMatrix(1, 3)
+	deg := Train(one, Config{Trees: 3, SampleSize: 2, Seed: 1})
+	out := make([]float64, 1)
+	deg.ScoreBatch(out, one)
+	if out[0] != deg.Score(one.Row(0)) {
+		t.Fatalf("degenerate batch %v != scalar %v", out[0], deg.Score(one.Row(0)))
+	}
+}

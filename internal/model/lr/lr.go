@@ -50,7 +50,10 @@ type Model struct {
 	Features int
 }
 
-var _ model.Classifier = (*Model)(nil)
+var (
+	_ model.Classifier  = (*Model)(nil)
+	_ model.BatchScorer = (*Model)(nil)
+)
 
 // Train fits LR with FTRL-Proximal on raw features and boolean labels.
 func Train(m *feature.Matrix, labels []bool, cfg Config) *Model {
@@ -143,6 +146,35 @@ func (mo *Model) Score(x []float64) float64 {
 		dot += mo.W[mo.Offsets[j]+mo.Disc.Bin(j, v)]
 	}
 	return model.Sigmoid(dot)
+}
+
+// ScoreBatch implements model.BatchScorer: the batch is discretised once,
+// then each row is a fused gather-accumulate over the one-hot weight
+// blocks — no per-row binning, no intermediate slices. The per-row sum
+// runs in column order, so scores are bitwise identical to Score.
+func (mo *Model) ScoreBatch(dst []float64, m *feature.Matrix) {
+	if m.Cols != mo.Features {
+		panic(fmt.Sprintf("lr: matrix has %d features, model wants %d", m.Cols, mo.Features))
+	}
+	// A model trained with more than 256 bins per column cannot use the
+	// byte-packed batch binning (Transform would panic); fall back to the
+	// scalar walk rather than let a serving request crash.
+	if !mo.Disc.BytePackable() {
+		for i := 0; i < m.Rows; i++ {
+			dst[i] = mo.Score(m.Row(i))
+		}
+		return
+	}
+	binned := mo.Disc.Transform(m)
+	w, offsets := mo.W, mo.Offsets
+	for i := 0; i < m.Rows; i++ {
+		bins := binned.Row(i)
+		dot := mo.Bias
+		for j, b := range bins {
+			dot += w[offsets[j]+int(b)]
+		}
+		dst[i] = model.Sigmoid(dot)
+	}
 }
 
 // NumFeatures implements model.Classifier.

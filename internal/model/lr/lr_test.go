@@ -10,6 +10,15 @@ import (
 	"titant/internal/rng"
 )
 
+// mustScores is a test shim over the error-returning model.ScoreMatrix.
+func mustScores(c model.Classifier, m *feature.Matrix) []float64 {
+	s, err := model.ScoreMatrix(c, m)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
 // linearData labels rows by a noisy linear rule over two features.
 func linearData(n int, seed uint64) (*feature.Matrix, []bool) {
 	r := rng.New(seed)
@@ -29,7 +38,7 @@ func TestLearnsLinearRule(t *testing.T) {
 	m, labels := linearData(4000, 1)
 	mt, lt := linearData(1000, 2)
 	mo := Train(m, labels, Config{Bins: 32, L1: 0.02, L2: 0.5, Alpha: 0.1, Beta: 1, Iterations: 20, Seed: 1})
-	scores := model.ScoreMatrix(mo, mt)
+	scores := mustScores(mo, mt)
 	if auc := metrics.AUC(scores, lt); auc < 0.95 {
 		t.Errorf("held-out AUC %.3f < 0.95", auc)
 	}
@@ -103,7 +112,7 @@ func TestDiscretizationCapturesNonMonotone(t *testing.T) {
 		labels[i] = math.Abs(x) > 1
 	}
 	mo := Train(m, labels, Config{Bins: 32, L1: 0.01, L2: 0.5, Alpha: 0.1, Beta: 1, Iterations: 20, Seed: 1})
-	scores := model.ScoreMatrix(mo, m)
+	scores := mustScores(mo, m)
 	if auc := metrics.AUC(scores, labels); auc < 0.95 {
 		t.Errorf("binned LR AUC on |x|>1 rule: %.3f < 0.95", auc)
 	}
@@ -173,5 +182,64 @@ func BenchmarkScore(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		mo.Score(x)
+	}
+}
+
+// TestScoreBatchBitwiseIdentical pins the fused batch path to the scalar
+// one: the one-shot discretisation and per-row gather must reproduce
+// Score's bits exactly.
+func TestScoreBatchBitwiseIdentical(t *testing.T) {
+	m, labels := linearData(3000, 3)
+	mo := Train(m, labels, Config{Bins: 64, L1: 0.02, L2: 0.5, Alpha: 0.1, Beta: 1, Iterations: 15, Seed: 1})
+	for _, rows := range []int{1, 17, 500} {
+		mt, _ := linearData(rows, uint64(rows)+7)
+		got := make([]float64, rows)
+		mo.ScoreBatch(got, mt)
+		for i := 0; i < rows; i++ {
+			if want := mo.Score(mt.Row(i)); got[i] != want {
+				t.Fatalf("rows=%d row %d: batch %v != scalar %v", rows, i, got[i], want)
+			}
+		}
+	}
+}
+
+// A model whose discretiser holds more than 256 bins per column (not
+// producible by this trainer, but decodable from a bundle built by an
+// external pipeline — the paper's LR sweeps reach bin size 500) cannot
+// byte-pack its batch binning: ScoreBatch must fall back to the scalar
+// walk instead of panicking — a serving request must never be able to
+// crash on a wide-binned bundle.
+func TestScoreBatchWideBinsFallsBack(t *testing.T) {
+	r := rng.New(11)
+	cuts := make([]float64, 300) // 301 buckets in column 0
+	for i := range cuts {
+		cuts[i] = float64(i) / 100
+	}
+	disc := &feature.Discretizer{Cuts: [][]float64{cuts, {0.5}}}
+	if disc.BytePackable() {
+		t.Fatal("fixture discretiser unexpectedly packable")
+	}
+	w := make([]float64, disc.NumBins(0)+disc.NumBins(1))
+	for i := range w {
+		w[i] = r.NormFloat64()
+	}
+	mo := &Model{
+		Disc:     disc,
+		Offsets:  []int{0, disc.NumBins(0)},
+		W:        w,
+		Bias:     0.25,
+		Features: 2,
+	}
+	m := feature.NewMatrix(50, 2)
+	for i := 0; i < m.Rows; i++ {
+		m.Set(i, 0, r.Float64()*4-0.5)
+		m.Set(i, 1, r.Float64())
+	}
+	got := make([]float64, m.Rows)
+	mo.ScoreBatch(got, m) // must not panic
+	for i := 0; i < m.Rows; i++ {
+		if want := mo.Score(m.Row(i)); got[i] != want {
+			t.Fatalf("row %d: fallback %v != scalar %v", i, got[i], want)
+		}
 	}
 }

@@ -11,6 +11,7 @@ package model
 import (
 	"bytes"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"math"
 
@@ -27,16 +28,49 @@ type Classifier interface {
 	NumFeatures() int
 }
 
-// ScoreMatrix scores every row of m.
-func ScoreMatrix(c Classifier, m *feature.Matrix) []float64 {
-	if m.Cols != c.NumFeatures() {
-		panic(fmt.Sprintf("model: matrix has %d features, model wants %d", m.Cols, c.NumFeatures()))
-	}
+// BatchScorer is implemented by detectors with a vectorised batch path:
+// ScoreBatch scores every row of m into dst (len(dst) == m.Rows), producing
+// bitwise-identical results to calling Score row by row. Implementations
+// may assume the caller has already validated m.Cols against NumFeatures
+// and len(dst) against m.Rows — ScoreMatrix and ScoreMatrixInto do.
+type BatchScorer interface {
+	ScoreBatch(dst []float64, m *feature.Matrix)
+}
+
+// ErrWidth reports a feature matrix whose column count disagrees with the
+// classifier's trained input width. It is a data/configuration error (a
+// stale or corrupt model against a differently-shaped feature pipeline),
+// so scoring surfaces it as a value instead of panicking.
+var ErrWidth = errors.New("model: feature width mismatch")
+
+// ScoreMatrix scores every row of m, taking the detector's batch path when
+// it implements BatchScorer and falling back to a row loop otherwise.
+func ScoreMatrix(c Classifier, m *feature.Matrix) ([]float64, error) {
 	out := make([]float64, m.Rows)
-	for i := 0; i < m.Rows; i++ {
-		out[i] = c.Score(m.Row(i))
+	if err := ScoreMatrixInto(out, c, m); err != nil {
+		return nil, err
 	}
-	return out
+	return out, nil
+}
+
+// ScoreMatrixInto scores every row of m into dst, which must have exactly
+// m.Rows slots. Like ScoreMatrix it dispatches to the batch path when the
+// detector provides one.
+func ScoreMatrixInto(dst []float64, c Classifier, m *feature.Matrix) error {
+	if m.Cols != c.NumFeatures() {
+		return fmt.Errorf("%w: matrix has %d features, model wants %d", ErrWidth, m.Cols, c.NumFeatures())
+	}
+	if len(dst) != m.Rows {
+		return fmt.Errorf("%w: dst has %d slots, matrix %d rows", ErrWidth, len(dst), m.Rows)
+	}
+	if bs, ok := c.(BatchScorer); ok {
+		bs.ScoreBatch(dst, m)
+		return nil
+	}
+	for i := 0; i < m.Rows; i++ {
+		dst[i] = c.Score(m.Row(i))
+	}
+	return nil
 }
 
 // Encode serialises a model with gob. Concrete model types must be

@@ -2,6 +2,7 @@ package model
 
 import (
 	"encoding/gob"
+	"errors"
 	"math"
 	"testing"
 
@@ -44,19 +45,54 @@ func TestSigmoid(t *testing.T) {
 func TestScoreMatrix(t *testing.T) {
 	m := feature.NewMatrix(3, 2)
 	c := &constModel{V: 0.7, N: 2}
-	out := ScoreMatrix(c, m)
+	out, err := ScoreMatrix(c, m)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(out) != 3 || out[0] != 0.7 {
 		t.Fatalf("ScoreMatrix = %v", out)
 	}
 }
 
-func TestScoreMatrixPanicsOnWidth(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("no panic")
+// A width mismatch is an error value, never a panic: a bad hot-swapped
+// bundle must not be able to crash a serving process.
+func TestScoreMatrixWidthError(t *testing.T) {
+	if _, err := ScoreMatrix(&constModel{N: 5}, feature.NewMatrix(2, 3)); !errors.Is(err, ErrWidth) {
+		t.Fatalf("err = %v, want ErrWidth", err)
+	}
+	if err := ScoreMatrixInto(make([]float64, 1), &constModel{N: 3}, feature.NewMatrix(2, 3)); !errors.Is(err, ErrWidth) {
+		t.Fatalf("short dst err = %v, want ErrWidth", err)
+	}
+}
+
+// batchModel counts ScoreBatch calls so dispatch is observable.
+type batchModel struct {
+	constModel
+	batchCalls int
+}
+
+func (b *batchModel) ScoreBatch(dst []float64, m *feature.Matrix) {
+	b.batchCalls++
+	for i := range dst {
+		dst[i] = b.V
+	}
+}
+
+// ScoreMatrix must route through the detector's batch path when one exists.
+func TestScoreMatrixDispatchesBatchScorer(t *testing.T) {
+	b := &batchModel{constModel: constModel{V: 0.3, N: 2}}
+	out, err := ScoreMatrix(b, feature.NewMatrix(4, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.batchCalls != 1 {
+		t.Fatalf("batchCalls = %d, want 1", b.batchCalls)
+	}
+	for i, v := range out {
+		if v != 0.3 {
+			t.Fatalf("out[%d] = %v", i, v)
 		}
-	}()
-	ScoreMatrix(&constModel{N: 5}, feature.NewMatrix(2, 3))
+	}
 }
 
 func TestEncodeDecodeRoundTrip(t *testing.T) {

@@ -53,8 +53,17 @@ func conjunctionData(n int, seed uint64) (*feature.Matrix, []bool) {
 	return m, labels
 }
 
+// mustScores is a test shim over the error-returning model.ScoreMatrix.
+func mustScores(c model.Classifier, m *feature.Matrix) []float64 {
+	s, err := model.ScoreMatrix(c, m)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
 func accuracy(t *Tree, m *feature.Matrix, labels []bool) float64 {
-	scores := model.ScoreMatrix(t, m)
+	scores := mustScores(t, m)
 	c := metrics.Confuse(scores, labels, 0.5)
 	return c.Accuracy()
 }
@@ -221,5 +230,25 @@ func BenchmarkTrainC50(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		Train(m, labels, cfg)
+	}
+}
+
+// TestScoreBatchBitwiseIdentical pins the batch-binned walk to the scalar
+// one for both tree variants (ID3 multiway splits with bin clamping, C5.0
+// binary threshold splits).
+func TestScoreBatchBitwiseIdentical(t *testing.T) {
+	m, labels := xorData(3000, 4)
+	for _, cfg := range []Config{DefaultID3(), DefaultC50()} {
+		tr := Train(m, labels, cfg)
+		for _, rows := range []int{1, 13, 400} {
+			mt, _ := xorData(rows, uint64(rows)+3)
+			got := make([]float64, rows)
+			tr.ScoreBatch(got, mt)
+			for i := 0; i < rows; i++ {
+				if want := tr.Score(mt.Row(i)); got[i] != want {
+					t.Fatalf("%s rows=%d row %d: batch %v != scalar %v", cfg.Algorithm, rows, i, got[i], want)
+				}
+			}
+		}
 	}
 }

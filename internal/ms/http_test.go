@@ -294,3 +294,64 @@ func TestV1StatsAndHealth(t *testing.T) {
 		t.Fatalf("legacy /stats = %d", resp.StatusCode)
 	}
 }
+
+// An ensemble bundle's per-member scores and model metadata travel the
+// wire: POST /v1/score carries a members array, GET /v1/models the
+// combiner and member descriptors.
+func TestV1EnsembleOnTheWire(t *testing.T) {
+	srv := ensembleEngine(t, CombineMean)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	body, _ := json.Marshal(TxnRequest{ID: 3, From: 1, To: 2, Amount: 50})
+	resp, err := http.Post(ts.URL+"/v1/score", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var raw map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+		t.Fatal(err)
+	}
+	var members []MemberScore
+	if err := json.Unmarshal(raw["members"], &members); err != nil {
+		t.Fatalf("members field: %v (body keys %v)", err, raw)
+	}
+	if len(members) != 2 || members[0].Name != "lo" || members[1].Score != 0.8 {
+		t.Fatalf("wire members = %+v", members)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var info ModelInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Combiner != "mean" || len(info.Members) != 2 || info.Members[1].Name != "hi" {
+		t.Fatalf("wire model info = %+v", info)
+	}
+}
+
+// A v1 engine's score response must not grow a members field.
+func TestV1ScoreResponseShapeUnchanged(t *testing.T) {
+	_, ts := v1Server(t)
+	body, _ := json.Marshal(TxnRequest{ID: 7, From: 1, To: 2, Amount: 10})
+	resp, err := http.Post(ts.URL+"/v1/score", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var raw map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := raw["members"]; ok {
+		t.Fatalf("v1 response grew a members field: %v", raw)
+	}
+}

@@ -528,3 +528,155 @@ func TestNewServerValidation(t *testing.T) {
 }
 
 var _ = model.Sigmoid // referenced for doc purposes
+
+// ensembleEngine builds an engine over a two-member fixed-score ensemble
+// (0.2 and 0.8, mean-combined) with two uploaded users.
+func ensembleEngine(t *testing.T, combine Combiner) *Server {
+	t.Helper()
+	tab := table(t)
+	up := &Uploader{Table: tab}
+	for i := txn.UserID(1); i <= 2; i++ {
+		u := txn.User{ID: i, Age: 30}
+		if err := up.PutUser(&u, feature.UserStats{}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	city := feature.CityTable{Fraud: []float64{0.01}, Share: []float64{1}}
+	b, err := NewEnsembleBundle("ens-2017-04-10", []EnsembleMember{
+		{Name: "lo", Clf: &fixedModel{V: 0.2, N: feature.NumBasic}, Threshold: 0.5},
+		{Name: "hi", Clf: &fixedModel{V: 0.8, N: feature.NumBasic}, Threshold: 0.5},
+	}, combine, 0.5, city, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(tab, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+// An ensemble engine combines member scores and exposes the per-member
+// breakdown on both the single and the batch path.
+func TestEnsembleScoreExposesMembers(t *testing.T) {
+	srv := ensembleEngine(t, CombineMean)
+	ctx := context.Background()
+	tx := txn.Transaction{ID: 1, From: 1, To: 2, Amount: 100}
+	v, err := srv.Score(ctx, &tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Score != 0.5 || !v.Fraud {
+		t.Fatalf("verdict = %+v", v)
+	}
+	if len(v.Members) != 2 ||
+		v.Members[0] != (MemberScore{Name: "lo", Score: 0.2}) ||
+		v.Members[1] != (MemberScore{Name: "hi", Score: 0.8}) {
+		t.Fatalf("members = %+v", v.Members)
+	}
+	vs, err := srv.ScoreBatch(ctx, []txn.Transaction{tx, {ID: 2, From: 2, To: 1, Amount: 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, bv := range vs {
+		if bv.Score != v.Score || len(bv.Members) != 2 || bv.Members[1].Score != 0.8 {
+			t.Fatalf("batch verdict %d = %+v", i, bv)
+		}
+	}
+	info := srv.ModelInfo()
+	if info.Combiner != "mean" || len(info.Members) != 2 ||
+		info.Members[0].Name != "lo" || info.Members[0].Weight != 1 {
+		t.Fatalf("model info = %+v", info)
+	}
+}
+
+// A max-combined ensemble flags when its most suspicious member does.
+func TestEnsembleMaxCombiner(t *testing.T) {
+	srv := ensembleEngine(t, CombineMax)
+	tx := txn.Transaction{ID: 1, From: 1, To: 2, Amount: 100}
+	v, err := srv.Score(context.Background(), &tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Score != 0.8 || !v.Fraud {
+		t.Fatalf("verdict = %+v", v)
+	}
+}
+
+// A v1 single-model bundle keeps its wire shape: no members on verdicts
+// or model info, and hot-swapping between formats works both ways.
+func TestV1BundleOmitsMembersAndSwapsToEnsemble(t *testing.T) {
+	tab := table(t)
+	up := &Uploader{Table: tab}
+	for i := txn.UserID(1); i <= 2; i++ {
+		u := txn.User{ID: i}
+		_ = up.PutUser(&u, feature.UserStats{}, nil)
+	}
+	srv, err := New(tab, trainToy(t, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := txn.Transaction{ID: 1, From: 1, To: 2, Amount: 1500}
+	v, err := srv.Score(context.Background(), &tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Members != nil {
+		t.Fatalf("v1 verdict has members: %+v", v.Members)
+	}
+	if info := srv.ModelInfo(); info.Combiner != "" || info.Members != nil {
+		t.Fatalf("v1 model info = %+v", info)
+	}
+	city := feature.CityTable{Fraud: []float64{0.01}, Share: []float64{1}}
+	ens, err := NewEnsembleBundle("ens", []EnsembleMember{
+		{Name: "only", Clf: &fixedModel{V: 0.9, N: feature.NumBasic}, Threshold: 0.5},
+	}, CombineMean, 0.5, city, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.SetBundle(ens); err != nil {
+		t.Fatal(err)
+	}
+	v, err = srv.Score(context.Background(), &tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Score != 0.9 || len(v.Members) != 1 || v.Members[0].Name != "only" {
+		t.Fatalf("post-swap verdict = %+v", v)
+	}
+}
+
+// A v1 bundle encoded by the previous (single-model) format decodes and
+// serves unchanged through today's DecodeBundle.
+func TestV1WireBundleStillServes(t *testing.T) {
+	b := trainToy(t, 0)
+	raw, err := b.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeBundle(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumMembers() != 1 || len(got.Members) != 0 {
+		t.Fatalf("v1 bundle decoded as %d members (%d explicit)", got.NumMembers(), len(got.Members))
+	}
+	tab := table(t)
+	up := &Uploader{Table: tab}
+	for i := txn.UserID(1); i <= 2; i++ {
+		u := txn.User{ID: i}
+		_ = up.PutUser(&u, feature.UserStats{}, nil)
+	}
+	srv, err := New(tab, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := txn.Transaction{ID: 9, From: 1, To: 2, Amount: 1900}
+	v, err := srv.Score(context.Background(), &tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Fraud || v.Members != nil {
+		t.Fatalf("verdict = %+v", v)
+	}
+}

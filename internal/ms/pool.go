@@ -1,0 +1,70 @@
+package ms
+
+import (
+	"sync"
+
+	"titant/internal/feature"
+)
+
+// Pooled scratch for the batch-native scoring path: the per-batch feature
+// matrix, the combined-score slice and the per-member score slices are
+// recycled across requests. (Members that discretise still allocate their
+// own per-batch Binned buffer inside ScoreBatch; the engine-level scratch
+// here is what stays allocation-free.)
+
+var matrixPool = sync.Pool{New: func() any { return &feature.Matrix{} }}
+
+// getMatrix returns a zeroed rows×cols matrix from the pool. Zeroing is
+// required, not cosmetic: absent embeddings rely on zero-filled slots.
+func getMatrix(rows, cols int) *feature.Matrix {
+	m := matrixPool.Get().(*feature.Matrix)
+	need := rows * cols
+	if cap(m.Data) < need {
+		m.Data = make([]float64, need)
+	} else {
+		m.Data = m.Data[:need]
+		clear(m.Data)
+	}
+	m.Rows, m.Cols = rows, cols
+	return m
+}
+
+func putMatrix(m *feature.Matrix) { matrixPool.Put(m) }
+
+var scoresPool = sync.Pool{New: func() any { return &[][]float64{} }}
+
+// getMemberScores returns members slices of rows float64 each, reusing
+// pooled backing storage. Contents are unspecified; every slot is written
+// by the member's batch scorer before it is read.
+func getMemberScores(members, rows int) [][]float64 {
+	s := *scoresPool.Get().(*[][]float64)
+	if cap(s) < members {
+		s = make([][]float64, members)
+	} else {
+		s = s[:members]
+	}
+	for k := range s {
+		if cap(s[k]) < rows {
+			s[k] = make([]float64, rows)
+		} else {
+			s[k] = s[k][:rows]
+		}
+	}
+	return s
+}
+
+func putMemberScores(s [][]float64) { scoresPool.Put(&s) }
+
+var vecPool = sync.Pool{New: func() any { return &[]float64{} }}
+
+// getVec returns an n-slot float64 slice with unspecified contents; every
+// slot is written by the combiner before it is read.
+func getVec(n int) []float64 {
+	v := *vecPool.Get().(*[]float64)
+	if cap(v) < n {
+		v = make([]float64, n)
+	}
+	return v[:n]
+}
+
+func putVec(v []float64) { vecPool.Put(&v) }

@@ -22,7 +22,6 @@ import (
 
 	"titant/internal/feature"
 	"titant/internal/hbase"
-	"titant/internal/model"
 	"titant/internal/txn"
 )
 
@@ -161,40 +160,72 @@ func (s *Server) BundleVersion() string {
 	return s.currentBundle().Version
 }
 
-// ModelInfo describes the active bundle (GET /v1/models).
+// MemberInfo describes one ensemble member (GET /v1/models).
+type MemberInfo struct {
+	Name      string  `json:"name"`
+	Weight    float64 `json:"weight"`
+	Threshold float64 `json:"threshold"`
+}
+
+// ModelInfo describes the active bundle (GET /v1/models). Combiner and
+// Members are present only for v2 ensemble bundles, so v1 responses are
+// byte-compatible with older clients.
 type ModelInfo struct {
-	Version      string  `json:"version"`
-	Threshold    float64 `json:"threshold"`
-	EmbeddingDim int     `json:"embedding_dim"`
+	Version      string       `json:"version"`
+	Threshold    float64      `json:"threshold"`
+	EmbeddingDim int          `json:"embedding_dim"`
+	Combiner     string       `json:"combiner,omitempty"`
+	Members      []MemberInfo `json:"members,omitempty"`
 }
 
 // ModelInfo returns the active bundle's metadata.
 func (s *Server) ModelInfo() ModelInfo {
 	b := s.currentBundle()
-	return ModelInfo{Version: b.Version, Threshold: b.Threshold, EmbeddingDim: b.EmbeddingDim}
+	info := ModelInfo{Version: b.Version, Threshold: b.Threshold, EmbeddingDim: b.EmbeddingDim}
+	if len(b.Members) > 0 {
+		info.Combiner = b.Combine.String()
+		info.Members = make([]MemberInfo, len(b.Members))
+		for i := range b.Members {
+			m := &b.Members[i]
+			info.Members[i] = MemberInfo{Name: m.Name, Weight: m.weight(), Threshold: m.Threshold}
+		}
+	}
+	return info
 }
 
-// Verdict is a scoring outcome.
+// MemberScore is one ensemble member's contribution to a verdict, exposed
+// for explainability: which detector fired, and how strongly.
+type MemberScore struct {
+	Name  string  `json:"name"`
+	Score float64 `json:"score"`
+}
+
+// Verdict is a scoring outcome. Members carries the per-member scores of
+// a v2 ensemble bundle; it is omitted for v1 single-model bundles, whose
+// wire format is unchanged.
 type Verdict struct {
 	TxnID   txn.TxnID     `json:"txn_id"`
 	Score   float64       `json:"score"`
 	Fraud   bool          `json:"fraud"`
 	Version string        `json:"model_version"`
 	Latency time.Duration `json:"latency_ns"`
+	Members []MemberScore `json:"members,omitempty"`
 }
 
 // Score runs the full online path for one transaction: fetch both users'
 // fragments from HBase concurrently, assemble the feature vector, run the
-// model, fire the alert if the score crosses the threshold. Cancellation
-// and deadlines on ctx are honoured; a cancelled context returns promptly
-// with ctx.Err() and never fires the alert.
+// ensemble, fire the alert if the combined score crosses the threshold.
+// It is the batch path at batch size one — a pooled one-row matrix through
+// the same ensemble core — so single and batch scoring cannot drift.
+// Cancellation and deadlines on ctx are honoured; a cancelled context
+// returns promptly with ctx.Err() and never fires the alert.
 func (s *Server) Score(ctx context.Context, t *txn.Transaction) (Verdict, error) {
 	start := time.Now()
 	if err := ctx.Err(); err != nil {
 		return Verdict{}, err
 	}
 	bundle, city := s.scoringView()
-	clf, err := bundle.Classifier()
+	ens, err := bundle.runtime()
 	if err != nil {
 		return Verdict{}, err
 	}
@@ -202,10 +233,21 @@ func (s *Server) Score(ctx context.Context, t *txn.Transaction) (Verdict, error)
 	if err != nil {
 		return Verdict{}, err
 	}
-	v, err := scoreCore(t, &from, &to, bundle, city, clf)
-	if err != nil {
+	m := getMatrix(1, feature.NumBasic+2*bundle.EmbeddingDim)
+	defer putMatrix(m)
+	if err := assembleRow(t, &from, &to, bundle, city, m.Row(0)); err != nil {
 		return Verdict{}, err
 	}
+	var combined [1]float64
+	var memberScores [][]float64
+	if !ens.single {
+		memberScores = getMemberScores(len(ens.clfs), 1)
+		defer putMemberScores(memberScores)
+	}
+	if err := ens.score(combined[:], memberScores, m); err != nil {
+		return Verdict{}, err
+	}
+	v := verdictOf(t, combined[0], memberScores, 0, bundle, ens)
 	// Re-check after all the work so a deadline that expired mid-fetch or
 	// mid-score upholds the no-alert guarantee.
 	if err := ctx.Err(); err != nil {
@@ -216,13 +258,16 @@ func (s *Server) Score(ctx context.Context, t *txn.Transaction) (Verdict, error)
 	return v, nil
 }
 
-// ScoreBatch scores a batch in input order: it deduplicates the batch's
-// user set, fetches each distinct user once across the worker pool, then
-// fans the scoring itself out over the same pool. The first per-item
-// error aborts the batch. Verdict latencies measure each item's model
-// time plus its amortised share of the batch's fetch phase, so they are
-// comparable with Score's fetch-inclusive latencies in the shared
-// histogram; the batch's end-to-end time is the caller's to observe.
+// ScoreBatch scores a batch in input order through the batch-native
+// runtime: it deduplicates the batch's user set and fetches each distinct
+// user once across the worker pool, assembles the whole batch into one
+// pooled feature matrix over the same pool, then runs every ensemble
+// member's vectorised batch path (compiled GBDT, fused LR, …) over the
+// matrix in a single pass before combining. The first per-item error
+// aborts the batch. Verdict latencies are each item's amortised share of
+// the batch's fetch, assembly and model phases, so they remain comparable
+// with Score's latencies in the shared histogram; the batch's end-to-end
+// time is the caller's to observe.
 func (s *Server) ScoreBatch(ctx context.Context, txns []txn.Transaction) ([]Verdict, error) {
 	if len(txns) == 0 {
 		return nil, nil
@@ -234,7 +279,7 @@ func (s *Server) ScoreBatch(ctx context.Context, txns []txn.Transaction) ([]Verd
 		return nil, err
 	}
 	bundle, city := s.scoringView()
-	clf, err := bundle.Classifier()
+	ens, err := bundle.runtime()
 	if err != nil {
 		return nil, err
 	}
@@ -265,25 +310,38 @@ func (s *Server) ScoreBatch(ctx context.Context, txns []txn.Transaction) ([]Verd
 		return nil, err
 	}
 
-	fetchShare := time.Since(fetchStart) / time.Duration(len(txns))
-
-	// Phase 2: score every transaction over the pool, preserving order.
-	verdicts := make([]Verdict, len(txns))
+	// Phase 2: assemble the batch's feature matrix over the pool.
+	m := getMatrix(len(txns), feature.NumBasic+2*bundle.EmbeddingDim)
+	defer putMatrix(m)
 	if err := s.runPool(ctx, len(txns), func(i int) error {
 		t := &txns[i]
-		itemStart := time.Now()
-		v, err := scoreCore(t, &parts[index[t.From]], &parts[index[t.To]], bundle, city, clf)
-		if err != nil {
+		if err := assembleRow(t, &parts[index[t.From]], &parts[index[t.To]], bundle, city, m.Row(i)); err != nil {
 			return fmt.Errorf("ms: txn %d: %w", t.ID, err)
 		}
-		v.Latency = time.Since(itemStart) + fetchShare
-		verdicts[i] = v
 		return nil
 	}); err != nil {
 		return nil, err
 	}
+
+	// Phase 3: one vectorised ensemble pass over the whole matrix.
+	combined := getVec(len(txns))
+	defer putVec(combined)
+	var memberScores [][]float64
+	if !ens.single {
+		memberScores = getMemberScores(len(ens.clfs), len(txns))
+		defer putMemberScores(memberScores)
+	}
+	if err := ens.score(combined, memberScores, m); err != nil {
+		return nil, err
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	perItem := time.Since(fetchStart) / time.Duration(len(txns))
+	verdicts := make([]Verdict, len(txns))
+	for i := range txns {
+		verdicts[i] = verdictOf(&txns[i], combined[i], memberScores, i, bundle, ens)
+		verdicts[i].Latency = perItem
 	}
 	for i := range verdicts {
 		s.observe(&txns[i], &verdicts[i])
@@ -291,28 +349,42 @@ func (s *Server) ScoreBatch(ctx context.Context, txns []txn.Transaction) ([]Verd
 	return verdicts, nil
 }
 
-// scoreCore assembles the feature vector and runs the classifier; the
-// caller records latency, counters and alerts. city supplies the per-city
-// statistics — frozen or live depending on the engine's configuration.
-func scoreCore(t *txn.Transaction, from, to *userParts, bundle *Bundle, city feature.CitySource, clf model.Classifier) (Verdict, error) {
+// assembleRow writes one transaction's full feature vector (52 basic
+// features plus both endpoints' embeddings) into row, a matrix row of
+// width NumBasic+2*EmbeddingDim. city supplies the per-city statistics —
+// frozen or live depending on the engine's configuration.
+func assembleRow(t *txn.Transaction, from, to *userParts, bundle *Bundle, city feature.CitySource, row []float64) error {
 	dim := bundle.EmbeddingDim
-	x := make([]float64, feature.NumBasic+2*dim)
-	feature.BasicFromParts(t, &from.user, &to.user, city, x[:feature.NumBasic])
+	feature.BasicFromParts(t, &from.user, &to.user, city, row[:feature.NumBasic])
 	if dim > 0 {
-		if err := copyEmb(x[feature.NumBasic:feature.NumBasic+dim], from.emb, t.From); err != nil {
-			return Verdict{}, err
+		if err := copyEmb(row[feature.NumBasic:feature.NumBasic+dim], from.emb, t.From); err != nil {
+			return err
 		}
-		if err := copyEmb(x[feature.NumBasic+dim:], to.emb, t.To); err != nil {
-			return Verdict{}, err
+		if err := copyEmb(row[feature.NumBasic+dim:], to.emb, t.To); err != nil {
+			return err
 		}
 	}
-	score := clf.Score(x)
-	return Verdict{
+	return nil
+}
+
+// verdictOf builds the verdict for row i: combined score against the
+// bundle threshold, plus the per-member breakdown for ensemble bundles
+// (memberScores is nil for v1 single-model bundles).
+func verdictOf(t *txn.Transaction, score float64, memberScores [][]float64, i int, bundle *Bundle, ens *ensemble) Verdict {
+	v := Verdict{
 		TxnID:   t.ID,
 		Score:   score,
 		Fraud:   score >= bundle.Threshold,
 		Version: bundle.Version,
-	}, nil
+	}
+	if memberScores != nil {
+		members := make([]MemberScore, len(ens.names))
+		for k := range ens.names {
+			members[k] = MemberScore{Name: ens.names[k], Score: memberScores[k][i]}
+		}
+		v.Members = members
+	}
+	return v
 }
 
 // copyEmb widens a stored float32 embedding into the feature vector. An

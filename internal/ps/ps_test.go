@@ -13,6 +13,15 @@ import (
 	"titant/internal/txn"
 )
 
+// mustScores is a test shim over the error-returning model.ScoreMatrix.
+func mustScores(c model.Classifier, m *feature.Matrix) []float64 {
+	s, err := model.ScoreMatrix(c, m)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
 func ring(n int) *graph.Graph {
 	b := graph.NewBuilder()
 	for i := 0; i < n; i++ {
@@ -161,8 +170,8 @@ func TestDistributedGBDTMatchesQuality(t *testing.T) {
 	c := NewCluster(8, DefaultCostModel())
 	dist := TrainGBDT(c, m, labels, cfg)
 	single := gbdt.Train(m, labels, cfg.GBDT)
-	aucD := metrics.AUC(model.ScoreMatrix(dist, m), labels)
-	aucS := metrics.AUC(model.ScoreMatrix(single, m), labels)
+	aucD := metrics.AUC(mustScores(dist, m), labels)
+	aucS := metrics.AUC(mustScores(single, m), labels)
 	if aucD < 0.9 {
 		t.Errorf("distributed GBDT AUC %.3f < 0.9", aucD)
 	}

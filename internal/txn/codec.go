@@ -90,11 +90,24 @@ func ReadLog(r io.Reader) ([]Transaction, error) {
 		return nil, fmt.Errorf("txn: unsupported version %d", v)
 	}
 	n := int(le.Uint32(hdr[8:]))
-	ts := make([]Transaction, 0, n)
+	// The header's record count is untrusted input: cap the preallocation
+	// so a crafted 12-byte header cannot demand gigabytes up front. A
+	// count beyond the cap grows normally — or fails at the first missing
+	// record.
+	pre := n
+	if pre > 1<<16 {
+		pre = 1 << 16
+	}
+	ts := make([]Transaction, 0, pre)
 	var rec [recordSize]byte
 	for i := 0; i < n; i++ {
 		if _, err := io.ReadFull(br, rec[:]); err != nil {
 			return nil, fmt.Errorf("txn: read record %d/%d: %w", i, n, err)
+		}
+		// Only bit 0 (fraud) of the flags byte is defined; any other set
+		// bit marks a log this codec version did not write.
+		if rec[31]&^1 != 0 {
+			return nil, fmt.Errorf("txn: record %d/%d has unknown flag bits %#x", i, n, rec[31])
 		}
 		ts = append(ts, decodeRecord(&rec))
 	}

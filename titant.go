@@ -40,6 +40,7 @@ import (
 
 	"titant/internal/core"
 	"titant/internal/exp"
+	"titant/internal/feature"
 	"titant/internal/feature/stream"
 	"titant/internal/hbase"
 	"titant/internal/model"
@@ -72,8 +73,22 @@ type (
 	Result = core.Result
 	// Classifier is a trained scoring model.
 	Classifier = model.Classifier
-	// Bundle is the model artefact served by the Model Server.
+	// BatchScorer is the vectorised scoring contract: detectors that
+	// implement it (all four built-ins do) score whole feature matrices
+	// per call instead of row by row, which is what the serving engine's
+	// batch-native runtime dispatches to.
+	BatchScorer = model.BatchScorer
+	// Bundle is the model artefact served by the Model Server: a v1
+	// single classifier or a v2 ensemble of named members.
 	Bundle = ms.Bundle
+	// EnsembleMember names one trained detector of an ensemble bundle.
+	EnsembleMember = ms.EnsembleMember
+	// Combiner selects how an ensemble folds member scores (mean, max or
+	// weighted vote).
+	Combiner = ms.Combiner
+	// MemberScore is one member's contribution to a Verdict, exposed for
+	// explainability on /v1/score.
+	MemberScore = ms.MemberScore
 	// Engine is the v1 online scoring engine (Figure 5): context-aware
 	// Score, batch-first ScoreBatch, functional options, typed errors and
 	// the versioned HTTP API.
@@ -88,6 +103,9 @@ type (
 	Verdict = ms.Verdict
 	// FeatureTable is the column-family online feature store (Figure 7).
 	FeatureTable = hbase.Table
+	// CityTable is the frozen per-city statistics table that travels
+	// inside a model bundle.
+	CityTable = feature.CityTable
 	// StreamStore is the sharded streaming aggregate store: incremental
 	// sliding-window velocity/diversity/city statistics on the hot path
 	// (see internal/feature/stream).
@@ -116,6 +134,19 @@ const (
 	DetGBDT = core.DetGBDT
 )
 
+// Ensemble combiners of the v2 bundle format.
+const (
+	CombineMean = ms.CombineMean
+	CombineMax  = ms.CombineMax
+	CombineVote = ms.CombineVote
+)
+
+// ParseCombiner maps "mean", "max" or "vote" to a Combiner.
+func ParseCombiner(s string) (Combiner, error) { return ms.ParseCombiner(s) }
+
+// ParseDetector maps a CLI name (if, id3, c50, lr, gbdt) to a Detector.
+func ParseDetector(s string) (Detector, error) { return core.ParseDetector(s) }
+
 // DefaultWorldConfig returns the laptop-scale synthetic world settings.
 func DefaultWorldConfig() WorldConfig { return synth.DefaultConfig() }
 
@@ -142,6 +173,19 @@ func TrainForServing(users []User, ds *Dataset, opts Options) (Classifier, *Embe
 	return core.TrainForServing(users, ds, opts)
 }
 
+// TrainEnsembleForServing trains one detector per entry of dets on the
+// production feature set (Basic+DW), freezing per-member thresholds and
+// the combined decision threshold on the validation days.
+func TrainEnsembleForServing(users []User, ds *Dataset, dets []Detector, combine Combiner, opts Options) ([]EnsembleMember, *Embeddings, float64, error) {
+	return core.TrainEnsembleForServing(users, ds, dets, combine, opts)
+}
+
+// NewEnsembleBundle builds a v2 bundle from an ordered set of trained
+// detectors; threshold acts on the combined score.
+func NewEnsembleBundle(version string, members []EnsembleMember, combine Combiner, threshold float64, city CityTable, embDim int) (*Bundle, error) {
+	return ms.NewEnsembleBundle(version, members, combine, threshold, city, embDim)
+}
+
 // OpenFeatureTable opens (or creates) an online feature store.
 func OpenFeatureTable(dir string) (*FeatureTable, error) {
 	return hbase.Open(hbase.Config{Dir: dir})
@@ -151,6 +195,18 @@ func OpenFeatureTable(dir string) (*FeatureTable, error) {
 // builds the model bundle for serving.
 func Deploy(users []User, ds *Dataset, emb *Embeddings, clf Classifier, threshold float64, opts Options, tab *FeatureTable, version string) (*Bundle, error) {
 	return core.Deploy(users, ds, emb, clf, threshold, opts, tab, version)
+}
+
+// DeployEnsemble is Deploy for ensemble bundles: uploads every user's
+// fragments and builds a v2 bundle combining the trained members.
+func DeployEnsemble(users []User, ds *Dataset, emb *Embeddings, members []EnsembleMember, combine Combiner, threshold float64, opts Options, tab *FeatureTable, version string) (*Bundle, error) {
+	return core.DeployEnsemble(users, ds, emb, members, combine, threshold, opts, tab, version)
+}
+
+// BuildEnsembleBundle assembles a v2 ensemble bundle from trained members
+// without touching the online stores.
+func BuildEnsembleBundle(ds *Dataset, emb *Embeddings, members []EnsembleMember, combine Combiner, threshold float64, opts Options, version string) (*Bundle, error) {
+	return core.BuildEnsembleBundle(ds, emb, members, combine, threshold, opts, version)
 }
 
 // NewEngine builds the v1 online scoring engine over the feature table.
