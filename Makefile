@@ -1,0 +1,30 @@
+# Developer entry points. The repo is plain `go build ./... && go test
+# ./...`; these targets wrap the multi-step flows.
+
+# bench-serving pipes `go test` through tee and benchjson; bash with
+# pipefail makes a failing benchmark run fail the target instead of
+# producing an empty-but-green JSON report.
+SHELL := /bin/bash
+
+BENCHTIME ?= 100x
+
+.PHONY: test race bench-serving
+
+test:
+	go build ./... && go test ./...
+
+race:
+	go test -race ./internal/feature/stream/ ./internal/ms/... ./internal/hbase/
+
+# bench-serving runs the hot serving read-path benchmarks (user fetch,
+# multi-get, point read, cached and uncached batch scoring) and writes
+# BENCH_serving.json — ns/op and allocs/op per benchmark — so future PRs
+# have machine-readable numbers to compare against. BENCHTIME trades
+# precision for wall clock (use e.g. BENCHTIME=2s locally).
+bench-serving:
+	@set -o pipefail; { \
+	  go test -run '^$$' -bench 'BenchmarkGet$$|BenchmarkMultiGet' -benchmem -benchtime=$(BENCHTIME) ./internal/hbase/ && \
+	  go test -run '^$$' -bench 'BenchmarkFetchUser' -benchmem -benchtime=$(BENCHTIME) ./internal/ms/ && \
+	  go test -run '^$$' -bench 'BenchmarkScoreSequential|BenchmarkScoreBatch$$|BenchmarkScoreBatchCached' -benchmem -benchtime=$(BENCHTIME) . ; \
+	} | tee /dev/stderr | go run ./cmd/benchjson > BENCH_serving.json
+	@echo "wrote BENCH_serving.json"

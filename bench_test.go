@@ -200,6 +200,28 @@ func BenchmarkScoreBatch(b *testing.B) {
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(txns)), "ns/txn")
 }
 
+// BenchmarkScoreBatchCached scores the same 1k transactions with the
+// read-through user cache in front of the feature store: after the first
+// batch warms it, phase 1 of every batch is pure shard probes — no store
+// locks, no codec work — so the remaining cost is assembly plus the
+// model. Compare against BenchmarkScoreBatch (same workload, no cache)
+// for the read path's share of batch latency.
+func BenchmarkScoreBatchCached(b *testing.B) {
+	srv, txns := servingFixture(b, ms.WithUserCache(1<<14))
+	ctx := context.Background()
+	if _, err := srv.ScoreBatch(ctx, txns); err != nil { // warm the cache
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := srv.ScoreBatch(ctx, txns); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(txns)), "ns/txn")
+}
+
 // BenchmarkScoreBatchEnsemble scores the 1k-transaction batch through
 // mean-combined ensemble bundles of 1, 2 and 4 LR members: total cost
 // grows with member count, but sublinearly — the fetch and assembly

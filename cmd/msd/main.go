@@ -10,7 +10,7 @@
 // Usage:
 //
 //	msd -bundle bundle.bin -data /var/lib/titant/hbase [-addr :8070] [-workers N] [-strict] [-model-token T]
-//	    [-stream] [-stream-shards N] [-stream-buckets N] [-stream-bucket-secs N]
+//	    [-usercache N] [-stream] [-stream-shards N] [-stream-buckets N] [-stream-bucket-secs N]
 //
 // The bundle file is produced by the offline pipeline (see cmd/titant
 // serve for an all-in-one variant, or core.Deploy + Bundle.Encode in
@@ -46,6 +46,7 @@ func main() {
 	addr := flag.String("addr", ":8070", "listen address")
 	workers := flag.Int("workers", 0, "batch fan-out width (0 = GOMAXPROCS)")
 	strict := flag.Bool("strict", false, "reject transactions naming users absent from the store (404)")
+	userCache := flag.Int("usercache", ms.DefaultUserCacheSize, "read-through user cache entries (0 = disabled)")
 	token := flag.String("model-token", "", "bearer token guarding POST /v1/models (empty = open)")
 	streaming := flag.Bool("stream", true, "maintain a live aggregate window (POST /v1/ingest)")
 	ingestToken := flag.String("ingest-token", "", "bearer token guarding POST /v1/ingest[/batch] (empty = open)")
@@ -79,6 +80,7 @@ func main() {
 		ms.WithWorkers(*workers),
 		ms.WithModelToken(*token),
 		ms.WithIngestToken(*ingestToken),
+		ms.WithUserCache(*userCache),
 	}
 	if *strict {
 		opts = append(opts, ms.WithStrictUsers())

@@ -8,7 +8,7 @@
 //	      [-data dir] [-users N] [-seed N] [-dataset N]
 //	                                          train an ensemble bundle file
 //	serve [-addr :8070] [-users N] [-seed N] [-workers N] [-model-token T]
-//	      [-detectors gbdt,...] [-combine mean]
+//	      [-detectors gbdt,...] [-combine mean] [-usercache N]
 //	      [-stream] [-stream-shards N] [-stream-buckets N] [-stream-bucket-secs N]
 //	                                          train, deploy and serve over HTTP
 //
@@ -223,6 +223,7 @@ func cmdServe(args []string) {
 	detectors := fs.String("detectors", "gbdt", "comma-separated detectors to serve (several = ensemble bundle)")
 	combineName := fs.String("combine", "mean", "ensemble combiner when several detectors are named")
 	token := fs.String("model-token", "", "bearer token guarding POST /v1/models (empty = open)")
+	userCache := fs.Int("usercache", titant.DefaultUserCacheSize, "read-through user cache entries (0 = disabled)")
 	streaming := fs.Bool("stream", true, "maintain a live aggregate window (POST /v1/ingest)")
 	ingestToken := fs.String("ingest-token", "", "bearer token guarding POST /v1/ingest[/batch] (empty = open)")
 	streamShards := fs.Int("stream-shards", 0, "stream store lock stripes (0 = default)")
@@ -290,6 +291,7 @@ func cmdServe(args []string) {
 		titant.WithWorkers(*workers),
 		titant.WithModelToken(*token),
 		titant.WithIngestToken(*ingestToken),
+		titant.WithUserCache(*userCache),
 	}
 	if *streaming {
 		st := titant.NewStreamStore(
@@ -307,8 +309,8 @@ func cmdServe(args []string) {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	log.Printf("model server %s listening on %s (%d member(s), threshold %.3f, streaming=%v)",
-		version, *addr, bundle.NumMembers(), threshold, *streaming)
+	log.Printf("model server %s listening on %s (%d member(s), threshold %.3f, streaming=%v, usercache=%d)",
+		version, *addr, bundle.NumMembers(), threshold, *streaming, *userCache)
 	log.Printf("v1 API: POST /v1/score, POST /v1/score/batch, POST /v1/ingest[/batch], GET|POST /v1/models, GET /v1/stats, GET /healthz")
 	if err := eng.ListenAndServe(ctx, *addr); err != nil {
 		log.Fatal(err)

@@ -48,6 +48,7 @@ import (
 	"sync/atomic"
 
 	"titant/internal/feature"
+	"titant/internal/rng"
 	"titant/internal/txn"
 )
 
@@ -226,16 +227,8 @@ func (b *bucket) reset(seq int64) {
 	clear(b.inDays)
 }
 
-// mix is a 64-bit finalizer (splitmix64's) giving sequential user IDs
-// well-spread shard indices.
-func mix(x uint64) uint64 {
-	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
-	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
-	return x ^ (x >> 31)
-}
-
 func (s *Store) shardIndex(u txn.UserID) uint64 {
-	return mix(uint64(uint32(u))) & s.mask
+	return rng.Mix64(uint64(uint32(u))) & s.mask
 }
 
 func (s *Store) shardOf(u txn.UserID) *shard {
@@ -300,7 +293,7 @@ func (s *Store) advanceClock(seq int64, key uint64) bool {
 
 // txnKey fingerprints a transaction's identity for jump corroboration.
 func txnKey(t *txn.Transaction) uint64 {
-	return mix(uint64(t.ID)) ^ mix(uint64(uint32(t.From))<<32|uint64(uint32(t.To))) ^ uint64(t.Sec)
+	return rng.Mix64(uint64(t.ID)) ^ rng.Mix64(uint64(uint32(t.From))<<32|uint64(uint32(t.To))) ^ uint64(t.Sec)
 }
 
 // Ingest feeds one transaction into the live window: the sender's

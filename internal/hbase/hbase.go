@@ -9,6 +9,13 @@
 // tradition: a write-ahead log for durability, an in-memory MemStore,
 // immutable sorted HFile segments flushed from it, and major compaction
 // that merges segments while enforcing the per-cell version limit.
+//
+// The read path is point-read first: the MemStore is indexed by row, every
+// segment carries a bloom filter plus a sparse row index over its rows,
+// and Get / VisitRow / VisitRows resolve a row by merging the (few)
+// per-source runs that actually contain it — O(1) in the size of the
+// store, allocation-free on the visitor variants. Scan remains the
+// general range iterator for offline jobs.
 package hbase
 
 import (
@@ -23,7 +30,11 @@ import (
 	"time"
 )
 
-// ErrNotFound is returned when a cell has no live value.
+// ErrNotFound is returned when a cell (or row) has no live value. It is
+// returned as-is — not wrapped with per-call detail — so a miss costs the
+// caller nothing: cold-start reads of unknown users are on the serving
+// hot path, and building a fmt.Errorf string for every one of them would
+// allocate just to be discarded.
 var ErrNotFound = errors.New("hbase: not found")
 
 // Config controls a table's engine.
@@ -50,8 +61,7 @@ func (c *Config) fillDefaults() {
 type Table struct {
 	mu       sync.RWMutex
 	cfg      Config
-	mem      map[string][]Cell // key -> versions, newest first
-	memCount int
+	mem      *memTable
 	segments []*segment // oldest first
 	log      *wal
 	nextSeg  uint64
@@ -68,7 +78,7 @@ func Open(cfg Config) (*Table, error) {
 	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("hbase: mkdir: %w", err)
 	}
-	t := &Table{cfg: cfg, mem: make(map[string][]Cell)}
+	t := &Table{cfg: cfg, mem: newMemTable()}
 
 	// Load segments in id order.
 	entries, err := os.ReadDir(cfg.Dir)
@@ -110,7 +120,7 @@ func Open(cfg Config) (*Table, error) {
 	}
 	t.log = log
 	for i := range cells {
-		t.applyMem(&cells[i])
+		t.mem.apply(&cells[i])
 		if cells[i].Timestamp > t.lastTS {
 			t.lastTS = cells[i].Timestamp
 		}
@@ -131,18 +141,6 @@ func (t *Table) nextTimestamp() int64 {
 	}
 	t.lastTS = ts
 	return ts
-}
-
-func (t *Table) applyMem(c *Cell) {
-	key := c.Key()
-	vs := t.mem[key]
-	// Insert keeping newest-first order (appends are usually newest).
-	pos := sort.Search(len(vs), func(i int) bool { return vs[i].Timestamp <= c.Timestamp })
-	vs = append(vs, Cell{})
-	copy(vs[pos+1:], vs[pos:])
-	vs[pos] = *c
-	t.mem[key] = vs
-	t.memCount++
 }
 
 // Put writes a value. ts <= 0 assigns the next logical timestamp. The
@@ -180,8 +178,8 @@ func (t *Table) write(c Cell) (int64, error) {
 	if err := t.log.sync(); err != nil {
 		return 0, err
 	}
-	t.applyMem(&c)
-	if t.memCount >= t.cfg.FlushThreshold {
+	t.mem.apply(&c)
+	if t.mem.count >= t.cfg.FlushThreshold {
 		if err := t.flushLocked(); err != nil {
 			return 0, err
 		}
@@ -189,36 +187,45 @@ func (t *Table) write(c Cell) (int64, error) {
 	return c.Timestamp, nil
 }
 
-// Get returns the newest live value of a cell.
+// Get returns the newest live value of a cell. A miss returns ErrNotFound
+// itself (check with == or errors.Is); the miss path allocates nothing.
 func (t *Table) Get(row, family, qualifier string) ([]byte, int64, error) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	c, ok := t.newest(cellKey(row, family, qualifier))
-	if !ok || c.Tombstone {
-		return nil, 0, fmt.Errorf("%w: %s/%s/%s", ErrNotFound, row, family, qualifier)
+	c := t.pointGet(row, family, qualifier)
+	if c == nil || c.Tombstone {
+		return nil, 0, ErrNotFound
 	}
 	return c.Value, c.Timestamp, nil
 }
 
-// newest returns the highest-timestamp version of key across MemStore and
-// segments.
-func (t *Table) newest(key string) (Cell, bool) {
-	var best Cell
-	found := false
-	if vs := t.mem[key]; len(vs) > 0 {
-		best = vs[0]
-		found = true
-	}
-	for _, seg := range t.segments {
-		i := seg.firstIndex(key)
-		if i < len(seg.cells) && seg.cells[i].Key() == key {
-			if !found || seg.cells[i].Timestamp > best.Timestamp {
-				best = seg.cells[i]
-				found = true
-			}
+// pointGet returns the newest version (live or tombstone) of one cell
+// without touching any unrelated key: a row-map lookup in the MemStore
+// plus a bloom-gated row-index search per segment. On equal timestamps a
+// tombstone wins, matching resolveVersions' masking rule.
+func (t *Table) pointGet(row, family, qualifier string) *Cell {
+	var best *Cell
+	consider := func(c *Cell) {
+		if best == nil || c.Timestamp > best.Timestamp ||
+			(c.Timestamp == best.Timestamp && c.Tombstone && !best.Tombstone) {
+			best = c
 		}
 	}
-	return best, found
+	if mr := t.mem.rows[row]; mr != nil {
+		if i, ok := findCol(mr.cells, 0, len(mr.cells), family, qualifier); ok {
+			consider(newestInRun(mr.cells, i, len(mr.cells)))
+		}
+	}
+	for _, seg := range t.segments {
+		lo, hi, ok := seg.rowRange(row)
+		if !ok {
+			continue
+		}
+		if i, ok := findCol(seg.cells, lo, hi, family, qualifier); ok {
+			consider(newestInRun(seg.cells, i, hi))
+		}
+	}
+	return best
 }
 
 // Versions returns up to max versions of a cell, newest first, excluding
@@ -226,50 +233,179 @@ func (t *Table) newest(key string) (Cell, bool) {
 func (t *Table) Versions(row, family, qualifier string, max int) ([]Cell, error) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	key := cellKey(row, family, qualifier)
 	var all []Cell
-	all = append(all, t.mem[key]...)
+	if mr := t.mem.rows[row]; mr != nil {
+		all = appendColRun(mr.cells, 0, len(mr.cells), family, qualifier, all)
+	}
 	for _, seg := range t.segments {
-		all = seg.versions(key, all)
+		all = seg.versions(row, family, qualifier, all)
 	}
 	live := resolveVersions(all)
 	if max > 0 && len(live) > max {
 		live = live[:max]
 	}
 	if len(live) == 0 {
-		return nil, fmt.Errorf("%w: %s/%s/%s", ErrNotFound, row, family, qualifier)
+		return nil, ErrNotFound
 	}
 	return live, nil
 }
 
 // resolveVersions sorts versions newest-first and drops tombstones plus
-// anything at or below the newest tombstone.
+// anything at or below the newest tombstone. The tombstone bound is
+// computed over the whole set first, so a value tying a tombstone's
+// timestamp is masked regardless of input order — the same deterministic
+// rule pointGet and the row visitor apply, keeping the scan and point
+// read paths in exact agreement.
 func resolveVersions(all []Cell) []Cell {
 	sortCells(all)
-	var live []Cell
 	var tombTS int64 = -1 << 62
 	for _, c := range all {
-		if c.Tombstone {
-			if c.Timestamp > tombTS {
-				tombTS = c.Timestamp
-			}
-			continue
+		if c.Tombstone && c.Timestamp > tombTS {
+			tombTS = c.Timestamp
 		}
-		if c.Timestamp > tombTS {
+	}
+	var live []Cell
+	for _, c := range all {
+		if !c.Tombstone && c.Timestamp > tombTS {
 			live = append(live, c)
 		}
 	}
 	return live
 }
 
-// GetRow returns the newest live value of every cell in a row, as
-// family -> qualifier -> value.
-func (t *Table) GetRow(row string) (map[string]map[string][]byte, error) {
+// maxRowSources bounds the usual number of per-row cursor sources (the
+// MemStore plus every segment) so a point read's cursor array lives on
+// the stack: the default CompactThreshold caps live segments well below
+// this before compaction folds them into one.
+const maxRowSources = 8
+
+// rowCursor walks one source's cells for a single row, in within-row
+// order (column asc, timestamp desc).
+type rowCursor struct {
+	cells []Cell
+	i     int
+}
+
+// VisitRow streams the newest live version of every cell in a row, in
+// column order, to fn; fn returns false to stop early. The returned bool
+// reports whether the row has any live cell. This is the zero-copy hot
+// path under the Model Server's fetch: no nested maps are built and no
+// cells are copied — the *Cell (and its Value) alias the store's internal
+// state and must not be retained or mutated after fn returns.
+func (t *Table) VisitRow(row string, fn func(c *Cell) bool) (bool, error) {
 	if err := validateName("row", row); err != nil {
-		return nil, err
+		return false, err
 	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.visitRowLocked(row, fn), nil
+}
+
+// visitRowLocked merges the row's per-source runs column by column. Each
+// source contributes its cells for this row as one sorted run; for every
+// column, the globally newest version decides (tombstone wins timestamp
+// ties, masking the column).
+func (t *Table) visitRowLocked(row string, fn func(c *Cell) bool) bool {
+	var stack [maxRowSources]rowCursor
+	curs := stack[:0]
+	if mr := t.mem.rows[row]; mr != nil && len(mr.cells) > 0 {
+		curs = append(curs, rowCursor{cells: mr.cells})
+	}
+	for _, seg := range t.segments {
+		if lo, hi, ok := seg.rowRange(row); ok {
+			curs = append(curs, rowCursor{cells: seg.cells[lo:hi]})
+		}
+	}
+	found := false
+	for {
+		// Find the smallest not-yet-consumed column across sources.
+		var minF, minQ string
+		first := true
+		for ci := range curs {
+			cu := &curs[ci]
+			if cu.i >= len(cu.cells) {
+				continue
+			}
+			c := &cu.cells[cu.i]
+			if first || compareCol(c.Family, c.Qualifier, minF, minQ) < 0 {
+				minF, minQ = c.Family, c.Qualifier
+				first = false
+			}
+		}
+		if first {
+			return found
+		}
+		// Pick the newest version of that column and advance every source
+		// past it.
+		var best *Cell
+		for ci := range curs {
+			cu := &curs[ci]
+			if cu.i >= len(cu.cells) {
+				continue
+			}
+			if c := &cu.cells[cu.i]; compareCol(c.Family, c.Qualifier, minF, minQ) != 0 {
+				continue
+			}
+			c := newestInRun(cu.cells, cu.i, len(cu.cells))
+			if best == nil || c.Timestamp > best.Timestamp ||
+				(c.Timestamp == best.Timestamp && c.Tombstone && !best.Tombstone) {
+				best = c
+			}
+			for cu.i < len(cu.cells) {
+				n := &cu.cells[cu.i]
+				if compareCol(n.Family, n.Qualifier, minF, minQ) != 0 {
+					break
+				}
+				cu.i++
+			}
+		}
+		if !best.Tombstone {
+			found = true
+			if !fn(best) {
+				return true
+			}
+		}
+	}
+}
+
+// VisitRows is the batched point read ("multi-get"): it resolves every
+// row under a single lock round, calling fn with the row's index for each
+// newest live cell, in row order then column order. fn returning false
+// aborts the whole batch. Like VisitRow, cells alias internal state and
+// must not be retained. Rows with no live cells simply produce no calls;
+// callers that care track which indices they saw.
+func (t *Table) VisitRows(rows []string, fn func(i int, c *Cell) bool) error {
+	for _, row := range rows {
+		if err := validateName("row", row); err != nil {
+			return err
+		}
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	stop := false
+	for i, row := range rows {
+		t.visitRowLocked(row, func(c *Cell) bool {
+			if !fn(i, c) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		if stop {
+			return nil
+		}
+	}
+	return nil
+}
+
+// GetRow returns the newest live value of every cell in a row, as
+// family -> qualifier -> value. A missing (or fully masked) row returns
+// ErrNotFound itself; no error string is built for the miss. Values alias
+// the store's internal buffers, as before. Hot paths that do not need the
+// nested maps should use VisitRow.
+func (t *Table) GetRow(row string) (map[string]map[string][]byte, error) {
 	out := make(map[string]map[string][]byte)
-	err := t.Scan(row, row+"\x01", func(c Cell) bool {
+	found, err := t.VisitRow(row, func(c *Cell) bool {
 		fam, ok := out[c.Family]
 		if !ok {
 			fam = make(map[string][]byte)
@@ -281,28 +417,55 @@ func (t *Table) GetRow(row string) (map[string]map[string][]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	if len(out) == 0 {
-		return nil, fmt.Errorf("%w: row %s", ErrNotFound, row)
+	if !found {
+		return nil, ErrNotFound
+	}
+	return out, nil
+}
+
+// GetRows is the nested-map variant of VisitRows: one lock round for the
+// whole row set, with absent rows returned as nil entries rather than
+// errors (a batch's cold-start users are expected, not exceptional).
+func (t *Table) GetRows(rows []string) ([]map[string]map[string][]byte, error) {
+	out := make([]map[string]map[string][]byte, len(rows))
+	err := t.VisitRows(rows, func(i int, c *Cell) bool {
+		m := out[i]
+		if m == nil {
+			m = make(map[string]map[string][]byte)
+			out[i] = m
+		}
+		fam, ok := m[c.Family]
+		if !ok {
+			fam = make(map[string][]byte)
+			m[c.Family] = fam
+		}
+		fam[c.Qualifier] = c.Value
+		return true
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
 // Scan streams the newest live version of every cell whose row is in
 // [startRow, endRow) (endRow "" means unbounded) in key order. fn returns
-// false to stop early.
+// false to stop early. This is the offline/range path; point lookups
+// should use Get or VisitRow.
 func (t *Table) Scan(startRow, endRow string, fn func(c Cell) bool) error {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	startKey := startRow // row prefix compares correctly against full keys
-	endKey := endRow
+	inRange := func(row string) bool {
+		return row >= startRow && (endRow == "" || row < endRow)
+	}
 	var all []Cell
-	for key, vs := range t.mem {
-		if key >= startKey && (endKey == "" || key < endKey) {
-			all = append(all, vs...)
+	for row, mr := range t.mem.rows {
+		if inRange(row) {
+			all = append(all, mr.cells...)
 		}
 	}
 	for _, seg := range t.segments {
-		all = seg.scanRange(startKey, endKey, all)
+		all = seg.scanRows(startRow, endRow, all)
 	}
 	sortCells(all)
 	// Emit the newest live version per key.
@@ -331,12 +494,12 @@ func (t *Table) Flush() error {
 }
 
 func (t *Table) flushLocked() error {
-	if t.memCount == 0 {
+	if t.mem.count == 0 {
 		return nil
 	}
-	cells := make([]Cell, 0, t.memCount)
-	for _, vs := range t.mem {
-		cells = append(cells, vs...)
+	cells := make([]Cell, 0, t.mem.count)
+	for _, mr := range t.mem.rows {
+		cells = append(cells, mr.cells...)
 	}
 	sortCells(cells)
 	id := t.nextSeg
@@ -346,8 +509,7 @@ func (t *Table) flushLocked() error {
 	}
 	t.nextSeg++
 	t.segments = append(t.segments, seg)
-	t.mem = make(map[string][]Cell)
-	t.memCount = 0
+	t.mem = newMemTable()
 	if err := t.log.reset(); err != nil {
 		return err
 	}
@@ -369,15 +531,15 @@ func (t *Table) Compact() error {
 }
 
 func (t *Table) compactLocked() error {
-	if len(t.segments) <= 1 && t.memCount == 0 {
+	if len(t.segments) <= 1 && t.mem.count == 0 {
 		return nil
 	}
 	var all []Cell
 	for _, seg := range t.segments {
 		all = append(all, seg.cells...)
 	}
-	for _, vs := range t.mem {
-		all = append(all, vs...)
+	for _, mr := range t.mem.rows {
+		all = append(all, mr.cells...)
 	}
 	sortCells(all)
 	var merged []Cell
@@ -403,8 +565,7 @@ func (t *Table) compactLocked() error {
 	t.nextSeg++
 	old := t.segments
 	t.segments = []*segment{seg}
-	t.mem = make(map[string][]Cell)
-	t.memCount = 0
+	t.mem = newMemTable()
 	if err := t.log.reset(); err != nil {
 		return err
 	}
@@ -426,7 +587,7 @@ type Stats struct {
 func (t *Table) Stats() Stats {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	s := Stats{MemCells: t.memCount, Segments: len(t.segments), WALBytes: t.log.len}
+	s := Stats{MemCells: t.mem.count, Segments: len(t.segments), WALBytes: t.log.len}
 	for _, seg := range t.segments {
 		s.SegCells += len(seg.cells)
 	}

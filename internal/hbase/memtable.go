@@ -1,0 +1,119 @@
+package hbase
+
+import "sort"
+
+// memTable is the row-scoped MemStore index. Cells are grouped by row —
+// rows maps a row key to that row's cells — so a point read touches
+// exactly one map entry instead of walking every key in the store, and a
+// row visit iterates only the row's own cells.
+type memTable struct {
+	rows  map[string]*memRow
+	count int
+}
+
+func newMemTable() *memTable {
+	return &memTable{rows: make(map[string]*memRow)}
+}
+
+// memRow holds one row's MemStore cells sorted by (family asc, qualifier
+// asc, timestamp desc) — the same within-row order segment files use
+// (the \x00 separator sorts below any legal name byte, so tuple order
+// and encoded-key order agree), which lets point reads merge MemStore
+// and segment runs with one cursor each.
+type memRow struct {
+	cells []Cell
+}
+
+// compareCol orders column coordinates by (family, qualifier).
+func compareCol(f1, q1, f2, q2 string) int {
+	if f1 != f2 {
+		if f1 < f2 {
+			return -1
+		}
+		return 1
+	}
+	if q1 != q2 {
+		if q1 < q2 {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}
+
+// apply inserts a cell, keeping the row's within-row order.
+func (m *memTable) apply(c *Cell) {
+	mr := m.rows[c.Row]
+	if mr == nil {
+		mr = &memRow{}
+		m.rows[c.Row] = mr
+	}
+	mr.insert(c)
+	m.count++
+}
+
+func (mr *memRow) insert(c *Cell) {
+	pos := sort.Search(len(mr.cells), func(i int) bool {
+		o := &mr.cells[i]
+		if d := compareCol(o.Family, o.Qualifier, c.Family, c.Qualifier); d != 0 {
+			return d > 0
+		}
+		return o.Timestamp <= c.Timestamp
+	})
+	mr.cells = append(mr.cells, Cell{})
+	copy(mr.cells[pos+1:], mr.cells[pos:])
+	mr.cells[pos] = *c
+}
+
+// newestInRun returns the effective newest cell of the column starting
+// at cells[i] (within bound hi): among the leading cells that share the
+// newest timestamp, a tombstone wins — the deterministic masking rule —
+// so an equal-timestamp delete cannot hide behind a value that happens
+// to sort first in the same source.
+func newestInRun(cells []Cell, i, hi int) *Cell {
+	c := &cells[i]
+	for j := i + 1; j < hi; j++ {
+		n := &cells[j]
+		if n.Timestamp != c.Timestamp || compareCol(n.Family, n.Qualifier, c.Family, c.Qualifier) != 0 {
+			break
+		}
+		if n.Tombstone {
+			c = n
+		}
+	}
+	return c
+}
+
+// appendColRun appends every version of one column in cells[lo:hi)
+// (newest first, by within-row order) to dst.
+func appendColRun(cells []Cell, lo, hi int, family, qualifier string, dst []Cell) []Cell {
+	i, ok := findCol(cells, lo, hi, family, qualifier)
+	if !ok {
+		return dst
+	}
+	for ; i < hi; i++ {
+		c := &cells[i]
+		if compareCol(c.Family, c.Qualifier, family, qualifier) != 0 {
+			break
+		}
+		dst = append(dst, *c)
+	}
+	return dst
+}
+
+// findCol returns the index of the first cell matching (family,
+// qualifier) in cells[lo:hi) — the newest version, since within-row
+// order is timestamp-descending — and whether one exists.
+func findCol(cells []Cell, lo, hi int, family, qualifier string) (int, bool) {
+	i := lo + sort.Search(hi-lo, func(k int) bool {
+		c := &cells[lo+k]
+		return compareCol(c.Family, c.Qualifier, family, qualifier) >= 0
+	})
+	if i < hi {
+		c := &cells[i]
+		if compareCol(c.Family, c.Qualifier, family, qualifier) == 0 {
+			return i, true
+		}
+	}
+	return i, false
+}

@@ -10,11 +10,27 @@ import (
 
 // segment is one immutable sorted file of cells (the HFile analogue).
 // Entries are ordered by (key asc, timestamp desc) so that the newest
-// version of a cell is encountered first.
+// version of a cell is encountered first. Alongside the cells, every
+// segment carries two derived point-read structures, rebuilt in memory
+// at write and open time:
+//
+//   - rows: a sparse row index — one span per distinct row — so a point
+//     read binary-searches rows, not cells, and lands directly on the
+//     row's cell range;
+//   - filter: a bloom filter over row keys, so reads for rows the
+//     segment has never seen skip it without searching at all.
 type segment struct {
-	id    uint64
-	path  string
-	cells []Cell // sorted
+	id     uint64
+	path   string
+	cells  []Cell    // sorted (key asc, ts desc)
+	rows   []rowSpan // one entry per distinct row, ascending
+	filter *bloom
+}
+
+// rowSpan is one distinct row's contiguous cell range within a segment.
+type rowSpan struct {
+	row        string
+	start, end int32 // cells[start:end]
 }
 
 const segMagic = 0x48464C45 // "HFLE"
@@ -28,6 +44,24 @@ func sortCells(cells []Cell) {
 		}
 		return cells[i].Timestamp > cells[j].Timestamp
 	})
+}
+
+// newSegment wraps sorted cells with their row index and bloom filter.
+func newSegment(id uint64, path string, cells []Cell) *segment {
+	s := &segment{id: id, path: path, cells: cells}
+	for i := 0; i < len(cells); {
+		j := i + 1
+		for j < len(cells) && cells[j].Row == cells[i].Row {
+			j++
+		}
+		s.rows = append(s.rows, rowSpan{row: cells[i].Row, start: int32(i), end: int32(j)})
+		i = j
+	}
+	s.filter = newBloom(len(s.rows))
+	for i := range s.rows {
+		s.filter.add(s.rows[i].row)
+	}
+	return s
 }
 
 // writeSegment persists sorted cells as a new segment file.
@@ -50,7 +84,7 @@ func writeSegment(path string, id uint64, cells []Cell) (*segment, error) {
 		_ = os.Remove(tmp)
 		return nil, fmt.Errorf("hbase: commit segment: %w", err)
 	}
-	return &segment{id: id, path: path, cells: cells}, nil
+	return newSegment(id, path, cells), nil
 }
 
 // openSegment loads and verifies a segment file.
@@ -78,33 +112,43 @@ func openSegment(path string, id uint64) (*segment, error) {
 		cells = append(cells, c)
 		off += used
 	}
-	return &segment{id: id, path: path, cells: cells}, nil
+	return newSegment(id, path, cells), nil
 }
 
-// firstIndex returns the index of the first cell with the given key, or
-// where it would be inserted.
-func (s *segment) firstIndex(key string) int {
-	return sort.Search(len(s.cells), func(i int) bool {
-		return s.cells[i].Key() >= key
-	})
-}
-
-// versions appends (to dst) all versions of key in this segment, newest
-// first.
-func (s *segment) versions(key string, dst []Cell) []Cell {
-	for i := s.firstIndex(key); i < len(s.cells) && s.cells[i].Key() == key; i++ {
-		dst = append(dst, s.cells[i])
+// rowRange returns the half-open cell range of a row, going through the
+// bloom filter first so absent rows usually cost two hashes, and rows
+// that do exist cost one binary search over distinct rows (not cells).
+func (s *segment) rowRange(row string) (lo, hi int, ok bool) {
+	if !s.filter.has(row) {
+		return 0, 0, false
 	}
-	return dst
+	i := sort.Search(len(s.rows), func(k int) bool { return s.rows[k].row >= row })
+	if i < len(s.rows) && s.rows[i].row == row {
+		return int(s.rows[i].start), int(s.rows[i].end), true
+	}
+	return 0, 0, false
 }
 
-// scanRange appends cells with key in [startKey, endKey) to dst.
-func (s *segment) scanRange(startKey, endKey string, dst []Cell) []Cell {
-	for i := s.firstIndex(startKey); i < len(s.cells); i++ {
-		if endKey != "" && s.cells[i].Key() >= endKey {
+// versions appends (to dst) all versions of one cell in this segment,
+// newest first.
+func (s *segment) versions(row, family, qualifier string, dst []Cell) []Cell {
+	lo, hi, ok := s.rowRange(row)
+	if !ok {
+		return dst
+	}
+	return appendColRun(s.cells, lo, hi, family, qualifier, dst)
+}
+
+// scanRows appends every cell whose row is in [startRow, endRow) to dst
+// (endRow "" means unbounded), walking the row index.
+func (s *segment) scanRows(startRow, endRow string, dst []Cell) []Cell {
+	i := sort.Search(len(s.rows), func(k int) bool { return s.rows[k].row >= startRow })
+	for ; i < len(s.rows); i++ {
+		sp := &s.rows[i]
+		if endRow != "" && sp.row >= endRow {
 			break
 		}
-		dst = append(dst, s.cells[i])
+		dst = append(dst, s.cells[sp.start:sp.end]...)
 	}
 	return dst
 }

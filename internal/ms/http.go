@@ -361,6 +361,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if s.StreamEnabled() {
 		body["ingested"] = s.Ingested()
 	}
+	if s.UserCacheEnabled() {
+		cs := s.UserCacheStats()
+		body["user_cache"] = map[string]interface{}{
+			"hits": cs.Hits, "misses": cs.Misses, "collapsed": cs.Collapsed,
+			"evictions": cs.Evictions, "invalidations": cs.Invalidations,
+			"negatives": cs.Negatives, "size": cs.Size, "capacity": cs.Capacity,
+		}
+	}
 	writeJSON(w, http.StatusOK, body)
 }
 

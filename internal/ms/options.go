@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"time"
 
+	"titant/internal/ms/usercache"
 	"titant/internal/txn"
 )
 
@@ -55,6 +56,28 @@ func WithStrictUsers() Option {
 // limit entirely.
 func WithMaxBatch(n int) Option {
 	return func(s *Server) { s.maxBatch = n }
+}
+
+// DefaultUserCacheSize is the entry capacity daemons use when the user
+// cache is enabled without an explicit size.
+const DefaultUserCacheSize = 1 << 16
+
+// WithUserCache layers a sharded read-through cache of decoded user
+// fragments over the feature store: warm fetches cost a shard probe
+// instead of a store read plus three codec passes, concurrent misses for
+// one user collapse to a single load, and unknown users are held as
+// negative entries so cold-start traffic is allocation-free. size is the
+// entry capacity (CLOCK-evicted; n <= 0 disables the cache). Coherence:
+// Uploader.Invalidate / InvalidateUser drop a republished user exactly,
+// SetBundle purges (a swap usually follows a full upload wave), and
+// Ingest clears negative entries for its endpoints. Counters surface on
+// /v1/stats.
+func WithUserCache(size int) Option {
+	return func(s *Server) {
+		if size > 0 {
+			s.cache = usercache.New[txn.UserID, userParts](size, 0, userHash)
+		}
+	}
 }
 
 // StreamAggregates is the live-aggregate surface the engine consumes when

@@ -22,6 +22,8 @@ import (
 
 	"titant/internal/feature"
 	"titant/internal/hbase"
+	"titant/internal/ms/usercache"
+	"titant/internal/rng"
 	"titant/internal/txn"
 )
 
@@ -30,10 +32,21 @@ import (
 // notify the transferor.
 type Alert func(t *txn.Transaction, score float64)
 
+// userCache is the engine's read-through cache instantiation: decoded
+// user fragments keyed by user ID, so a hit skips the store and every
+// codec entirely.
+type userCache = usercache.Cache[txn.UserID, userParts]
+
+// userHash mixes a user ID onto cache shards.
+func userHash(u txn.UserID) uint64 {
+	return rng.Mix64(uint64(uint32(u)))
+}
+
 // Server scores transactions against the current model bundle. Safe for
 // concurrent use; the bundle can be hot-swapped between requests.
 type Server struct {
 	table *hbase.Table
+	cache *userCache // nil: every fetch reads the store
 
 	mu      sync.RWMutex
 	bundle  *Bundle
@@ -128,6 +141,9 @@ func NewServer(table *hbase.Table, bundle *Bundle, alert Alert) (*Server, error)
 }
 
 // SetBundle hot-swaps the model (the paper's periodic model-file update).
+// The user cache, when present, is purged: a bundle swap typically lands
+// right after an upload wave has re-published every user at the new
+// version, so anything cached may be a T-1 fragment.
 func (s *Server) SetBundle(b *Bundle) error {
 	if b == nil {
 		return fmt.Errorf("%w: nil bundle", ErrBundleInvalid)
@@ -136,10 +152,33 @@ func (s *Server) SetBundle(b *Bundle) error {
 		return err
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.bundle = b
 	s.citySrc = s.cityView(b)
+	s.mu.Unlock()
+	if s.cache != nil {
+		s.cache.Purge()
+	}
 	return nil
+}
+
+// InvalidateUser drops one user's cached fragments (a no-op without a
+// cache). Uploaders wire this into Uploader.Invalidate so live feature
+// re-publication is visible to the very next score.
+func (s *Server) InvalidateUser(u txn.UserID) {
+	if s.cache != nil {
+		s.cache.Invalidate(u)
+	}
+}
+
+// UserCacheEnabled reports whether the engine was built WithUserCache.
+func (s *Server) UserCacheEnabled() bool { return s.cache != nil }
+
+// UserCacheStats snapshots the cache counters (zero without a cache).
+func (s *Server) UserCacheStats() usercache.Stats {
+	if s.cache == nil {
+		return usercache.Stats{}
+	}
+	return s.cache.Stats()
 }
 
 func (s *Server) currentBundle() *Bundle {
@@ -229,7 +268,7 @@ func (s *Server) Score(ctx context.Context, t *txn.Transaction) (Verdict, error)
 	if err != nil {
 		return Verdict{}, err
 	}
-	from, to, err := s.fetchPair(ctx, t.From, t.To)
+	from, to, err := s.fetchPair(t.From, t.To)
 	if err != nil {
 		return Verdict{}, err
 	}
@@ -284,7 +323,9 @@ func (s *Server) ScoreBatch(ctx context.Context, txns []txn.Transaction) ([]Verd
 		return nil, err
 	}
 
-	// Phase 1: fetch each distinct user in the batch exactly once.
+	// Phase 1: fetch each distinct user in the batch exactly once — cache
+	// hits resolved by a shard probe, misses chunked into multi-get rounds
+	// that amortise one store lock acquisition over a whole chunk.
 	fetchStart := time.Now()
 	index := make(map[txn.UserID]int, 2*len(txns))
 	ids := make([]txn.UserID, 0, 2*len(txns))
@@ -299,15 +340,16 @@ func (s *Server) ScoreBatch(ctx context.Context, txns []txn.Transaction) ([]Verd
 		add(txns[i].To)
 	}
 	parts := make([]userParts, len(ids))
-	if err := s.runPool(ctx, len(ids), func(i int) error {
-		p, err := s.fetchOne(ids[i])
-		if err != nil {
-			return err
-		}
-		parts[i] = p
-		return nil
-	}); err != nil {
+	found := make([]bool, len(ids))
+	if err := s.fetchUsers(ctx, ids, parts, found); err != nil {
 		return nil, err
+	}
+	if s.strict {
+		for i, ok := range found {
+			if !ok {
+				return nil, fmt.Errorf("%w: user %d", ErrUserNotFound, ids[i])
+			}
+		}
 	}
 
 	// Phase 2: assemble the batch's feature matrix over the pool.
@@ -405,8 +447,25 @@ func copyEmb(dst []float64, src []float32, u txn.UserID) error {
 }
 
 // fetchOne reads one user's fragments, applying the strict-users policy.
+// With a cache the read goes through GetOrLoad: hits return the decoded
+// fragments with no store access, concurrent misses for the same user
+// collapse to a single store read, and unknown users are remembered as
+// negative entries so cold-start traffic stops costing point reads.
 func (s *Server) fetchOne(u txn.UserID) (userParts, error) {
-	parts, found, err := fetchUser(s.table, u)
+	var (
+		parts userParts
+		found bool
+		err   error
+	)
+	if s.cache != nil {
+		parts, found, err = s.cache.GetOrLoad(u, func() (userParts, bool, error) {
+			var p userParts
+			ok, lerr := fetchUserInto(s.table, u, &p)
+			return p, ok, lerr
+		})
+	} else {
+		found, err = fetchUserInto(s.table, u, &parts)
+	}
 	if err != nil {
 		return parts, fmt.Errorf("ms: fetch user %d: %w", u, err)
 	}
@@ -416,36 +475,83 @@ func (s *Server) fetchOne(u txn.UserID) (userParts, error) {
 	return parts, nil
 }
 
-// fetchPair reads the sender's and receiver's fragments concurrently:
-// one goroutine for the sender, the receiver inline, so the hot path
-// pays a single spawn rather than a full worker-pool round.
-func (s *Server) fetchPair(ctx context.Context, from, to txn.UserID) (userParts, userParts, error) {
-	type result struct {
-		parts userParts
-		err   error
+// fetchPair reads the sender's then the receiver's fragments inline.
+// Before the point-read engine this parallelised the two reads with a
+// goroutine; a point read now costs well under a spawn-and-channel round
+// trip (and with a cache, a warm read is a single shard probe), so the
+// sequential pair is the faster path in every configuration.
+func (s *Server) fetchPair(from, to txn.UserID) (userParts, userParts, error) {
+	fp, err := s.fetchOne(from)
+	if err != nil {
+		return fp, userParts{}, err
 	}
-	fc := make(chan result, 1)
-	go func() {
-		p, err := s.fetchOne(from)
-		fc <- result{p, err}
-	}()
-	tp, terr := s.fetchOne(to)
-	var fp userParts
-	if terr != nil {
-		// Surface the receiver's error without waiting out the sender
-		// fetch; fc is buffered, so the goroutine cannot leak.
-		return fp, tp, terr
-	}
-	select {
-	case <-ctx.Done():
-		return fp, tp, ctx.Err()
-	case r := <-fc:
-		if r.err != nil {
-			return fp, tp, r.err
+	tp, err := s.fetchOne(to)
+	return fp, tp, err
+}
+
+// fetchChunk bounds one multi-get round: large enough to amortise the
+// store's lock acquisition to noise, small enough that a round never
+// holds the read lock long and chunks spread across the worker pool.
+const fetchChunk = 256
+
+// fetchUsers resolves a deduped user set into parts/found (both indexed
+// like ids). Cached entries are peeked first; the misses batch into
+// chunked multi-get rounds fanned out over the worker pool, and — with a
+// cache — the loaded entries are inserted for subsequent batches, each
+// guarded by its shard generation captured before the store read so a
+// concurrent upload's invalidation wins over the stale read.
+func (s *Server) fetchUsers(ctx context.Context, ids []txn.UserID, parts []userParts, found []bool) error {
+	if s.cache == nil {
+		rows := make([]string, len(ids))
+		for i, u := range ids {
+			rows[i] = RowKey(u)
 		}
-		fp = r.parts
+		chunks := (len(ids) + fetchChunk - 1) / fetchChunk
+		return s.runPool(ctx, chunks, func(ci int) error {
+			lo := ci * fetchChunk
+			hi := min(lo+fetchChunk, len(ids))
+			return fetchUsersInto(s.table, ids[lo:hi], rows[lo:hi], parts[lo:hi], found[lo:hi])
+		})
 	}
-	return fp, tp, nil
+	missIdx := make([]int, 0, len(ids))
+	missGens := make([]uint64, 0, len(ids))
+	for i, u := range ids {
+		// One lock round per key: the hit, or the miss plus the shard
+		// generation guarding the upcoming store read.
+		v, ok, present, gen := s.cache.PeekGen(u)
+		if present {
+			parts[i] = v
+			found[i] = ok
+		} else {
+			missIdx = append(missIdx, i)
+			missGens = append(missGens, gen)
+		}
+	}
+	if len(missIdx) == 0 {
+		return nil
+	}
+	missIDs := make([]txn.UserID, len(missIdx))
+	rows := make([]string, len(missIdx))
+	missParts := make([]userParts, len(missIdx))
+	missFound := make([]bool, len(missIdx))
+	for k, i := range missIdx {
+		missIDs[k] = ids[i]
+		rows[k] = RowKey(ids[i])
+	}
+	chunks := (len(missIdx) + fetchChunk - 1) / fetchChunk
+	if err := s.runPool(ctx, chunks, func(ci int) error {
+		lo := ci * fetchChunk
+		hi := min(lo+fetchChunk, len(missIdx))
+		return fetchUsersInto(s.table, missIDs[lo:hi], rows[lo:hi], missParts[lo:hi], missFound[lo:hi])
+	}); err != nil {
+		return err
+	}
+	for k, i := range missIdx {
+		parts[i] = missParts[k]
+		found[i] = missFound[k]
+		s.cache.Add(missIDs[k], missGens[k], missParts[k], missFound[k])
+	}
+	return nil
 }
 
 // runPool runs fn(0..n-1) across the engine's worker pool, stopping at
@@ -518,12 +624,30 @@ func (s *Server) observe(t *txn.Transaction, v *Verdict) {
 // and delayed fraud reports (re-sent with the Fraud flag set), so the
 // window's city fraud rates track reality as labels arrive. Returns
 // ErrStreamDisabled on an engine built without WithStreamAggregates.
+//
+// Ingest also clears any *negative* user-cache entries for the two
+// endpoints: live traffic cannot stale stored fragments (those only
+// change through uploads, which invalidate exactly), but a transaction
+// naming a user the store has never seen is a signal that user may be
+// published shortly, so the known-absent marker must not pin them as
+// unknown until eviction.
 func (s *Server) Ingest(t *txn.Transaction) error {
 	if s.stream == nil {
 		return ErrStreamDisabled
 	}
 	s.stream.Ingest(t)
+	s.dropNegative(t)
 	return nil
+}
+
+// dropNegative clears cold-start cache markers for a transaction's
+// endpoints (no-op without a cache).
+func (s *Server) dropNegative(t *txn.Transaction) {
+	if s.cache == nil {
+		return
+	}
+	s.cache.InvalidateNegative(t.From)
+	s.cache.InvalidateNegative(t.To)
 }
 
 // IngestBatch ingests a slice in order, subject to the engine's batch
@@ -538,6 +662,7 @@ func (s *Server) IngestBatch(txns []txn.Transaction) error {
 	}
 	for i := range txns {
 		s.stream.Ingest(&txns[i])
+		s.dropNegative(&txns[i])
 	}
 	return nil
 }

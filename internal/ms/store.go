@@ -2,7 +2,6 @@ package ms
 
 import (
 	"encoding/binary"
-	"errors"
 	"fmt"
 	"math"
 	"strconv"
@@ -101,11 +100,24 @@ func encodeVec(v []float32) []byte {
 }
 
 func decodeVec(b []byte) []float32 {
-	v := make([]float32, len(b)/4)
-	for i := range v {
-		v[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[i*4:]))
+	return decodeVecInto(nil, b)
+}
+
+// decodeVecInto decodes an embedding into dst's backing array, allocating
+// only when its capacity is insufficient — the hot fetch path hands the
+// same buffer back on every call, so steady-state decoding is
+// allocation-free.
+func decodeVecInto(dst []float32, b []byte) []float32 {
+	n := len(b) / 4
+	if cap(dst) < n {
+		dst = make([]float32, n)
+	} else {
+		dst = dst[:n]
 	}
-	return v
+	for i := range dst {
+		dst[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[i*4:]))
+	}
+	return dst
 }
 
 // Uploader writes users' serving fragments into HBase; the offline
@@ -115,6 +127,12 @@ func decodeVec(b []byte) []float32 {
 type Uploader struct {
 	Table   *hbase.Table
 	Version int64 // timestamp for this upload wave; 0 = auto
+
+	// Invalidate, when set, is called with each uploaded user's ID after
+	// that user's fragments have all been written. Wire it to a serving
+	// engine's InvalidateUser so a read-through user cache drops the
+	// user's stale fragments the moment the store has accepted new ones.
+	Invalidate func(txn.UserID)
 }
 
 // PutUser uploads one user's profile, aggregate fragment and (optional)
@@ -132,6 +150,9 @@ func (up *Uploader) PutUser(u *txn.User, stats feature.UserStats, emb []float32)
 			return err
 		}
 	}
+	if up.Invalidate != nil {
+		up.Invalidate(u.ID)
+	}
 	return nil
 }
 
@@ -147,34 +168,98 @@ type userParts struct {
 // an error (the default serves cold-start users with empty history).
 func fetchUser(tab *hbase.Table, u txn.UserID) (userParts, bool, error) {
 	var out userParts
+	found, err := fetchUserInto(tab, u, &out)
+	return out, found, err
+}
+
+// fetchUserInto reads one user's row through the store's zero-copy
+// point-read visitor, decoding each fragment straight into *out. The
+// embedding decodes into out's existing buffer when capacity allows, so a
+// caller that recycles its userParts pays no steady-state allocation.
+// out is fully overwritten (absent fragments come back zero).
+func fetchUserInto(tab *hbase.Table, u txn.UserID, out *userParts) (bool, error) {
+	emb := out.emb[:0]
+	*out = userParts{}
 	out.user.ID = u
-	row, err := tab.GetRow(RowKey(u))
-	if err != nil {
-		if errors.Is(err, hbase.ErrNotFound) {
-			return out, false, nil // unknown user: all-zero fragments
-		}
-		return out, false, err
-	}
-	if bf, ok := row[FamilyBasic]; ok {
-		if pb, ok := bf[QualProfile]; ok {
-			p, err := decodeProfile(pb)
-			if err != nil {
-				return out, true, err
+	// Keep the recycled buffer attached even if this row carries no
+	// embedding cell, so the next fetch that does still reuses it.
+	out.emb = emb
+	var derr error
+	found, err := tab.VisitRow(RowKey(u), func(c *hbase.Cell) bool {
+		switch {
+		case c.Family == FamilyBasic && c.Qualifier == QualProfile:
+			p, e := decodeProfile(c.Value)
+			if e != nil {
+				derr = e
+				return false
 			}
 			out.user = p
-		}
-		if sb, ok := bf[QualStats]; ok {
-			s, err := decodeStats(sb)
-			if err != nil {
-				return out, true, err
+		case c.Family == FamilyBasic && c.Qualifier == QualStats:
+			s, e := decodeStats(c.Value)
+			if e != nil {
+				derr = e
+				return false
 			}
 			out.stats = s
+		case c.Family == FamilyEmb && c.Qualifier == QualVector:
+			// Copy out of the cell: the value aliases store memory that a
+			// later flush/compaction round may retire.
+			emb = decodeVecInto(emb, c.Value)
+			out.emb = emb
 		}
+		return true
+	})
+	if err != nil {
+		return false, err
 	}
-	if ef, ok := row[FamilyEmb]; ok {
-		if vb, ok := ef[QualVector]; ok {
-			out.emb = decodeVec(vb)
+	if derr != nil {
+		return true, derr
+	}
+	return found, nil
+}
+
+// fetchUsersInto is the batched fetch under ScoreBatch: one multi-get
+// lock round resolves every id in the chunk, with per-row decoding as the
+// visitor streams cells. parts[i] and found[i] correspond to ids[i];
+// rows[i] must be RowKey(ids[i]) (the caller builds the key slice once
+// per batch so retries and cache fills reuse it).
+func fetchUsersInto(tab *hbase.Table, ids []txn.UserID, rows []string, parts []userParts, found []bool) error {
+	for i := range parts {
+		emb := parts[i].emb[:0]
+		parts[i] = userParts{}
+		parts[i].user.ID = ids[i]
+		parts[i].emb = emb
+		found[i] = false
+	}
+	var derr error
+	err := tab.VisitRows(rows, func(i int, c *hbase.Cell) bool {
+		out := &parts[i]
+		found[i] = true
+		switch {
+		case c.Family == FamilyBasic && c.Qualifier == QualProfile:
+			p, e := decodeProfile(c.Value)
+			if e != nil {
+				derr = fmt.Errorf("ms: fetch user %d: %w", ids[i], e)
+				return false
+			}
+			out.user = p
+		case c.Family == FamilyBasic && c.Qualifier == QualStats:
+			s, e := decodeStats(c.Value)
+			if e != nil {
+				derr = fmt.Errorf("ms: fetch user %d: %w", ids[i], e)
+				return false
+			}
+			out.stats = s
+		case c.Family == FamilyEmb && c.Qualifier == QualVector:
+			out.emb = decodeVecInto(out.emb[:0], c.Value)
 		}
+		return true
+	})
+	if err != nil {
+		return err
 	}
-	return out, true, nil
+	if derr != nil {
+		return derr
+	}
+	return nil
 }

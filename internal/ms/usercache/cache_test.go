@@ -1,0 +1,244 @@
+package usercache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func ident(k uint64) uint64 { return k }
+
+func newT(capacity, shards int) *Cache[uint64, string] {
+	return New[uint64, string](capacity, shards, ident)
+}
+
+func TestReadThrough(t *testing.T) {
+	c := newT(128, 4)
+	loads := 0
+	load := func() (string, bool, error) { loads++; return "v1", true, nil }
+	v, ok, err := c.GetOrLoad(7, load)
+	if v != "v1" || !ok || err != nil || loads != 1 {
+		t.Fatalf("first load: %q %v %v loads=%d", v, ok, err, loads)
+	}
+	v, ok, err = c.GetOrLoad(7, load)
+	if v != "v1" || !ok || err != nil || loads != 1 {
+		t.Fatalf("hit reloaded: %q %v %v loads=%d", v, ok, err, loads)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Size != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestNegativeCaching(t *testing.T) {
+	c := newT(128, 4)
+	loads := 0
+	load := func() (string, bool, error) { loads++; return "", false, nil }
+	for i := 0; i < 5; i++ {
+		if _, ok, err := c.GetOrLoad(9, load); ok || err != nil {
+			t.Fatal("negative entry went positive")
+		}
+	}
+	if loads != 1 {
+		t.Fatalf("absent key loaded %d times", loads)
+	}
+	if st := c.Stats(); st.Negatives != 4 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// InvalidateNegative drops it; a positive entry survives the same call.
+	c.InvalidateNegative(9)
+	if _, _, present := c.Peek(9); present {
+		t.Fatal("negative entry survived InvalidateNegative")
+	}
+	_, _, _ = c.GetOrLoad(10, func() (string, bool, error) { return "pos", true, nil })
+	c.InvalidateNegative(10)
+	if v, ok, present := c.Peek(10); !present || !ok || v != "pos" {
+		t.Fatal("positive entry dropped by InvalidateNegative")
+	}
+}
+
+func TestLoadErrorNotCached(t *testing.T) {
+	c := newT(128, 4)
+	boom := errors.New("boom")
+	if _, _, err := c.GetOrLoad(1, func() (string, bool, error) { return "", false, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	loads := 0
+	if v, _, err := c.GetOrLoad(1, func() (string, bool, error) { loads++; return "ok", true, nil }); v != "ok" || err != nil || loads != 1 {
+		t.Fatal("error was cached")
+	}
+}
+
+func TestSingleflightCollapse(t *testing.T) {
+	c := newT(128, 4)
+	var loads atomic.Int64
+	gate := make(chan struct{})
+	const callers = 16
+	var wg sync.WaitGroup
+	results := make([]string, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, _, err := c.GetOrLoad(5, func() (string, bool, error) {
+				loads.Add(1)
+				<-gate
+				return "shared", true, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = v
+		}(i)
+	}
+	// Let every goroutine reach the flight, then release the one loader.
+	for c.Stats().Collapsed+c.Stats().Misses < callers {
+	}
+	close(gate)
+	wg.Wait()
+	if n := loads.Load(); n != 1 {
+		t.Fatalf("%d loads for one concurrent wave", n)
+	}
+	for i, v := range results {
+		if v != "shared" {
+			t.Fatalf("caller %d got %q", i, v)
+		}
+	}
+	if st := c.Stats(); st.Collapsed != callers-1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestInvalidationBeatsInflightLoad pins the generation guard: a load
+// that started before an invalidation must not install its (potentially
+// stale) result afterwards.
+func TestInvalidationBeatsInflightLoad(t *testing.T) {
+	c := newT(128, 4)
+	inLoad := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, _, _ = c.GetOrLoad(3, func() (string, bool, error) {
+			close(inLoad)
+			<-release
+			return "stale", true, nil
+		})
+	}()
+	<-inLoad
+	c.Invalidate(3) // the "upload" lands while the load is mid-read
+	close(release)
+	<-done
+	if _, _, present := c.Peek(3); present {
+		t.Fatal("stale in-flight load was cached past an invalidation")
+	}
+}
+
+func TestEvictionBound(t *testing.T) {
+	c := newT(64, 1)
+	for i := uint64(0); i < 1000; i++ {
+		k := i
+		_, _, _ = c.GetOrLoad(k, func() (string, bool, error) { return fmt.Sprint(k), true, nil })
+	}
+	st := c.Stats()
+	if st.Size > 64 {
+		t.Fatalf("size %d exceeds capacity", st.Size)
+	}
+	if st.Evictions == 0 {
+		t.Fatal("no evictions recorded")
+	}
+	// Values that survive must be correct.
+	n := 0
+	for i := uint64(0); i < 1000; i++ {
+		if v, ok, present := c.Peek(i); present {
+			if !ok || v != fmt.Sprint(i) {
+				t.Fatalf("entry %d corrupt: %q %v", i, v, ok)
+			}
+			n++
+		}
+	}
+	if n == 0 || n > 64 {
+		t.Fatalf("%d live entries", n)
+	}
+}
+
+func TestPurge(t *testing.T) {
+	c := newT(128, 4)
+	for i := uint64(0); i < 50; i++ {
+		k := i
+		_, _, _ = c.GetOrLoad(k, func() (string, bool, error) { return "x", true, nil })
+	}
+	c.Purge()
+	if st := c.Stats(); st.Size != 0 {
+		t.Fatalf("size %d after purge", st.Size)
+	}
+	if _, _, present := c.Peek(7); present {
+		t.Fatal("entry survived purge")
+	}
+}
+
+func TestPeekGenAddBatchPath(t *testing.T) {
+	c := newT(128, 4)
+	// The quiet path: peek a miss, load, Add with the captured gen.
+	_, _, present, gen := c.PeekGen(11)
+	if present {
+		t.Fatal("phantom entry")
+	}
+	c.Add(11, gen, "fresh", true)
+	if v, ok, present := c.Peek(11); !present || !ok || v != "fresh" {
+		t.Fatal("Add with current gen did not insert")
+	}
+	// An invalidation between PeekGen and Add must drop the insert.
+	_, _, _, gen = c.PeekGen(12)
+	c.Invalidate(12)
+	c.Add(12, gen, "stale", true)
+	if _, _, present := c.Peek(12); present {
+		t.Fatal("Add with stale gen inserted")
+	}
+	// PeekGen on a hit refreshes the CLOCK bit and reports the value.
+	if v, ok, present, _ := c.PeekGen(11); !present || !ok || v != "fresh" {
+		t.Fatal("PeekGen hit path broken")
+	}
+}
+
+// TestConcurrentMixed hammers every operation from many goroutines; its
+// value is under -race (the CI race job covers internal/ms/...).
+func TestConcurrentMixed(t *testing.T) {
+	c := newT(256, 8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				k := uint64((g*31 + i) % 500)
+				switch i % 5 {
+				case 0, 1, 2:
+					v, ok, err := c.GetOrLoad(k, func() (string, bool, error) {
+						return fmt.Sprint(k), k%7 != 0, nil
+					})
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if ok && v != fmt.Sprint(k) {
+						t.Errorf("key %d got %q", k, v)
+						return
+					}
+				case 3:
+					c.Invalidate(k)
+				default:
+					if v, ok, present := c.Peek(k); present && ok && v != fmt.Sprint(k) {
+						t.Errorf("peek %d got %q", k, v)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	_ = c.Len()
+	_ = c.Stats()
+}

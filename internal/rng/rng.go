@@ -31,7 +31,13 @@ type RNG struct {
 // to seed and to derive independent streams.
 func splitmix64(x *uint64) uint64 {
 	*x += 0x9e3779b97f4a7c15
-	z := *x
+	return Mix64(*x)
+}
+
+// Mix64 is splitmix64's 64-bit finalizer: a stateless avalanche mixer
+// that spreads sequential integers (user IDs, shard keys) uniformly.
+// The sharded stores use it to pick lock stripes and cache shards.
+func Mix64(z uint64) uint64 {
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
 	return z ^ (z >> 31)

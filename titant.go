@@ -45,6 +45,7 @@ import (
 	"titant/internal/hbase"
 	"titant/internal/model"
 	"titant/internal/ms"
+	"titant/internal/ms/usercache"
 	"titant/internal/synth"
 	"titant/internal/txn"
 )
@@ -113,6 +114,9 @@ type (
 	// StreamOption configures a StreamStore (see WithStreamShards,
 	// WithStreamWindow, WithStreamCities).
 	StreamOption = stream.Option
+	// UserCacheStats snapshots the engine's read-through user-cache
+	// counters (see WithUserCache and Engine.UserCacheStats).
+	UserCacheStats = usercache.Stats
 	// ExperimentConfig scales a paper-experiment run.
 	ExperimentConfig = exp.Config
 )
@@ -140,6 +144,10 @@ const (
 	CombineMax  = ms.CombineMax
 	CombineVote = ms.CombineVote
 )
+
+// DefaultUserCacheSize is the entry capacity daemons use when enabling
+// the read-through user cache without an explicit size.
+const DefaultUserCacheSize = ms.DefaultUserCacheSize
 
 // ParseCombiner maps "mean", "max" or "vote" to a Combiner.
 func ParseCombiner(s string) (Combiner, error) { return ms.ParseCombiner(s) }
@@ -229,6 +237,12 @@ func WithStrictUsers() EngineOption { return ms.WithStrictUsers() }
 
 // WithMaxBatch overrides the ScoreBatch size limit (n <= 0 removes it).
 func WithMaxBatch(n int) EngineOption { return ms.WithMaxBatch(n) }
+
+// WithUserCache layers a sharded read-through cache of decoded user
+// fragments over the feature store (size entries, CLOCK-evicted;
+// n <= 0 disables it). Hits skip the store and every codec; invalidation
+// is wired through Engine.InvalidateUser, bundle swaps and ingest.
+func WithUserCache(size int) EngineOption { return ms.WithUserCache(size) }
 
 // WithModelToken guards POST /v1/models behind a bearer token.
 func WithModelToken(token string) EngineOption { return ms.WithModelToken(token) }
