@@ -14,17 +14,20 @@ test:
 	go build ./... && go test ./...
 
 race:
-	go test -race ./internal/feature/stream/ ./internal/ms/... ./internal/hbase/
+	go test -race ./internal/feature/stream/ ./internal/ms/... ./internal/hbase/ ./internal/decision/
 
 # bench-serving runs the hot serving read-path benchmarks (user fetch,
-# multi-get, point read, cached and uncached batch scoring) and writes
+# multi-get, point read, cached and uncached batch scoring, plus the
+# decision path with policy and shadow variants) and writes
 # BENCH_serving.json — ns/op and allocs/op per benchmark — so future PRs
-# have machine-readable numbers to compare against. BENCHTIME trades
-# precision for wall clock (use e.g. BENCHTIME=2s locally).
+# have machine-readable numbers to compare against; in particular,
+# BenchmarkDecideBatch/policy vs BenchmarkScoreBatch tracks the decision
+# path's overhead budget. BENCHTIME trades precision for wall clock (use
+# e.g. BENCHTIME=2s locally).
 bench-serving:
 	@set -o pipefail; { \
 	  go test -run '^$$' -bench 'BenchmarkGet$$|BenchmarkMultiGet' -benchmem -benchtime=$(BENCHTIME) ./internal/hbase/ && \
 	  go test -run '^$$' -bench 'BenchmarkFetchUser' -benchmem -benchtime=$(BENCHTIME) ./internal/ms/ && \
-	  go test -run '^$$' -bench 'BenchmarkScoreSequential|BenchmarkScoreBatch$$|BenchmarkScoreBatchCached' -benchmem -benchtime=$(BENCHTIME) . ; \
+	  go test -run '^$$' -bench 'BenchmarkScoreSequential|BenchmarkScoreBatch$$|BenchmarkScoreBatchCached|BenchmarkDecideBatch' -benchmem -benchtime=$(BENCHTIME) . ; \
 	} | tee /dev/stderr | go run ./cmd/benchjson > BENCH_serving.json
 	@echo "wrote BENCH_serving.json"

@@ -17,6 +17,7 @@ import (
 	"testing"
 	"time"
 
+	"titant/internal/decision"
 	"titant/internal/exp"
 	"titant/internal/feature"
 	"titant/internal/feature/stream"
@@ -220,6 +221,49 @@ func BenchmarkScoreBatchCached(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(txns)), "ns/txn")
+}
+
+// BenchmarkDecideBatch measures the decision path against the plain
+// scoring path on the same workload: the "policy" variant (policy
+// enabled, shadow off — the acceptance configuration, compare its ns/txn
+// to BenchmarkScoreBatch) pays one allocation-free policy evaluation and
+// two drift-monitor atomic adds per row on top of scoring, and the
+// "shadow" variant adds the non-blocking challenger enqueue (the
+// challenger itself scores on the worker, off this path).
+func BenchmarkDecideBatch(b *testing.B) {
+	pol := decision.Default("bench-pol", 0.5)
+	run := func(b *testing.B, srv *ms.Server, txns []txn.Transaction) {
+		ctx := context.Background()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := srv.DecideBatch(ctx, txns, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(txns)), "ns/txn")
+	}
+	b.Run("policy", func(b *testing.B) {
+		srv, txns := servingFixture(b,
+			ms.WithPolicy(pol),
+			ms.WithDriftMonitor(decision.DriftConfig{}))
+		run(b, srv, txns)
+	})
+	b.Run("shadow", func(b *testing.B) {
+		const embDim = 8
+		clf, city := benchToyLR(embDim)
+		challenger, err := ms.NewBundle("bench-shadow", clf, 0.5, city, embDim)
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv, txns := servingFixture(b,
+			ms.WithPolicy(pol),
+			ms.WithDriftMonitor(decision.DriftConfig{}),
+			ms.WithShadow(challenger))
+		b.Cleanup(srv.Close)
+		run(b, srv, txns)
+		st := srv.ShadowStats()
+		b.ReportMetric(float64(st.Dropped), "shadow-dropped")
+	})
 }
 
 // BenchmarkScoreBatchEnsemble scores the 1k-transaction batch through

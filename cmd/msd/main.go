@@ -11,6 +11,7 @@
 //
 //	msd -bundle bundle.bin -data /var/lib/titant/hbase [-addr :8070] [-workers N] [-strict] [-model-token T]
 //	    [-usercache N] [-stream] [-stream-shards N] [-stream-buckets N] [-stream-bucket-secs N]
+//	    [-policy default|file.json] [-shadow-bundle file.bin] [-shadow-queue N] [-drift]
 //
 // The bundle file is produced by the offline pipeline (see cmd/titant
 // serve for an all-in-one variant, or core.Deploy + Bundle.Encode in
@@ -34,6 +35,7 @@ import (
 	"os/signal"
 	"syscall"
 
+	"titant/internal/decision"
 	"titant/internal/feature/stream"
 	"titant/internal/hbase"
 	"titant/internal/ms"
@@ -47,7 +49,11 @@ func main() {
 	workers := flag.Int("workers", 0, "batch fan-out width (0 = GOMAXPROCS)")
 	strict := flag.Bool("strict", false, "reject transactions naming users absent from the store (404)")
 	userCache := flag.Int("usercache", ms.DefaultUserCacheSize, "read-through user cache entries (0 = disabled)")
-	token := flag.String("model-token", "", "bearer token guarding POST /v1/models (empty = open)")
+	token := flag.String("model-token", "", "bearer token guarding POST /v1/models and /v1/policy (empty = open)")
+	policySpec := flag.String("policy", "", `decision policy: "default" (derived from the bundle threshold), a policy JSON file path, or "" to disable /v1/decide`)
+	shadowPath := flag.String("shadow-bundle", "", "challenger bundle file scored in shadow (empty = no shadow)")
+	shadowQueue := flag.Int("shadow-queue", 0, "shadow queue capacity (0 = default)")
+	drift := flag.Bool("drift", true, "monitor per-member score drift (PSI/KS) against a deploy-time baseline")
 	streaming := flag.Bool("stream", true, "maintain a live aggregate window (POST /v1/ingest)")
 	ingestToken := flag.String("ingest-token", "", "bearer token guarding POST /v1/ingest[/batch] (empty = open)")
 	streamShards := flag.Int("stream-shards", 0, "stream store lock stripes (0 = default)")
@@ -85,6 +91,37 @@ func main() {
 	if *strict {
 		opts = append(opts, ms.WithStrictUsers())
 	}
+	if *policySpec != "" {
+		var pol *decision.Policy
+		if *policySpec == "default" {
+			pol = decision.Default(bundle.Version, bundle.Threshold)
+		} else {
+			raw, err := os.ReadFile(*policySpec)
+			if err != nil {
+				log.Fatalf("msd: read policy: %v", err)
+			}
+			if pol, err = decision.Parse(raw); err != nil {
+				log.Fatalf("msd: %v", err)
+			}
+		}
+		opts = append(opts, ms.WithPolicy(pol))
+		log.Printf("msd: decision policy %s loaded (POST /v1/decide enabled)", pol.Version)
+	}
+	if *shadowPath != "" {
+		raw, err := os.ReadFile(*shadowPath)
+		if err != nil {
+			log.Fatalf("msd: read shadow bundle: %v", err)
+		}
+		challenger, err := ms.DecodeBundle(raw)
+		if err != nil {
+			log.Fatalf("msd: decode shadow bundle: %v", err)
+		}
+		opts = append(opts, ms.WithShadow(challenger), ms.WithShadowQueue(*shadowQueue))
+		log.Printf("msd: shadow challenger %s (%d member(s))", challenger.Version, challenger.NumMembers())
+	}
+	if *drift {
+		opts = append(opts, ms.WithDriftMonitor(decision.DriftConfig{}))
+	}
 	if *streaming {
 		st := stream.New(
 			stream.WithShards(*streamShards),
@@ -98,6 +135,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("msd: %v", err)
 	}
+	defer srv.Close()
 
 	mux := http.NewServeMux()
 	mux.Handle("/", srv.Handler())

@@ -10,6 +10,7 @@
 //	serve [-addr :8070] [-users N] [-seed N] [-workers N] [-model-token T]
 //	      [-detectors gbdt,...] [-combine mean] [-usercache N]
 //	      [-stream] [-stream-shards N] [-stream-buckets N] [-stream-bucket-secs N]
+//	      [-policy default|file.json] [-shadow lr,...] [-shadow-queue N] [-drift]
 //	                                          train, deploy and serve over HTTP
 //
 // train runs the offline pipeline for several detectors at once (the
@@ -30,6 +31,13 @@
 // the training world's 90-day reference window, so scoring reads live
 // per-city statistics and POST /v1/ingest keeps them current;
 // -stream=false serves the paper's pure T+1 mode.
+//
+// The decision subsystem is on by default: -policy default derives
+// approve/challenge/deny bands from the trained threshold (or names a
+// policy JSON file) and enables POST /v1/decide[/batch] plus GET/POST
+// /v1/policy hot-swap; -shadow lr trains a challenger ensemble served in
+// shadow (champion/challenger agreement on /v1/stats); -drift monitors
+// per-member score drift against a deploy-time baseline.
 package main
 
 import (
@@ -222,8 +230,12 @@ func cmdServe(args []string) {
 	workers := fs.Int("workers", 0, "batch fan-out width (0 = GOMAXPROCS)")
 	detectors := fs.String("detectors", "gbdt", "comma-separated detectors to serve (several = ensemble bundle)")
 	combineName := fs.String("combine", "mean", "ensemble combiner when several detectors are named")
-	token := fs.String("model-token", "", "bearer token guarding POST /v1/models (empty = open)")
+	token := fs.String("model-token", "", "bearer token guarding POST /v1/models and /v1/policy (empty = open)")
 	userCache := fs.Int("usercache", titant.DefaultUserCacheSize, "read-through user cache entries (0 = disabled)")
+	policySpec := fs.String("policy", "default", `decision policy: "default" (derived from the trained threshold), a policy JSON file path, or "" to disable /v1/decide`)
+	shadowSpec := fs.String("shadow", "", "comma-separated detectors to train as a shadow challenger bundle (empty = no shadow)")
+	shadowQueue := fs.Int("shadow-queue", 0, "shadow queue capacity (0 = default)")
+	drift := fs.Bool("drift", true, "monitor per-member score drift (PSI/KS) against a deploy-time baseline")
 	streaming := fs.Bool("stream", true, "maintain a live aggregate window (POST /v1/ingest)")
 	ingestToken := fs.String("ingest-token", "", "bearer token guarding POST /v1/ingest[/batch] (empty = open)")
 	streamShards := fs.Int("stream-shards", 0, "stream store lock stripes (0 = default)")
@@ -293,6 +305,34 @@ func cmdServe(args []string) {
 		titant.WithIngestToken(*ingestToken),
 		titant.WithUserCache(*userCache),
 	}
+	if *policySpec != "" {
+		pol, err := loadPolicy(*policySpec, version, threshold)
+		if err != nil {
+			log.Fatalf("serve: %v", err)
+		}
+		log.Printf("decision policy %s loaded (POST /v1/decide enabled)", pol.Version)
+		engOpts = append(engOpts, titant.WithPolicy(pol))
+	}
+	if *shadowSpec != "" {
+		shadowDets, err := parseDetectors(*shadowSpec)
+		if err != nil {
+			log.Fatalf("serve: shadow: %v", err)
+		}
+		log.Printf("training shadow challenger (%s)...", *shadowSpec)
+		chMembers, chEmb, chThr, err := titant.TrainEnsembleForServing(w.Users, ds, shadowDets, combine, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		challenger, err := titant.BuildEnsembleBundle(ds, chEmb, chMembers, combine, chThr, opts, version+"-shadow")
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("shadow challenger %s: %d member(s), threshold %.4f", challenger.Version, challenger.NumMembers(), chThr)
+		engOpts = append(engOpts, titant.WithShadow(challenger), titant.WithShadowQueue(*shadowQueue))
+	}
+	if *drift {
+		engOpts = append(engOpts, titant.WithDriftMonitor(titant.DriftConfig{}))
+	}
 	if *streaming {
 		st := titant.NewStreamStore(
 			titant.WithStreamShards(*streamShards),
@@ -307,13 +347,28 @@ func cmdServe(args []string) {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer eng.Close()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	log.Printf("model server %s listening on %s (%d member(s), threshold %.3f, streaming=%v, usercache=%d)",
-		version, *addr, bundle.NumMembers(), threshold, *streaming, *userCache)
-	log.Printf("v1 API: POST /v1/score, POST /v1/score/batch, POST /v1/ingest[/batch], GET|POST /v1/models, GET /v1/stats, GET /healthz")
+	log.Printf("model server %s listening on %s (%d member(s), threshold %.3f, streaming=%v, usercache=%d, policy=%v, shadow=%v, drift=%v)",
+		version, *addr, bundle.NumMembers(), threshold, *streaming, *userCache, *policySpec != "", *shadowSpec != "", *drift)
+	log.Printf("v1 API: POST /v1/score[/batch], POST /v1/decide[/batch], POST /v1/ingest[/batch], GET|POST /v1/models, GET|POST /v1/policy, GET /v1/stats, GET /healthz")
 	if err := eng.ListenAndServe(ctx, *addr); err != nil {
 		log.Fatal(err)
 	}
 	log.Printf("shut down cleanly")
+}
+
+// loadPolicy resolves the -policy flag: the literal "default" derives
+// the built-in policy from the trained threshold, anything else reads a
+// policy JSON file.
+func loadPolicy(spec, version string, threshold float64) (*titant.DecisionPolicy, error) {
+	if spec == "default" {
+		return titant.DefaultPolicy(version, threshold), nil
+	}
+	raw, err := os.ReadFile(spec)
+	if err != nil {
+		return nil, err
+	}
+	return titant.ParsePolicy(raw)
 }

@@ -1,0 +1,142 @@
+package decision
+
+import (
+	"sync"
+	"testing"
+
+	"titant/internal/rng"
+)
+
+// driftCfg is a small-sample config so tests converge fast.
+func driftCfg() DriftConfig {
+	return DriftConfig{Bins: 20, BaselineSamples: 2000, MinLiveSamples: 500, PSIAlert: 0.2, KSAlert: 0.15}
+}
+
+// TestDriftQuietOnIID feeds baseline and live phases from the same
+// distribution: the monitor must stay silent.
+func TestDriftQuietOnIID(t *testing.T) {
+	m := NewMonitor(driftCfg(), []string{"combined"})
+	r := rng.New(5)
+	draw := func() float64 {
+		// A bimodal "mostly legit, some fraud" score shape.
+		if r.Bool(0.95) {
+			return r.Float64() * 0.4
+		}
+		return 0.6 + r.Float64()*0.4
+	}
+	for i := 0; i < 10000; i++ {
+		m.ObserveSeries(0, draw())
+	}
+	st := m.Snapshot()[0]
+	if st.BaselineCount != 2000 || st.LiveCount != 8000 {
+		t.Fatalf("counts = %+v", st)
+	}
+	if st.Alert {
+		t.Fatalf("i.i.d. stream alerted: PSI=%.4f KS=%.4f", st.PSI, st.KS)
+	}
+	if st.PSI > 0.1 || st.KS > 0.1 {
+		t.Fatalf("i.i.d. divergence too high: PSI=%.4f KS=%.4f", st.PSI, st.KS)
+	}
+	if m.Alerted() {
+		t.Fatal("Alerted() true on quiet monitor")
+	}
+}
+
+// TestDriftFlagsShift freezes the baseline on one distribution and then
+// shifts the live stream: PSI must cross the alert threshold.
+func TestDriftFlagsShift(t *testing.T) {
+	m := NewMonitor(driftCfg(), []string{"combined", "gbdt"})
+	r := rng.New(6)
+	for i := 0; i < 2000; i++ {
+		s := r.Float64() * 0.4
+		m.ObserveSeries(0, s)
+		m.ObserveSeries(1, s)
+	}
+	// The combined stream shifts upward (the synthetic drift); the gbdt
+	// stream stays i.i.d. to prove per-series isolation.
+	for i := 0; i < 4000; i++ {
+		m.ObserveSeries(0, 0.3+r.Float64()*0.5)
+		m.ObserveSeries(1, r.Float64()*0.4)
+	}
+	sts := m.Snapshot()
+	if !sts[0].Alert {
+		t.Fatalf("shifted stream not flagged: %+v", sts[0])
+	}
+	if sts[1].Alert {
+		t.Fatalf("i.i.d. member flagged: %+v", sts[1])
+	}
+	if !m.Alerted() {
+		t.Fatal("Alerted() false with a flagged series")
+	}
+}
+
+// TestDriftNoAlertBeforeMinSamples: statistics are reported immediately
+// but alerting waits for MinLiveSamples.
+func TestDriftNoAlertBeforeMinSamples(t *testing.T) {
+	m := NewMonitor(driftCfg(), []string{"combined"})
+	r := rng.New(7)
+	for i := 0; i < 2000; i++ {
+		m.ObserveSeries(0, r.Float64()*0.4)
+	}
+	for i := 0; i < 100; i++ { // shifted hard, but only 100 live samples
+		m.ObserveSeries(0, 0.9+r.Float64()*0.1)
+	}
+	if st := m.Snapshot()[0]; st.Alert {
+		t.Fatalf("alerted on %d live samples: %+v", st.LiveCount, st)
+	}
+}
+
+// TestDriftConcurrent exercises the lock-free observe path under the
+// race detector and checks no samples are lost.
+func TestDriftConcurrent(t *testing.T) {
+	m := NewMonitor(driftCfg(), []string{"combined"})
+	const (
+		workers = 8
+		per     = 5000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			r := rng.New(seed)
+			for i := 0; i < per; i++ {
+				m.ObserveSeries(0, r.Float64())
+			}
+		}(uint64(w + 1))
+	}
+	wg.Wait()
+	st := m.Snapshot()[0]
+	if got := st.BaselineCount + st.LiveCount; got != workers*per {
+		t.Fatalf("lost samples: %d != %d", got, workers*per)
+	}
+	if st.BaselineCount != 2000 {
+		t.Fatalf("baseline = %d, want exactly 2000", st.BaselineCount)
+	}
+}
+
+// TestDriftObserveAllocationFree pins the hot-path contract.
+func TestDriftObserveAllocationFree(t *testing.T) {
+	m := NewMonitor(driftCfg(), []string{"combined", "gbdt"})
+	if avg := testing.AllocsPerRun(200, func() {
+		m.ObserveSeries(0, 0.37)
+		m.ObserveSeries(1, 0.71)
+	}); avg != 0 {
+		t.Fatalf("ObserveSeries allocates %.1f per call", avg)
+	}
+}
+
+// TestDriftConfigSanitise: zero-valued fields pick up defaults.
+func TestDriftConfigSanitise(t *testing.T) {
+	m := NewMonitor(DriftConfig{}, []string{"combined"})
+	d := DefaultDriftConfig()
+	if m.cfg != d {
+		t.Fatalf("sanitised = %+v, want %+v", m.cfg, d)
+	}
+	m.ObserveSeries(0, 2.5)  // clamps into the top bin
+	m.ObserveSeries(0, -1.0) // clamps into the bottom bin
+	st := m.Snapshot()[0]
+	if st.BaselineCount != 2 {
+		t.Fatalf("clamped observations lost: %+v", st)
+	}
+}

@@ -1,0 +1,657 @@
+package decision
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// ErrPolicyInvalid reports a policy document that cannot be parsed or
+// validated. Every rejection wraps it, so callers classify with
+// errors.Is and the HTTP layer maps it to one status.
+var ErrPolicyInvalid = errors.New("decision: invalid policy")
+
+// Band maps a half-open score interval [Min, Max) to an action. Combined
+// bands must partition [0, 1] exactly (the top band also owns a score of
+// exactly Max, so 1.0 is covered); member bands may cover any
+// non-overlapping sub-intervals.
+type Band struct {
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+	Action Action  `json:"action"`
+}
+
+// Op is a rule predicate comparison operator.
+type Op uint8
+
+// Operators of rule conditions.
+const (
+	OpLT Op = iota
+	OpLE
+	OpGT
+	OpGE
+	OpEQ
+	OpNE
+	numOps
+)
+
+var opNames = [numOps]string{"<", "<=", ">", ">=", "==", "!="}
+
+func (o Op) String() string {
+	if o < numOps {
+		return opNames[o]
+	}
+	return fmt.Sprintf("Op(%d)", int(o))
+}
+
+// ParseOp maps a wire operator back to an Op.
+func ParseOp(s string) (Op, error) {
+	for i, n := range opNames {
+		if s == n {
+			return Op(i), nil
+		}
+	}
+	return 0, fmt.Errorf("%w: unknown operator %q", ErrPolicyInvalid, s)
+}
+
+// MarshalText renders the operator as its wire form.
+func (o Op) MarshalText() ([]byte, error) {
+	if o >= numOps {
+		return nil, fmt.Errorf("%w: operator %d", ErrPolicyInvalid, int(o))
+	}
+	return []byte(o.String()), nil
+}
+
+// UnmarshalText parses the wire form.
+func (o *Op) UnmarshalText(b []byte) error {
+	v, err := ParseOp(string(b))
+	if err != nil {
+		return err
+	}
+	*o = v
+	return nil
+}
+
+// Field names a transaction attribute or streaming velocity aggregate a
+// rule condition reads.
+type Field uint8
+
+// Rule condition fields. The txn-prefixed group reads the transaction
+// record directly; the snd_/rcv_/pair_ group reads the live streaming
+// window through the decision Input's VelocitySource (absent source: the
+// condition is false, so such rules cannot fire).
+const (
+	FieldAmount Field = iota
+	FieldHour
+	FieldDay
+	FieldSec
+	FieldDeviceRisk
+	FieldIPRisk
+	FieldChannel
+	FieldTransCity
+	FieldSndOutCount
+	FieldSndOutAmount
+	FieldSndInCount
+	FieldSndInAmount
+	FieldRcvOutCount
+	FieldRcvOutAmount
+	FieldRcvInCount
+	FieldRcvInAmount
+	FieldPairCount
+	numFields
+)
+
+var fieldNames = [numFields]string{
+	"amount", "hour", "day", "sec", "device_risk", "ip_risk", "channel", "trans_city",
+	"snd_out_count", "snd_out_amount", "snd_in_count", "snd_in_amount",
+	"rcv_out_count", "rcv_out_amount", "rcv_in_count", "rcv_in_amount",
+	"pair_count",
+}
+
+func (f Field) String() string {
+	if f < numFields {
+		return fieldNames[f]
+	}
+	return fmt.Sprintf("Field(%d)", int(f))
+}
+
+// ParseField maps a wire field name back to a Field.
+func ParseField(s string) (Field, error) {
+	for i, n := range fieldNames {
+		if s == n {
+			return Field(i), nil
+		}
+	}
+	return 0, fmt.Errorf("%w: unknown field %q", ErrPolicyInvalid, s)
+}
+
+// MarshalText renders the field as its wire name.
+func (f Field) MarshalText() ([]byte, error) {
+	if f >= numFields {
+		return nil, fmt.Errorf("%w: field %d", ErrPolicyInvalid, int(f))
+	}
+	return []byte(f.String()), nil
+}
+
+// UnmarshalText parses the wire name.
+func (f *Field) UnmarshalText(b []byte) error {
+	v, err := ParseField(string(b))
+	if err != nil {
+		return err
+	}
+	*f = v
+	return nil
+}
+
+// Cond is one rule condition: field op value.
+type Cond struct {
+	Field Field   `json:"field"`
+	Op    Op      `json:"op"`
+	Value float64 `json:"value"`
+}
+
+// Rule is a named predicate that overrides the model's bands when every
+// condition holds. Rules express the hard risk constraints a probability
+// cannot: velocity caps, amount ceilings, channel restrictions.
+type Rule struct {
+	Name   string `json:"name,omitempty"`
+	When   []Cond `json:"when"`
+	Action Action `json:"action"`
+}
+
+// ScenarioPolicy is one scenario's decision configuration.
+type ScenarioPolicy struct {
+	// Bands partition [0, 1] over the combined ensemble score.
+	Bands []Band `json:"bands"`
+	// MemberBands maps an ensemble member's name to bands over that
+	// member's own score. A matching member band escalates (never
+	// relaxes) the combined band's action: the final verdict is the most
+	// severe of all matches. Names a bundle doesn't carry simply never
+	// match, so one policy can serve several bundle generations.
+	MemberBands map[string][]Band `json:"member_bands,omitempty"`
+	// Rules are evaluated before any band, in document order; the first
+	// match decides the action outright (overriding the model).
+	Rules []Rule `json:"rules,omitempty"`
+}
+
+// Policy is a versioned decision-policy document. The JSON form is the
+// wire format of POST /v1/policy and the on-disk format of policy files;
+// Parse validates and compiles it once so Decide runs allocation-free.
+type Policy struct {
+	Version string `json:"version"`
+	// Scenarios keys are scenario names ("default", "payment",
+	// "transfer", "withdrawal"); "default" is required and serves any
+	// scenario without its own entry.
+	Scenarios map[string]*ScenarioPolicy `json:"scenarios"`
+
+	// compiled is the hot-path view built by Validate. Atomic because
+	// Validate may be re-run on a live policy (Encode validates before
+	// serialising, e.g. GET /v1/policy) while Decide reads it; each
+	// rebuild publishes a complete, equivalent view.
+	compiled atomic.Pointer[compiledPolicy]
+}
+
+// compiledPolicy is the hot-path view: one plan per scenario slot, with
+// every reason string preformatted.
+type compiledPolicy struct {
+	plans [NumScenarios]*plan
+}
+
+// plan is one scenario's compiled form.
+type plan struct {
+	bands       []Band
+	bandReasons []string
+	members     []memberPlan
+	rules       []Rule
+	ruleReasons []string
+}
+
+// memberPlan is one member's compiled band set.
+type memberPlan struct {
+	name    string
+	bands   []Band
+	reasons []string
+}
+
+// Parse decodes, validates and compiles a JSON policy document. Unknown
+// top-level or scenario fields are rejected so a typoed key cannot
+// silently weaken a risk policy.
+func Parse(data []byte) (*Policy, error) {
+	var p Policy
+	if err := strictUnmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrPolicyInvalid, err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// strictUnmarshal decodes JSON rejecting unknown fields and trailing
+// content: a body of two concatenated documents must fail whole, not
+// silently apply the first.
+func strictUnmarshal(data []byte, v interface{}) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return errors.New("trailing content after the policy document")
+	}
+	return nil
+}
+
+// Encode serialises the policy document as indented JSON. The output is
+// deterministic (map keys sort), so encode→parse→encode is a fixed point
+// — the round-trip property the parser tests enforce. An already
+// validated policy (the only kind the serving engine holds) marshals
+// directly; an unvalidated one is validated first so a bad document
+// cannot serialise.
+func (p *Policy) Encode() ([]byte, error) {
+	if p.compiled.Load() == nil {
+		if err := p.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return json.MarshalIndent(p, "", "  ")
+}
+
+// Validate checks the document and builds the compiled hot-path view.
+// Rejections: missing version or default scenario, unknown scenario
+// names, non-finite or NaN thresholds, empty / unsorted / overlapping /
+// non-partitioning band sets, unknown actions (caught at decode),
+// ruleless conditions and empty member names.
+func (p *Policy) Validate() error {
+	if p.Version == "" {
+		return fmt.Errorf("%w: missing version", ErrPolicyInvalid)
+	}
+	if len(p.Scenarios) == 0 {
+		return fmt.Errorf("%w: no scenarios", ErrPolicyInvalid)
+	}
+	c := &compiledPolicy{}
+	for name, sp := range p.Scenarios {
+		sc, err := ParseScenario(name)
+		if err != nil {
+			return err
+		}
+		if name != sc.String() {
+			// "" parses as default; a policy document must say it.
+			return fmt.Errorf("%w: scenario key %q (want %q)", ErrPolicyInvalid, name, sc.String())
+		}
+		if sp == nil {
+			return fmt.Errorf("%w: scenario %q is null", ErrPolicyInvalid, name)
+		}
+		pl, err := compileScenario(name, sp)
+		if err != nil {
+			return err
+		}
+		c.plans[sc] = pl
+	}
+	if c.plans[ScenarioDefault] == nil {
+		return fmt.Errorf("%w: missing required scenario %q", ErrPolicyInvalid, ScenarioDefault)
+	}
+	p.compiled.Store(c)
+	return nil
+}
+
+// compileScenario validates one scenario and precomputes its reasons.
+func compileScenario(scenario string, sp *ScenarioPolicy) (*plan, error) {
+	if err := checkBands(scenario, "score", sp.Bands, true); err != nil {
+		return nil, err
+	}
+	pl := &plan{bands: sp.Bands, rules: sp.Rules}
+	pl.bandReasons = bandReasons(scenario, "score", sp.Bands)
+	for name, bs := range sp.MemberBands {
+		if name == "" {
+			return nil, fmt.Errorf("%w: scenario %q: empty member name", ErrPolicyInvalid, scenario)
+		}
+		if err := checkBands(scenario, "member "+name, bs, false); err != nil {
+			return nil, err
+		}
+		pl.members = append(pl.members, memberPlan{
+			name:    name,
+			bands:   bs,
+			reasons: bandReasons(scenario, "member "+name, bs),
+		})
+	}
+	// Map iteration order is random; sort for deterministic evaluation
+	// (ties between member bands resolve by severity, but reasons of
+	// equal-severity matches follow this order).
+	sortMemberPlans(pl.members)
+	for i := range sp.Rules {
+		r := &sp.Rules[i]
+		if len(r.When) == 0 {
+			return nil, fmt.Errorf("%w: scenario %q: rule %d has no conditions", ErrPolicyInvalid, scenario, i)
+		}
+		if r.Action >= numActions {
+			return nil, fmt.Errorf("%w: scenario %q: rule %d: unknown action", ErrPolicyInvalid, scenario, i)
+		}
+		for j := range r.When {
+			cd := &r.When[j]
+			if cd.Field >= numFields || cd.Op >= numOps {
+				return nil, fmt.Errorf("%w: scenario %q: rule %d: bad condition %d", ErrPolicyInvalid, scenario, i, j)
+			}
+			if math.IsNaN(cd.Value) || math.IsInf(cd.Value, 0) {
+				return nil, fmt.Errorf("%w: scenario %q: rule %d: non-finite value", ErrPolicyInvalid, scenario, i)
+			}
+		}
+		name := r.Name
+		if name == "" {
+			name = fmt.Sprintf("rule-%d", i)
+		}
+		pl.ruleReasons = append(pl.ruleReasons, fmt.Sprintf("%s: rule %s", scenario, name))
+	}
+	return pl, nil
+}
+
+func sortMemberPlans(ms []memberPlan) {
+	sort.Slice(ms, func(i, j int) bool { return ms[i].name < ms[j].name })
+}
+
+// checkBands validates a band set: finite thresholds, Min < Max,
+// ascending and non-overlapping; when partition is set the bands must
+// additionally tile [0, 1] exactly with no gaps.
+func checkBands(scenario, what string, bs []Band, partition bool) error {
+	if len(bs) == 0 {
+		return fmt.Errorf("%w: scenario %q: %s has no bands", ErrPolicyInvalid, scenario, what)
+	}
+	for i := range bs {
+		b := &bs[i]
+		if math.IsNaN(b.Min) || math.IsNaN(b.Max) || math.IsInf(b.Min, 0) || math.IsInf(b.Max, 0) {
+			return fmt.Errorf("%w: scenario %q: %s band %d has a non-finite threshold", ErrPolicyInvalid, scenario, what, i)
+		}
+		if b.Min < 0 || b.Max > 1 {
+			return fmt.Errorf("%w: scenario %q: %s band %d outside [0,1]", ErrPolicyInvalid, scenario, what, i)
+		}
+		if b.Min >= b.Max {
+			return fmt.Errorf("%w: scenario %q: %s band %d empty (min %g >= max %g)", ErrPolicyInvalid, scenario, what, i, b.Min, b.Max)
+		}
+		if b.Action >= numActions {
+			return fmt.Errorf("%w: scenario %q: %s band %d: unknown action", ErrPolicyInvalid, scenario, what, i)
+		}
+		if i > 0 {
+			switch prev := bs[i-1].Max; {
+			case b.Min < prev:
+				return fmt.Errorf("%w: scenario %q: %s bands %d and %d overlap", ErrPolicyInvalid, scenario, what, i-1, i)
+			case partition && b.Min != prev:
+				return fmt.Errorf("%w: scenario %q: %s bands %d and %d leave a gap (%g, %g)", ErrPolicyInvalid, scenario, what, i-1, i, prev, b.Min)
+			}
+		}
+	}
+	if partition {
+		if bs[0].Min != 0 || bs[len(bs)-1].Max != 1 {
+			return fmt.Errorf("%w: scenario %q: %s bands must cover [0,1], cover [%g,%g]",
+				ErrPolicyInvalid, scenario, what, bs[0].Min, bs[len(bs)-1].Max)
+		}
+	}
+	return nil
+}
+
+// bandReasons preformats one attribution string per band (%.4g keeps
+// validation-frozen thresholds readable in responses).
+func bandReasons(scenario, what string, bs []Band) []string {
+	rs := make([]string, len(bs))
+	for i, b := range bs {
+		rs[i] = fmt.Sprintf("%s: %s band [%.4g,%.4g) %s", scenario, what, b.Min, b.Max, b.Action)
+	}
+	return rs
+}
+
+// planFor resolves a scenario to its plan, falling back to default.
+func (c *compiledPolicy) planFor(sc Scenario) *plan {
+	if int(sc) < len(c.plans) {
+		if pl := c.plans[sc]; pl != nil {
+			return pl
+		}
+	}
+	return c.plans[ScenarioDefault]
+}
+
+// bandIndex finds the band owning score s: the last band whose Min <= s.
+// Bands are half-open [Min, Max); the single exception is a top band
+// whose Max is exactly 1, which also owns s == 1.0 so the combined
+// partition covers its full domain. A member band ending below 1 stays
+// strictly half-open — a score of exactly its Max is outside it. For
+// partial member band sets a score between bands returns -1.
+func bandIndex(bs []Band, s float64) int {
+	for i := len(bs) - 1; i >= 0; i-- {
+		if s >= bs[i].Min {
+			if s < bs[i].Max || (i == len(bs)-1 && s == 1 && bs[i].Max == 1) {
+				return i
+			}
+			return -1
+		}
+	}
+	return -1
+}
+
+// velScratch caches the velocity reads of one Decide call so a policy
+// with several velocity conditions pays at most one windowed read per
+// side plus one pair read, all on the stack.
+type velScratch struct {
+	sndLoaded, rcvLoaded, pairLoaded bool
+	sndOutC, sndOutA, sndInC, sndInA float64
+	rcvOutC, rcvOutA, rcvInC, rcvInA float64
+	pair                             float64
+}
+
+// fieldValue reads one condition field. ok is false when the field needs
+// a velocity source the input doesn't carry.
+func fieldValue(f Field, in *Input, v *velScratch) (float64, bool) {
+	t := in.Txn
+	switch f {
+	case FieldAmount:
+		return float64(t.Amount), true
+	case FieldHour:
+		return float64(t.Sec / 3600), true
+	case FieldDay:
+		return float64(t.Day), true
+	case FieldSec:
+		return float64(t.Sec), true
+	case FieldDeviceRisk:
+		return float64(t.DeviceRisk), true
+	case FieldIPRisk:
+		return float64(t.IPRisk), true
+	case FieldChannel:
+		return float64(t.Channel), true
+	case FieldTransCity:
+		return float64(t.TransCity), true
+	}
+	if in.Velocity == nil {
+		return 0, false
+	}
+	switch f {
+	case FieldSndOutCount, FieldSndOutAmount, FieldSndInCount, FieldSndInAmount:
+		if !v.sndLoaded {
+			v.sndOutC, v.sndOutA, v.sndInC, v.sndInA = in.Velocity.Velocity(t.From)
+			v.sndLoaded = true
+		}
+		switch f {
+		case FieldSndOutCount:
+			return v.sndOutC, true
+		case FieldSndOutAmount:
+			return v.sndOutA, true
+		case FieldSndInCount:
+			return v.sndInC, true
+		default:
+			return v.sndInA, true
+		}
+	case FieldRcvOutCount, FieldRcvOutAmount, FieldRcvInCount, FieldRcvInAmount:
+		if !v.rcvLoaded {
+			v.rcvOutC, v.rcvOutA, v.rcvInC, v.rcvInA = in.Velocity.Velocity(t.To)
+			v.rcvLoaded = true
+		}
+		switch f {
+		case FieldRcvOutCount:
+			return v.rcvOutC, true
+		case FieldRcvOutAmount:
+			return v.rcvOutA, true
+		case FieldRcvInCount:
+			return v.rcvInC, true
+		default:
+			return v.rcvInA, true
+		}
+	case FieldPairCount:
+		if !v.pairLoaded {
+			v.pair = in.Velocity.PairPrior(t.From, t.To)
+			v.pairLoaded = true
+		}
+		return v.pair, true
+	}
+	return 0, false
+}
+
+func (o Op) eval(a, b float64) bool {
+	switch o {
+	case OpLT:
+		return a < b
+	case OpLE:
+		return a <= b
+	case OpGT:
+		return a > b
+	case OpGE:
+		return a >= b
+	case OpEQ:
+		return a == b
+	default:
+		return a != b
+	}
+}
+
+// Decide evaluates the policy against one scored transaction. Evaluation
+// order: rules first, in document order — the first rule whose every
+// condition holds decides the action outright, overriding the model.
+// Otherwise the combined-score band decides, escalated by any matching
+// member band to the most severe action. Allocation-free; safe for
+// concurrent use (the compiled policy is immutable).
+//
+// Decide panics on a policy that never passed Validate — Parse and the
+// serving engine's SetPolicy both guarantee it has.
+func (p *Policy) Decide(in *Input) Outcome {
+	pl := p.compiled.Load().planFor(in.Scenario)
+	if len(pl.rules) > 0 {
+		if out, hit := pl.evalRules(in); hit {
+			return out
+		}
+	}
+	bi := bandIndex(pl.bands, clamp01(in.Score))
+	if bi < 0 {
+		// Only a NaN combined score escapes the partition (clamp01 pins
+		// every other value into it): the model failed, so fail closed —
+		// a risk decision must not wave a broken score through.
+		return Outcome{Action: ActionDeny, Reason: reasonNonFinite}
+	}
+	out := Outcome{Action: pl.bands[bi].Action, Reason: pl.bandReasons[bi]}
+	for mi := range pl.members {
+		mp := &pl.members[mi]
+		k := memberIndex(in.MemberNames, mp.name)
+		if k < 0 {
+			continue
+		}
+		if i := bandIndex(mp.bands, clamp01(in.MemberScores[k][in.Row])); i >= 0 && mp.bands[i].Action > out.Action {
+			out.Action = mp.bands[i].Action
+			out.Reason = mp.reasons[i]
+		}
+	}
+	return out
+}
+
+// evalRules runs the plan's rules in document order, reporting the first
+// match. Kept out of Decide so a ruleless scenario (the common serving
+// shape) never pays for the velocity scratch.
+func (pl *plan) evalRules(in *Input) (Outcome, bool) {
+	var vel velScratch
+	for i := range pl.rules {
+		r := &pl.rules[i]
+		hold := true
+		for j := range r.When {
+			cd := &r.When[j]
+			v, ok := fieldValue(cd.Field, in, &vel)
+			if !ok || !cd.Op.eval(v, cd.Value) {
+				hold = false
+				break
+			}
+		}
+		if hold {
+			return Outcome{Action: r.Action, Reason: pl.ruleReasons[i], Rule: true}, true
+		}
+	}
+	return Outcome{}, false
+}
+
+// memberIndex resolves a member name to its score column. Ensembles are
+// a handful of detectors, so a linear scan beats any map on the hot path.
+func memberIndex(names []string, name string) int {
+	for i, n := range names {
+		if n == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// reasonNonFinite attributes the fail-closed deny served for a NaN
+// combined score.
+const reasonNonFinite = "non-finite score: deny"
+
+// clamp01 pins a score into the band domain (NaN passes through; Decide
+// fails closed on it). Detector scores are probabilities already; this
+// guards against tiny numeric excursions.
+func clamp01(s float64) float64 {
+	if s < 0 {
+		return 0
+	}
+	if s > 1 {
+		return 1
+	}
+	return s
+}
+
+// Default builds the built-in policy derived from a bundle's frozen
+// decision threshold thr: approve below it, challenge the band between
+// thr and halfway to certainty, deny above — and for the withdrawal
+// scenario (irreversible once the money leaves) deny everything the
+// model flags. A degenerate threshold (outside (0,1), e.g. frozen to
+// +Inf on pathological training data) falls back to 0.5.
+func Default(version string, thr float64) *Policy {
+	if !(thr > 0 && thr < 1) {
+		thr = 0.5
+	}
+	// A threshold within one ulp of 1 rounds hi to exactly 1, which
+	// would make the deny band empty; serve a two-band approve/deny
+	// policy instead of rejecting our own construction.
+	bands := []Band{
+		{Min: 0, Max: thr, Action: ActionApprove},
+		{Min: thr, Max: 1, Action: ActionDeny},
+	}
+	if hi := thr + (1-thr)/2; hi > thr && hi < 1 {
+		bands = []Band{
+			{Min: 0, Max: thr, Action: ActionApprove},
+			{Min: thr, Max: hi, Action: ActionChallenge},
+			{Min: hi, Max: 1, Action: ActionDeny},
+		}
+	}
+	std := &ScenarioPolicy{Bands: bands}
+	p := &Policy{
+		Version: version,
+		Scenarios: map[string]*ScenarioPolicy{
+			"default": std,
+			"withdrawal": {Bands: []Band{
+				{Min: 0, Max: thr, Action: ActionApprove},
+				{Min: thr, Max: 1, Action: ActionDeny},
+			}},
+		},
+	}
+	if err := p.Validate(); err != nil {
+		// The construction above is correct by inspection; a failure here
+		// is a programming error, not an input error.
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,57 @@
+package decision
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"titant/internal/txn"
+)
+
+// FuzzParsePolicy drives arbitrary bytes through the policy parser. The
+// invariants: Parse never panics; an accepted document encodes to a
+// fixed point (encode→parse→encode byte-identical); and the accepted
+// policy's Decide is total over a score sweep. Rejections must wrap
+// ErrPolicyInvalid so the HTTP layer's error mapping stays exact.
+func FuzzParsePolicy(f *testing.F) {
+	f.Add([]byte(docJSON))
+	f.Add([]byte(`{"version":"v","scenarios":{"default":{"bands":[{"min":0,"max":1,"action":"approve"}]}}}`))
+	f.Add([]byte(`{"version":"v","scenarios":{"default":{"bands":[{"min":0,"max":0.5,"action":"approve"},{"min":0.5,"max":1,"action":"deny"}],"rules":[{"when":[{"field":"pair_count","op":"==","value":0}],"action":"challenge"}]}}}`))
+	f.Add([]byte(`{"version":"v","scenarios":{"default":{"bands":[{"min":0,"max":1,"action":"escalate"}]}}}`))
+	f.Add([]byte(`{"scenarios":{}}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Parse(data)
+		if err != nil {
+			if !errors.Is(err, ErrPolicyInvalid) {
+				t.Fatalf("rejection does not wrap ErrPolicyInvalid: %v", err)
+			}
+			return
+		}
+		e1, err := p.Encode()
+		if err != nil {
+			t.Fatalf("accepted policy fails to encode: %v", err)
+		}
+		p2, err := Parse(e1)
+		if err != nil {
+			t.Fatalf("accepted policy fails to re-parse: %v\n%s", err, e1)
+		}
+		e2, err := p2.Encode()
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		if !bytes.Equal(e1, e2) {
+			t.Fatalf("encode not a fixed point:\n%s\n---\n%s", e1, e2)
+		}
+		tx := txn.Transaction{Amount: 100, From: 1, To: 2}
+		for _, sc := range []Scenario{ScenarioDefault, ScenarioPayment, ScenarioTransfer, ScenarioWithdrawal} {
+			for i := 0; i <= 10; i++ {
+				out := p.Decide(&Input{Txn: &tx, Scenario: sc, Score: float64(i) / 10})
+				if out.Action >= numActions || out.Reason == "" {
+					t.Fatalf("Decide not total: %+v", out)
+				}
+			}
+		}
+	})
+}

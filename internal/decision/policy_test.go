@@ -1,0 +1,513 @@
+package decision
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"titant/internal/rng"
+	"titant/internal/txn"
+)
+
+// docJSON is a representative hand-written policy document exercising
+// every construct: scenario bands, member escalation bands, and rules
+// over both transaction fields and streaming velocity aggregates.
+const docJSON = `{
+  "version": "2026-07-27",
+  "scenarios": {
+    "default": {
+      "bands": [
+        {"min": 0, "max": 0.5, "action": "approve"},
+        {"min": 0.5, "max": 0.9, "action": "challenge"},
+        {"min": 0.9, "max": 1, "action": "deny"}
+      ],
+      "member_bands": {
+        "iforest": [{"min": 0.97, "max": 1, "action": "deny"}]
+      },
+      "rules": [
+        {"name": "amount-ceiling", "when": [{"field": "amount", "op": ">", "value": 100000}], "action": "deny"},
+        {"name": "velocity-cap", "when": [{"field": "snd_out_count", "op": ">", "value": 50}], "action": "challenge"}
+      ]
+    },
+    "withdrawal": {
+      "bands": [
+        {"min": 0, "max": 0.5, "action": "approve"},
+        {"min": 0.5, "max": 1, "action": "deny"}
+      ]
+    }
+  }
+}`
+
+func mustParse(t testing.TB, doc string) *Policy {
+	t.Helper()
+	p, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return p
+}
+
+func TestDecideBands(t *testing.T) {
+	p := mustParse(t, docJSON)
+	tx := txn.Transaction{Amount: 100}
+	for _, tc := range []struct {
+		score float64
+		sc    Scenario
+		want  Action
+	}{
+		{0, ScenarioDefault, ActionApprove},
+		{0.499, ScenarioDefault, ActionApprove},
+		{0.5, ScenarioDefault, ActionChallenge},
+		{0.899, ScenarioDefault, ActionChallenge},
+		{0.9, ScenarioDefault, ActionDeny},
+		{1.0, ScenarioDefault, ActionDeny},
+		// payment has no scenario entry: serves default.
+		{0.6, ScenarioPayment, ActionChallenge},
+		// withdrawal denies everything the model flags.
+		{0.6, ScenarioWithdrawal, ActionDeny},
+		{0.2, ScenarioWithdrawal, ActionApprove},
+	} {
+		out := p.Decide(&Input{Txn: &tx, Scenario: tc.sc, Score: tc.score})
+		if out.Action != tc.want {
+			t.Errorf("Decide(score=%g, %v) = %v (%s), want %v", tc.score, tc.sc, out.Action, out.Reason, tc.want)
+		}
+		if out.Rule {
+			t.Errorf("Decide(score=%g) attributed to a rule: %s", tc.score, out.Reason)
+		}
+	}
+}
+
+func TestDecideMemberEscalation(t *testing.T) {
+	p := mustParse(t, docJSON)
+	tx := txn.Transaction{Amount: 100}
+	names := []string{"gbdt", "iforest"}
+	mk := func(gbdt, iforest float64) *Input {
+		return &Input{
+			Txn: &tx, Score: 0.3,
+			MemberNames:  names,
+			MemberScores: [][]float64{{gbdt}, {iforest}},
+		}
+	}
+	// Combined approves; a confident iforest escalates to deny.
+	if out := p.Decide(mk(0.3, 0.99)); out.Action != ActionDeny || !strings.Contains(out.Reason, "iforest") {
+		t.Fatalf("escalation = %+v", out)
+	}
+	// Below the member band: combined band stands.
+	if out := p.Decide(mk(0.3, 0.5)); out.Action != ActionApprove {
+		t.Fatalf("no-escalation = %+v", out)
+	}
+	// Member bands never relax: combined deny + quiet iforest stays deny.
+	in := mk(0.1, 0.1)
+	in.Score = 0.95
+	if out := p.Decide(in); out.Action != ActionDeny {
+		t.Fatalf("relaxation = %+v", out)
+	}
+	// A policy referencing a member the bundle lacks is inert.
+	in = mk(0.3, 0.99)
+	in.MemberNames = []string{"gbdt", "lr"}
+	if out := p.Decide(in); out.Action != ActionApprove {
+		t.Fatalf("unknown member fired: %+v", out)
+	}
+}
+
+// fakeVelocity is a canned VelocitySource.
+type fakeVelocity struct {
+	outCount float64
+	pair     float64
+}
+
+func (f *fakeVelocity) Velocity(u txn.UserID) (float64, float64, float64, float64) {
+	return f.outCount, 0, 0, 0
+}
+func (f *fakeVelocity) PairPrior(from, to txn.UserID) float64 { return f.pair }
+
+func TestDecideRulesOverride(t *testing.T) {
+	p := mustParse(t, docJSON)
+	// The amount ceiling denies even a zero-score transaction.
+	tx := txn.Transaction{Amount: 200000}
+	out := p.Decide(&Input{Txn: &tx, Score: 0})
+	if out.Action != ActionDeny || !out.Rule || !strings.Contains(out.Reason, "amount-ceiling") {
+		t.Fatalf("amount rule = %+v", out)
+	}
+	// The velocity cap challenges when the live window says the sender
+	// is spraying transfers...
+	tx = txn.Transaction{Amount: 10}
+	out = p.Decide(&Input{Txn: &tx, Score: 0, Velocity: &fakeVelocity{outCount: 80}})
+	if out.Action != ActionChallenge || !strings.Contains(out.Reason, "velocity-cap") {
+		t.Fatalf("velocity rule = %+v", out)
+	}
+	// ...and cannot fire without a velocity source.
+	out = p.Decide(&Input{Txn: &tx, Score: 0})
+	if out.Action != ActionApprove || out.Rule {
+		t.Fatalf("velocity rule without source = %+v", out)
+	}
+	// Rules are ordered: the first match wins even when a later rule
+	// would pick a different action.
+	tx = txn.Transaction{Amount: 200000}
+	out = p.Decide(&Input{Txn: &tx, Score: 0, Velocity: &fakeVelocity{outCount: 80}})
+	if out.Action != ActionDeny || !strings.Contains(out.Reason, "amount-ceiling") {
+		t.Fatalf("rule order = %+v", out)
+	}
+}
+
+func TestPolicyRoundTrip(t *testing.T) {
+	p := mustParse(t, docJSON)
+	e1, err := p.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Parse(e1)
+	if err != nil {
+		t.Fatalf("re-parse: %v", err)
+	}
+	e2, err := p2.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(e1, e2) {
+		t.Fatalf("encode not a fixed point:\n%s\n---\n%s", e1, e2)
+	}
+}
+
+func TestPolicyRejections(t *testing.T) {
+	band := func(min, max float64, a string) string {
+		return fmt.Sprintf(`{"min": %g, "max": %g, "action": %q}`, min, max, a)
+	}
+	doc := func(bands ...string) string {
+		return fmt.Sprintf(`{"version": "v", "scenarios": {"default": {"bands": [%s]}}}`,
+			strings.Join(bands, ","))
+	}
+	for name, body := range map[string]string{
+		"empty":            ``,
+		"no version":       `{"scenarios": {"default": {"bands": [{"min":0,"max":1,"action":"approve"}]}}}`,
+		"no scenarios":     `{"version": "v"}`,
+		"no default":       `{"version": "v", "scenarios": {"payment": {"bands": [{"min":0,"max":1,"action":"approve"}]}}}`,
+		"unknown scenario": `{"version": "v", "scenarios": {"default": {"bands": [{"min":0,"max":1,"action":"approve"}]}, "lending": {"bands": [{"min":0,"max":1,"action":"approve"}]}}}`,
+		"unknown field":    `{"version": "v", "scopes": {}, "scenarios": {"default": {"bands": [{"min":0,"max":1,"action":"approve"}]}}}`,
+		"unknown action":   doc(band(0, 1, "escalate")),
+		"nan threshold":    doc(`{"min": NaN, "max": 1, "action": "approve"}`),
+		"overlap":          doc(band(0, 0.6, "approve"), band(0.4, 1, "deny")),
+		"gap":              doc(band(0, 0.4, "approve"), band(0.6, 1, "deny")),
+		"unsorted":         doc(band(0.5, 1, "deny"), band(0, 0.5, "approve")),
+		"empty band":       doc(band(0.5, 0.5, "approve")),
+		"out of range":     doc(band(0, 1.5, "deny")),
+		"not covering":     doc(band(0.1, 1, "approve")),
+		"no bands":         `{"version": "v", "scenarios": {"default": {"bands": []}}}`,
+		"null scenario":    `{"version": "v", "scenarios": {"default": null}}`,
+		"ruleless rule":    `{"version": "v", "scenarios": {"default": {"bands": [{"min":0,"max":1,"action":"approve"}], "rules": [{"name": "x", "when": [], "action": "deny"}]}}}`,
+		"bad op":           `{"version": "v", "scenarios": {"default": {"bands": [{"min":0,"max":1,"action":"approve"}], "rules": [{"when": [{"field": "amount", "op": "~", "value": 1}], "action": "deny"}]}}}`,
+		"bad field":        `{"version": "v", "scenarios": {"default": {"bands": [{"min":0,"max":1,"action":"approve"}], "rules": [{"when": [{"field": "karma", "op": ">", "value": 1}], "action": "deny"}]}}}`,
+		"empty member":     `{"version": "v", "scenarios": {"default": {"bands": [{"min":0,"max":1,"action":"approve"}], "member_bands": {"": [{"min":0,"max":1,"action":"deny"}]}}}}`,
+	} {
+		if _, err := Parse([]byte(body)); err == nil {
+			t.Errorf("%s: accepted", name)
+		} else if !errors.Is(err, ErrPolicyInvalid) {
+			t.Errorf("%s: error %v does not wrap ErrPolicyInvalid", name, err)
+		}
+	}
+}
+
+func TestDefaultPolicy(t *testing.T) {
+	p := Default("v1", 0.62)
+	tx := txn.Transaction{}
+	if out := p.Decide(&Input{Txn: &tx, Score: 0.5}); out.Action != ActionApprove {
+		t.Fatalf("below threshold = %v", out.Action)
+	}
+	if out := p.Decide(&Input{Txn: &tx, Score: 0.7}); out.Action != ActionChallenge {
+		t.Fatalf("above threshold = %v", out.Action)
+	}
+	if out := p.Decide(&Input{Txn: &tx, Score: 0.99}); out.Action != ActionDeny {
+		t.Fatalf("near certainty = %v", out.Action)
+	}
+	if out := p.Decide(&Input{Txn: &tx, Score: 0.7, Scenario: ScenarioWithdrawal}); out.Action != ActionDeny {
+		t.Fatalf("withdrawal = %v", out.Action)
+	}
+	// Degenerate thresholds fall back rather than producing an empty band.
+	for _, thr := range []float64{0, 1, -3, 17} {
+		p := Default("v", thr)
+		if out := p.Decide(&Input{Txn: &tx, Score: 0.4}); out.Action != ActionApprove {
+			t.Fatalf("Default(%g) low score = %v", thr, out.Action)
+		}
+	}
+}
+
+// randomPolicy generates a structurally valid policy document: random
+// partitioning bands per scenario, random member bands, random rules.
+func randomPolicy(r *rng.RNG) *Policy {
+	actions := []Action{ActionApprove, ActionChallenge, ActionDeny}
+	randBands := func(partition bool) []Band {
+		n := 1 + r.Intn(4)
+		cuts := make([]float64, 0, n+1)
+		cuts = append(cuts, 0)
+		for i := 0; i < n-1; i++ {
+			cuts = append(cuts, float64(1+r.Intn(99))/100)
+		}
+		cuts = append(cuts, 1)
+		// Insertion-sort + dedup the cut points.
+		for i := 1; i < len(cuts); i++ {
+			for j := i; j > 0 && cuts[j] < cuts[j-1]; j-- {
+				cuts[j], cuts[j-1] = cuts[j-1], cuts[j]
+			}
+		}
+		bs := make([]Band, 0, n)
+		for i := 0; i+1 < len(cuts); i++ {
+			if cuts[i] == cuts[i+1] {
+				continue
+			}
+			bs = append(bs, Band{Min: cuts[i], Max: cuts[i+1], Action: actions[r.Intn(3)]})
+		}
+		if !partition && len(bs) > 1 {
+			// Punch a hole so member bands exercise partial coverage.
+			i := r.Intn(len(bs))
+			bs = append(bs[:i], bs[i+1:]...)
+		}
+		return bs
+	}
+	sp := func() *ScenarioPolicy {
+		s := &ScenarioPolicy{Bands: randBands(true)}
+		if r.Bool(0.5) {
+			s.MemberBands = map[string][]Band{}
+			for _, m := range []string{"gbdt", "lr", "iforest"} {
+				if r.Bool(0.5) {
+					s.MemberBands[m] = randBands(false)
+				}
+			}
+			if len(s.MemberBands) == 0 {
+				s.MemberBands = nil
+			}
+		}
+		nr := r.Intn(3)
+		for i := 0; i < nr; i++ {
+			s.Rules = append(s.Rules, Rule{
+				Name: fmt.Sprintf("r%d", i),
+				When: []Cond{{
+					Field: Field(r.Intn(int(numFields))),
+					Op:    Op(r.Intn(int(numOps))),
+					Value: r.Float64() * 1000,
+				}},
+				Action: actions[r.Intn(3)],
+			})
+		}
+		return s
+	}
+	p := &Policy{Version: "prop", Scenarios: map[string]*ScenarioPolicy{"default": sp()}}
+	for _, name := range []string{"payment", "transfer", "withdrawal"} {
+		if r.Bool(0.5) {
+			p.Scenarios[name] = sp()
+		}
+	}
+	return p
+}
+
+// TestPolicyProperties drives randomly generated policies through the
+// validator and evaluator: every generated document validates, its
+// encoding round-trips to a fixed point, and Decide is total — every
+// score in [0,1] under every scenario yields a known action with a
+// non-empty reason.
+func TestPolicyProperties(t *testing.T) {
+	r := rng.New(11)
+	vel := &fakeVelocity{outCount: 12, pair: 3}
+	for trial := 0; trial < 200; trial++ {
+		p := randomPolicy(r)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("trial %d: generated policy rejected: %v", trial, err)
+		}
+		e1, err := p.Encode()
+		if err != nil {
+			t.Fatalf("trial %d: encode: %v", trial, err)
+		}
+		p2, err := Parse(e1)
+		if err != nil {
+			t.Fatalf("trial %d: re-parse: %v\n%s", trial, err, e1)
+		}
+		e2, err := p2.Encode()
+		if err != nil {
+			t.Fatalf("trial %d: re-encode: %v", trial, err)
+		}
+		if !bytes.Equal(e1, e2) {
+			t.Fatalf("trial %d: encode not a fixed point", trial)
+		}
+		tx := txn.Transaction{
+			Amount: float32(r.Float64() * 2000), Sec: int32(r.Intn(86400)),
+			From: 1, To: 2, DeviceRisk: float32(r.Float64()), IPRisk: float32(r.Float64()),
+		}
+		for _, sc := range []Scenario{ScenarioDefault, ScenarioPayment, ScenarioTransfer, ScenarioWithdrawal} {
+			for i := 0; i <= 20; i++ {
+				in := Input{
+					Txn: &tx, Scenario: sc, Score: float64(i) / 20,
+					MemberNames:  []string{"gbdt", "lr"},
+					MemberScores: [][]float64{{r.Float64()}, {r.Float64()}},
+					Velocity:     vel,
+				}
+				out := p.Decide(&in)
+				if out.Action >= numActions {
+					t.Fatalf("trial %d: Decide returned action %d", trial, out.Action)
+				}
+				if out.Reason == "" {
+					t.Fatalf("trial %d: empty reason", trial)
+				}
+				// Decisions are deterministic: same input, same outcome —
+				// and identical across the re-parsed policy, the oracle
+				// the serving engine's hot-swap guarantee builds on.
+				if again := p.Decide(&in); again != out {
+					t.Fatalf("trial %d: non-deterministic decide", trial)
+				}
+				if other := p2.Decide(&in); other != out {
+					t.Fatalf("trial %d: re-parsed policy diverges: %+v vs %+v", trial, other, out)
+				}
+			}
+		}
+	}
+}
+
+// TestPolicyMutationRejected flips one structural aspect of a valid
+// random policy and checks the validator notices.
+func TestPolicyMutationRejected(t *testing.T) {
+	r := rng.New(23)
+	for trial := 0; trial < 100; trial++ {
+		p := randomPolicy(r)
+		sp := p.Scenarios["default"]
+		switch r.Intn(4) {
+		case 0: // overlap two combined bands
+			if len(sp.Bands) < 2 {
+				continue
+			}
+			sp.Bands[1].Min -= 0.005
+		case 1: // NaN threshold
+			sp.Bands[0].Max = math.NaN()
+		case 2: // gap at the bottom
+			sp.Bands[0].Min = 0.005
+		case 3: // unknown action value
+			sp.Bands[len(sp.Bands)-1].Action = Action(9)
+		}
+		if err := p.Validate(); err == nil {
+			t.Fatalf("trial %d: mutation accepted: %+v", trial, sp.Bands)
+		} else if !errors.Is(err, ErrPolicyInvalid) {
+			t.Fatalf("trial %d: wrong error %v", trial, err)
+		}
+	}
+}
+
+// TestDecideAllocationFree pins the hot-path contract: policy evaluation
+// allocates nothing, including velocity-rule and member-band paths.
+func TestDecideAllocationFree(t *testing.T) {
+	p := mustParse(t, docJSON)
+	tx := txn.Transaction{Amount: 500}
+	vel := &fakeVelocity{outCount: 80}
+	in := Input{
+		Txn: &tx, Score: 0.93,
+		MemberNames:  []string{"gbdt", "iforest"},
+		MemberScores: [][]float64{{0.4}, {0.99}},
+		Velocity:     vel,
+	}
+	if avg := testing.AllocsPerRun(200, func() { p.Decide(&in) }); avg != 0 {
+		t.Fatalf("Decide allocates %.1f per call", avg)
+	}
+}
+
+// TestMemberBandHalfOpen pins the band contract: a member band ending
+// below 1 is strictly half-open, so a score of exactly its Max (common
+// with quantised detector outputs) does not escalate; only a top band
+// reaching exactly 1 also owns a score of 1.0.
+func TestMemberBandHalfOpen(t *testing.T) {
+	p := mustParse(t, `{"version": "v", "scenarios": {"default": {
+	  "bands": [{"min": 0, "max": 1, "action": "approve"}],
+	  "member_bands": {"lr": [{"min": 0.3, "max": 0.5, "action": "deny"}]}
+	}}}`)
+	tx := txn.Transaction{}
+	mk := func(score float64) *Input {
+		return &Input{Txn: &tx, Score: 0.1,
+			MemberNames: []string{"lr"}, MemberScores: [][]float64{{score}}}
+	}
+	if out := p.Decide(mk(0.49)); out.Action != ActionDeny {
+		t.Fatalf("in-band member score = %+v", out)
+	}
+	if out := p.Decide(mk(0.5)); out.Action != ActionApprove {
+		t.Fatalf("score at the open Max escalated: %+v", out)
+	}
+	// A combined partition still owns exactly 1.0 via its top band.
+	if out := p.Decide(&Input{Txn: &tx, Score: 1.0}); out.Action != ActionApprove {
+		t.Fatalf("score 1.0 unowned: %+v", out)
+	}
+}
+
+// TestEncodeDecideConcurrent pins the hot-swap surface's memory safety:
+// GET /v1/policy re-encodes (and so re-validates) the live policy while
+// decisions read its compiled view. Meaningful under -race.
+func TestEncodeDecideConcurrent(t *testing.T) {
+	p := mustParse(t, docJSON)
+	tx := txn.Transaction{Amount: 100}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 500; i++ {
+			if _, err := p.Encode(); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 5000; i++ {
+		if out := p.Decide(&Input{Txn: &tx, Score: 0.6}); out.Action != ActionChallenge {
+			t.Fatalf("decide under concurrent encode = %+v", out)
+		}
+	}
+	<-done
+}
+
+// TestDecideNaNFailsClosed: a NaN combined score (a broken model or
+// corrupted feature) must deny, not panic or approve.
+func TestDecideNaNFailsClosed(t *testing.T) {
+	p := mustParse(t, docJSON)
+	tx := txn.Transaction{Amount: 100}
+	out := p.Decide(&Input{Txn: &tx, Score: math.NaN()})
+	if out.Action != ActionDeny || out.Rule {
+		t.Fatalf("NaN score = %+v", out)
+	}
+	// A NaN member score is simply skipped; the combined band stands.
+	out = p.Decide(&Input{Txn: &tx, Score: 0.1,
+		MemberNames: []string{"iforest"}, MemberScores: [][]float64{{math.NaN()}}})
+	if out.Action != ActionApprove {
+		t.Fatalf("NaN member score = %+v", out)
+	}
+}
+
+// TestPolicyRejectsTrailingContent: a body of two concatenated
+// documents (or a document plus junk) must fail whole, not silently
+// apply the first.
+func TestPolicyRejectsTrailingContent(t *testing.T) {
+	valid := `{"version":"v","scenarios":{"default":{"bands":[{"min":0,"max":1,"action":"approve"}]}}}`
+	for _, body := range []string{
+		valid + `{"version":"evil"}`,
+		valid + ` trailing junk`,
+		valid + valid,
+	} {
+		if _, err := Parse([]byte(body)); err == nil {
+			t.Fatalf("trailing content accepted: %s", body)
+		} else if !errors.Is(err, ErrPolicyInvalid) {
+			t.Fatalf("wrong error: %v", err)
+		}
+	}
+	// Trailing whitespace alone stays fine.
+	if _, err := Parse([]byte(valid + "\n\t ")); err != nil {
+		t.Fatalf("trailing whitespace rejected: %v", err)
+	}
+}
+
+// TestDefaultPolicyNearOneThreshold: a threshold one ulp below 1 must
+// not panic the built-in policy construction (the challenge band's
+// upper bound rounds to exactly 1); it degrades to approve/deny.
+func TestDefaultPolicyNearOneThreshold(t *testing.T) {
+	thr := math.Nextafter(1, 0)
+	p := Default("v", thr)
+	tx := txn.Transaction{}
+	if out := p.Decide(&Input{Txn: &tx, Score: 0.5}); out.Action != ActionApprove {
+		t.Fatalf("below threshold = %v", out.Action)
+	}
+	if out := p.Decide(&Input{Txn: &tx, Score: 1.0}); out.Action != ActionDeny {
+		t.Fatalf("at 1.0 = %v", out.Action)
+	}
+}

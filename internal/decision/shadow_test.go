@@ -1,0 +1,79 @@
+package decision
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestShadowMeter(t *testing.T) {
+	var m ShadowMeter
+	m.Record(0.9, 0.8, true, true)  // agree, diverge 0.1
+	m.Record(0.6, 0.2, true, false) // flip, diverge 0.4
+	m.Record(0.1, 0.1, false, false)
+	m.Drop()
+	m.Error()
+	st := m.Snapshot()
+	if st.Scored != 3 || st.Dropped != 1 || st.Errors != 1 || st.Agreed != 2 || st.Flipped != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if math.Abs(st.Agreement-2.0/3.0) > 1e-9 {
+		t.Fatalf("agreement = %v", st.Agreement)
+	}
+	if math.Abs(st.MeanAbsDiff-0.5/3.0) > 1e-6 {
+		t.Fatalf("mean divergence = %v", st.MeanAbsDiff)
+	}
+}
+
+func TestShadowMeterEmpty(t *testing.T) {
+	var m ShadowMeter
+	st := m.Snapshot()
+	if st.Agreement != 1 || st.MeanAbsDiff != 0 {
+		t.Fatalf("empty meter = %+v", st)
+	}
+}
+
+// TestShadowMeterConcurrent checks counter exactness under parallel
+// recording (and gives the race detector a surface).
+func TestShadowMeterConcurrent(t *testing.T) {
+	var m ShadowMeter
+	const (
+		workers = 8
+		per     = 10000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				m.Record(0.75, 0.25, true, i%2 == 0)
+			}
+		}()
+	}
+	wg.Wait()
+	st := m.Snapshot()
+	if st.Scored != workers*per || st.Agreed != workers*per/2 || st.Flipped != workers*per/2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if math.Abs(st.MeanAbsDiff-0.5) > 1e-6 {
+		t.Fatalf("mean divergence = %v", st.MeanAbsDiff)
+	}
+}
+
+// TestShadowMeterNaNCountsAsError: a non-finite score on either side
+// must not poison the divergence sum or the agreement rate.
+func TestShadowMeterNaNCountsAsError(t *testing.T) {
+	var m ShadowMeter
+	m.Record(math.NaN(), 0.5, false, false)
+	m.Record(0.5, math.NaN(), true, true)
+	m.Record(math.Inf(1), 0.5, true, false)
+	m.Record(0.9, 0.8, true, true)
+	st := m.Snapshot()
+	if st.Errors != 3 || st.Scored != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if math.Abs(st.MeanAbsDiff-0.1) > 1e-6 || st.Agreement != 1 {
+		t.Fatalf("divergence polluted: %+v", st)
+	}
+}

@@ -469,6 +469,34 @@ func (s *Store) Stats(u txn.UserID) feature.UserStats {
 	return st
 }
 
+// Velocity sums user u's in-window transfer counts and amounts without
+// touching the distinct-entity maps: the count/amount ring fields are
+// plain accumulators, so the read is O(buckets) with zero allocation —
+// cheap enough for the decision subsystem's velocity-cap rule predicates
+// to call on the scoring hot path (Stats, by contrast, allocates four
+// maps to reproduce the distinct counters exactly).
+func (s *Store) Velocity(u txn.UserID) (outCount, outAmount, inCount, inAmount float64) {
+	low := s.windowLow()
+	sh := s.shardOf(u)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	w := sh.users[u]
+	if w == nil {
+		return 0, 0, 0, 0
+	}
+	for i := range w.buckets {
+		b := &w.buckets[i]
+		if b.seq < low {
+			continue
+		}
+		outCount += b.outCount
+		outAmount += b.outAmount
+		inCount += b.inCount
+		inAmount += b.inAmount
+	}
+	return outCount, outAmount, inCount, inAmount
+}
+
 // PairPrior returns how many times from transferred to to inside the live
 // window. O(buckets).
 func (s *Store) PairPrior(from, to txn.UserID) float64 {

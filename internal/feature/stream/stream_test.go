@@ -430,3 +430,23 @@ func TestEmptyStoreReads(t *testing.T) {
 		}
 	}
 }
+
+// TestVelocityMatchesStats pins the allocation-free velocity read to the
+// exact Stats oracle: the count/amount terms must agree bitwise for
+// every user, including after window expiry, and the read itself must
+// not allocate.
+func TestVelocityMatchesStats(t *testing.T) {
+	s := New(WithWindow(5, 86400), WithCities(8))
+	ts := genTxns(31, 9, 300, 40, 8) // 9 days through a 5-day window: expiry exercised
+	s.IngestBatch(ts)
+	for u := txn.UserID(0); u < 40; u++ {
+		st := s.Stats(u)
+		oc, oa, ic, ia := s.Velocity(u)
+		if oc != st.OutCount || oa != st.OutAmount || ic != st.InCount || ia != st.InAmount {
+			t.Fatalf("user %d: Velocity = (%g,%g,%g,%g), Stats = %+v", u, oc, oa, ic, ia, st)
+		}
+	}
+	if avg := testing.AllocsPerRun(100, func() { s.Velocity(7) }); avg != 0 {
+		t.Fatalf("Velocity allocates %.1f per call", avg)
+	}
+}

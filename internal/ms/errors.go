@@ -33,6 +33,10 @@ var (
 	// ErrStreamDisabled reports an Ingest call on an engine built without
 	// WithStreamAggregates: there is no live window to update.
 	ErrStreamDisabled = errors.New("ms: streaming aggregates not configured")
+
+	// ErrPolicyDisabled reports a Decide call on an engine built without
+	// WithPolicy: there is no policy to map scores to actions.
+	ErrPolicyDisabled = errors.New("ms: decision policy not configured")
 )
 
 // batchTooLarge builds the single canonical ErrBatchTooLarge error used

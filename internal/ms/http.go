@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"time"
 
+	"titant/internal/decision"
 	"titant/internal/txn"
 )
 
@@ -19,6 +20,7 @@ const (
 	maxBundleBytes = 64 << 20 // POST /v1/models
 	maxScoreBytes  = 1 << 20  // POST /v1/score
 	maxBatchBytes  = 64 << 20 // POST /v1/score/batch hard ceiling
+	maxPolicyBytes = 1 << 20  // POST /v1/policy
 	// maxTxnJSONBytes generously bounds one transaction's wire size; the
 	// batch body cap derives from it (clamped to maxBatchBytes) to keep
 	// the parse cost proportional to the configured batch limit.
@@ -137,6 +139,8 @@ func writeScoreError(w http.ResponseWriter, err error) {
 		writeError(w, http.StatusRequestEntityTooLarge, "batch_too_large", err.Error())
 	case errors.Is(err, ErrStreamDisabled):
 		writeError(w, http.StatusConflict, "stream_disabled", err.Error())
+	case errors.Is(err, ErrPolicyDisabled):
+		writeError(w, http.StatusConflict, "policy_disabled", err.Error())
 	case errors.Is(err, ErrBundleInvalid):
 		writeError(w, http.StatusInternalServerError, "bundle_invalid", err.Error())
 	case errors.Is(err, ErrDimensionMismatch):
@@ -169,24 +173,34 @@ func decodeBody(w http.ResponseWriter, r *http.Request, limit int64, v interface
 //
 //	POST /v1/score         score one transaction
 //	POST /v1/score/batch   score a batch in order
+//	POST /v1/decide        score + policy decision for one transaction
+//	POST /v1/decide/batch  decide a batch in order
 //	POST /v1/ingest        feed one observed transaction into the live window
 //	POST /v1/ingest/batch  feed a batch into the live window
 //	GET  /v1/models        active bundle metadata
 //	POST /v1/models        hot-swap an encoded bundle
-//	GET  /v1/stats         bounded-histogram latency stats
-//	GET  /healthz          liveness
+//	GET  /v1/policy        active decision-policy document
+//	POST /v1/policy        hot-swap a JSON policy document
+//	GET  /v1/stats         latency, decision, shadow and drift stats
+//	GET  /healthz          readiness: versions + subsystem enablement
 //
 // The ingest routes answer 409 stream_disabled on an engine built without
-// WithStreamAggregates and can be guarded with WithIngestToken, as model
-// swaps are with WithModelToken. The pre-v1 routes POST /score and
-// GET /stats remain as deprecated aliases.
+// WithStreamAggregates and can be guarded with WithIngestToken; the
+// decide routes answer 409 policy_disabled without WithPolicy, and
+// POST /v1/policy shares WithModelToken's guard with POST /v1/models (a
+// policy swap changes live risk decisions exactly as a model swap does).
+// The pre-v1 routes POST /score and GET /stats remain as deprecated
+// aliases.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/score", s.handleScore)
 	mux.HandleFunc("/v1/score/batch", s.handleScoreBatch)
+	mux.HandleFunc("/v1/decide", s.handleDecide)
+	mux.HandleFunc("/v1/decide/batch", s.handleDecideBatch)
 	mux.HandleFunc("/v1/ingest", s.handleIngest)
 	mux.HandleFunc("/v1/ingest/batch", s.handleIngestBatch)
 	mux.HandleFunc("/v1/models", s.handleModels)
+	mux.HandleFunc("/v1/policy", s.handlePolicy)
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	// Deprecated pre-v1 aliases.
@@ -256,6 +270,143 @@ func (s *Server) handleScoreBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, BatchResponse{Verdicts: verdicts})
 }
 
+// DecideRequest is the wire format of POST /v1/decide: a transaction
+// plus the scenario it arrived under (omitted or empty = default).
+type DecideRequest struct {
+	TxnRequest
+	Scenario string `json:"scenario,omitempty"`
+}
+
+// DecideBatchRequest is the wire format of POST /v1/decide/batch.
+type DecideBatchRequest struct {
+	Transactions []DecideRequest `json:"transactions"`
+}
+
+// DecideBatchResponse carries the batch decisions in request order.
+type DecideBatchResponse struct {
+	Decisions []Decision `json:"decisions"`
+}
+
+func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
+	defer s.recordEndpoint(s.decideHist, time.Now())
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "POST only")
+		return
+	}
+	var req DecideRequest
+	if !decodeBody(w, r, maxScoreBytes, &req) {
+		return
+	}
+	sc, err := decision.ParseScenario(req.Scenario)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	t := req.TxnRequest.Txn()
+	d, err := s.Decide(r.Context(), &t, sc)
+	if err != nil {
+		writeScoreError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, d)
+}
+
+func (s *Server) handleDecideBatch(w http.ResponseWriter, r *http.Request) {
+	defer s.recordEndpoint(s.decideHist, time.Now())
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "POST only")
+		return
+	}
+	var req DecideBatchRequest
+	if !decodeBody(w, r, s.batchBodyLimit(), &req) {
+		return
+	}
+	if s.maxBatch > 0 && len(req.Transactions) > s.maxBatch {
+		writeScoreError(w, batchTooLarge(len(req.Transactions), s.maxBatch))
+		return
+	}
+	txns := make([]txn.Transaction, len(req.Transactions))
+	scenarios := make([]decision.Scenario, len(req.Transactions))
+	for i := range req.Transactions {
+		sc, err := decision.ParseScenario(req.Transactions[i].Scenario)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad_request", fmt.Sprintf("transaction %d: %v", i, err))
+			return
+		}
+		txns[i] = req.Transactions[i].TxnRequest.Txn()
+		scenarios[i] = sc
+	}
+	decisions, err := s.DecideBatch(r.Context(), txns, scenarios)
+	if err != nil {
+		writeScoreError(w, err)
+		return
+	}
+	if decisions == nil {
+		decisions = []Decision{}
+	}
+	writeJSON(w, http.StatusOK, DecideBatchResponse{Decisions: decisions})
+}
+
+func (s *Server) handlePolicy(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		pol := s.currentPolicy()
+		if pol == nil {
+			writeError(w, http.StatusNotFound, "policy_disabled", ErrPolicyDisabled.Error())
+			return
+		}
+		raw, err := pol.Encode()
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "internal", err.Error())
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(append(raw, '\n'))
+	case http.MethodPost:
+		// Same guard as POST /v1/models: a policy swap changes live risk
+		// decisions exactly as a model swap does.
+		if s.modelToken != "" && !CheckBearer(r, s.modelToken) {
+			writeError(w, http.StatusUnauthorized, "unauthorized", "policy swap requires a valid bearer token")
+			return
+		}
+		raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxPolicyBytes))
+		if err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				writeError(w, http.StatusRequestEntityTooLarge, "policy_too_large", err.Error())
+				return
+			}
+			writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+			return
+		}
+		pol, err := decision.Parse(raw)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "policy_invalid", err.Error())
+			return
+		}
+		if err := s.SetPolicy(pol); err != nil {
+			// Replace-only: decisioning cannot be switched on over the
+			// wire when the operator left it off.
+			if errors.Is(err, ErrPolicyDisabled) {
+				writeError(w, http.StatusConflict, "policy_disabled", err.Error())
+				return
+			}
+			writeError(w, http.StatusBadRequest, "policy_invalid", err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, s.PolicyInfo())
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "GET or POST only")
+	}
+}
+
+// recordEndpoint lands one request's wall time in a per-endpoint
+// histogram (deferred at handler entry, so errors are measured too).
+func (s *Server) recordEndpoint(h *histogram, start time.Time) {
+	h.record(time.Since(start))
+}
+
 // checkIngestAuth enforces the optional ingest bearer token, writing the
 // 401 envelope on failure.
 func (s *Server) checkIngestAuth(w http.ResponseWriter, r *http.Request) bool {
@@ -267,6 +418,7 @@ func (s *Server) checkIngestAuth(w http.ResponseWriter, r *http.Request) bool {
 }
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	defer s.recordEndpoint(s.ingestHist, time.Now())
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "POST only")
 		return
@@ -287,6 +439,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleIngestBatch(w http.ResponseWriter, r *http.Request) {
+	defer s.recordEndpoint(s.ingestHist, time.Now())
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "POST only")
 		return
@@ -358,8 +511,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"p50_us": st.P50.Microseconds(), "p99_us": st.P99.Microseconds(),
 		"max_us": st.Max.Microseconds(), "version": s.BundleVersion(),
 	}
+	endpoints := map[string]interface{}{}
 	if s.StreamEnabled() {
 		body["ingested"] = s.Ingested()
+		endpoints["ingest"] = endpointStats(s.ingestHist)
 	}
 	if s.UserCacheEnabled() {
 		cs := s.UserCacheStats()
@@ -369,7 +524,85 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"negatives": cs.Negatives, "size": cs.Size, "capacity": cs.Capacity,
 		}
 	}
+	if s.PolicyEnabled() {
+		ds := s.DecisionStats()
+		body["policy"] = map[string]interface{}{
+			"version": s.PolicyVersion(), "decided": ds.Decided,
+			"approved": ds.Approved, "challenged": ds.Challenged,
+			"denied": ds.Denied, "rule_overrides": ds.RuleOverrides,
+		}
+		endpoints["decide"] = endpointStats(s.decideHist)
+	}
+	if len(endpoints) > 0 {
+		body["endpoints"] = endpoints
+	}
+	if s.ShadowEnabled() {
+		sh := s.ShadowStats()
+		body["shadow"] = map[string]interface{}{
+			"challenger_version": s.ShadowVersion(),
+			"scored":             sh.Scored, "dropped": sh.Dropped,
+			"errors": sh.Errors, "agreed": sh.Agreed, "flipped": sh.Flipped,
+			"agreement": sh.Agreement, "mean_divergence": sh.MeanAbsDiff,
+			"queue_depth": s.ShadowQueueDepth(),
+		}
+	}
+	if series := s.DriftStats(); series != nil {
+		// One snapshot pass: the top-level alert derives from the same
+		// series the body reports, so the two cannot contradict.
+		alert := false
+		for i := range series {
+			alert = alert || series[i].Alert
+		}
+		body["drift"] = map[string]interface{}{
+			"alert":  alert,
+			"series": series,
+		}
+	}
 	writeJSON(w, http.StatusOK, body)
+}
+
+// endpointStats snapshots one per-endpoint latency histogram for the
+// stats body.
+func endpointStats(h *histogram) map[string]interface{} {
+	counts, total := h.snapshot()
+	max := time.Duration(h.max.Load())
+	return map[string]interface{}{
+		"count":  total,
+		"p50_us": quantileFrom(h.bounds, counts, total, max, 0.50).Microseconds(),
+		"p99_us": quantileFrom(h.bounds, counts, total, max, 0.99).Microseconds(),
+		"max_us": max.Microseconds(),
+	}
+}
+
+// HealthInfo is the GET /healthz readiness body: which bundle and policy
+// versions are live and which serving subsystems are enabled, so a
+// deployment controller can verify a daemon actually carries the
+// configuration it was rolled out with instead of trusting a bare 200.
+type HealthInfo struct {
+	Status        string `json:"status"`
+	BundleVersion string `json:"bundle_version"`
+	PolicyVersion string `json:"policy_version,omitempty"`
+	Stream        bool   `json:"stream"`
+	UserCache     bool   `json:"user_cache"`
+	Policy        bool   `json:"policy"`
+	Shadow        bool   `json:"shadow"`
+	Drift         bool   `json:"drift"`
+	DriftAlert    bool   `json:"drift_alert,omitempty"`
+}
+
+// Health snapshots the readiness view served by GET /healthz.
+func (s *Server) Health() HealthInfo {
+	return HealthInfo{
+		Status:        "ok",
+		BundleVersion: s.BundleVersion(),
+		PolicyVersion: s.PolicyVersion(),
+		Stream:        s.StreamEnabled(),
+		UserCache:     s.UserCacheEnabled(),
+		Policy:        s.PolicyEnabled(),
+		Shadow:        s.ShadowEnabled(),
+		Drift:         s.DriftEnabled(),
+		DriftAlert:    s.DriftAlerted(),
+	}
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -379,8 +612,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "GET only")
 		return
 	}
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintf(w, "ok version=%s\n", s.BundleVersion())
+	writeJSON(w, http.StatusOK, s.Health())
 }
 
 // ListenAndServe serves the v1 API on addr until ctx is cancelled, then

@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"time"
 
+	"titant/internal/decision"
 	"titant/internal/ms/usercache"
 	"titant/internal/txn"
 )
@@ -113,6 +114,50 @@ func WithStreamAggregates(st StreamAggregates) Option {
 // serving can set it low.
 func WithStreamWarmup(n int64) Option {
 	return func(s *Server) { s.streamWarmup = n }
+}
+
+// WithPolicy attaches a decision policy: the engine gains Decide /
+// DecideBatch (and the POST /v1/decide[/batch] routes), mapping every
+// score through the policy's per-scenario threshold bands and rule
+// predicates to an approve / challenge / deny action. The policy must
+// validate (see decision.Parse) or New fails; it hot-swaps through
+// SetPolicy / POST /v1/policy. Without this option the decision routes
+// answer 409 policy_disabled.
+func WithPolicy(p *decision.Policy) Option {
+	return func(s *Server) { s.policy = p }
+}
+
+// WithShadow deploys a challenger bundle in shadow: every scored
+// transaction is also offered to a bounded queue (see WithShadowQueue)
+// whose worker scores it against the challenger off the hot path,
+// accumulating champion/challenger agreement, divergence and
+// would-have-flipped counters on /v1/stats. The hot path never blocks on
+// the challenger — a full queue sheds and counts the drop. Call Close to
+// stop the worker when the engine is discarded.
+func WithShadow(challenger *Bundle) Option {
+	return func(s *Server) { s.shadowBundle = challenger }
+}
+
+// WithShadowQueue bounds the shadow queue (default DefaultShadowQueue).
+// Size it for bursts: the queue absorbs score-path spikes the single
+// shadow worker drains between them; anything beyond the bound is shed.
+func WithShadowQueue(n int) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.shadowQueue = n
+		}
+	}
+}
+
+// WithDriftMonitor enables score drift monitoring: fixed-bin histograms
+// of the combined and per-member score distributions, with PSI and KS
+// computed against a baseline frozen shortly after each bundle deploy
+// (the first cfg.BaselineSamples scores). Zero-valued config fields take
+// the defaults of decision.DefaultDriftConfig. Statistics and alert
+// flags surface on /v1/stats and /healthz; the monitor resets on every
+// bundle swap.
+func WithDriftMonitor(cfg decision.DriftConfig) Option {
+	return func(s *Server) { s.driftCfg = &cfg }
 }
 
 // WithModelToken guards POST /v1/models behind a bearer token: requests

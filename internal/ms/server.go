@@ -20,6 +20,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"titant/internal/decision"
 	"titant/internal/feature"
 	"titant/internal/hbase"
 	"titant/internal/ms/usercache"
@@ -51,6 +52,12 @@ type Server struct {
 	mu      sync.RWMutex
 	bundle  *Bundle
 	citySrc feature.CitySource // city view scoring reads through; rebuilt on swap
+	policy  *decision.Policy   // nil: decision endpoints disabled; hot-swapped like the bundle
+
+	// policyConfigured records whether the engine was built WithPolicy:
+	// SetPolicy only replaces a configured policy, it cannot enable
+	// decisioning on an engine the operator left it off.
+	policyConfigured bool
 
 	alert        Alert
 	workers      int
@@ -61,9 +68,21 @@ type Server struct {
 	stream       StreamAggregates
 	streamWarmup int64
 
-	hist    *histogram
-	scored  atomic.Int64
-	alerted atomic.Int64
+	// Decision subsystem (see internal/decision and decide.go).
+	velocity     decision.VelocitySource // stream store's rule-predicate surface, when it has one
+	driftCfg     *decision.DriftConfig   // nil: drift monitoring disabled
+	drift        atomic.Pointer[decision.Monitor]
+	shadowBundle *Bundle // challenger configured by WithShadow
+	shadowQueue  int
+	shadow       *shadowRunner
+
+	hist       *histogram
+	ingestHist *histogram // per-endpoint: POST /v1/ingest[/batch] request latency
+	decideHist *histogram // per-endpoint: POST /v1/decide[/batch] request latency
+	scored     atomic.Int64
+	alerted    atomic.Int64
+	actions    [decision.NumActions]atomic.Int64
+	ruleHits   atomic.Int64
 }
 
 // New builds the v1 scoring engine over a feature table.
@@ -90,8 +109,52 @@ func New(table *hbase.Table, bundle *Bundle, opts ...Option) (*Server, error) {
 	if s.hist == nil {
 		s.hist = newHistogram(defaultHistBounds())
 	}
+	s.ingestHist = newHistogram(defaultHistBounds())
+	s.decideHist = newHistogram(defaultHistBounds())
 	s.citySrc = s.cityView(bundle)
+	if s.policy != nil {
+		if err := s.policy.Validate(); err != nil {
+			return nil, err
+		}
+		s.policyConfigured = true
+	}
+	// Rule predicates read in-window velocity when the configured stream
+	// store can serve it allocation-free; other StreamAggregates
+	// implementations simply leave velocity rules inert.
+	if v, ok := s.stream.(decision.VelocitySource); ok {
+		s.velocity = v
+	}
+	if s.driftCfg != nil {
+		s.drift.Store(decision.NewMonitor(*s.driftCfg, driftSeriesNames(bundle)))
+	}
+	if s.shadowBundle != nil {
+		sr, err := newShadowRunner(s, s.shadowBundle, s.shadowQueue)
+		if err != nil {
+			return nil, err
+		}
+		s.shadow = sr
+	}
 	return s, nil
+}
+
+// driftSeriesNames lists the score series the drift monitor tracks for a
+// bundle: the combined score first, then every ensemble member in order
+// (a v1 single-model bundle's only score is the combined one).
+func driftSeriesNames(b *Bundle) []string {
+	names := []string{"combined"}
+	if ens, err := b.runtime(); err == nil && !ens.single {
+		names = append(names, ens.names...)
+	}
+	return names
+}
+
+// Close releases the engine's background resources — today the shadow
+// scoring worker. Safe to call on an engine without one, and more than
+// once. Scoring after Close still works; shadow comparisons stop.
+func (s *Server) Close() {
+	if s.shadow != nil {
+		s.shadow.close()
+	}
 }
 
 // cityView builds the per-city statistics source scoring reads through:
@@ -151,9 +214,21 @@ func (s *Server) SetBundle(b *Bundle) error {
 	if err := b.validate(); err != nil {
 		return err
 	}
+	// A swap starts a new score distribution: rebuild the drift monitor
+	// so the baseline re-freezes on the new bundle's first traffic, and
+	// start a new shadow comparison epoch — agreement with a departed
+	// champion says nothing about the new one. All replaced under the
+	// same lock scoringView reads, so an in-flight pass observes a
+	// consistent (bundle, monitor, epoch) triple.
 	s.mu.Lock()
 	s.bundle = b
 	s.citySrc = s.cityView(b)
+	if s.driftCfg != nil {
+		s.drift.Store(decision.NewMonitor(*s.driftCfg, driftSeriesNames(b)))
+	}
+	if s.shadow != nil {
+		s.shadow.championSwapped()
+	}
 	s.mu.Unlock()
 	if s.cache != nil {
 		s.cache.Purge()
@@ -187,11 +262,19 @@ func (s *Server) currentBundle() *Bundle {
 	return s.bundle
 }
 
-// scoringView reads the bundle and its city source in one lock round.
-func (s *Server) scoringView() (*Bundle, feature.CitySource) {
+// scoringView reads the bundle, its city source, the drift monitor and
+// the shadow epoch in one lock round: SetBundle replaces all of them
+// under the same lock, so a scoring pass that began under the old
+// bundle cannot feed the old model's scores into the new monitor's
+// baseline or stamp old-champion comparisons into the new shadow epoch.
+func (s *Server) scoringView() (*Bundle, feature.CitySource, *decision.Monitor, int64) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return s.bundle, s.citySrc
+	var epoch int64
+	if s.shadow != nil {
+		epoch = s.shadow.epoch.Load()
+	}
+	return s.bundle, s.citySrc, s.drift.Load(), epoch
 }
 
 // BundleVersion returns the active bundle's version string.
@@ -251,31 +334,46 @@ type Verdict struct {
 	Members []MemberScore `json:"members,omitempty"`
 }
 
-// Score runs the full online path for one transaction: fetch both users'
-// fragments from HBase concurrently, assemble the feature vector, run the
-// ensemble, fire the alert if the combined score crosses the threshold.
-// It is the batch path at batch size one — a pooled one-row matrix through
-// the same ensemble core — so single and batch scoring cannot drift.
+// scoredBatch exposes one scoring pass's scratch to a visit callback
+// while it is still alive: the pooled combined and per-member score
+// buffers are reclaimed when the callback returns, so callers must copy
+// anything they keep. It is how the decision path reads the ensemble
+// breakdown without a second scoring pass — Score, ScoreBatch, Decide
+// and DecideBatch all run through the same core, which is what makes
+// their scores (and therefore their actions) bitwise identical.
+type scoredBatch struct {
+	bundle       *Bundle
+	ens          *ensemble
+	combined     []float64     // one combined score per transaction
+	memberScores [][]float64   // [member][row]; nil for v1 single-model bundles
+	perItem      time.Duration // each item's amortised share of the pass
+	shadowEpoch  int64         // shadow epoch these scores belong to
+}
+
+// runOne is the single-transaction scoring core: fetch both users'
+// fragments, assemble the feature vector into a pooled one-row matrix,
+// run the ensemble, observe drift, then hand the scratch to visit.
 // Cancellation and deadlines on ctx are honoured; a cancelled context
-// returns promptly with ctx.Err() and never fires the alert.
-func (s *Server) Score(ctx context.Context, t *txn.Transaction) (Verdict, error) {
+// returns promptly with ctx.Err() and visit never runs (so alerts and
+// decisions are never derived from an abandoned request).
+func (s *Server) runOne(ctx context.Context, t *txn.Transaction, visit func(*scoredBatch) error) error {
 	start := time.Now()
 	if err := ctx.Err(); err != nil {
-		return Verdict{}, err
+		return err
 	}
-	bundle, city := s.scoringView()
+	bundle, city, mon, epoch := s.scoringView()
 	ens, err := bundle.runtime()
 	if err != nil {
-		return Verdict{}, err
+		return err
 	}
 	from, to, err := s.fetchPair(t.From, t.To)
 	if err != nil {
-		return Verdict{}, err
+		return err
 	}
 	m := getMatrix(1, feature.NumBasic+2*bundle.EmbeddingDim)
 	defer putMatrix(m)
 	if err := assembleRow(t, &from, &to, bundle, city, m.Row(0)); err != nil {
-		return Verdict{}, err
+		return err
 	}
 	var combined [1]float64
 	var memberScores [][]float64
@@ -284,16 +382,38 @@ func (s *Server) Score(ctx context.Context, t *txn.Transaction) (Verdict, error)
 		defer putMemberScores(memberScores)
 	}
 	if err := ens.score(combined[:], memberScores, m); err != nil {
-		return Verdict{}, err
+		return err
 	}
-	v := verdictOf(t, combined[0], memberScores, 0, bundle, ens)
 	// Re-check after all the work so a deadline that expired mid-fetch or
 	// mid-score upholds the no-alert guarantee.
 	if err := ctx.Err(); err != nil {
+		return err
+	}
+	observeDrift(mon, combined[:], memberScores)
+	return visit(&scoredBatch{
+		bundle: bundle, ens: ens,
+		combined: combined[:], memberScores: memberScores,
+		perItem: time.Since(start), shadowEpoch: epoch,
+	})
+}
+
+// Score runs the full online path for one transaction: fetch both users'
+// fragments from HBase, assemble the feature vector, run the ensemble,
+// fire the alert if the combined score crosses the threshold. It is the
+// batch path at batch size one — a pooled one-row matrix through the
+// same ensemble core — so single and batch scoring cannot drift.
+func (s *Server) Score(ctx context.Context, t *txn.Transaction) (Verdict, error) {
+	var v Verdict
+	var epoch int64
+	if err := s.runOne(ctx, t, func(sb *scoredBatch) error {
+		v = verdictOf(t, sb.combined[0], sb.memberScores, 0, sb.bundle, sb.ens)
+		v.Latency = sb.perItem
+		epoch = sb.shadowEpoch
+		return nil
+	}); err != nil {
 		return Verdict{}, err
 	}
-	v.Latency = time.Since(start)
-	s.observe(t, &v)
+	s.observe(t, &v, epoch)
 	return v, nil
 }
 
@@ -311,16 +431,40 @@ func (s *Server) ScoreBatch(ctx context.Context, txns []txn.Transaction) ([]Verd
 	if len(txns) == 0 {
 		return nil, nil
 	}
+	var verdicts []Verdict
+	var epoch int64
+	if err := s.runBatch(ctx, txns, func(sb *scoredBatch) error {
+		verdicts = make([]Verdict, len(txns))
+		for i := range txns {
+			verdicts[i] = verdictOf(&txns[i], sb.combined[i], sb.memberScores, i, sb.bundle, sb.ens)
+			verdicts[i].Latency = sb.perItem
+		}
+		epoch = sb.shadowEpoch
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for i := range verdicts {
+		s.observe(&txns[i], &verdicts[i], epoch)
+	}
+	return verdicts, nil
+}
+
+// runBatch is the batch scoring core shared by ScoreBatch and
+// DecideBatch: dedup-fetch, pooled assembly, one vectorised ensemble
+// pass, drift observation, then the visit callback over the live
+// scratch (see scoredBatch).
+func (s *Server) runBatch(ctx context.Context, txns []txn.Transaction, visit func(*scoredBatch) error) error {
 	if s.maxBatch > 0 && len(txns) > s.maxBatch {
-		return nil, batchTooLarge(len(txns), s.maxBatch)
+		return batchTooLarge(len(txns), s.maxBatch)
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return err
 	}
-	bundle, city := s.scoringView()
+	bundle, city, mon, epoch := s.scoringView()
 	ens, err := bundle.runtime()
 	if err != nil {
-		return nil, err
+		return err
 	}
 
 	// Phase 1: fetch each distinct user in the batch exactly once — cache
@@ -342,12 +486,12 @@ func (s *Server) ScoreBatch(ctx context.Context, txns []txn.Transaction) ([]Verd
 	parts := make([]userParts, len(ids))
 	found := make([]bool, len(ids))
 	if err := s.fetchUsers(ctx, ids, parts, found); err != nil {
-		return nil, err
+		return err
 	}
 	if s.strict {
 		for i, ok := range found {
 			if !ok {
-				return nil, fmt.Errorf("%w: user %d", ErrUserNotFound, ids[i])
+				return fmt.Errorf("%w: user %d", ErrUserNotFound, ids[i])
 			}
 		}
 	}
@@ -362,7 +506,7 @@ func (s *Server) ScoreBatch(ctx context.Context, txns []txn.Transaction) ([]Verd
 		}
 		return nil
 	}); err != nil {
-		return nil, err
+		return err
 	}
 
 	// Phase 3: one vectorised ensemble pass over the whole matrix.
@@ -374,21 +518,37 @@ func (s *Server) ScoreBatch(ctx context.Context, txns []txn.Transaction) ([]Verd
 		defer putMemberScores(memberScores)
 	}
 	if err := ens.score(combined, memberScores, m); err != nil {
-		return nil, err
+		return err
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return err
 	}
-	perItem := time.Since(fetchStart) / time.Duration(len(txns))
-	verdicts := make([]Verdict, len(txns))
-	for i := range txns {
-		verdicts[i] = verdictOf(&txns[i], combined[i], memberScores, i, bundle, ens)
-		verdicts[i].Latency = perItem
+	observeDrift(mon, combined, memberScores)
+	return visit(&scoredBatch{
+		bundle: bundle, ens: ens,
+		combined: combined, memberScores: memberScores,
+		perItem: time.Since(fetchStart) / time.Duration(len(txns)), shadowEpoch: epoch,
+	})
+}
+
+// observeDrift feeds one scoring pass's scores into mon (a no-op when
+// nil). mon is the monitor captured with the bundle in the same
+// scoringView lock round, so the scores always land in the monitor
+// built for the bundle that produced them; the NumSeries check is a
+// second line of defence for hand-assembled states.
+func observeDrift(mon *decision.Monitor, combined []float64, memberScores [][]float64) {
+	if mon == nil {
+		return
 	}
-	for i := range verdicts {
-		s.observe(&txns[i], &verdicts[i])
+	withMembers := memberScores != nil && mon.NumSeries() == 1+len(memberScores)
+	for i := range combined {
+		mon.ObserveSeries(0, combined[i])
+		if withMembers {
+			for k := range memberScores {
+				mon.ObserveSeries(k+1, memberScores[k][i])
+			}
+		}
 	}
-	return verdicts, nil
 }
 
 // assembleRow writes one transaction's full feature vector (52 basic
@@ -607,8 +767,12 @@ func (s *Server) runPool(ctx context.Context, n int, fn func(int) error) error {
 }
 
 // observe records one verdict's counters and latency, firing the alert
-// for fraudulent transactions.
-func (s *Server) observe(t *txn.Transaction, v *Verdict) {
+// for fraudulent transactions and handing the transaction to the shadow
+// challenger (a non-blocking enqueue that sheds on overflow). epoch is
+// the shadow epoch the verdict was scored under (scoringView), so a
+// champion swap mid-batch marks the batch's comparisons stale instead
+// of polluting the new champion's meter.
+func (s *Server) observe(t *txn.Transaction, v *Verdict, epoch int64) {
 	s.scored.Add(1)
 	s.hist.record(v.Latency)
 	if v.Fraud {
@@ -616,6 +780,9 @@ func (s *Server) observe(t *txn.Transaction, v *Verdict) {
 		if s.alert != nil {
 			s.alert(t, v.Score)
 		}
+	}
+	if s.shadow != nil {
+		s.shadow.enqueue(t, v, epoch)
 	}
 }
 

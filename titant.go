@@ -29,6 +29,17 @@
 //	_ = eng.Ingest(&tx)                         // observed transfer -> live window
 //	_ = eng.ListenAndServe(ctx, ":8070")        // POST /v1/score, /v1/ingest, ...
 //
+// Attach a decision policy to turn raw scores into online risk actions
+// (approve / challenge / deny) under per-scenario threshold bands and
+// rule predicates, shadow-score a challenger bundle off the hot path,
+// and monitor score drift against a deploy-time baseline:
+//
+//	eng, _ = titant.NewEngine(tab, bundle,
+//	    titant.WithPolicy(titant.DefaultPolicy("pol-1", bundle.Threshold)),
+//	    titant.WithShadow(challenger),
+//	    titant.WithDriftMonitor(titant.DriftConfig{}))
+//	d, _ := eng.Decide(ctx, &tx, titant.ScenarioTransfer) // d.Action, d.Reason
+//
 // See the examples/ directory for runnable end-to-end programs, DESIGN.md
 // for the system inventory, and EXPERIMENTS.md for the paper-vs-measured
 // record of every table and figure.
@@ -39,6 +50,7 @@ import (
 	"time"
 
 	"titant/internal/core"
+	"titant/internal/decision"
 	"titant/internal/exp"
 	"titant/internal/feature"
 	"titant/internal/feature/stream"
@@ -117,6 +129,30 @@ type (
 	// UserCacheStats snapshots the engine's read-through user-cache
 	// counters (see WithUserCache and Engine.UserCacheStats).
 	UserCacheStats = usercache.Stats
+	// DecisionPolicy is a versioned risk-decision policy document:
+	// per-scenario threshold bands plus rule predicates, mapping scores
+	// to approve/challenge/deny actions (see internal/decision).
+	DecisionPolicy = decision.Policy
+	// DecisionAction is a risk decision: approve, challenge or deny.
+	DecisionAction = decision.Action
+	// Scenario selects which per-scenario policy applies (payment,
+	// transfer, withdrawal or default).
+	Scenario = decision.Scenario
+	// Decision is one transaction's decisioning outcome: the scoring
+	// verdict plus the policy action and its attribution.
+	Decision = ms.Decision
+	// PolicyInfo summarises the engine's active policy.
+	PolicyInfo = ms.PolicyInfo
+	// HealthInfo is the engine's readiness snapshot (GET /healthz).
+	HealthInfo = ms.HealthInfo
+	// DriftConfig tunes the score drift monitor (see WithDriftMonitor).
+	DriftConfig = decision.DriftConfig
+	// DriftStats is one score series' drift snapshot (PSI/KS vs the
+	// baseline frozen at bundle deploy).
+	DriftStats = decision.DriftStats
+	// ShadowStats snapshots champion/challenger agreement, divergence
+	// and would-have-flipped counters (see WithShadow).
+	ShadowStats = decision.ShadowStats
 	// ExperimentConfig scales a paper-experiment run.
 	ExperimentConfig = exp.Config
 )
@@ -145,12 +181,50 @@ const (
 	CombineVote = ms.CombineVote
 )
 
+// Decision actions, in severity order.
+const (
+	ActionApprove   = decision.ActionApprove
+	ActionChallenge = decision.ActionChallenge
+	ActionDeny      = decision.ActionDeny
+)
+
+// Decision scenarios.
+const (
+	ScenarioDefault    = decision.ScenarioDefault
+	ScenarioPayment    = decision.ScenarioPayment
+	ScenarioTransfer   = decision.ScenarioTransfer
+	ScenarioWithdrawal = decision.ScenarioWithdrawal
+)
+
 // DefaultUserCacheSize is the entry capacity daemons use when enabling
 // the read-through user cache without an explicit size.
 const DefaultUserCacheSize = ms.DefaultUserCacheSize
 
+// DefaultShadowQueue is the bounded shadow-queue capacity of an engine
+// built with WithShadow but no WithShadowQueue.
+const DefaultShadowQueue = ms.DefaultShadowQueue
+
 // ParseCombiner maps "mean", "max" or "vote" to a Combiner.
 func ParseCombiner(s string) (Combiner, error) { return ms.ParseCombiner(s) }
+
+// ParsePolicy decodes, validates and compiles a JSON decision-policy
+// document (the wire format of POST /v1/policy).
+func ParsePolicy(data []byte) (*DecisionPolicy, error) { return decision.Parse(data) }
+
+// DefaultPolicy builds the built-in decision policy derived from a
+// bundle's frozen threshold: approve below it, challenge the band above
+// it, deny near certainty — with the withdrawal scenario denying
+// everything the model flags.
+func DefaultPolicy(version string, threshold float64) *DecisionPolicy {
+	return decision.Default(version, threshold)
+}
+
+// ParseScenario maps "", "default", "payment", "transfer" or
+// "withdrawal" to a Scenario.
+func ParseScenario(s string) (Scenario, error) { return decision.ParseScenario(s) }
+
+// DefaultDriftConfig returns the drift monitor defaults.
+func DefaultDriftConfig() DriftConfig { return decision.DefaultDriftConfig() }
 
 // ParseDetector maps a CLI name (if, id3, c50, lr, gbdt) to a Detector.
 func ParseDetector(s string) (Detector, error) { return core.ParseDetector(s) }
@@ -244,7 +318,27 @@ func WithMaxBatch(n int) EngineOption { return ms.WithMaxBatch(n) }
 // is wired through Engine.InvalidateUser, bundle swaps and ingest.
 func WithUserCache(size int) EngineOption { return ms.WithUserCache(size) }
 
-// WithModelToken guards POST /v1/models behind a bearer token.
+// WithPolicy attaches a decision policy: the engine gains Decide /
+// DecideBatch and the POST /v1/decide[/batch] + /v1/policy routes,
+// mapping scores through per-scenario threshold bands and rule
+// predicates to approve/challenge/deny actions.
+func WithPolicy(p *DecisionPolicy) EngineOption { return ms.WithPolicy(p) }
+
+// WithShadow deploys a challenger bundle in shadow: scored traffic is
+// re-scored against it asynchronously (bounded queue, drop-on-overflow)
+// and champion/challenger agreement surfaces on /v1/stats.
+func WithShadow(challenger *Bundle) EngineOption { return ms.WithShadow(challenger) }
+
+// WithShadowQueue bounds the shadow queue (default DefaultShadowQueue).
+func WithShadowQueue(n int) EngineOption { return ms.WithShadowQueue(n) }
+
+// WithDriftMonitor enables per-member score drift monitoring (PSI/KS
+// against a baseline frozen at bundle deploy); zero-valued fields take
+// DefaultDriftConfig.
+func WithDriftMonitor(cfg DriftConfig) EngineOption { return ms.WithDriftMonitor(cfg) }
+
+// WithModelToken guards POST /v1/models and /v1/policy behind a bearer
+// token.
 func WithModelToken(token string) EngineOption { return ms.WithModelToken(token) }
 
 // WithIngestToken guards POST /v1/ingest[/batch] behind a bearer token.
