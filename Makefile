@@ -14,7 +14,7 @@ test:
 	go build ./... && go test ./...
 
 race:
-	go test -race ./internal/feature/stream/ ./internal/ms/... ./internal/hbase/ ./internal/decision/
+	go test -race ./internal/feature/stream/ ./internal/ms/... ./internal/hbase/ ./internal/decision/ ./internal/eventlog/ ./internal/logio/
 
 # bench-serving runs the hot serving read-path benchmarks (user fetch,
 # multi-get, point read, cached and uncached batch scoring, plus the
@@ -22,12 +22,14 @@ race:
 # BENCH_serving.json — ns/op and allocs/op per benchmark — so future PRs
 # have machine-readable numbers to compare against; in particular,
 # BenchmarkDecideBatch/policy vs BenchmarkScoreBatch tracks the decision
-# path's overhead budget. BENCHTIME trades precision for wall clock (use
-# e.g. BENCHTIME=2s locally).
+# path's overhead budget, BenchmarkIngestLogged/logged vs /unlogged the
+# event log's ingest overhead (must stay allocation-flat), and
+# BenchmarkReplay the crash-recovery ns/record budget. BENCHTIME trades
+# precision for wall clock (use e.g. BENCHTIME=2s locally).
 bench-serving:
 	@set -o pipefail; { \
 	  go test -run '^$$' -bench 'BenchmarkGet$$|BenchmarkMultiGet' -benchmem -benchtime=$(BENCHTIME) ./internal/hbase/ && \
 	  go test -run '^$$' -bench 'BenchmarkFetchUser' -benchmem -benchtime=$(BENCHTIME) ./internal/ms/ && \
-	  go test -run '^$$' -bench 'BenchmarkScoreSequential|BenchmarkScoreBatch$$|BenchmarkScoreBatchCached|BenchmarkDecideBatch' -benchmem -benchtime=$(BENCHTIME) . ; \
+	  go test -run '^$$' -bench 'BenchmarkScoreSequential|BenchmarkScoreBatch$$|BenchmarkScoreBatchCached|BenchmarkDecideBatch|BenchmarkIngestLogged|BenchmarkReplay$$' -benchmem -benchtime=$(BENCHTIME) . ; \
 	} | tee /dev/stderr | go run ./cmd/benchjson > BENCH_serving.json
 	@echo "wrote BENCH_serving.json"

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"titant/internal/decision"
+	"titant/internal/eventlog"
 	"titant/internal/exp"
 	"titant/internal/feature"
 	"titant/internal/feature/stream"
@@ -393,6 +394,98 @@ func BenchmarkScoreUnderIngest(b *testing.B) {
 		close(stop)
 		wg.Wait()
 	})
+}
+
+// BenchmarkIngestLogged measures what durability costs the ingest hot
+// path: "unlogged" is the memory-only window, "logged" adds the
+// log-then-apply append under the default 50ms group commit (the append
+// itself buffers — fsync cost is amortised across the commit interval),
+// and "logged-fsync-1ms" tightens the commit interval 50x to bound the
+// worst case. The acceptance bar is allocation-flat logged ingest: the
+// envelope and record encode into a reused scratch buffer, so allocs/op
+// must not grow over the unlogged path.
+func BenchmarkIngestLogged(b *testing.B) {
+	run := func(b *testing.B, opts ...ms.Option) {
+		st := stream.New(stream.WithWindow(90, 86400), stream.WithCities(64))
+		srv, txns := servingFixture(b, append([]ms.Option{ms.WithStreamAggregates(st)}, opts...)...)
+		b.Cleanup(srv.Close)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := srv.Ingest(&txns[i%len(txns)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("unlogged", func(b *testing.B) { run(b) })
+	b.Run("logged", func(b *testing.B) {
+		run(b, ms.WithEventLog(b.TempDir()), ms.WithSnapshotEvery(-1))
+	})
+	b.Run("logged-fsync-1ms", func(b *testing.B) {
+		run(b,
+			ms.WithEventLog(b.TempDir(), eventlog.WithFsyncInterval(time.Millisecond)),
+			ms.WithSnapshotEvery(-1))
+	})
+}
+
+// BenchmarkReplay measures crash-recovery speed: a 20k-record event log
+// is built once (snapshots disabled, so every iteration replays the full
+// log), then each iteration constructs a fresh engine over it and times
+// snapshot-load + tail-replay — the startup path after a kill. The
+// ns/record metric is the recovery budget per logged transaction.
+func BenchmarkReplay(b *testing.B) {
+	const (
+		embDim   = 8
+		nRecords = 20000
+		cities   = 64
+	)
+	tab, err := hbase.Open(hbase.Config{Dir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { tab.Close() })
+	clf, city := benchToyLR(embDim)
+	bundle, err := ms.NewBundle("bench-replay", clf, 0.5, city, embDim)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dir := b.TempDir()
+	newServer := func() *ms.Server {
+		st := stream.New(stream.WithWindow(90, 86400), stream.WithCities(cities))
+		srv, err := ms.New(tab, bundle,
+			ms.WithStreamAggregates(st),
+			ms.WithEventLog(dir), ms.WithSnapshotEvery(-1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		return srv
+	}
+	srv := newServer()
+	r := rng.New(11)
+	for i := 0; i < nRecords; i++ {
+		tx := txn.Transaction{
+			ID:  txn.TxnID(i + 1),
+			Day: txn.Day(i / 1200), Sec: int32(i % 86400),
+			From: txn.UserID(r.Intn(1000)), To: txn.UserID(r.Intn(1000)),
+			Amount: float32(r.Float64() * 2000), TransCity: uint16(r.Intn(cities)),
+			Fraud: r.Bool(0.02),
+		}
+		if err := srv.Ingest(&tx); err != nil {
+			b.Fatal(err)
+		}
+	}
+	srv.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		srv := newServer()
+		if got := srv.EventLogReplayed(); got != nRecords {
+			b.Fatalf("replayed %d records, want %d", got, nRecords)
+		}
+		b.StopTimer()
+		srv.Close()
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*nRecords), "ns/record")
 }
 
 // BenchmarkFigure11 regenerates Figure 11: F1 versus embedding dimension.

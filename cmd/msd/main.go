@@ -12,6 +12,7 @@
 //	msd -bundle bundle.bin -data /var/lib/titant/hbase [-addr :8070] [-workers N] [-strict] [-model-token T]
 //	    [-usercache N] [-stream] [-stream-shards N] [-stream-buckets N] [-stream-bucket-secs N]
 //	    [-policy default|file.json] [-shadow-bundle file.bin] [-shadow-queue N] [-drift]
+//	    [-eventlog DIR] [-eventlog-fsync D] [-eventlog-segment-mb N] [-eventlog-snapshot-every N]
 //
 // The bundle file is produced by the offline pipeline (see cmd/titant
 // serve for an all-in-one variant, or core.Deploy + Bundle.Encode in
@@ -23,6 +24,14 @@
 // traffic (and, past that, for any city with no in-window activity),
 // then tracks live statistics — so a fresh daemon behaves exactly like
 // the T+1 path until it has seen enough real traffic to trust.
+//
+// With -eventlog DIR every accepted ingest is appended to a durable
+// segmented log before it mutates the window, and derived state
+// (window, drift baselines, shadow meter, negative-cache keys) is
+// snapshotted periodically. On startup the daemon loads the newest
+// snapshot and replays the log tail, rebuilding the exact pre-crash
+// state; inspect or compact a log directory offline with
+// `titant logctl`.
 package main
 
 import (
@@ -36,6 +45,7 @@ import (
 	"syscall"
 
 	"titant/internal/decision"
+	"titant/internal/eventlog"
 	"titant/internal/feature/stream"
 	"titant/internal/hbase"
 	"titant/internal/ms"
@@ -59,6 +69,10 @@ func main() {
 	streamShards := flag.Int("stream-shards", 0, "stream store lock stripes (0 = default)")
 	streamBuckets := flag.Int("stream-buckets", 0, "stream window ring buckets (0 = default, 90)")
 	streamBucketSecs := flag.Int64("stream-bucket-secs", 0, "stream bucket width in seconds (0 = default, 1 day)")
+	elogDir := flag.String("eventlog", "", "durable event log directory: log-then-apply ingest with crash recovery (empty = disabled)")
+	elogFsync := flag.Duration("eventlog-fsync", 0, "event log group-commit fsync interval (0 = default, 50ms)")
+	elogSegMB := flag.Int64("eventlog-segment-mb", 0, "event log segment rotation size in MiB (0 = default, 64)")
+	elogSnapEvery := flag.Int64("eventlog-snapshot-every", 0, "log events between derived-state snapshots (0 = default, 65536; negative disables)")
 	flag.Parse()
 	if *bundlePath == "" || *dataDir == "" {
 		flag.Usage()
@@ -131,11 +145,28 @@ func main() {
 		log.Printf("msd: live aggregate window: %d buckets x %ds over %d shards (cold start, frozen-table fallback)",
 			st.Buckets(), st.BucketSeconds(), st.Shards())
 	}
+	if *elogDir != "" {
+		var eopts []eventlog.Option
+		if *elogFsync > 0 {
+			eopts = append(eopts, eventlog.WithFsyncInterval(*elogFsync))
+		}
+		if *elogSegMB > 0 {
+			eopts = append(eopts, eventlog.WithSegmentBytes(*elogSegMB<<20))
+		}
+		opts = append(opts, ms.WithEventLog(*elogDir, eopts...))
+		if *elogSnapEvery != 0 {
+			opts = append(opts, ms.WithSnapshotEvery(*elogSnapEvery))
+		}
+	}
 	srv, err := ms.New(tab, bundle, opts...)
 	if err != nil {
 		log.Fatalf("msd: %v", err)
 	}
 	defer srv.Close()
+	if *elogDir != "" {
+		log.Printf("msd: event log %s: replayed %d records, next offset %d",
+			*elogDir, srv.EventLogReplayed(), srv.EventLogStats().NextOffset)
+	}
 
 	mux := http.NewServeMux()
 	mux.Handle("/", srv.Handler())

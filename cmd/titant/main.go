@@ -11,7 +11,11 @@
 //	      [-detectors gbdt,...] [-combine mean] [-usercache N]
 //	      [-stream] [-stream-shards N] [-stream-buckets N] [-stream-bucket-secs N]
 //	      [-policy default|file.json] [-shadow lr,...] [-shadow-queue N] [-drift]
+//	      [-eventlog DIR] [-eventlog-fsync D] [-eventlog-segment-mb N]
+//	      [-eventlog-snapshot-every N]
 //	                                          train, deploy and serve over HTTP
+//	logctl <inspect|compact> -dir DIR [-retain N] [-json]
+//	                                          inspect or compact an event log directory
 //
 // train runs the offline pipeline for several detectors at once (the
 // paper deploys Isolation Forest, ID3/C5.0, LR and GBDT side by side) and
@@ -42,6 +46,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -68,13 +73,15 @@ func main() {
 		cmdTrain(os.Args[2:])
 	case "serve":
 		cmdServe(os.Args[2:])
+	case "logctl":
+		cmdLogctl(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: titant <gen|eval|train|serve> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: titant <gen|eval|train|serve|logctl> [flags]")
 	os.Exit(2)
 }
 
@@ -241,6 +248,10 @@ func cmdServe(args []string) {
 	streamShards := fs.Int("stream-shards", 0, "stream store lock stripes (0 = default)")
 	streamBuckets := fs.Int("stream-buckets", 0, "stream window ring buckets (0 = default, 90)")
 	streamBucketSecs := fs.Int64("stream-bucket-secs", 0, "stream bucket width in seconds (0 = default, 1 day)")
+	elogDir := fs.String("eventlog", "", "durable event log directory: log-then-apply ingest with crash recovery (empty = disabled)")
+	elogFsync := fs.Duration("eventlog-fsync", 0, "event log group-commit fsync interval (0 = default, 50ms)")
+	elogSegMB := fs.Int64("eventlog-segment-mb", 0, "event log segment rotation size in MiB (0 = default, 64)")
+	elogSnapEvery := fs.Int64("eventlog-snapshot-every", 0, "log events between derived-state snapshots (0 = default, 65536; negative disables)")
 	_ = fs.Parse(args)
 	w := buildWorld(*users, *seed)
 	ds, err := w.Dataset(1)
@@ -338,16 +349,47 @@ func cmdServe(args []string) {
 			titant.WithStreamShards(*streamShards),
 			titant.WithStreamWindow(*streamBuckets, *streamBucketSecs),
 			titant.WithStreamCities(opts.Cities))
-		log.Printf("warming the live aggregate window from the %d-day reference window (%d txns)...",
-			txn.NetworkDays, len(ds.Network))
-		st.IngestBatch(ds.Network)
+		// With an event log that already holds a snapshot, recovery
+		// restores the window (warm-up included, captured when the
+		// snapshot was taken); re-warming here would double-count once
+		// the snapshot loads on top.
+		warm := true
+		if *elogDir != "" {
+			if insp, err := titant.InspectEventLog(*elogDir); err == nil && insp.SnapshotEnd > 0 {
+				warm = false
+			}
+		}
+		if warm {
+			log.Printf("warming the live aggregate window from the %d-day reference window (%d txns)...",
+				txn.NetworkDays, len(ds.Network))
+			st.IngestBatch(ds.Network)
+		} else {
+			log.Printf("live aggregate window will restore from the event log snapshot in %s", *elogDir)
+		}
 		engOpts = append(engOpts, titant.WithStreamAggregates(st))
+	}
+	if *elogDir != "" {
+		var eopts []titant.EventLogOption
+		if *elogFsync > 0 {
+			eopts = append(eopts, titant.WithEventLogFsyncInterval(*elogFsync))
+		}
+		if *elogSegMB > 0 {
+			eopts = append(eopts, titant.WithEventLogSegmentBytes(*elogSegMB<<20))
+		}
+		engOpts = append(engOpts, titant.WithEventLog(*elogDir, eopts...))
+		if *elogSnapEvery != 0 {
+			engOpts = append(engOpts, titant.WithSnapshotEvery(*elogSnapEvery))
+		}
 	}
 	eng, err := titant.NewEngine(tab, bundle, engOpts...)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer eng.Close()
+	if *elogDir != "" {
+		log.Printf("event log %s: replayed %d records, next offset %d",
+			*elogDir, eng.EventLogReplayed(), eng.EventLogStats().NextOffset)
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	log.Printf("model server %s listening on %s (%d member(s), threshold %.3f, streaming=%v, usercache=%d, policy=%v, shadow=%v, drift=%v)",
@@ -357,6 +399,82 @@ func cmdServe(args []string) {
 		log.Fatal(err)
 	}
 	log.Printf("shut down cleanly")
+}
+
+// cmdLogctl inspects or compacts an event log directory offline: the
+// operational counterpart of -eventlog on serve/msd. inspect never
+// writes; compact removes only sealed segments that the newest snapshot
+// and every committed consumer offset are past.
+func cmdLogctl(args []string) {
+	logctlUsage := func() {
+		fmt.Fprintln(os.Stderr, "usage: titant logctl <inspect|compact> -dir DIR [-retain N] [-json]")
+		os.Exit(2)
+	}
+	if len(args) < 1 {
+		logctlUsage()
+	}
+	action := args[0]
+	fs := flag.NewFlagSet("logctl", flag.ExitOnError)
+	dir := fs.String("dir", "", "event log directory (required)")
+	retain := fs.Int("retain", 0, "minimum segments compaction keeps (0 = default)")
+	asJSON := fs.Bool("json", false, "emit machine-readable JSON")
+	_ = fs.Parse(args[1:])
+	if *dir == "" {
+		logctlUsage()
+	}
+	switch action {
+	case "inspect":
+		res, err := titant.InspectEventLog(*dir)
+		if err != nil {
+			log.Fatalf("logctl: %v", err)
+		}
+		if *asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(res); err != nil {
+				log.Fatal(err)
+			}
+			return
+		}
+		fmt.Printf("%s: %d segment(s), offsets [%d, %d), %d record(s)\n",
+			*dir, len(res.Segments), res.FirstOffset, res.NextOffset, res.Records)
+		for _, seg := range res.Segments {
+			torn := ""
+			if seg.Torn {
+				torn = "  (torn tail)"
+			}
+			fmt.Printf("  %s  base=%d records=%d end=%d bytes=%d%s\n",
+				seg.Path, seg.Base, seg.Records, seg.End, seg.Bytes, torn)
+		}
+		for kind, n := range res.Kinds {
+			fmt.Printf("  kind %-8s %d\n", kind, n)
+		}
+		for name, off := range res.Consumers {
+			fmt.Printf("  consumer %-12s offset=%d lag=%d\n", name, off, res.NextOffset-off)
+		}
+		fmt.Printf("  snapshot end=%d\n", res.SnapshotEnd)
+	case "compact":
+		removed, err := titant.CompactEventLog(*dir, *retain)
+		if err != nil {
+			log.Fatalf("logctl: %v", err)
+		}
+		if *asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			if err := enc.Encode(map[string]interface{}{"removed": removed}); err != nil {
+				log.Fatal(err)
+			}
+			return
+		}
+		if len(removed) == 0 {
+			fmt.Println("nothing compactable: snapshot or consumers still need every sealed segment")
+			return
+		}
+		for _, p := range removed {
+			fmt.Printf("removed %s\n", p)
+		}
+	default:
+		logctlUsage()
+	}
 }
 
 // loadPolicy resolves the -policy flag: the literal "default" derives

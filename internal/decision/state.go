@@ -1,0 +1,193 @@
+package decision
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// State snapshot codecs for the drift monitor and shadow meter. Both are
+// pure counter state (histogram bins, comparison tallies), so a dump and
+// restore is exact by construction; the event log persists them as
+// snapshot sections so a recovered process resumes drift detection with
+// the same baseline/live split and the same shadow tallies it crashed
+// with.
+
+const (
+	driftStateMagic  = 0x44524654 // "DRFT"
+	shadowStateMagic = 0x53484457 // "SHDW"
+	stateVersion     = 1
+)
+
+// WriteState dumps the monitor's histograms. The series names and bin
+// geometry are included so RestoreState can refuse a snapshot taken
+// against a different bundle shape.
+func (m *Monitor) WriteState(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<14)
+	var buf [8]byte
+	le := binary.LittleEndian
+	put32 := func(v uint32) error {
+		le.PutUint32(buf[:4], v)
+		_, err := bw.Write(buf[:4])
+		return err
+	}
+	put64 := func(v uint64) error {
+		le.PutUint64(buf[:], v)
+		_, err := bw.Write(buf[:8])
+		return err
+	}
+	if err := put32(driftStateMagic); err != nil {
+		return err
+	}
+	if err := put32(stateVersion); err != nil {
+		return err
+	}
+	if err := put32(uint32(m.cfg.Bins)); err != nil {
+		return err
+	}
+	if err := put32(uint32(len(m.ser))); err != nil {
+		return err
+	}
+	for _, name := range m.names {
+		if err := put32(uint32(len(name))); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(name); err != nil {
+			return err
+		}
+	}
+	for k := range m.ser {
+		s := &m.ser[k]
+		if err := put64(uint64(s.total.Load())); err != nil {
+			return err
+		}
+		for i := 0; i < m.cfg.Bins; i++ {
+			if err := put64(uint64(s.baseline[i].Load())); err != nil {
+				return err
+			}
+		}
+		for i := 0; i < m.cfg.Bins; i++ {
+			if err := put64(uint64(s.live[i].Load())); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// RestoreState loads a WriteState dump into m, which must have the same
+// bin count and series names (i.e. be built from the same config and
+// bundle shape).
+func (m *Monitor) RestoreState(r io.Reader) error {
+	br := bufio.NewReaderSize(r, 1<<14)
+	var buf [8]byte
+	le := binary.LittleEndian
+	get32 := func() (uint32, error) {
+		if _, err := io.ReadFull(br, buf[:4]); err != nil {
+			return 0, err
+		}
+		return le.Uint32(buf[:4]), nil
+	}
+	get64 := func() (uint64, error) {
+		if _, err := io.ReadFull(br, buf[:8]); err != nil {
+			return 0, err
+		}
+		return le.Uint64(buf[:8]), nil
+	}
+	magic, err := get32()
+	if err != nil {
+		return fmt.Errorf("decision: restore drift state: %w", err)
+	}
+	if magic != driftStateMagic {
+		return fmt.Errorf("decision: restore drift state: bad magic %#x", magic)
+	}
+	if v, err := get32(); err != nil || v != stateVersion {
+		return fmt.Errorf("decision: restore drift state: unsupported version %d (%v)", v, err)
+	}
+	if bins, err := get32(); err != nil || int(bins) != m.cfg.Bins {
+		return fmt.Errorf("decision: restore drift state: snapshot has %d bins, monitor has %d (%v)", bins, m.cfg.Bins, err)
+	}
+	nser, err := get32()
+	if err != nil || int(nser) != len(m.ser) {
+		return fmt.Errorf("decision: restore drift state: snapshot has %d series, monitor has %d (%v)", nser, len(m.ser), err)
+	}
+	for k := 0; k < int(nser); k++ {
+		n, err := get32()
+		if err != nil {
+			return fmt.Errorf("decision: restore drift state: %w", err)
+		}
+		if n > 1<<10 {
+			return fmt.Errorf("decision: restore drift state: series name of %d bytes", n)
+		}
+		name := make([]byte, n)
+		if _, err := io.ReadFull(br, name); err != nil {
+			return fmt.Errorf("decision: restore drift state: %w", err)
+		}
+		if string(name) != m.names[k] {
+			return fmt.Errorf("decision: restore drift state: series %d is %q, monitor has %q", k, name, m.names[k])
+		}
+	}
+	for k := range m.ser {
+		s := &m.ser[k]
+		total, err := get64()
+		if err != nil {
+			return fmt.Errorf("decision: restore drift state: %w", err)
+		}
+		s.total.Store(int64(total))
+		for i := 0; i < m.cfg.Bins; i++ {
+			v, err := get64()
+			if err != nil {
+				return fmt.Errorf("decision: restore drift state: %w", err)
+			}
+			s.baseline[i].Store(int64(v))
+		}
+		for i := 0; i < m.cfg.Bins; i++ {
+			v, err := get64()
+			if err != nil {
+				return fmt.Errorf("decision: restore drift state: %w", err)
+			}
+			s.live[i].Store(int64(v))
+		}
+	}
+	return nil
+}
+
+// WriteState dumps the meter's six counters.
+func (m *ShadowMeter) WriteState(w io.Writer) error {
+	var buf [8 + 6*8]byte
+	le := binary.LittleEndian
+	le.PutUint32(buf[0:], shadowStateMagic)
+	le.PutUint32(buf[4:], stateVersion)
+	vals := []int64{
+		m.scored.Load(), m.dropped.Load(), m.errors.Load(),
+		m.agreed.Load(), m.flipped.Load(), m.sumAbsDiff.Load(),
+	}
+	for i, v := range vals {
+		le.PutUint64(buf[8+i*8:], uint64(v))
+	}
+	_, err := w.Write(buf[:])
+	return err
+}
+
+// RestoreState loads a WriteState dump into m.
+func (m *ShadowMeter) RestoreState(r io.Reader) error {
+	var buf [8 + 6*8]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return fmt.Errorf("decision: restore shadow state: %w", err)
+	}
+	le := binary.LittleEndian
+	if magic := le.Uint32(buf[0:]); magic != shadowStateMagic {
+		return fmt.Errorf("decision: restore shadow state: bad magic %#x", magic)
+	}
+	if v := le.Uint32(buf[4:]); v != stateVersion {
+		return fmt.Errorf("decision: restore shadow state: unsupported version %d", v)
+	}
+	m.scored.Store(int64(le.Uint64(buf[8:])))
+	m.dropped.Store(int64(le.Uint64(buf[16:])))
+	m.errors.Store(int64(le.Uint64(buf[24:])))
+	m.agreed.Store(int64(le.Uint64(buf[32:])))
+	m.flipped.Store(int64(le.Uint64(buf[40:])))
+	m.sumAbsDiff.Store(int64(le.Uint64(buf[48:])))
+	return nil
+}

@@ -1,0 +1,109 @@
+package decision
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestMonitorStateRoundTrip(t *testing.T) {
+	cfg := DriftConfig{Bins: 10, BaselineSamples: 100, MinLiveSamples: 50}
+	names := []string{"combined", "lr", "gbdt"}
+	m := NewMonitor(cfg, names)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 500; i++ {
+		for k := range names {
+			m.ObserveSeries(k, rng.Float64())
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := m.WriteState(&buf); err != nil {
+		t.Fatalf("WriteState: %v", err)
+	}
+	r := NewMonitor(cfg, names)
+	if err := r.RestoreState(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("RestoreState: %v", err)
+	}
+	if !reflect.DeepEqual(m.Snapshot(), r.Snapshot()) {
+		t.Fatalf("snapshots diverge:\n a=%+v\n b=%+v", m.Snapshot(), r.Snapshot())
+	}
+
+	// Continued observation must stay identical — in particular the
+	// baseline/live split point, which depends on the restored totals.
+	for i := 0; i < 500; i++ {
+		for k := range names {
+			v := rng.Float64()
+			m.ObserveSeries(k, v)
+			r.ObserveSeries(k, v)
+		}
+	}
+	if !reflect.DeepEqual(m.Snapshot(), r.Snapshot()) {
+		t.Fatal("snapshots diverge after post-restore observations")
+	}
+}
+
+func TestMonitorStateShapeMismatch(t *testing.T) {
+	m := NewMonitor(DriftConfig{Bins: 10}, []string{"combined", "lr"})
+	var buf bytes.Buffer
+	if err := m.WriteState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	cases := []*Monitor{
+		NewMonitor(DriftConfig{Bins: 20}, []string{"combined", "lr"}),
+		NewMonitor(DriftConfig{Bins: 10}, []string{"combined"}),
+		NewMonitor(DriftConfig{Bins: 10}, []string{"combined", "gbdt"}),
+	}
+	for i, r := range cases {
+		if err := r.RestoreState(bytes.NewReader(buf.Bytes())); err == nil {
+			t.Fatalf("case %d: mismatched monitor accepted the snapshot", i)
+		}
+	}
+}
+
+func TestMonitorStateTruncated(t *testing.T) {
+	m := NewMonitor(DriftConfig{Bins: 10}, []string{"combined"})
+	for i := 0; i < 50; i++ {
+		m.ObserveSeries(0, float64(i)/50)
+	}
+	var buf bytes.Buffer
+	if err := m.WriteState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for _, cut := range []int{0, 4, 11, len(data) / 2, len(data) - 1} {
+		r := NewMonitor(DriftConfig{Bins: 10}, []string{"combined"})
+		if err := r.RestoreState(bytes.NewReader(data[:cut])); err == nil {
+			t.Fatalf("truncated state (%d/%d bytes) accepted", cut, len(data))
+		}
+	}
+}
+
+func TestShadowMeterStateRoundTrip(t *testing.T) {
+	var m ShadowMeter
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 200; i++ {
+		a, b := rng.Float64(), rng.Float64()
+		m.Record(a, b, a >= 0.5, b >= 0.5)
+	}
+	m.Drop()
+	m.Error()
+
+	var buf bytes.Buffer
+	if err := m.WriteState(&buf); err != nil {
+		t.Fatalf("WriteState: %v", err)
+	}
+	var r ShadowMeter
+	if err := r.RestoreState(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("RestoreState: %v", err)
+	}
+	if m.Snapshot() != r.Snapshot() {
+		t.Fatalf("snapshots diverge:\n a=%+v\n b=%+v", m.Snapshot(), r.Snapshot())
+	}
+
+	var bad ShadowMeter
+	if err := bad.RestoreState(bytes.NewReader(buf.Bytes()[:10])); err == nil {
+		t.Fatal("truncated shadow state accepted")
+	}
+}

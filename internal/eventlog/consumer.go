@@ -1,0 +1,140 @@
+package eventlog
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Consumer offsets. A consumer is any reader that wants resumable
+// progress through the log — the engine's own apply position, an export
+// pipeline, a retraining job. Offsets persist as tiny CRC-guarded files
+// committed atomically (write-temp + rename), so a torn commit leaves the
+// previous offset intact rather than a half-written one.
+
+const (
+	offMagic   = 0x544f4646 // "TOFF"
+	offVersion = 1
+	offSize    = 20 // magic u32 | version u32 | offset u64 | crc32c u32
+)
+
+func validConsumerName(name string) bool {
+	if name == "" || len(name) > 64 {
+		return false
+	}
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func offPath(dir, name string) string {
+	return filepath.Join(dir, name+offSuffix)
+}
+
+// CommitOffset durably records that consumer name has processed every
+// record below off.
+func (l *Log) CommitOffset(name string, off uint64) error {
+	if !validConsumerName(name) {
+		return fmt.Errorf("eventlog: invalid consumer name %q", name)
+	}
+	if err := writeOffsetFile(offPath(l.dir, name), off); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	l.consumers[name] = off
+	l.mu.Unlock()
+	return nil
+}
+
+// ConsumerOffset returns name's committed offset; ok is false if the
+// consumer has never committed.
+func (l *Log) ConsumerOffset(name string) (off uint64, ok bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	off, ok = l.consumers[name]
+	return off, ok
+}
+
+func writeOffsetFile(path string, off uint64) error {
+	var buf [offSize]byte
+	le.PutUint32(buf[0:], offMagic)
+	le.PutUint32(buf[4:], offVersion)
+	le.PutUint64(buf[8:], off)
+	le.PutUint32(buf[16:], offsetCRC(buf[:16]))
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, buf[:], defaultPerm); err != nil {
+		return fmt.Errorf("eventlog: write offset: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("eventlog: commit offset: %w", err)
+	}
+	return nil
+}
+
+func readOffsetFile(path string) (uint64, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	if len(buf) != offSize {
+		return 0, fmt.Errorf("eventlog: offset file %s has %d bytes, want %d", path, len(buf), offSize)
+	}
+	if le.Uint32(buf[0:]) != offMagic {
+		return 0, fmt.Errorf("eventlog: offset file %s: bad magic", path)
+	}
+	if v := le.Uint32(buf[4:]); v != offVersion {
+		return 0, fmt.Errorf("eventlog: offset file %s: unsupported version %d", path, v)
+	}
+	if offsetCRC(buf[:16]) != le.Uint32(buf[16:]) {
+		return 0, fmt.Errorf("eventlog: offset file %s: checksum mismatch", path)
+	}
+	return le.Uint64(buf[8:]), nil
+}
+
+// loadConsumers populates the in-memory offset map at Open.
+func (l *Log) loadConsumers() error {
+	m, err := readConsumerDir(l.dir)
+	if err != nil {
+		return err
+	}
+	l.consumers = m
+	return nil
+}
+
+func readConsumerDir(dir string) (map[string]uint64, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return map[string]uint64{}, nil
+		}
+		return nil, fmt.Errorf("eventlog: read dir: %w", err)
+	}
+	m := map[string]uint64{}
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, offSuffix) {
+			continue
+		}
+		cname := strings.TrimSuffix(name, offSuffix)
+		if !validConsumerName(cname) {
+			continue
+		}
+		off, err := readOffsetFile(filepath.Join(dir, name))
+		if err != nil {
+			// A corrupt offset file means that consumer restarts from the
+			// log head; it must not poison everyone else's recovery.
+			continue
+		}
+		m[cname] = off
+	}
+	return m, nil
+}

@@ -1,0 +1,462 @@
+package eventlog
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// collect replays [from, end) into a slice, copying payloads.
+func collect(t *testing.T, l *Log, from uint64) []Record {
+	t.Helper()
+	var recs []Record
+	_, err := l.ReadFrom(from, func(r Record) error {
+		r.Payload = append([]byte(nil), r.Payload...)
+		recs = append(recs, r)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("ReadFrom: %v", err)
+	}
+	return recs
+}
+
+func appendN(t *testing.T, l *Log, start, n int) {
+	t.Helper()
+	for i := start; i < start+n; i++ {
+		payload := []byte(fmt.Sprintf("event-%04d", i))
+		off, err := l.Append(KindTxn, 0, int64(i), payload)
+		if err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+		if off != uint64(i) {
+			t.Fatalf("Append %d assigned offset %d", i, off)
+		}
+	}
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 0, 100)
+	recs := collect(t, l, 0)
+	if len(recs) != 100 {
+		t.Fatalf("replayed %d records, want 100", len(recs))
+	}
+	for i, r := range recs {
+		if r.Offset != uint64(i) || r.Kind != KindTxn || r.Time != int64(i) {
+			t.Fatalf("record %d: %+v", i, r)
+		}
+		if want := fmt.Sprintf("event-%04d", i); string(r.Payload) != want {
+			t.Fatalf("record %d payload %q, want %q", i, r.Payload, want)
+		}
+	}
+	// Offset-addressed read.
+	if got := collect(t, l, 42); len(got) != 58 || got[0].Offset != 42 {
+		t.Fatalf("ReadFrom(42) returned %d records starting at %d", len(got), got[0].Offset)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen resumes at the right offset.
+	l2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.NextOffset() != 100 {
+		t.Fatalf("reopened NextOffset=%d, want 100", l2.NextOffset())
+	}
+	appendN(t, l2, 100, 10)
+	if got := collect(t, l2, 0); len(got) != 110 {
+		t.Fatalf("after reopen+append: %d records, want 110", len(got))
+	}
+}
+
+func TestSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, WithSegmentBytes(512))
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 0, 200)
+	st := l.Stats()
+	if st.Segments < 4 {
+		t.Fatalf("expected rotation to produce several segments, got %d", st.Segments)
+	}
+	recs := collect(t, l, 0)
+	if len(recs) != 200 {
+		t.Fatalf("replayed %d records across segments, want 200", len(recs))
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen across many segments.
+	l2, err := Open(dir, WithSegmentBytes(512))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.NextOffset() != 200 {
+		t.Fatalf("NextOffset=%d after reopen, want 200", l2.NextOffset())
+	}
+}
+
+func TestKillDropsUnsyncedOnly(t *testing.T) {
+	dir := t.TempDir()
+	// Huge thresholds: nothing fsyncs unless forced.
+	l, err := Open(dir, WithFsyncInterval(time.Hour), WithFsyncBytes(1<<30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 0, 50)
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 50, 30) // buffered, never synced
+	l.Kill()
+
+	l2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	got := collect(t, l2, 0)
+	// Everything synced must survive; the unsynced suffix may be partly
+	// present (the buffer can spill to the OS before Kill) but whatever
+	// is there must be an intact prefix, never garbage.
+	if len(got) < 50 {
+		t.Fatalf("lost synced records: replayed %d, want >= 50", len(got))
+	}
+	for i, r := range got {
+		if r.Offset != uint64(i) {
+			t.Fatalf("record %d has offset %d after crash recovery", i, r.Offset)
+		}
+	}
+	if l2.NextOffset() != uint64(len(got)) {
+		t.Fatalf("NextOffset=%d, want %d", l2.NextOffset(), len(got))
+	}
+}
+
+func TestTornTailTruncatedOnReopen(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 0, 10)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a torn append by hand: half a frame at the tail.
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(segs[0].path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x20, 0, 0, 0, 0xde, 0xad}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	l2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen with torn tail: %v", err)
+	}
+	if l2.NextOffset() != 10 {
+		t.Fatalf("NextOffset=%d with torn tail, want 10", l2.NextOffset())
+	}
+	appendN(t, l2, 10, 5)
+	if got := collect(t, l2, 0); len(got) != 15 {
+		t.Fatalf("replayed %d records after torn-tail recovery, want 15", len(got))
+	}
+	l2.Close()
+}
+
+func TestSealedSegmentCorruptionFailsClosed(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, WithSegmentBytes(256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 0, 100)
+	if l.Stats().Segments < 3 {
+		t.Fatalf("need several segments, got %d", l.Stats().Segments)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt a record in the FIRST (sealed) segment.
+	data, err := os.ReadFile(segs[0].path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[segHdrSize+12] ^= 0xff
+	if err := os.WriteFile(segs[0].path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(dir, WithSegmentBytes(256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	_, err = l2.ReadFrom(0, func(Record) error { return nil })
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("mid-chain corruption not failed closed: %v", err)
+	}
+}
+
+func TestConsumerOffsets(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 0, 20)
+	if err := l.CommitOffset("engine", 12); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.CommitOffset("export", 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.CommitOffset("../evil", 1); err == nil {
+		t.Fatal("path-traversal consumer name accepted")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if off, ok := l2.ConsumerOffset("engine"); !ok || off != 12 {
+		t.Fatalf("engine offset = %d,%v want 12,true", off, ok)
+	}
+	if off, ok := l2.ConsumerOffset("export"); !ok || off != 5 {
+		t.Fatalf("export offset = %d,%v want 5,true", off, ok)
+	}
+	if _, ok := l2.ConsumerOffset("nope"); ok {
+		t.Fatal("unknown consumer reported as committed")
+	}
+	st := l2.Stats()
+	if st.MaxLag != 15 {
+		t.Fatalf("MaxLag=%d, want 15 (next=20, slowest=5)", st.MaxLag)
+	}
+
+	// A corrupt offset file degrades to "never committed", not an error.
+	if err := os.WriteFile(filepath.Join(dir, "engine"+offSuffix), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l3, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l3.Close()
+	if _, ok := l3.ConsumerOffset("engine"); ok {
+		t.Fatal("corrupt offset file yielded a committed offset")
+	}
+}
+
+func TestSnapshotWriteLoad(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	appendN(t, l, 0, 30)
+	sections := []Section{
+		{Name: "stream", Data: bytes.Repeat([]byte{1, 2, 3}, 100)},
+		{Name: "drift", Data: []byte("histograms")},
+		{Name: "empty", Data: nil},
+	}
+	if err := l.WriteSnapshot(30, sections); err != nil {
+		t.Fatal(err)
+	}
+	end, got, err := LoadSnapshot(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end != 30 || len(got) != 3 {
+		t.Fatalf("LoadSnapshot: end=%d sections=%d", end, len(got))
+	}
+	if !bytes.Equal(got["stream"], sections[0].Data) || string(got["drift"]) != "histograms" {
+		t.Fatal("section data mismatch")
+	}
+
+	// Newer snapshot wins...
+	appendN(t, l, 30, 10)
+	if err := l.WriteSnapshot(40, []Section{{Name: "stream", Data: []byte("newer")}}); err != nil {
+		t.Fatal(err)
+	}
+	end, got, err = LoadSnapshot(dir)
+	if err != nil || end != 40 || string(got["stream"]) != "newer" {
+		t.Fatalf("newest snapshot not preferred: end=%d err=%v", end, err)
+	}
+
+	// ...unless damaged, in which case the previous one serves.
+	if err := corruptFile(snapPath(dir, 40), 25); err != nil {
+		t.Fatal(err)
+	}
+	end, got, err = LoadSnapshot(dir)
+	if err != nil || end != 30 {
+		t.Fatalf("damaged snapshot did not fall back: end=%d err=%v", end, err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("fallback snapshot has %d sections, want 3", len(got))
+	}
+}
+
+func corruptFile(path string, at int) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if at >= len(data) {
+		at = len(data) - 1
+	}
+	data[at] ^= 0xff
+	return os.WriteFile(path, data, 0o644)
+}
+
+func TestCompaction(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, WithSegmentBytes(256), WithRetainSegments(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	appendN(t, l, 0, 200)
+	before := l.Stats().Segments
+	if before < 4 {
+		t.Fatalf("need several segments, got %d", before)
+	}
+
+	// No snapshot, no consumers: nothing may be compacted.
+	if err := l.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Stats().Segments; got != before {
+		t.Fatalf("compaction without a floor removed segments: %d -> %d", before, got)
+	}
+
+	// Snapshot at the head allows compaction, but a consumer still at the
+	// log head holds the floor at zero.
+	if err := l.CommitOffset("slow", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.WriteSnapshot(200, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Stats().Segments; got != before {
+		t.Fatalf("slow consumer did not hold compaction floor: %d -> %d", before, got)
+	}
+
+	// Consumer catches up: everything below the snapshot compacts.
+	if err := l.CommitOffset("slow", 200); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Stats().Segments; got >= before {
+		t.Fatalf("compaction removed nothing: %d -> %d", before, got)
+	}
+	// Replay still works from the retained chain.
+	var n int
+	next, err := l.ReadFrom(0, func(r Record) error { n++; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next != 200 || n == 0 {
+		t.Fatalf("post-compaction replay: %d records, next=%d", n, next)
+	}
+}
+
+func TestInspect(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, WithSegmentBytes(512))
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 0, 60)
+	if _, err := l.Append(KindScore, 0, 0, []byte("scores")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(KindReset, 0, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.CommitOffset("engine", 30); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := Inspect(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Records != 62 || res.NextOffset != 62 {
+		t.Fatalf("Inspect: records=%d next=%d, want 62/62", res.Records, res.NextOffset)
+	}
+	if res.Kinds["txn"] != 60 || res.Kinds["score"] != 1 || res.Kinds["reset"] != 1 {
+		t.Fatalf("Inspect kinds: %v", res.Kinds)
+	}
+	if res.Consumers["engine"] != 30 {
+		t.Fatalf("Inspect consumers: %v", res.Consumers)
+	}
+	if len(res.Segments) < 2 {
+		t.Fatalf("Inspect found %d segments", len(res.Segments))
+	}
+}
+
+func TestStatsShape(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, WithFsyncBytes(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	appendN(t, l, 0, 5)
+	st := l.Stats()
+	if st.Appended != 5 || st.Fsyncs == 0 || st.Bytes == 0 || st.NextOffset != 5 {
+		t.Fatalf("Stats: %+v", st)
+	}
+	if st.LastFsyncAge < 0 || st.LastFsyncAge > 60 {
+		t.Fatalf("implausible LastFsyncAge %v", st.LastFsyncAge)
+	}
+}
+
+func TestAppendAfterCloseFails(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(KindTxn, 0, 0, nil); err == nil {
+		t.Fatal("append after close succeeded")
+	}
+	l.Kill() // must be a no-op, not a panic
+}

@@ -1,0 +1,240 @@
+package eventlog
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"titant/internal/logio"
+)
+
+var le = binary.LittleEndian
+
+// Record is one decoded log event. Payload aliases the scanner's reused
+// buffer: callbacks must copy it to keep it past the call.
+type Record struct {
+	Offset  uint64
+	Time    int64 // ingest timestamp, unix nanos
+	Kind    uint8
+	Flags   uint8
+	Payload []byte
+}
+
+// segScan is the outcome of scanning one segment file.
+type segScan struct {
+	Base       uint64
+	Records    int
+	End        uint64 // offset one past the last intact record
+	CleanBytes int64  // file length of the intact prefix (header included)
+	TailBytes  int64  // torn/corrupt bytes past the prefix
+}
+
+// scanSegment reads a segment file, verifying the header, every frame
+// CRC, and record-offset continuity from the base. Offsets are the
+// phantom-record defense the CRC alone cannot give: a frame that is
+// internally consistent but out of sequence (a stray write, a spliced
+// file) stops the scan instead of being delivered. fn may be nil to scan
+// for structure only.
+func scanSegment(path string, wantBase uint64, fn func(Record) error) (segScan, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return segScan{}, fmt.Errorf("eventlog: open segment: %w", err)
+	}
+	defer f.Close()
+
+	var hdr [segHdrSize]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		return segScan{}, fmt.Errorf("eventlog: segment %s: short header: %w", path, err)
+	}
+	if le.Uint32(hdr[0:]) != segMagic {
+		return segScan{}, fmt.Errorf("eventlog: segment %s: bad magic %#x", path, le.Uint32(hdr[0:]))
+	}
+	if v := le.Uint32(hdr[4:]); v != segVersion {
+		return segScan{}, fmt.Errorf("eventlog: segment %s: unsupported version %d", path, v)
+	}
+	base := le.Uint64(hdr[8:])
+	if base != wantBase {
+		return segScan{}, fmt.Errorf("eventlog: segment %s: header base %#x does not match name %#x", path, base, wantBase)
+	}
+
+	sc := segScan{Base: base, End: base}
+	var cbErr error
+	res, err := logio.Scan(f, func(payload []byte) error {
+		if len(payload) < envSize {
+			return logio.ErrStop // CRC-intact but not an event record: tail
+		}
+		off := le.Uint64(payload[0:])
+		if off != sc.End {
+			return logio.ErrStop // discontinuity: fail closed, no phantoms
+		}
+		if fn != nil {
+			if err := fn(Record{
+				Offset:  off,
+				Time:    int64(le.Uint64(payload[8:])),
+				Kind:    payload[16],
+				Flags:   payload[17],
+				Payload: payload[envSize:],
+			}); err != nil {
+				cbErr = err
+				return logio.ErrStop
+			}
+		}
+		sc.Records++
+		sc.End++
+		return nil
+	})
+	if err != nil {
+		return segScan{}, fmt.Errorf("eventlog: scan %s: %w", path, err)
+	}
+	if cbErr != nil {
+		return segScan{}, cbErr
+	}
+	sc.CleanBytes = segHdrSize + res.Clean
+	sc.TailBytes = res.Tail
+	return sc, nil
+}
+
+// ErrCorrupt marks damage outside the replayable tail: a sealed segment
+// that does not run cleanly into its successor, or a gap in the offset
+// chain. Recovery must not proceed past it silently.
+var ErrCorrupt = errors.New("eventlog: log corrupted before tail")
+
+// ReadFrom replays every record with offset >= from, in offset order,
+// into fn. Damage in the final segment is tolerated as a torn tail
+// (replay ends there); damage anywhere earlier returns ErrCorrupt,
+// because records after it exist but the chain to them is broken. The
+// Record passed to fn aliases a reused buffer. Returns the offset one
+// past the last record delivered.
+func (l *Log) ReadFrom(from uint64, fn func(Record) error) (uint64, error) {
+	l.mu.Lock()
+	if l.buf != nil && !l.killed && !l.closed {
+		// Make buffered appends visible to this same-process reader; no
+		// fsync needed, the file contents are what we read.
+		if err := l.buf.flush(); err != nil {
+			l.mu.Unlock()
+			return 0, fmt.Errorf("eventlog: flush before read: %w", err)
+		}
+	}
+	segs := append([]segmentRef(nil), l.segs...)
+	l.mu.Unlock()
+	return readSegments(segs, from, fn)
+}
+
+func readSegments(segs []segmentRef, from uint64, fn func(Record) error) (uint64, error) {
+	next := from
+	if len(segs) > 0 && from < segs[0].base {
+		// Records below the first segment were compacted away; replay can
+		// only start at the retained chain.
+		next = segs[0].base
+	}
+	for i, seg := range segs {
+		last := i == len(segs)-1
+		if !last && segs[i+1].base <= next {
+			continue // entirely below the requested offset
+		}
+		deliver := func(r Record) error {
+			if r.Offset < from {
+				return nil
+			}
+			return fn(r)
+		}
+		sc, err := scanSegment(seg.path, seg.base, deliver)
+		if err != nil {
+			return next, err
+		}
+		if seg.base > next {
+			return next, fmt.Errorf("%w: gap between offset %d and segment base %d", ErrCorrupt, next, seg.base)
+		}
+		if !last {
+			if sc.TailBytes > 0 || sc.End != segs[i+1].base {
+				return next, fmt.Errorf("%w: sealed segment %s ends at %d with %d tail bytes, next segment starts at %d",
+					ErrCorrupt, seg.path, sc.End, sc.TailBytes, segs[i+1].base)
+			}
+		}
+		if sc.End > next {
+			next = sc.End
+		}
+	}
+	return next, nil
+}
+
+// SegmentInfo is one segment's inspection summary.
+type SegmentInfo struct {
+	Path    string `json:"path"`
+	Base    uint64 `json:"base"`
+	Records int    `json:"records"`
+	End     uint64 `json:"end"`
+	Bytes   int64  `json:"bytes"`
+	Torn    bool   `json:"torn"`
+}
+
+// InspectResult summarises a log directory for tooling (titant logctl).
+type InspectResult struct {
+	Segments    []SegmentInfo     `json:"segments"`
+	FirstOffset uint64            `json:"first_offset"`
+	NextOffset  uint64            `json:"next_offset"`
+	Records     int               `json:"records"`
+	Kinds       map[string]int    `json:"kinds"`
+	Consumers   map[string]uint64 `json:"consumers,omitempty"`
+	SnapshotEnd uint64            `json:"snapshot_end"`
+}
+
+// kindName renders an event kind for inspection output.
+func kindName(k uint8) string {
+	switch k {
+	case KindTxn:
+		return "txn"
+	case KindScore:
+		return "score"
+	case KindShadow:
+		return "shadow"
+	case KindReset:
+		return "reset"
+	default:
+		return fmt.Sprintf("kind%d", k)
+	}
+}
+
+// Inspect scans an entire log directory offline: segment chain, record
+// counts by kind, consumer offsets, newest snapshot. It does not open
+// the log for writing and is safe on a directory another process owns
+// (modulo in-flight appends, which read as a tail).
+func Inspect(dir string) (InspectResult, error) {
+	segs, err := listSegments(dir)
+	if err != nil {
+		return InspectResult{}, err
+	}
+	res := InspectResult{Kinds: map[string]int{}}
+	for i, seg := range segs {
+		sc, err := scanSegment(seg.path, seg.base, func(r Record) error {
+			res.Kinds[kindName(r.Kind)]++
+			return nil
+		})
+		if err != nil {
+			return res, err
+		}
+		res.Segments = append(res.Segments, SegmentInfo{
+			Path:    seg.path,
+			Base:    sc.Base,
+			Records: sc.Records,
+			End:     sc.End,
+			Bytes:   sc.CleanBytes + sc.TailBytes,
+			Torn:    sc.TailBytes > 0,
+		})
+		res.Records += sc.Records
+		if i == 0 {
+			res.FirstOffset = sc.Base
+		}
+		res.NextOffset = sc.End
+	}
+	res.Consumers, err = readConsumerDir(dir)
+	if err != nil {
+		return res, err
+	}
+	if end, _, err := latestSnapshot(dir); err == nil {
+		res.SnapshotEnd = end
+	}
+	return res, nil
+}

@@ -1,0 +1,309 @@
+package eventlog
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"titant/internal/logio"
+)
+
+// Snapshots fast-forward recovery: a snapshot captures the derived state
+// (stream window, drift histograms, shadow counters, negative-cache keys)
+// as of an end offset, so a restart loads the snapshot and replays only
+// the records at or past it instead of the whole log. Snapshot files are
+// written atomically and individually CRC-guarded per section; loading
+// falls back to the previous snapshot if the newest is damaged, and to
+// full-log replay if none survives — a bad snapshot can cost time, never
+// correctness.
+
+const (
+	snapMagic   = 0x54534e50 // "TSNP"
+	snapVersion = 1
+	snapPrefix  = "snapshot-"
+	snapSuffix  = ".snap"
+	// snapKeep is how many snapshot generations WriteSnapshot retains:
+	// the new one plus one fallback.
+	snapKeep = 2
+	// maxSectionBytes caps a section read; the length field is untrusted.
+	maxSectionBytes = 1 << 30
+)
+
+func offsetCRC(b []byte) uint32 { return logio.Checksum(b) }
+
+// Section is one named state blob inside a snapshot.
+type Section struct {
+	Name string
+	Data []byte
+}
+
+func snapPath(dir string, end uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%s%016x%s", snapPrefix, end, snapSuffix))
+}
+
+// WriteSnapshot persists sections as the state of everything below end,
+// then prunes older snapshot generations beyond the fallback and
+// compacts segments the snapshot has made replayable-for-free.
+func (l *Log) WriteSnapshot(end uint64, sections []Section) error {
+	var buf []byte
+	var hdr [16]byte
+	le.PutUint32(hdr[0:], snapMagic)
+	le.PutUint32(hdr[4:], snapVersion)
+	le.PutUint64(hdr[8:], end)
+	buf = append(buf, hdr[:]...)
+	var n4 [4]byte
+	le.PutUint32(n4[:], uint32(len(sections)))
+	buf = append(buf, n4[:]...)
+	for _, s := range sections {
+		if len(s.Name) > 255 {
+			return fmt.Errorf("eventlog: snapshot section name %q too long", s.Name)
+		}
+		le.PutUint32(n4[:], uint32(len(s.Name)))
+		buf = append(buf, n4[:]...)
+		buf = append(buf, s.Name...)
+		le.PutUint32(n4[:], uint32(len(s.Data)))
+		buf = append(buf, n4[:]...)
+		le.PutUint32(n4[:], logio.Checksum(s.Data))
+		buf = append(buf, n4[:]...)
+		buf = append(buf, s.Data...)
+	}
+
+	// Whole-file CRC trailer: the per-section CRCs guard data blobs, this
+	// guards the structure around them (names, lengths, counts).
+	var crc [4]byte
+	le.PutUint32(crc[:], logio.Checksum(buf))
+	buf = append(buf, crc[:]...)
+
+	path := snapPath(l.dir, end)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, buf, defaultPerm); err != nil {
+		return fmt.Errorf("eventlog: write snapshot: %w", err)
+	}
+	f, err := os.Open(tmp)
+	if err == nil {
+		// The rename only orders against the data once the data is on
+		// disk; fsync before commit, as for any atomic-replace write.
+		_ = f.Sync()
+		f.Close()
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("eventlog: commit snapshot: %w", err)
+	}
+
+	l.mu.Lock()
+	l.snapEnd = end
+	l.mu.Unlock()
+
+	pruneSnapshots(l.dir, snapKeep)
+	return l.Compact()
+}
+
+// listSnapshots returns snapshot end offsets present in dir, ascending.
+func listSnapshots(dir string) ([]uint64, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("eventlog: read dir: %w", err)
+	}
+	var ends []uint64
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, snapPrefix) || !strings.HasSuffix(name, snapSuffix) {
+			continue
+		}
+		hexs := strings.TrimSuffix(strings.TrimPrefix(name, snapPrefix), snapSuffix)
+		end, err := strconv.ParseUint(hexs, 16, 64)
+		if err != nil {
+			continue
+		}
+		ends = append(ends, end)
+	}
+	sort.Slice(ends, func(a, b int) bool { return ends[a] < ends[b] })
+	return ends, nil
+}
+
+func pruneSnapshots(dir string, keep int) {
+	ends, err := listSnapshots(dir)
+	if err != nil || len(ends) <= keep {
+		return
+	}
+	for _, end := range ends[:len(ends)-keep] {
+		_ = os.Remove(snapPath(dir, end))
+	}
+}
+
+// LoadSnapshot returns the newest intact snapshot's end offset and
+// sections. Damaged snapshots are skipped in favour of older ones;
+// (0, nil, nil) means no usable snapshot exists and the caller replays
+// the full log.
+func LoadSnapshot(dir string) (uint64, map[string][]byte, error) {
+	ends, err := listSnapshots(dir)
+	if err != nil {
+		return 0, nil, err
+	}
+	for i := len(ends) - 1; i >= 0; i-- {
+		end, sections, err := readSnapshot(snapPath(dir, ends[i]))
+		if err != nil || end != ends[i] {
+			continue // damaged or mislabeled; fall back to the previous one
+		}
+		return end, sections, nil
+	}
+	return 0, nil, nil
+}
+
+// latestSnapshot reports the newest intact snapshot's end offset.
+func latestSnapshot(dir string) (uint64, map[string][]byte, error) {
+	return LoadSnapshot(dir)
+}
+
+func readSnapshot(path string) (uint64, map[string][]byte, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return 0, nil, err
+	}
+	if len(buf) < 24 {
+		return 0, nil, fmt.Errorf("eventlog: snapshot %s: too short", path)
+	}
+	body, trailer := buf[:len(buf)-4], buf[len(buf)-4:]
+	if logio.Checksum(body) != le.Uint32(trailer) {
+		return 0, nil, fmt.Errorf("eventlog: snapshot %s: file checksum mismatch", path)
+	}
+	buf = body
+	if le.Uint32(buf[0:]) != snapMagic {
+		return 0, nil, fmt.Errorf("eventlog: snapshot %s: bad header", path)
+	}
+	if v := le.Uint32(buf[4:]); v != snapVersion {
+		return 0, nil, fmt.Errorf("eventlog: snapshot %s: unsupported version %d", path, v)
+	}
+	end := le.Uint64(buf[8:])
+	n := int(le.Uint32(buf[16:]))
+	sections := make(map[string][]byte, n)
+	p := 20
+	for i := 0; i < n; i++ {
+		if p+4 > len(buf) {
+			return 0, nil, fmt.Errorf("eventlog: snapshot %s: truncated at section %d", path, i)
+		}
+		nameLen := int(le.Uint32(buf[p:]))
+		p += 4
+		if nameLen > 255 || p+nameLen+8 > len(buf) {
+			return 0, nil, fmt.Errorf("eventlog: snapshot %s: truncated at section %d", path, i)
+		}
+		name := string(buf[p : p+nameLen])
+		p += nameLen
+		dataLen := int(le.Uint32(buf[p:]))
+		crc := le.Uint32(buf[p+4:])
+		p += 8
+		if dataLen > maxSectionBytes || p+dataLen > len(buf) {
+			return 0, nil, fmt.Errorf("eventlog: snapshot %s: truncated at section %d", path, i)
+		}
+		data := buf[p : p+dataLen]
+		p += dataLen
+		if logio.Checksum(data) != crc {
+			return 0, nil, fmt.Errorf("eventlog: snapshot %s: section %q checksum mismatch", path, name)
+		}
+		sections[name] = data
+	}
+	return end, sections, nil
+}
+
+// Compact removes sealed segments every possible reader is past: a
+// segment is removable only when the newest snapshot AND every committed
+// consumer offset lie at or beyond its end (i.e. its successor's base),
+// and at least RetainSegments segments always remain. Age retention
+// (RetainAge) additionally protects recent segments from removal.
+func (l *Log) Compact() error {
+	l.mu.Lock()
+	floor := l.snapEnd
+	for _, off := range l.consumers {
+		if off < floor {
+			floor = off
+		}
+	}
+	type cand struct {
+		path string
+		end  uint64
+	}
+	var cands []cand
+	// The active segment (last) is never compactable; walk sealed ones.
+	for i := 0; i+1 < len(l.segs); i++ {
+		cands = append(cands, cand{path: l.segs[i].path, end: l.segs[i+1].base})
+	}
+	keep := l.opts.RetainSegments
+	retainAge := l.opts.RetainAge
+	total := len(l.segs)
+	var removed int
+	var removedPaths []string
+	for _, c := range cands {
+		if total-removed <= keep {
+			break
+		}
+		if c.end > floor {
+			break // this and everything after is still needed
+		}
+		if retainAge > 0 {
+			if fi, err := os.Stat(c.path); err == nil && time.Since(fi.ModTime()) < retainAge {
+				break
+			}
+		}
+		removedPaths = append(removedPaths, c.path)
+		removed++
+	}
+	if removed > 0 {
+		l.segs = append([]segmentRef(nil), l.segs[removed:]...)
+	}
+	l.mu.Unlock()
+
+	for _, p := range removedPaths {
+		if err := os.Remove(p); err != nil {
+			return fmt.Errorf("eventlog: compact: %w", err)
+		}
+	}
+	return nil
+}
+
+// CompactDir runs offline compaction on a closed log directory (the
+// logctl path): same floor rule as Compact, using on-disk snapshots and
+// consumer offsets. Returns the removed segment paths.
+func CompactDir(dir string, retain int) ([]string, error) {
+	if retain <= 0 {
+		retain = 2
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	floor, _, err := LoadSnapshot(dir)
+	if err != nil {
+		return nil, err
+	}
+	consumers, err := readConsumerDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, off := range consumers {
+		if off < floor {
+			floor = off
+		}
+	}
+	var removed []string
+	total := len(segs)
+	for i := 0; i+1 < len(segs); i++ {
+		if total-len(removed) <= retain {
+			break
+		}
+		if segs[i+1].base > floor {
+			break
+		}
+		removed = append(removed, segs[i].path)
+	}
+	for _, p := range removed {
+		if err := os.Remove(p); err != nil {
+			return removed, fmt.Errorf("eventlog: compact: %w", err)
+		}
+	}
+	return removed, nil
+}

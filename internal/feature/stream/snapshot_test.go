@@ -1,0 +1,165 @@
+package stream
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"titant/internal/txn"
+)
+
+func randTxn(rng *rand.Rand, users int) txn.Transaction {
+	return txn.Transaction{
+		ID:        txn.TxnID(rng.Int63()),
+		Day:       txn.Day(rng.Intn(10)),
+		Sec:       int32(rng.Intn(86400)),
+		From:      txn.UserID(rng.Intn(users)),
+		To:        txn.UserID(rng.Intn(users)),
+		Amount:    rng.Float32() * 1000,
+		TransCity: uint16(rng.Intn(40)),
+		Fraud:     rng.Intn(20) == 0,
+	}
+}
+
+func newTestStore() *Store {
+	return New(WithShards(4), WithWindow(8, 3600), WithCities(32))
+}
+
+// TestSnapshotRoundTrip: restore(snapshot(S)) must reproduce every read
+// surface of S bitwise, and stay bitwise-equal while both stores ingest
+// the same subsequent traffic.
+func TestSnapshotRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := newTestStore()
+	const users = 50
+	for i := 0; i < 2000; i++ {
+		tx := randTxn(rng, users)
+		s.Ingest(&tx)
+	}
+
+	var buf bytes.Buffer
+	if err := s.WriteState(&buf); err != nil {
+		t.Fatalf("WriteState: %v", err)
+	}
+	r := newTestStore()
+	if err := r.RestoreState(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("RestoreState: %v", err)
+	}
+
+	assertStoresEqual(t, s, r, users, "after restore")
+
+	// Both continue ingesting the same stream: the restored store must
+	// track the original exactly, including window slides and evictions.
+	for i := 0; i < 1000; i++ {
+		tx := randTxn(rng, users)
+		s.Ingest(&tx)
+		r.Ingest(&tx)
+	}
+	assertStoresEqual(t, s, r, users, "after post-restore ingest")
+}
+
+func assertStoresEqual(t *testing.T, a, b *Store, users int, when string) {
+	t.Helper()
+	if a.Ingested() != b.Ingested() || a.Dropped() != b.Dropped() {
+		t.Fatalf("%s: counters diverge: ingested %d/%d dropped %d/%d",
+			when, a.Ingested(), b.Ingested(), a.Dropped(), b.Dropped())
+	}
+	for u := 0; u < users; u++ {
+		id := txn.UserID(u)
+		sa, sb := a.Stats(id), b.Stats(id)
+		if sa != sb {
+			t.Fatalf("%s: Stats(%d) diverge:\n a=%+v\n b=%+v", when, u, sa, sb)
+		}
+		ao, aoa, ai, aia := a.Velocity(id)
+		bo, boa, bi, bia := b.Velocity(id)
+		if ao != bo || aoa != boa || ai != bi || aia != bia {
+			t.Fatalf("%s: Velocity(%d) diverge", when, u)
+		}
+		for v := 0; v < 5; v++ {
+			if a.PairPrior(id, txn.UserID(v)) != b.PairPrior(id, txn.UserID(v)) {
+				t.Fatalf("%s: PairPrior(%d,%d) diverge", when, u, v)
+			}
+		}
+	}
+	for c := uint16(0); c < 40; c++ {
+		af, as, an := a.LookupCity(c)
+		bf, bs, bn := b.LookupCity(c)
+		if af != bf || as != bs || an != bn {
+			t.Fatalf("%s: LookupCity(%d) diverge: (%v,%v,%v) vs (%v,%v,%v)",
+				when, c, af, as, an, bf, bs, bn)
+		}
+	}
+	ca, cb := a.CityTable(), b.CityTable()
+	for i := range ca.Fraud {
+		if ca.Fraud[i] != cb.Fraud[i] || ca.Share[i] != cb.Share[i] {
+			t.Fatalf("%s: CityTable city %d diverges", when, i)
+		}
+	}
+}
+
+func TestSnapshotEmptyStore(t *testing.T) {
+	s := newTestStore()
+	var buf bytes.Buffer
+	if err := s.WriteState(&buf); err != nil {
+		t.Fatalf("WriteState: %v", err)
+	}
+	r := newTestStore()
+	if err := r.RestoreState(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("RestoreState: %v", err)
+	}
+	tx := txn.Transaction{ID: 1, Day: 1, From: 1, To: 2, Amount: 10}
+	s.Ingest(&tx)
+	r.Ingest(&tx)
+	assertStoresEqual(t, s, r, 5, "empty round trip")
+}
+
+func TestSnapshotGeometryMismatch(t *testing.T) {
+	s := newTestStore()
+	var buf bytes.Buffer
+	if err := s.WriteState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	bad := New(WithShards(4), WithWindow(16, 3600), WithCities(32))
+	if err := bad.RestoreState(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("geometry mismatch accepted")
+	}
+}
+
+func TestSnapshotDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	s := newTestStore()
+	for i := 0; i < 500; i++ {
+		tx := randTxn(rng, 20)
+		s.Ingest(&tx)
+	}
+	var a, b bytes.Buffer
+	if err := s.WriteState(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteState(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two snapshots of identical state differ byte-wise")
+	}
+}
+
+func TestSnapshotTruncated(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	s := newTestStore()
+	for i := 0; i < 200; i++ {
+		tx := randTxn(rng, 20)
+		s.Ingest(&tx)
+	}
+	var buf bytes.Buffer
+	if err := s.WriteState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for _, cut := range []int{0, 3, 10, len(data) / 2, len(data) - 1} {
+		r := newTestStore()
+		if err := r.RestoreState(bytes.NewReader(data[:cut])); err == nil {
+			t.Fatalf("truncated snapshot (%d/%d bytes) accepted", cut, len(data))
+		}
+	}
+}

@@ -3,9 +3,10 @@ package hbase
 import (
 	"encoding/binary"
 	"fmt"
-	"hash/crc32"
 	"os"
 	"sort"
+
+	"titant/internal/logio"
 )
 
 // segment is one immutable sorted file of cells (the HFile analogue).
@@ -74,7 +75,7 @@ func writeSegment(path string, id uint64, cells []Cell) (*segment, error) {
 	le := binary.LittleEndian
 	le.PutUint32(buf[0:], segMagic)
 	le.PutUint32(buf[4:], uint32(len(cells)))
-	le.PutUint32(buf[8:], crc32.Checksum(body, walTable))
+	le.PutUint32(buf[8:], logio.Checksum(body))
 	buf = append(buf, body...)
 	tmp := path + ".tmp"
 	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
@@ -99,7 +100,7 @@ func openSegment(path string, id uint64) (*segment, error) {
 	n := int(binary.LittleEndian.Uint32(buf[4:]))
 	wantCRC := binary.LittleEndian.Uint32(buf[8:])
 	body := buf[16:]
-	if crc32.Checksum(body, walTable) != wantCRC {
+	if logio.Checksum(body) != wantCRC {
 		return nil, fmt.Errorf("hbase: segment %s: checksum mismatch", path)
 	}
 	cells := make([]Cell, 0, n)

@@ -2,92 +2,91 @@ package hbase
 
 import (
 	"bufio"
-	"encoding/binary"
 	"errors"
 	"fmt"
-	"hash/crc32"
 	"io"
 	"io/fs"
 	"os"
+
+	"titant/internal/logio"
 )
 
 // wal is the write-ahead log: every mutation is appended (with a CRC) and
 // fsync-ordered before it touches the MemStore, so an unflushed MemStore is
 // recoverable after a crash. The log is truncated after each successful
-// flush to an HFile.
+// flush to an HFile. Framing is the shared logio format, the same one the
+// ingest event log uses.
 type wal struct {
 	f   *os.File
 	w   *bufio.Writer
+	fw  *logio.Writer
 	len int64
 }
 
-var walTable = crc32.MakeTable(crc32.Castagnoli)
-
 func openWAL(path string) (*wal, []Cell, error) {
 	// Replay any existing log first.
-	cells, err := replayWAL(path)
+	cells, clean, err := replayWAL(path)
 	if err != nil {
 		return nil, nil, err
 	}
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, nil, fmt.Errorf("hbase: open wal: %w", err)
 	}
-	fi, err := f.Stat()
-	if err != nil {
+	// Drop any torn tail before appending: O_APPEND after a crash would
+	// otherwise leave the garbage wedged mid-file, permanently ending every
+	// future replay at that point even though valid records follow it.
+	if err := f.Truncate(clean); err != nil {
 		f.Close()
-		return nil, nil, fmt.Errorf("hbase: stat wal: %w", err)
+		return nil, nil, fmt.Errorf("hbase: truncate wal tail: %w", err)
 	}
-	return &wal{f: f, w: bufio.NewWriterSize(f, 1<<16), len: fi.Size()}, cells, nil
+	if _, err := f.Seek(clean, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("hbase: seek wal: %w", err)
+	}
+	w := &wal{f: f, w: bufio.NewWriterSize(f, 1<<16), len: clean}
+	w.fw = logio.NewWriter(w.w)
+	return w, cells, nil
 }
 
-// replayWAL reads every intact record; a torn tail (partial last record,
-// e.g. after a crash) is tolerated and ignored.
-func replayWAL(path string) ([]Cell, error) {
-	data, err := os.ReadFile(path)
+// replayWAL streams every intact record from the log without materialising
+// the file; a torn tail (partial or corrupt last record, e.g. after a
+// crash) is tolerated and ignored. Returns the recovered cells and the
+// clean byte length the writer should resume at.
+func replayWAL(path string) ([]Cell, int64, error) {
+	f, err := os.Open(path)
 	if err != nil {
 		if errors.Is(err, fs.ErrNotExist) {
-			return nil, nil
+			return nil, 0, nil
 		}
-		return nil, fmt.Errorf("hbase: read wal: %w", err)
+		return nil, 0, fmt.Errorf("hbase: open wal for replay: %w", err)
 	}
+	defer f.Close()
 	var cells []Cell
-	off := 0
-	for off+8 <= len(data) {
-		le := binary.LittleEndian
-		n := int(le.Uint32(data[off:]))
-		crc := le.Uint32(data[off+4:])
-		if off+8+n > len(data) {
-			break // torn tail
-		}
-		payload := data[off+8 : off+8+n]
-		if crc32.Checksum(payload, walTable) != crc {
-			break // corrupt tail; stop replay here
-		}
+	res, err := logio.Scan(f, func(payload []byte) error {
 		c, used, err := decodeCell(payload)
-		if err != nil || used != n {
-			break
+		if err != nil || used != len(payload) {
+			// The frame is CRC-intact but not a cell this version wrote:
+			// treat it like a torn tail, as the byte-slice replay did.
+			return logio.ErrStop
 		}
 		cells = append(cells, c)
-		off += 8 + n
+		return nil
+	})
+	if err != nil {
+		return nil, 0, fmt.Errorf("hbase: replay wal: %w", err)
 	}
-	return cells, nil
+	return cells, res.Clean, nil
 }
 
 // append logs one cell.
 func (l *wal) append(c *Cell) error {
 	payload := encodeCell(nil, c)
-	var hdr [8]byte
-	le := binary.LittleEndian
-	le.PutUint32(hdr[0:], uint32(len(payload)))
-	le.PutUint32(hdr[4:], crc32.Checksum(payload, walTable))
-	if _, err := l.w.Write(hdr[:]); err != nil {
+	n, err := l.fw.Append(payload)
+	if err != nil {
 		return fmt.Errorf("hbase: wal append: %w", err)
 	}
-	if _, err := l.w.Write(payload); err != nil {
-		return fmt.Errorf("hbase: wal append: %w", err)
-	}
-	l.len += int64(8 + len(payload))
+	l.len += int64(n)
 	return nil
 }
 

@@ -546,6 +546,19 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"queue_depth": s.ShadowQueueDepth(),
 		}
 	}
+	if s.EventLogEnabled() {
+		es := s.EventLogStats()
+		body["eventlog"] = map[string]interface{}{
+			"appended": es.Appended, "fsyncs": es.Fsyncs, "bytes": es.Bytes,
+			"segments": es.Segments, "first_offset": es.FirstOffset,
+			"next_offset": es.NextOffset, "unsynced_bytes": es.UnsyncedBytes,
+			"last_fsync_age_seconds": es.LastFsyncAge,
+			"snapshot_end":           es.SnapshotEnd,
+			"max_consumer_lag":       es.MaxLag,
+			"replayed":               s.EventLogReplayed(),
+			"append_errors":          s.elogErrs.Load(),
+		}
+	}
 	if series := s.DriftStats(); series != nil {
 		// One snapshot pass: the top-level alert derives from the same
 		// series the body reports, so the two cannot contradict.
@@ -588,6 +601,8 @@ type HealthInfo struct {
 	Shadow        bool   `json:"shadow"`
 	Drift         bool   `json:"drift"`
 	DriftAlert    bool   `json:"drift_alert,omitempty"`
+	EventLog      bool   `json:"event_log"`
+	Replayed      int64  `json:"replayed,omitempty"`
 }
 
 // Health snapshots the readiness view served by GET /healthz.
@@ -602,6 +617,8 @@ func (s *Server) Health() HealthInfo {
 		Shadow:        s.ShadowEnabled(),
 		Drift:         s.DriftEnabled(),
 		DriftAlert:    s.DriftAlerted(),
+		EventLog:      s.EventLogEnabled(),
+		Replayed:      s.EventLogReplayed(),
 	}
 }
 

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"titant/internal/decision"
+	"titant/internal/eventlog"
 	"titant/internal/feature"
 	"titant/internal/hbase"
 	"titant/internal/ms/usercache"
@@ -75,6 +76,19 @@ type Server struct {
 	shadowBundle *Bundle // challenger configured by WithShadow
 	shadowQueue  int
 	shadow       *shadowRunner
+
+	// Durability plane (see eventlog.go). elogMu serializes every
+	// (append, apply) pair so the log order is the apply order — the
+	// invariant bitwise replay recovery rests on.
+	elogDir       string
+	elogOpts      []eventlog.Option
+	elog          *eventlog.Log
+	elogMu        sync.Mutex
+	elogBuf       []byte // payload scratch, under elogMu
+	elogSnapEvery uint64
+	elogSnapBase  uint64 // log offset of the newest snapshot, under elogMu
+	elogReplayed  atomic.Int64
+	elogErrs      atomic.Int64 // append failures on paths with no caller to return to
 
 	hist       *histogram
 	ingestHist *histogram // per-endpoint: POST /v1/ingest[/batch] request latency
@@ -134,6 +148,15 @@ func New(table *hbase.Table, bundle *Bundle, opts ...Option) (*Server, error) {
 		}
 		s.shadow = sr
 	}
+	if s.elogDir != "" {
+		// Recovery runs last so every subsystem the snapshot and replay
+		// rebuild already exists. The engine is not shared yet, so replay
+		// applies state without elogMu.
+		if err := s.openEventLog(); err != nil {
+			s.Close()
+			return nil, err
+		}
+	}
 	return s, nil
 }
 
@@ -148,12 +171,17 @@ func driftSeriesNames(b *Bundle) []string {
 	return names
 }
 
-// Close releases the engine's background resources — today the shadow
-// scoring worker. Safe to call on an engine without one, and more than
-// once. Scoring after Close still works; shadow comparisons stop.
+// Close releases the engine's background resources: the shadow scoring
+// worker, and the event log (flushed and fsynced, so a clean shutdown
+// loses nothing). Safe to call on an engine without either, and more
+// than once. Scoring after Close still works; shadow comparisons stop
+// and logged ingest fails.
 func (s *Server) Close() {
 	if s.shadow != nil {
 		s.shadow.close()
+	}
+	if s.elog != nil {
+		_ = s.elog.Close()
 	}
 }
 
@@ -223,12 +251,22 @@ func (s *Server) SetBundle(b *Bundle) error {
 	s.mu.Lock()
 	s.bundle = b
 	s.citySrc = s.cityView(b)
+	// The reset marker and the resets themselves share one elogMu
+	// critical section: no score or shadow event can be logged between
+	// the marker and the state it resets, so replay resets at exactly
+	// the point the live process did. (Lock order is s.mu then elogMu;
+	// the logged hot paths take elogMu alone.)
+	s.elogMu.Lock()
+	if s.elog != nil {
+		s.logResetLocked(b.Version)
+	}
 	if s.driftCfg != nil {
 		s.drift.Store(decision.NewMonitor(*s.driftCfg, driftSeriesNames(b)))
 	}
 	if s.shadow != nil {
 		s.shadow.championSwapped()
 	}
+	s.elogMu.Unlock()
 	s.mu.Unlock()
 	if s.cache != nil {
 		s.cache.Purge()
@@ -389,7 +427,7 @@ func (s *Server) runOne(ctx context.Context, t *txn.Transaction, visit func(*sco
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	observeDrift(mon, combined[:], memberScores)
+	s.recordScores(mon, combined[:], memberScores)
 	return visit(&scoredBatch{
 		bundle: bundle, ens: ens,
 		combined: combined[:], memberScores: memberScores,
@@ -523,7 +561,7 @@ func (s *Server) runBatch(ctx context.Context, txns []txn.Transaction, visit fun
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	observeDrift(mon, combined, memberScores)
+	s.recordScores(mon, combined, memberScores)
 	return visit(&scoredBatch{
 		bundle: bundle, ens: ens,
 		combined: combined, memberScores: memberScores,
@@ -802,6 +840,14 @@ func (s *Server) Ingest(t *txn.Transaction) error {
 	if s.stream == nil {
 		return ErrStreamDisabled
 	}
+	if s.elog != nil {
+		s.elogMu.Lock()
+		defer s.elogMu.Unlock()
+		if err := s.ingestLocked(t); err != nil {
+			return err
+		}
+		return s.maybeSnapshotLocked()
+	}
 	s.stream.Ingest(t)
 	s.dropNegative(t)
 	return nil
@@ -826,6 +872,16 @@ func (s *Server) IngestBatch(txns []txn.Transaction) error {
 	}
 	if s.maxBatch > 0 && len(txns) > s.maxBatch {
 		return batchTooLarge(len(txns), s.maxBatch)
+	}
+	if s.elog != nil {
+		s.elogMu.Lock()
+		defer s.elogMu.Unlock()
+		for i := range txns {
+			if err := s.ingestLocked(&txns[i]); err != nil {
+				return err
+			}
+		}
+		return s.maybeSnapshotLocked()
 	}
 	for i := range txns {
 		s.stream.Ingest(&txns[i])

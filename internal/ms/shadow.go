@@ -136,7 +136,9 @@ func (r *shadowRunner) scoreOne(j *shadowJob) {
 		r.meter.Error()
 		return
 	}
-	r.meter.Record(j.champScore, combined[0], j.champFraud, combined[0] >= b.Threshold)
+	// recordShadow logs the comparison before counting it when the
+	// engine has an event log, so a replayed meter matches this one.
+	r.s.recordShadow(r, j, combined[0], combined[0] >= b.Threshold)
 }
 
 // close stops the worker and waits for it. Idempotent.

@@ -259,6 +259,39 @@ func (c *Cache[K, V]) InvalidateNegative(k K) {
 	}
 }
 
+// NegativeKeys collects the keys of every live negative (known-absent)
+// entry. The negative set is the one cache fragment worth persisting
+// across a restart: positive entries reload from the store on demand, but
+// each lost negative entry costs a cold-start store miss to relearn. Used
+// by the event log's snapshot writer.
+func (c *Cache[K, V]) NegativeKeys() []K {
+	var keys []K
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for j := range s.slots {
+			e := &s.slots[j]
+			if e.live && !e.ok {
+				keys = append(keys, e.key)
+			}
+		}
+		s.mu.Unlock()
+	}
+	return keys
+}
+
+// InsertNegative seeds a negative entry for k under the shard's current
+// generation — the snapshot-restore counterpart of NegativeKeys, called
+// before the cache is shared, so there is no racing load to guard
+// against.
+func (c *Cache[K, V]) InsertNegative(k K) {
+	s := c.shardOf(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var zero V
+	s.insert(k, zero, false)
+}
+
 // Purge drops every entry and bumps every shard generation; use on events
 // that may supersede arbitrarily many keys at once (model hot-swap after
 // an upload wave).

@@ -19,6 +19,30 @@ const (
 	recordSize   = 40
 )
 
+// RecordSize is the fixed encoded size of one transaction record. Exposed
+// for callers that embed codec records in their own framing (the ingest
+// event log wraps each record in a durability envelope).
+const RecordSize = recordSize
+
+// EncodeRecord writes t's fixed-size record into dst, which must be at
+// least RecordSize bytes. Allocation-free.
+func EncodeRecord(dst []byte, t *Transaction) {
+	encodeRecord((*[recordSize]byte)(dst[:recordSize]), t)
+}
+
+// DecodeRecord decodes one fixed-size record from src, applying the same
+// strict flags-byte validation as ReadLog: only bit 0 (fraud) is defined,
+// so any other set bit marks bytes this codec version did not write.
+func DecodeRecord(src []byte) (Transaction, error) {
+	if len(src) < recordSize {
+		return Transaction{}, fmt.Errorf("txn: record too short: %d bytes, want %d", len(src), recordSize)
+	}
+	if src[31]&^1 != 0 {
+		return Transaction{}, fmt.Errorf("txn: record has unknown flag bits %#x", src[31])
+	}
+	return decodeRecord((*[recordSize]byte)(src[:recordSize])), nil
+}
+
 // WriteLog writes transactions to w in the binary log format.
 func WriteLog(w io.Writer, ts []Transaction) error {
 	bw := bufio.NewWriterSize(w, 1<<16)
@@ -75,21 +99,29 @@ func decodeRecord(rec *[recordSize]byte) Transaction {
 	}
 }
 
-// ReadLog reads a binary transaction log written by WriteLog.
-func ReadLog(r io.Reader) ([]Transaction, error) {
-	br := bufio.NewReaderSize(r, 1<<16)
+// readLogHeader validates the log header and returns the record count.
+func readLogHeader(br *bufio.Reader) (int, error) {
 	var hdr [12]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
-		return nil, fmt.Errorf("txn: read header: %w", err)
+		return 0, fmt.Errorf("txn: read header: %w", err)
 	}
 	le := binary.LittleEndian
 	if le.Uint32(hdr[0:]) != codecMagic {
-		return nil, fmt.Errorf("txn: bad magic %#x", le.Uint32(hdr[0:]))
+		return 0, fmt.Errorf("txn: bad magic %#x", le.Uint32(hdr[0:]))
 	}
 	if v := le.Uint32(hdr[4:]); v != codecVersion {
-		return nil, fmt.Errorf("txn: unsupported version %d", v)
+		return 0, fmt.Errorf("txn: unsupported version %d", v)
 	}
-	n := int(le.Uint32(hdr[8:]))
+	return int(le.Uint32(hdr[8:])), nil
+}
+
+// ReadLog reads a binary transaction log written by WriteLog.
+func ReadLog(r io.Reader) ([]Transaction, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	n, err := readLogHeader(br)
+	if err != nil {
+		return nil, err
+	}
 	// The header's record count is untrusted input: cap the preallocation
 	// so a crafted 12-byte header cannot demand gigabytes up front. A
 	// count beyond the cap grows normally — or fails at the first missing
@@ -112,4 +144,32 @@ func ReadLog(r io.Reader) ([]Transaction, error) {
 		ts = append(ts, decodeRecord(&rec))
 	}
 	return ts, nil
+}
+
+// ReadLogFunc streams a binary transaction log to fn, one record at a
+// time, without materialising the whole slice: replaying a multi-gigabyte
+// log costs one record of working memory. The record passed to fn is
+// reused between calls — copy it to keep it. Validation is identical to
+// ReadLog (magic, version, strict flags byte, exact record count); fn
+// returning an error aborts the read and is returned as-is.
+func ReadLogFunc(r io.Reader, fn func(*Transaction) error) error {
+	br := bufio.NewReaderSize(r, 1<<16)
+	n, err := readLogHeader(br)
+	if err != nil {
+		return err
+	}
+	var rec [recordSize]byte
+	for i := 0; i < n; i++ {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return fmt.Errorf("txn: read record %d/%d: %w", i, n, err)
+		}
+		if rec[31]&^1 != 0 {
+			return fmt.Errorf("txn: record %d/%d has unknown flag bits %#x", i, n, rec[31])
+		}
+		t := decodeRecord(&rec)
+		if err := fn(&t); err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -1,0 +1,145 @@
+package txn
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func randomTxns(rng *rand.Rand, n int) []Transaction {
+	ts := make([]Transaction, n)
+	for i := range ts {
+		ts[i] = Transaction{
+			ID:         TxnID(rng.Int63()),
+			Day:        Day(rng.Intn(TimelineDays)),
+			Sec:        int32(rng.Intn(86400)),
+			From:       UserID(rng.Intn(10000)),
+			To:         UserID(rng.Intn(10000)),
+			Amount:     rng.Float32() * 5000,
+			TransCity:  uint16(rng.Intn(400)),
+			DeviceRisk: rng.Float32(),
+			IPRisk:     rng.Float32(),
+			Channel:    Channel(rng.Intn(NumChannels)),
+			Fraud:      rng.Intn(50) == 0,
+		}
+	}
+	return ts
+}
+
+// TestReadLogFuncMatchesReadLog is the property test: on random logs —
+// intact and truncated at every interesting point — the streaming decoder
+// must deliver exactly the records ReadLog returns, and fail exactly when
+// ReadLog fails.
+func TestReadLogFuncMatchesReadLog(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		ts := randomTxns(rng, rng.Intn(200))
+		var buf bytes.Buffer
+		if err := WriteLog(&buf, ts); err != nil {
+			t.Fatalf("trial %d: WriteLog: %v", trial, err)
+		}
+		full := buf.Bytes()
+
+		// Cut points: intact, empty, mid-header, every record boundary,
+		// and random mid-record positions.
+		cuts := []int{len(full), 0, 5, 11, 12}
+		for i := 0; i <= len(ts); i++ {
+			cuts = append(cuts, 12+i*RecordSize)
+		}
+		for i := 0; i < 10; i++ {
+			cuts = append(cuts, rng.Intn(len(full)+1))
+		}
+
+		for _, cut := range cuts {
+			if cut > len(full) {
+				continue
+			}
+			data := full[:cut]
+
+			want, wantErr := ReadLog(bytes.NewReader(data))
+			var got []Transaction
+			gotErr := ReadLogFunc(bytes.NewReader(data), func(tx *Transaction) error {
+				got = append(got, *tx)
+				return nil
+			})
+
+			if (wantErr == nil) != (gotErr == nil) {
+				t.Fatalf("trial %d cut %d: error mismatch: ReadLog=%v ReadLogFunc=%v",
+					trial, cut, wantErr, gotErr)
+			}
+			if wantErr != nil {
+				// Both fail; the streaming decoder must have delivered only
+				// a prefix of the good records before failing.
+				if len(got) > len(ts) {
+					t.Fatalf("trial %d cut %d: streamed %d records from log of %d", trial, cut, len(got), len(ts))
+				}
+				for i := range got {
+					if got[i] != ts[i] {
+						t.Fatalf("trial %d cut %d: streamed record %d mismatch", trial, cut, i)
+					}
+				}
+				continue
+			}
+			if len(got) != len(want) {
+				t.Fatalf("trial %d cut %d: %d records streamed, want %d", trial, cut, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d cut %d: record %d mismatch:\n got %+v\nwant %+v", trial, cut, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestReadLogFuncCallbackError(t *testing.T) {
+	ts := randomTxns(rand.New(rand.NewSource(7)), 10)
+	var buf bytes.Buffer
+	if err := WriteLog(&buf, ts); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	n := 0
+	err := ReadLogFunc(bytes.NewReader(buf.Bytes()), func(*Transaction) error {
+		n++
+		if n == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("callback error not propagated: %v", err)
+	}
+	if n != 3 {
+		t.Fatalf("callback ran %d times after error, want 3", n)
+	}
+}
+
+func TestEncodeDecodeRecordRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	buf := make([]byte, RecordSize)
+	for _, tx := range randomTxns(rng, 100) {
+		EncodeRecord(buf, &tx)
+		got, err := DecodeRecord(buf)
+		if err != nil {
+			t.Fatalf("DecodeRecord: %v", err)
+		}
+		if got != tx {
+			t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, tx)
+		}
+	}
+}
+
+func TestDecodeRecordStrictFlags(t *testing.T) {
+	tx := Transaction{ID: 1, Fraud: true}
+	buf := make([]byte, RecordSize)
+	EncodeRecord(buf, &tx)
+	buf[31] |= 0x80
+	if _, err := DecodeRecord(buf); err == nil {
+		t.Fatal("unknown flag bits accepted")
+	}
+	if _, err := DecodeRecord(buf[:RecordSize-1]); err == nil {
+		t.Fatal("short record accepted")
+	}
+}

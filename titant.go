@@ -51,6 +51,7 @@ import (
 
 	"titant/internal/core"
 	"titant/internal/decision"
+	"titant/internal/eventlog"
 	"titant/internal/exp"
 	"titant/internal/feature"
 	"titant/internal/feature/stream"
@@ -129,6 +130,15 @@ type (
 	// UserCacheStats snapshots the engine's read-through user-cache
 	// counters (see WithUserCache and Engine.UserCacheStats).
 	UserCacheStats = usercache.Stats
+	// EventLogOption tunes the engine's durable event log (see
+	// WithEventLog and internal/eventlog).
+	EventLogOption = eventlog.Option
+	// EventLogStats is the event log's operational snapshot
+	// (Engine.EventLogStats, /v1/stats "eventlog" section).
+	EventLogStats = eventlog.Stats
+	// EventLogInspection summarises a log directory offline (see
+	// InspectEventLog and `titant logctl`).
+	EventLogInspection = eventlog.InspectResult
 	// DecisionPolicy is a versioned risk-decision policy document:
 	// per-scenario threshold bands plus rule predicates, mapping scores
 	// to approve/challenge/deny actions (see internal/decision).
@@ -369,6 +379,42 @@ func WithStreamAggregates(st *StreamStore) EngineOption { return ms.WithStreamAg
 // WithStreamWarmup sets how many transactions the live window needs
 // before scoring trusts it over the bundle's frozen city table.
 func WithStreamWarmup(n int64) EngineOption { return ms.WithStreamWarmup(n) }
+
+// WithEventLog attaches a durable, replayable event log rooted at dir:
+// ingest becomes log-then-apply, scoring logs drift and shadow
+// observations, and a restarted engine rebuilds its streaming window,
+// drift baselines and shadow tallies bitwise-identical by snapshot load
+// plus tail replay.
+func WithEventLog(dir string, opts ...EventLogOption) EngineOption {
+	return ms.WithEventLog(dir, opts...)
+}
+
+// WithSnapshotEvery sets how many log events accumulate between
+// derived-state snapshots (n <= 0 disables snapshotting).
+func WithSnapshotEvery(n int64) EngineOption { return ms.WithSnapshotEvery(n) }
+
+// WithEventLogFsyncInterval sets the log's group-commit fsync timer.
+func WithEventLogFsyncInterval(d time.Duration) EventLogOption {
+	return eventlog.WithFsyncInterval(d)
+}
+
+// WithEventLogSegmentBytes sets the log's segment rotation threshold.
+func WithEventLogSegmentBytes(n int64) EventLogOption { return eventlog.WithSegmentBytes(n) }
+
+// WithEventLogRetainSegments sets the minimum segment count compaction
+// keeps.
+func WithEventLogRetainSegments(n int) EventLogOption { return eventlog.WithRetainSegments(n) }
+
+// InspectEventLog scans a log directory offline: segment chain, record
+// counts by kind, consumer offsets, newest snapshot.
+func InspectEventLog(dir string) (EventLogInspection, error) { return eventlog.Inspect(dir) }
+
+// CompactEventLog removes sealed log segments that the newest snapshot
+// and every consumer are past, keeping at least retain segments
+// (retain <= 0 takes the default). Returns the removed segment paths.
+func CompactEventLog(dir string, retain int) ([]string, error) {
+	return eventlog.CompactDir(dir, retain)
+}
 
 // ModelServer is the pre-v1 serving facade: a thin wrapper over Engine
 // whose Score takes no context.
