@@ -8,13 +8,13 @@ SHELL := /bin/bash
 
 BENCHTIME ?= 100x
 
-.PHONY: test race bench-serving
+.PHONY: test race bench-serving loadgen-smoke
 
 test:
 	go build ./... && go test ./...
 
 race:
-	go test -race ./internal/feature/stream/ ./internal/ms/... ./internal/hbase/ ./internal/decision/ ./internal/eventlog/ ./internal/logio/
+	go test -race ./internal/feature/stream/ ./internal/ms/... ./internal/hbase/ ./internal/decision/ ./internal/eventlog/ ./internal/logio/ ./internal/loadgen/ ./internal/synth/
 
 # bench-serving runs the hot serving read-path benchmarks (user fetch,
 # multi-get, point read, cached and uncached batch scoring, plus the
@@ -33,3 +33,15 @@ bench-serving:
 	  go test -run '^$$' -bench 'BenchmarkScoreSequential|BenchmarkScoreBatch$$|BenchmarkScoreBatchCached|BenchmarkDecideBatch|BenchmarkIngestLogged|BenchmarkReplay$$' -benchmem -benchtime=$(BENCHTIME) . ; \
 	} | tee /dev/stderr | go run ./cmd/benchjson > BENCH_serving.json
 	@echo "wrote BENCH_serving.json"
+
+# loadgen-smoke runs the open-loop scenario load harness end to end in
+# process — compose the scenario world, train a fast bundle, drive the
+# engine under admission control — and writes LOADGEN_report.json
+# (throughput, p50/p99/p999 from scheduled arrival, per-scenario recall
+# and precision against the manifests) next to BENCH_serving.json, so
+# every PR leaves a detection-quality and tail-latency trajectory.
+loadgen-smoke:
+	go run ./cmd/titant loadgen -users 1200 -detectors gbdt -schedule spike \
+	  -rate 1500 -duration 5s -quota 1200 -burst 600 -max-inflight 256 \
+	  -out LOADGEN_report.json
+	@echo "wrote LOADGEN_report.json"

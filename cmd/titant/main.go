@@ -2,7 +2,8 @@
 //
 // Subcommands:
 //
-//	gen   -out log.bin [-users N] [-seed N]   generate a synthetic world's log
+//	gen   -out log.bin [-users N] [-seed N] [-scenarios] [-manifest m.json]
+//	                                          generate a synthetic world's log
 //	eval  [-users N] [-seed N] [-dataset N]   train and evaluate one dataset
 //	train -out bundle.bin [-detectors gbdt,lr,c50] [-combine mean|max|vote]
 //	      [-data dir] [-users N] [-seed N] [-dataset N]
@@ -12,10 +13,16 @@
 //	      [-stream] [-stream-shards N] [-stream-buckets N] [-stream-bucket-secs N]
 //	      [-policy default|file.json] [-shadow lr,...] [-shadow-queue N] [-drift]
 //	      [-eventlog DIR] [-eventlog-fsync D] [-eventlog-segment-mb N]
-//	      [-eventlog-snapshot-every N]
+//	      [-eventlog-snapshot-every N] [-scenarios]
+//	      [-quota N] [-quota-burst N] [-max-inflight N]
 //	                                          train, deploy and serve over HTTP
 //	logctl <inspect|compact> -dir DIR [-retain N] [-json]
 //	                                          inspect or compact an event log directory
+//	loadgen [-addr URL] [-schedule constant|diurnal|spike] [-rate N] [-duration D]
+//	        [-opmix S:D:I] [-load-users N] [-zipf S] [-load-seed N]
+//	        [-quota N] [-burst N] [-max-inflight N] [-out report.json]
+//	                                          open-loop load run graded against the
+//	                                          scenario manifests (see loadgen.go)
 //
 // train runs the offline pipeline for several detectors at once (the
 // paper deploys Isolation Forest, ID3/C5.0, LR and GBDT side by side) and
@@ -75,13 +82,15 @@ func main() {
 		cmdServe(os.Args[2:])
 	case "logctl":
 		cmdLogctl(os.Args[2:])
+	case "loadgen":
+		cmdLoadgen(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: titant <gen|eval|train|serve|logctl> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: titant <gen|eval|train|serve|logctl|loadgen> [flags]")
 	os.Exit(2)
 }
 
@@ -125,8 +134,33 @@ func cmdGen(args []string) {
 	fs := flag.NewFlagSet("gen", flag.ExitOnError)
 	users, seed := worldFlags(fs)
 	out := fs.String("out", "titant-log.bin", "output file")
+	scenarios := fs.Bool("scenarios", false, "compose the attack scenario library onto the base world")
+	manifest := fs.String("manifest", "", "write the scenario ground-truth manifest JSON here (implies -scenarios)")
 	_ = fs.Parse(args)
-	w := buildWorld(*users, *seed)
+	var w *titant.World
+	if *scenarios || *manifest != "" {
+		cfg := titant.DefaultWorldConfig()
+		if *users > 0 {
+			cfg.Users = *users
+		}
+		if *seed > 0 {
+			cfg.Seed = *seed
+		}
+		var man *titant.WorldManifest
+		w, man = titant.ComposeWorld(cfg, titant.DefaultScenarioMix())
+		if *manifest != "" {
+			raw, err := man.Encode()
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := os.WriteFile(*manifest, raw, 0o644); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("wrote %d scenario manifests to %s\n", len(man.Scenarios), *manifest)
+		}
+	} else {
+		w = buildWorld(*users, *seed)
+	}
 	f, err := os.Create(*out)
 	if err != nil {
 		log.Fatal(err)
@@ -252,8 +286,26 @@ func cmdServe(args []string) {
 	elogFsync := fs.Duration("eventlog-fsync", 0, "event log group-commit fsync interval (0 = default, 50ms)")
 	elogSegMB := fs.Int64("eventlog-segment-mb", 0, "event log segment rotation size in MiB (0 = default, 64)")
 	elogSnapEvery := fs.Int64("eventlog-snapshot-every", 0, "log events between derived-state snapshots (0 = default, 65536; negative disables)")
+	scenarios := fs.Bool("scenarios", false, "train on the composed scenario world (matches `gen -scenarios` / `loadgen` ground truth)")
+	quota := fs.Float64("quota", 0, "per-caller admission quota, requests/second (0 = unlimited)")
+	quotaBurst := fs.Int("quota-burst", 0, "admission quota burst size (0 = 2x quota, min 1)")
+	maxInflight := fs.Int("max-inflight", 0, "shed load beyond this many admitted requests (0 = unlimited)")
 	_ = fs.Parse(args)
-	w := buildWorld(*users, *seed)
+	var w *titant.World
+	if *scenarios {
+		cfg := titant.DefaultWorldConfig()
+		if *users > 0 {
+			cfg.Users = *users
+		}
+		if *seed > 0 {
+			cfg.Seed = *seed
+		}
+		var man *titant.WorldManifest
+		w, man = titant.ComposeWorld(cfg, titant.DefaultScenarioMix())
+		log.Printf("composed scenario world: %d labeled scenarios", len(man.Scenarios))
+	} else {
+		w = buildWorld(*users, *seed)
+	}
 	ds, err := w.Dataset(1)
 	if err != nil {
 		log.Fatal(err)
@@ -315,6 +367,18 @@ func cmdServe(args []string) {
 		titant.WithModelToken(*token),
 		titant.WithIngestToken(*ingestToken),
 		titant.WithUserCache(*userCache),
+	}
+	if *quota > 0 {
+		b := *quotaBurst
+		if b <= 0 {
+			b = int(2 * *quota)
+		}
+		engOpts = append(engOpts, titant.WithCallerQuota(*quota, b))
+		log.Printf("admission: per-caller quota %.0f/s (burst %d)", *quota, b)
+	}
+	if *maxInflight > 0 {
+		engOpts = append(engOpts, titant.WithMaxInflight(*maxInflight))
+		log.Printf("admission: max inflight %d", *maxInflight)
 	}
 	if *policySpec != "" {
 		pol, err := loadPolicy(*policySpec, version, threshold)

@@ -1,13 +1,18 @@
-// Fraudring: the paper's Figure 2 in code. Builds the transaction network
-// from a world's 90-day window, shows that victims of the same fraudster
-// are 2-hop neighbours ("gathering behaviour"), learns DeepWalk
-// embeddings, and demonstrates that ring accounts cluster in embedding
-// space - the topological signal TitAnt feeds its classifiers.
+// Fraudring: the paper's Figure 2 in code, run on the composed scenario
+// world. Builds the transaction network from the world's 90-day window,
+// shows that victims of the same fraudster are 2-hop neighbours
+// ("gathering behaviour"), learns DeepWalk embeddings, and demonstrates
+// that ring accounts cluster in embedding space — the topological signal
+// TitAnt feeds its classifiers. Ring membership and fraud ground truth
+// come from the scenario manifest, the same machine-readable truth the
+// load harness grades detection against.
 package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"titant"
 	"titant/internal/graph"
@@ -40,17 +45,33 @@ func centre(e *nrl.Embeddings) *nrl.Embeddings {
 	return out
 }
 
-func main() {
-	cfg := titant.DefaultWorldConfig()
-	cfg.Users = 3000
-	world := titant.Generate(cfg)
+// stats holds the numbers the example prints, so the test can pin them.
+type stats struct {
+	ScenarioKinds map[string]int // manifest entries per kind
+	Gathered      int            // fraudsters whose victims are 2-hop linked
+	LinkedFrac    float64        // linked victim pairs / victim pairs checked
+	IntraCosine   float64        // mean cosine within the shown ring
+	CrossCosine   float64        // mean cosine ring-to-public
+	NearestSame   int            // of the 5 nearest neighbours, same ring
+}
+
+// run executes the example against a composed world, writing the
+// narrative to out and returning the measured numbers.
+func run(world *titant.World, man *titant.WorldManifest, out io.Writer) (*stats, error) {
 	ds, err := world.Dataset(1)
 	if err != nil {
-		log.Fatal(err)
+		return nil, err
 	}
+	st := &stats{ScenarioKinds: map[string]int{}}
+	for i := range man.Scenarios {
+		st.ScenarioKinds[man.Scenarios[i].Kind]++
+	}
+	fmt.Fprintf(out, "composed world (seed %d): %d labeled scenarios — %d rings, %d takeovers, %d bust-outs, %d mule chains, %d card-testing bursts\n",
+		man.Seed, len(man.Scenarios), st.ScenarioKinds["ring"], st.ScenarioKinds["account_takeover"],
+		st.ScenarioKinds["bust_out"], st.ScenarioKinds["mule_chain"], st.ScenarioKinds["card_testing"])
 
 	g := graph.FromTransactions(ds.Network)
-	fmt.Printf("transaction network: %s\n\n", g.Summarize())
+	fmt.Fprintf(out, "transaction network: %s\n\n", g.Summarize())
 
 	// --- Gathering behaviour (Figure 2) ---
 	victimsOf := map[txn.UserID][]txn.UserID{}
@@ -59,7 +80,7 @@ func main() {
 			victimsOf[t.To] = append(victimsOf[t.To], t.From)
 		}
 	}
-	shown := 0
+	var linked, checked, shown int
 	for fraudster, victims := range victimsOf {
 		if len(victims) < 3 {
 			continue
@@ -69,21 +90,29 @@ func main() {
 			continue
 		}
 		two := g.TwoHopNeighbors(v0)
-		linked := 0
+		l := 0
 		for _, v := range victims[1:] {
 			if n, ok := g.Node(v); ok {
 				if _, yes := two[n]; yes {
-					linked++
+					l++
 				}
 			}
 		}
-		fmt.Printf("fraudster %d: %d victims; %d/%d other victims are 2-hop neighbours of victim %d\n",
-			fraudster, len(victims), linked, len(victims)-1, victims[0])
-		shown++
-		if shown >= 3 {
-			break
+		linked += l
+		checked += len(victims) - 1
+		if l > 0 {
+			st.Gathered++
+		}
+		if shown < 3 {
+			fmt.Fprintf(out, "fraudster %d: %d victims; %d/%d other victims are 2-hop neighbours of victim %d\n",
+				fraudster, len(victims), l, len(victims)-1, victims[0])
+			shown++
 		}
 	}
+	if checked > 0 {
+		st.LinkedFrac = float64(linked) / float64(checked)
+	}
+	fmt.Fprintf(out, "gathering: %.0f%% of checked victim pairs are 2-hop linked\n", 100*st.LinkedFrac)
 
 	// --- Ring clustering in embedding space ---
 	dwCfg := deepwalk.BenchConfig()
@@ -92,25 +121,29 @@ func main() {
 	// raw cosines crowd toward 1; centre them (subtract the population
 	// mean) before comparing, the standard trick for similarity analysis.
 	emb := centre(raw)
-	fmt.Printf("\nDeepWalk: embedded %d nodes at dimension %d (mean-centred)\n", emb.Len(), emb.Dim())
+	fmt.Fprintf(out, "\nDeepWalk: embedded %d nodes at dimension %d (mean-centred)\n", emb.Len(), emb.Dim())
 
-	for _, ring := range world.Rings {
-		if !ring.LongLived || len(ring.Members) < 2 {
+	// The manifest's ring entries mirror world.Rings index-for-index; pick
+	// a long-lived ring, whose accounts the 90-day network window has seen.
+	for i := range man.Scenarios {
+		s := &man.Scenarios[i]
+		if s.Kind != "ring" || len(s.Users) < 2 || !world.Rings[s.ID].LongLived {
 			continue
 		}
+		ring := &world.Rings[s.ID]
 		var intra, cross float64
 		var ni, nc int
-		for i, a := range ring.Members {
-			for _, b := range ring.Members[i+1:] {
-				if s := emb.Cosine(a, b); s != 0 {
-					intra += s
+		for j, a := range ring.Members {
+			for _, b := range ring.Members[j+1:] {
+				if c := emb.Cosine(a, b); c != 0 {
+					intra += c
 					ni++
 				}
 			}
 			for probe := txn.UserID(0); probe < 40; probe++ {
 				if world.Users[probe].RingID == -1 {
-					if s := emb.Cosine(a, probe); s != 0 {
-						cross += s
+					if c := emb.Cosine(a, probe); c != 0 {
+						cross += c
 						nc++
 					}
 				}
@@ -119,19 +152,32 @@ func main() {
 		if ni == 0 || nc == 0 {
 			continue
 		}
-		fmt.Printf("ring %d (%d accounts + %d mules): intra-ring cosine %.3f vs ring-to-public %.3f\n",
-			ring.ID, len(ring.Members), len(ring.Mules), intra/float64(ni), cross/float64(nc))
+		st.IntraCosine = intra / float64(ni)
+		st.CrossCosine = cross / float64(nc)
+		fmt.Fprintf(out, "ring %d (%d accounts, %d fraud txns in manifest): intra-ring cosine %.3f vs ring-to-public %.3f\n",
+			s.ID, len(s.Users), len(s.FraudTxns), st.IntraCosine, st.CrossCosine)
 		// Nearest neighbours of a ring account are mostly its own ring.
 		m := ring.Members[0]
-		fmt.Printf("  nearest neighbours of ring account %d:", m)
+		fmt.Fprintf(out, "  nearest neighbours of ring account %d:", m)
 		for _, n := range emb.Nearest(m, 5) {
 			tag := ""
 			if world.Users[n.User].RingID == ring.ID {
 				tag = "*"
+				st.NearestSame++
 			}
-			fmt.Printf(" %d%s(%.2f)", n.User, tag, n.Sim)
+			fmt.Fprintf(out, " %d%s(%.2f)", n.User, tag, n.Sim)
 		}
-		fmt.Println("   (* = same ring)")
+		fmt.Fprintln(out, "   (* = same ring)")
 		break
+	}
+	return st, nil
+}
+
+func main() {
+	cfg := titant.DefaultWorldConfig()
+	cfg.Users = 3000
+	world, man := titant.ComposeWorld(cfg, titant.DefaultScenarioMix())
+	if _, err := run(world, man, os.Stdout); err != nil {
+		log.Fatal(err)
 	}
 }

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"io"
+	"testing"
+
+	"titant"
+)
+
+// TestExampleNumbers runs the example at its README configuration and
+// pins the numbers the README quotes: the scenario inventory of the
+// composed world, near-total 2-hop linkage between victims of the same
+// fraudster (gathering behaviour), and intra-ring cosine similarity
+// well above the ring-to-public baseline.
+func TestExampleNumbers(t *testing.T) {
+	cfg := titant.DefaultWorldConfig()
+	cfg.Users = 3000
+	world, man := titant.ComposeWorld(cfg, titant.DefaultScenarioMix())
+	st, err := run(world, man, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix := titant.DefaultScenarioMix()
+	for kind, want := range map[string]int{
+		"account_takeover": mix.ATO,
+		"bust_out":         mix.BustOut,
+		"mule_chain":       mix.MuleChains,
+		"card_testing":     mix.CardTesting,
+	} {
+		if got := st.ScenarioKinds[kind]; got != want {
+			t.Errorf("manifest has %d %s scenarios, want %d", got, kind, want)
+		}
+	}
+	if st.ScenarioKinds["ring"] == 0 {
+		t.Error("manifest has no ring scenarios")
+	}
+	if st.Gathered < 3 {
+		t.Errorf("gathering shown for %d fraudsters, want >= 3", st.Gathered)
+	}
+	if st.LinkedFrac < 0.8 {
+		t.Errorf("2-hop linked victim-pair fraction %.3f, README quotes ~0.99 (floor 0.8)", st.LinkedFrac)
+	}
+	if st.IntraCosine <= st.CrossCosine {
+		t.Errorf("intra-ring cosine %.3f not above ring-to-public %.3f", st.IntraCosine, st.CrossCosine)
+	}
+	if st.IntraCosine < 0.05 {
+		t.Errorf("intra-ring cosine %.3f, README quotes ~0.14 (floor 0.05)", st.IntraCosine)
+	}
+}

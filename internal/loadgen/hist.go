@@ -1,0 +1,78 @@
+package loadgen
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// hist is a lock-free log-bucketed latency histogram: geometric bucket
+// bounds from 1µs to ~100s (ratio 1.25, ~84 buckets), atomic counts, so
+// worker goroutines record without contention and percentile reads are
+// O(buckets). Resolution is the bucket ratio (25%), plenty for p50/p99/
+// p999 reporting; the exact maximum is tracked separately.
+type hist struct {
+	bounds []time.Duration
+	counts []atomic.Int64
+	total  atomic.Int64
+	max    atomic.Int64
+}
+
+func newHist() *hist {
+	var bounds []time.Duration
+	for b := float64(time.Microsecond); b < float64(100*time.Second); b *= 1.25 {
+		bounds = append(bounds, time.Duration(b))
+	}
+	return &hist{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+}
+
+func (h *hist) record(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if d > h.bounds[mid] {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	h.counts[lo].Add(1)
+	h.total.Add(1)
+	for {
+		cur := h.max.Load()
+		if int64(d) <= cur || h.max.CompareAndSwap(cur, int64(d)) {
+			return
+		}
+	}
+}
+
+// quantile returns the q-th latency percentile (0 < q < 1), reading the
+// bucket upper bound the q-th sample falls in (the overflow bucket and
+// the top quantiles report the tracked max).
+func (h *hist) quantile(q float64) time.Duration {
+	total := h.total.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q*float64(total) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i := range h.counts {
+		seen += h.counts[i].Load()
+		if seen >= rank {
+			if i >= len(h.bounds) {
+				break
+			}
+			b := h.bounds[i]
+			if m := time.Duration(h.max.Load()); b > m {
+				return m
+			}
+			return b
+		}
+	}
+	return time.Duration(h.max.Load())
+}

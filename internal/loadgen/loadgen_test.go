@@ -1,0 +1,377 @@
+package loadgen
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"titant/internal/decision"
+	"titant/internal/rng"
+	"titant/internal/synth"
+	"titant/internal/txn"
+)
+
+// expectedCount numerically integrates a schedule's rate over a window:
+// the mean arrival count any correct sampler must track.
+func expectedCount(s Schedule, from, to time.Duration) float64 {
+	const steps = 1000
+	dt := (to - from) / steps
+	var sum float64
+	for i := 0; i < steps; i++ {
+		sum += s.RateAt(from+time.Duration(i)*dt+dt/2) * dt.Seconds()
+	}
+	return sum
+}
+
+// TestArrivalsMatchRateEnvelope is the table-driven schedule test: for
+// every schedule shape, the generated arrivals are sorted, in range, and
+// every one-second window's count tracks the integral of the rate
+// function over that window to within Poisson noise. The seed is fixed,
+// so the assertion is deterministic.
+func TestArrivalsMatchRateEnvelope(t *testing.T) {
+	const duration = 10 * time.Second
+	cases := []struct {
+		name string
+		s    Schedule
+	}{
+		{"constant", Constant{Rate: 300}},
+		{"diurnal", Diurnal{Trough: 60, PeakRate: 400, Period: duration}},
+		{"spike", Spike{Base: 100, Burst: 600, Start: 4 * time.Second, Duration: 2 * time.Second}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			arr := Arrivals(tc.s, duration, 42)
+			if len(arr) == 0 {
+				t.Fatal("no arrivals generated")
+			}
+			for i := range arr {
+				if arr[i] < 0 || arr[i] >= duration {
+					t.Fatalf("arrival %d at %v outside [0, %v)", i, arr[i], duration)
+				}
+				if i > 0 && arr[i] < arr[i-1] {
+					t.Fatalf("arrivals not sorted at %d: %v < %v", i, arr[i], arr[i-1])
+				}
+			}
+			// Whole-run total.
+			want := expectedCount(tc.s, 0, duration)
+			tol := 6*math.Sqrt(want) + 10
+			if got := float64(len(arr)); math.Abs(got-want) > tol {
+				t.Fatalf("total arrivals = %v, want %v ± %v", got, want, tol)
+			}
+			// Per-window counts track the envelope through rate changes.
+			window := time.Second
+			counts := make([]int, int(duration/window))
+			for _, at := range arr {
+				counts[int(at/window)]++
+			}
+			for w := range counts {
+				from := time.Duration(w) * window
+				want := expectedCount(tc.s, from, from+window)
+				tol := 6*math.Sqrt(want) + 10
+				if got := float64(counts[w]); math.Abs(got-want) > tol {
+					t.Fatalf("window %d: %v arrivals, want %v ± %v", w, got, want, tol)
+				}
+			}
+			if tc.name == "spike" {
+				// The burst window must actually burst: its windows carry
+				// several times the base-rate windows.
+				if counts[4] < 3*counts[0] || counts[5] < 3*counts[0] {
+					t.Fatalf("burst windows %d/%d not >> base window %d", counts[4], counts[5], counts[0])
+				}
+			}
+		})
+	}
+}
+
+// TestArrivalsDeterministic: same (schedule, seed) gives the identical
+// arrival stream; a different seed gives a different one.
+func TestArrivalsDeterministic(t *testing.T) {
+	s := Diurnal{Trough: 50, PeakRate: 200, Period: 5 * time.Second}
+	a1 := Arrivals(s, 5*time.Second, 7)
+	a2 := Arrivals(s, 5*time.Second, 7)
+	if !reflect.DeepEqual(a1, a2) {
+		t.Fatal("identical seeds produced different arrival streams")
+	}
+	a3 := Arrivals(s, 5*time.Second, 8)
+	if reflect.DeepEqual(a1, a3) {
+		t.Fatal("different seeds produced identical arrival streams")
+	}
+}
+
+// TestConstantInterArrivalsArePoisson: under the constant schedule the
+// inter-arrival gaps have mean 1/rate and coefficient of variation ~1 —
+// the memoryless signature an open-loop generator must have (a closed
+// loop or a fixed-step clock would show CV near 0).
+func TestConstantInterArrivalsArePoisson(t *testing.T) {
+	const rate = 500.0
+	arr := Arrivals(Constant{Rate: rate}, 20*time.Second, 11)
+	if len(arr) < 1000 {
+		t.Fatalf("only %d arrivals", len(arr))
+	}
+	var sum, sumSq float64
+	for i := 1; i < len(arr); i++ {
+		gap := (arr[i] - arr[i-1]).Seconds()
+		sum += gap
+		sumSq += gap * gap
+	}
+	n := float64(len(arr) - 1)
+	mean := sum / n
+	sd := math.Sqrt(sumSq/n - mean*mean)
+	if math.Abs(mean-1/rate) > 0.1/rate {
+		t.Fatalf("mean inter-arrival = %vs, want %vs ± 10%%", mean, 1/rate)
+	}
+	if cv := sd / mean; cv < 0.85 || cv > 1.15 {
+		t.Fatalf("inter-arrival CV = %v, want ~1 (exponential)", cv)
+	}
+}
+
+// TestZipfHotUserMass pins the user mix's skew: the hottest 1% of users
+// must carry the analytically-expected share of traffic (≈85% at the
+// default exponent) — the heavy tail that makes cache and quota
+// behaviour under load realistic.
+func TestZipfHotUserMass(t *testing.T) {
+	const (
+		users   = 100_000
+		s       = 1.2
+		samples = 200_000
+	)
+	ts, err := newTrafficSampler(rng.New(3), users, s, OpMix{Score: 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hotCut := txn.UserID(backgroundUserBase + users/100)
+	hot := 0
+	for i := 0; i < samples; i++ {
+		if ts.user() < hotCut {
+			hot++
+		}
+	}
+	// Analytic hot mass: H(n/100, s) / H(n, s).
+	var hotH, totalH float64
+	for k := 1; k <= users; k++ {
+		w := math.Pow(float64(k), -s)
+		totalH += w
+		if k <= users/100 {
+			hotH += w
+		}
+	}
+	want := hotH / totalH
+	got := float64(hot) / samples
+	if math.Abs(got-want) > 0.02 {
+		t.Fatalf("hot-1%% mass = %v, analytic Zipf gives %v", got, want)
+	}
+	if want < 0.5 {
+		t.Fatalf("analytic hot mass %v is not heavy-tailed — test parameters wrong", want)
+	}
+}
+
+// TestOpMixProportions: the sampled op frequencies match the configured
+// weights, and replayed transactions never draw ingest.
+func TestOpMixProportions(t *testing.T) {
+	mix := OpMix{Score: 0.2, Decide: 0.7, Ingest: 0.1}
+	ts, err := newTrafficSampler(rng.New(5), 100, 1.2, mix, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 100_000
+	var counts [numOps]int
+	for i := 0; i < n; i++ {
+		counts[ts.op()]++
+	}
+	for op, want := range map[Op]float64{OpScore: 0.2, OpDecide: 0.7, OpIngest: 0.1} {
+		got := float64(counts[op]) / n
+		if math.Abs(got-want) > 0.01 {
+			t.Fatalf("%v frequency = %v, want %v ± 0.01", op, got, want)
+		}
+	}
+	for i := 0; i < 10_000; i++ {
+		if op := ts.scoringOp(); op == OpIngest {
+			t.Fatal("scoringOp drew ingest")
+		}
+	}
+	if _, err := newTrafficSampler(rng.New(1), 10, 1.2, OpMix{Score: -1}, 0); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+}
+
+// fakeTarget flags exactly the transaction IDs in `flags`; when shedAll
+// is set every request is refused with the typed shed error.
+type fakeTarget struct {
+	flags   map[txn.TxnID]bool
+	shedAll bool
+	calls   atomic.Int64
+	ingests atomic.Int64
+}
+
+func (f *fakeTarget) Do(_ context.Context, op Op, t *txn.Transaction, _ decision.Scenario) (bool, error) {
+	f.calls.Add(1)
+	if f.shedAll {
+		return false, ErrShed
+	}
+	if op == OpIngest {
+		f.ingests.Add(1)
+		return false, nil
+	}
+	return f.flags[t.ID], nil
+}
+
+// testManifest builds a two-scenario manifest plus its replay set: four
+// ATO fraud txns, four bust-out fraud txns, and eight clean txns.
+func testManifest() (*synth.Manifest, []txn.Transaction) {
+	man := &synth.Manifest{Seed: 1, Users: 100, Days: 10}
+	var replay []txn.Transaction
+	id := txn.TxnID(0)
+	addScenario := func(kind string, n int) {
+		sc := synth.ScenarioManifest{Kind: kind, ID: int(id), StartDay: 1, EndDay: 9, DecisionScenario: "transfer"}
+		for i := 0; i < n; i++ {
+			sc.FraudTxns = append(sc.FraudTxns, id)
+			sc.Users = append(sc.Users, txn.UserID(id))
+			replay = append(replay, txn.Transaction{ID: id, From: 1, To: 2, Amount: 500, Fraud: true})
+			id++
+		}
+		man.Scenarios = append(man.Scenarios, sc)
+	}
+	addScenario(synth.KindATO, 4)
+	addScenario(synth.KindBustOut, 4)
+	for i := 0; i < 8; i++ {
+		replay = append(replay, txn.Transaction{ID: id, From: 3, To: 4, Amount: 50})
+		id++
+	}
+	return man, replay
+}
+
+// TestRunGradesAgainstManifest: an end-to-end run against a fake engine
+// that flags every ATO transaction and one clean transaction must report
+// ATO recall 1, bust-out recall 0, and the matching precision — and the
+// totals must account for every offered arrival.
+func TestRunGradesAgainstManifest(t *testing.T) {
+	man, replay := testManifest()
+	ft := &fakeTarget{flags: map[txn.TxnID]bool{}}
+	for _, id := range man.Scenarios[0].FraudTxns { // all ATO
+		ft.flags[id] = true
+	}
+	ft.flags[replay[len(replay)-1].ID] = true // one clean false positive
+
+	rep, err := Run(context.Background(), Config{
+		Schedule: Constant{Rate: 4000},
+		Duration: 250 * time.Millisecond,
+		Seed:     9,
+		Mix:      OpMix{Score: 0.5, Decide: 0.4, Ingest: 0.1},
+		Users:    1000,
+		Replay:   replay,
+		Manifest: man,
+	}, ft)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Offered == 0 || int64(rep.Offered) != rep.Completed+rep.Shed+rep.Errors {
+		t.Fatalf("accounting broken: offered=%d completed=%d shed=%d errors=%d",
+			rep.Offered, rep.Completed, rep.Shed, rep.Errors)
+	}
+	if ft.calls.Load() != int64(rep.Offered) {
+		t.Fatalf("target saw %d calls for %d offered", ft.calls.Load(), rep.Offered)
+	}
+	if rep.Replayed != int64(len(replay)) {
+		t.Fatalf("replayed %d of %d labeled transactions", rep.Replayed, len(replay))
+	}
+	byKind := map[string]ScenarioReport{}
+	for _, sr := range rep.Scenarios {
+		byKind[sr.Kind] = sr
+	}
+	if sr := byKind[synth.KindATO]; sr.Replayed != 4 || sr.Recall != 1 {
+		t.Fatalf("ATO report = %+v, want 4 replayed recall 1", sr)
+	}
+	if sr := byKind[synth.KindBustOut]; sr.Replayed != 4 || sr.Recall != 0 {
+		t.Fatalf("bust-out report = %+v, want 4 replayed recall 0", sr)
+	}
+	if rep.Recall != 0.5 {
+		t.Fatalf("overall recall = %v, want 0.5", rep.Recall)
+	}
+	// 4 true positives, 1 clean flagged: precision 0.8, FPR 1/8.
+	if rep.Precision != 0.8 {
+		t.Fatalf("precision = %v, want 0.8", rep.Precision)
+	}
+	if rep.FalsePositiveRate != 0.125 {
+		t.Fatalf("FPR = %v, want 0.125", rep.FalsePositiveRate)
+	}
+	if rep.Latency.P50 < 0 || rep.Latency.P999 < rep.Latency.P50 {
+		t.Fatalf("latency percentiles inconsistent: %+v", rep.Latency)
+	}
+	if rep.Ops[OpIngest.String()] == 0 {
+		t.Fatal("no ingest ops despite a 10% ingest mix")
+	}
+
+	// The JSON report round-trips.
+	raw, err := rep.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeReport(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep, back) {
+		t.Fatal("report JSON round trip not lossless")
+	}
+}
+
+// TestRunCountsSheds: a fully-saturated target turns every arrival into
+// a typed shed, with nothing counted completed or errored.
+func TestRunCountsSheds(t *testing.T) {
+	rep, err := Run(context.Background(), Config{
+		Schedule: Constant{Rate: 2000},
+		Duration: 100 * time.Millisecond,
+		Seed:     2,
+		Users:    100,
+	}, &fakeTarget{shedAll: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Offered == 0 {
+		t.Fatal("no arrivals offered")
+	}
+	if rep.Shed != int64(rep.Offered) || rep.Completed != 0 || rep.Errors != 0 {
+		t.Fatalf("shed accounting: %+v", rep)
+	}
+}
+
+// TestRunDeterministicWorkload: the drawn workload (ops, users, replay
+// placement) is a pure function of the seed.
+func TestRunDeterministicWorkload(t *testing.T) {
+	man, replay := testManifest()
+	cfg := Config{
+		Schedule: Constant{Rate: 1000},
+		Duration: time.Second,
+		Seed:     4,
+		Mix:      DefaultOpMix(),
+		Users:    500,
+		Replay:   replay,
+		Manifest: man,
+	}
+	w1, err := buildWorkload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := buildWorkload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(w1, w2) {
+		t.Fatal("identical configs drew different workloads")
+	}
+	replayed := 0
+	for i := range w1 {
+		if w1[i].replay {
+			replayed++
+			if w1[i].op == OpIngest {
+				t.Fatal("a replayed transaction drew an ingest op")
+			}
+		}
+	}
+	if replayed != len(replay) {
+		t.Fatalf("workload replays %d of %d labeled transactions", replayed, len(replay))
+	}
+}

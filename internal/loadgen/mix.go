@@ -1,0 +1,142 @@
+package loadgen
+
+import (
+	"fmt"
+
+	"titant/internal/rng"
+	"titant/internal/txn"
+)
+
+// Op is one request kind the generator issues.
+type Op uint8
+
+const (
+	OpScore Op = iota
+	OpDecide
+	OpIngest
+	numOps
+)
+
+// String names the op for reports.
+func (o Op) String() string {
+	switch o {
+	case OpScore:
+		return "score"
+	case OpDecide:
+		return "decide"
+	case OpIngest:
+		return "ingest"
+	}
+	return "unknown"
+}
+
+// OpMix weights the traffic across request kinds. Weights are relative;
+// they need not sum to 1. A zero-valued mix defaults to score-only.
+type OpMix struct {
+	Score  float64 `json:"score"`
+	Decide float64 `json:"decide"`
+	Ingest float64 `json:"ingest"`
+}
+
+// DefaultOpMix models a serving tier: mostly decisions, some raw scores,
+// a trickle of ingest keeping the live window current.
+func DefaultOpMix() OpMix { return OpMix{Score: 0.25, Decide: 0.65, Ingest: 0.10} }
+
+func (m OpMix) normalize() (OpMix, error) {
+	if m.Score < 0 || m.Decide < 0 || m.Ingest < 0 {
+		return m, fmt.Errorf("loadgen: negative op weight %+v", m)
+	}
+	total := m.Score + m.Decide + m.Ingest
+	if total == 0 {
+		return OpMix{Score: 1}, nil
+	}
+	return OpMix{Score: m.Score / total, Decide: m.Decide / total, Ingest: m.Ingest / total}, nil
+}
+
+// backgroundUserBase offsets synthetic background user IDs far above any
+// world user, so background traffic is cold-start load that can never
+// collide with replayed scenario users or pollute their statistics.
+const backgroundUserBase = 1 << 28
+
+// trafficSampler draws the synthetic side of the workload: which op an
+// arrival performs, and background transactions between Zipf-distributed
+// users — the heavy-tailed "some users transact constantly, most rarely"
+// shape of a real payment graph.
+type trafficSampler struct {
+	r      *rng.RNG
+	zipf   *rng.Zipf
+	users  int
+	mix    OpMix
+	nextID txn.TxnID
+}
+
+// newTrafficSampler builds a sampler over `users` synthetic background
+// users with Zipf exponent s (s <= 1 falls back to 1.07, a typical
+// web-workload skew). IDs for generated transactions start at idBase.
+func newTrafficSampler(r *rng.RNG, users int, s float64, mix OpMix, idBase txn.TxnID) (*trafficSampler, error) {
+	if users < 2 {
+		users = 2
+	}
+	if s <= 1 {
+		s = 1.07
+	}
+	nm, err := mix.normalize()
+	if err != nil {
+		return nil, err
+	}
+	return &trafficSampler{
+		r:      r,
+		zipf:   rng.NewZipf(users, s),
+		users:  users,
+		mix:    nm,
+		nextID: idBase,
+	}, nil
+}
+
+// op draws which request kind this arrival performs.
+func (ts *trafficSampler) op() Op {
+	u := ts.r.Float64()
+	switch {
+	case u < ts.mix.Score:
+		return OpScore
+	case u < ts.mix.Score+ts.mix.Decide:
+		return OpDecide
+	default:
+		return OpIngest
+	}
+}
+
+// scoringOp draws a score-or-decide op with the mix's relative weights,
+// for replayed scenario transactions (which must be scored, not
+// ingested, to measure detection).
+func (ts *trafficSampler) scoringOp() Op {
+	total := ts.mix.Score + ts.mix.Decide
+	if total == 0 || ts.r.Float64()*total < ts.mix.Score {
+		return OpScore
+	}
+	return OpDecide
+}
+
+// user draws one background user, rank 0 hottest.
+func (ts *trafficSampler) user() txn.UserID {
+	return txn.UserID(backgroundUserBase + ts.zipf.Sample(ts.r))
+}
+
+// background draws one synthetic background transaction: two distinct
+// Zipf users, log-normal-ish amount, uniform time-of-day.
+func (ts *trafficSampler) background() txn.Transaction {
+	from := ts.user()
+	to := ts.user()
+	for to == from {
+		to = ts.user()
+	}
+	t := txn.Transaction{
+		ID:     ts.nextID,
+		Sec:    int32(ts.r.Intn(86400)),
+		From:   from,
+		To:     to,
+		Amount: float32(50 + ts.r.Float64()*500),
+	}
+	ts.nextID++
+	return t
+}

@@ -1,0 +1,128 @@
+// Package loadgen is the open-loop load harness: it replays scenario
+// traffic and synthetic background load against a scoring engine — in
+// process or over HTTP — on arrival schedules that model production
+// traffic shapes, and reports throughput, tail latency and detection
+// quality (per-scenario recall / precision against the synth manifests)
+// as a machine-readable JSON report.
+//
+// Open loop means arrivals are scheduled by the workload clock, not by
+// request completions: a slow server does not slow the arrival process
+// down, so queueing delay shows up in the measured latency instead of
+// being coordinated away (latency is measured from each request's
+// scheduled arrival, the standard defence against coordinated omission).
+package loadgen
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"titant/internal/rng"
+)
+
+// Schedule is an arrival-rate envelope: the instantaneous arrival rate
+// (requests/second) at every offset into the run. Arrival times are
+// drawn from the non-homogeneous Poisson process with this rate
+// function, via thinning against Peak.
+type Schedule interface {
+	// Name labels the schedule in reports ("constant", "diurnal", "spike").
+	Name() string
+	// RateAt returns the arrival rate at offset t into the run, in
+	// requests per second. Must be <= Peak() everywhere.
+	RateAt(t time.Duration) float64
+	// Peak is the majorising rate the thinning sampler proposes at.
+	Peak() float64
+}
+
+// Constant arrives at a flat rate: the baseline SLO workload.
+type Constant struct {
+	Rate float64 // requests/second
+}
+
+func (c Constant) Name() string                 { return "constant" }
+func (c Constant) RateAt(time.Duration) float64 { return c.Rate }
+func (c Constant) Peak() float64                { return c.Rate }
+
+// Diurnal models the day cycle: a sinusoid from trough to peak and back
+// over each Period, starting at the trough. Mean rate is (Trough+Peak)/2.
+type Diurnal struct {
+	Trough   float64       // requests/second at the quietest point
+	PeakRate float64       // requests/second at the busiest point
+	Period   time.Duration // one full cycle (a "day" of the run)
+}
+
+func (d Diurnal) Name() string { return "diurnal" }
+
+func (d Diurnal) RateAt(t time.Duration) float64 {
+	mid := (d.Trough + d.PeakRate) / 2
+	amp := (d.PeakRate - d.Trough) / 2
+	phase := 2 * math.Pi * float64(t) / float64(d.Period)
+	return mid - amp*math.Cos(phase)
+}
+
+func (d Diurnal) Peak() float64 { return d.PeakRate }
+
+// Spike is flat base load with a burst window at a higher rate: the
+// flash-crowd / attack-burst shape admission control exists for.
+type Spike struct {
+	Base     float64       // requests/second outside the burst
+	Burst    float64       // requests/second inside the burst
+	Start    time.Duration // burst onset, offset into the run
+	Duration time.Duration // burst length
+}
+
+func (s Spike) Name() string { return "spike" }
+
+func (s Spike) RateAt(t time.Duration) float64 {
+	if t >= s.Start && t < s.Start+s.Duration {
+		return s.Burst
+	}
+	return s.Base
+}
+
+func (s Spike) Peak() float64 {
+	return math.Max(s.Base, s.Burst)
+}
+
+// ParseSchedule builds a schedule from its CLI name, scaled around rate
+// (the schedule's headline requests/second) over a run of the given
+// duration: constant arrives flat at rate; diurnal cycles once over the
+// run between rate/4 and rate (mean 0.625*rate); spike holds rate/2 with
+// a 4*rate burst through the middle fifth of the run.
+func ParseSchedule(name string, rate float64, duration time.Duration) (Schedule, error) {
+	switch name {
+	case "constant", "":
+		return Constant{Rate: rate}, nil
+	case "diurnal":
+		return Diurnal{Trough: rate / 4, PeakRate: rate, Period: duration}, nil
+	case "spike":
+		return Spike{Base: rate / 2, Burst: 4 * rate, Start: 2 * duration / 5, Duration: duration / 5}, nil
+	default:
+		return nil, fmt.Errorf("loadgen: unknown schedule %q (constant, diurnal, spike)", name)
+	}
+}
+
+// Arrivals draws the run's arrival offsets from the non-homogeneous
+// Poisson process with the schedule's rate function, by thinning: draw
+// candidate arrivals from the homogeneous process at Peak, keep each
+// with probability RateAt/Peak. Deterministic in seed, sorted ascending.
+func Arrivals(s Schedule, duration time.Duration, seed uint64) []time.Duration {
+	peak := s.Peak()
+	if peak <= 0 || duration <= 0 {
+		return nil
+	}
+	r := rng.New(seed)
+	out := make([]time.Duration, 0, int(float64(duration)/float64(time.Second)*peak))
+	t := 0.0 // seconds
+	limit := duration.Seconds()
+	for {
+		t += r.ExpFloat64() / peak
+		if t >= limit {
+			return out
+		}
+		at := time.Duration(t * float64(time.Second))
+		if r.Float64()*peak < s.RateAt(at) {
+			out = append(out, at)
+		}
+	}
+}

@@ -103,6 +103,11 @@ func (s *Server) Decide(ctx context.Context, t *txn.Transaction, sc decision.Sce
 	if pol == nil {
 		return Decision{}, ErrPolicyDisabled
 	}
+	release, err := s.Admit(ctx, 1)
+	if err != nil {
+		return Decision{}, err
+	}
+	defer release()
 	var d Decision
 	var epoch int64
 	if err := s.runOne(ctx, t, func(sb *scoredBatch) error {
@@ -134,6 +139,11 @@ func (s *Server) DecideBatch(ctx context.Context, txns []txn.Transaction, scenar
 	if len(txns) == 0 {
 		return nil, nil
 	}
+	release, err := s.Admit(ctx, len(txns))
+	if err != nil {
+		return nil, err
+	}
+	defer release()
 	var decisions []Decision
 	var epoch int64
 	if err := s.runBatch(ctx, txns, func(sb *scoredBatch) error {

@@ -37,6 +37,18 @@ var (
 	// ErrPolicyDisabled reports a Decide call on an engine built without
 	// WithPolicy: there is no policy to map scores to actions.
 	ErrPolicyDisabled = errors.New("ms: decision policy not configured")
+
+	// ErrRateLimited reports a request refused by its caller's token-bucket
+	// quota (see WithCallerQuota). The request was not partially served;
+	// the caller should back off and retry. HTTP maps it to 429
+	// "rate_limited" with a Retry-After header.
+	ErrRateLimited = errors.New("ms: rate limited")
+
+	// ErrOverloaded reports a request shed because the engine is at its
+	// concurrent-transaction bound (see WithMaxInflight). Unlike
+	// ErrRateLimited this is a global condition, not a per-caller one.
+	// HTTP maps it to 429 "overloaded" with a Retry-After header.
+	ErrOverloaded = errors.New("ms: overloaded")
 )
 
 // batchTooLarge builds the single canonical ErrBatchTooLarge error used

@@ -133,6 +133,12 @@ func CheckBearer(r *http.Request, token string) bool {
 // writeScoreError maps the engine's typed errors onto HTTP statuses.
 func writeScoreError(w http.ResponseWriter, err error) {
 	switch {
+	case errors.Is(err, ErrRateLimited):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "rate_limited", err.Error())
+	case errors.Is(err, ErrOverloaded):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "overloaded", err.Error())
 	case errors.Is(err, ErrUserNotFound):
 		writeError(w, http.StatusNotFound, "user_not_found", err.Error())
 	case errors.Is(err, ErrBatchTooLarge):
@@ -150,6 +156,16 @@ func writeScoreError(w http.ResponseWriter, err error) {
 	default:
 		writeError(w, http.StatusInternalServerError, "internal", err.Error())
 	}
+}
+
+// callerContext tags the request context with the admission caller
+// identity carried by the X-Caller header, so per-caller quotas key on
+// the client's declared identity (untagged requests share "default").
+func callerContext(r *http.Request) context.Context {
+	if c := r.Header.Get("X-Caller"); c != "" {
+		return WithCallerContext(r.Context(), c)
+	}
+	return r.Context()
 }
 
 // decodeBody decodes a JSON request body capped at limit bytes, writing
@@ -219,7 +235,7 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	t := req.Txn()
-	v, err := s.Score(r.Context(), &t)
+	v, err := s.Score(callerContext(r), &t)
 	if err != nil {
 		writeScoreError(w, err)
 		return
@@ -259,7 +275,7 @@ func (s *Server) handleScoreBatch(w http.ResponseWriter, r *http.Request) {
 	for i := range req.Transactions {
 		txns[i] = req.Transactions[i].Txn()
 	}
-	verdicts, err := s.ScoreBatch(r.Context(), txns)
+	verdicts, err := s.ScoreBatch(callerContext(r), txns)
 	if err != nil {
 		writeScoreError(w, err)
 		return
@@ -303,7 +319,7 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	t := req.TxnRequest.Txn()
-	d, err := s.Decide(r.Context(), &t, sc)
+	d, err := s.Decide(callerContext(r), &t, sc)
 	if err != nil {
 		writeScoreError(w, err)
 		return
@@ -336,7 +352,7 @@ func (s *Server) handleDecideBatch(w http.ResponseWriter, r *http.Request) {
 		txns[i] = req.Transactions[i].TxnRequest.Txn()
 		scenarios[i] = sc
 	}
-	decisions, err := s.DecideBatch(r.Context(), txns, scenarios)
+	decisions, err := s.DecideBatch(callerContext(r), txns, scenarios)
 	if err != nil {
 		writeScoreError(w, err)
 		return
@@ -430,6 +446,15 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, maxScoreBytes, &req) {
 		return
 	}
+	// Ingest takes no context, so admission runs here: the one request
+	// path that bypasses Score/Decide still honors quotas and the
+	// inflight bound.
+	release, err := s.Admit(callerContext(r), 1)
+	if err != nil {
+		writeScoreError(w, err)
+		return
+	}
+	defer release()
 	t := req.Txn()
 	if err := s.Ingest(&t); err != nil {
 		writeScoreError(w, err)
@@ -455,6 +480,12 @@ func (s *Server) handleIngestBatch(w http.ResponseWriter, r *http.Request) {
 		writeScoreError(w, batchTooLarge(len(req.Transactions), s.maxBatch))
 		return
 	}
+	release, err := s.Admit(callerContext(r), len(req.Transactions))
+	if err != nil {
+		writeScoreError(w, err)
+		return
+	}
+	defer release()
 	txns := make([]txn.Transaction, len(req.Transactions))
 	for i := range req.Transactions {
 		txns[i] = req.Transactions[i].Txn()
@@ -536,6 +567,15 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if len(endpoints) > 0 {
 		body["endpoints"] = endpoints
 	}
+	if s.AdmissionEnabled() {
+		as := s.AdmissionStats()
+		body["admission"] = map[string]interface{}{
+			"admitted": as.Admitted, "shed_quota": as.ShedQuota,
+			"shed_inflight": as.ShedInflight, "inflight": as.Inflight,
+			"max_inflight": as.MaxInflight, "rate": as.Rate,
+			"burst": as.Burst, "callers": as.Callers,
+		}
+	}
 	if s.ShadowEnabled() {
 		sh := s.ShadowStats()
 		body["shadow"] = map[string]interface{}{
@@ -596,6 +636,7 @@ type HealthInfo struct {
 	BundleVersion string `json:"bundle_version"`
 	PolicyVersion string `json:"policy_version,omitempty"`
 	Stream        bool   `json:"stream"`
+	Admission     bool   `json:"admission"`
 	UserCache     bool   `json:"user_cache"`
 	Policy        bool   `json:"policy"`
 	Shadow        bool   `json:"shadow"`
@@ -612,6 +653,7 @@ func (s *Server) Health() HealthInfo {
 		BundleVersion: s.BundleVersion(),
 		PolicyVersion: s.PolicyVersion(),
 		Stream:        s.StreamEnabled(),
+		Admission:     s.AdmissionEnabled(),
 		UserCache:     s.UserCacheEnabled(),
 		Policy:        s.PolicyEnabled(),
 		Shadow:        s.ShadowEnabled(),

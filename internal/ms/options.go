@@ -183,4 +183,40 @@ func WithIngestToken(token string) Option {
 	return func(s *Server) { s.ingestToken = token }
 }
 
+// WithCallerQuota enforces a per-caller token-bucket quota on every
+// request path (score, decide, ingest): each caller (the X-Caller header
+// over HTTP, WithCallerContext in-process, "default" otherwise) may
+// sustain rate transactions per second with bursts up to burst tokens.
+// Beyond the quota requests fail with ErrRateLimited (HTTP 429
+// "rate_limited"). burst < 1 is raised to 1; rate <= 0 leaves quotas
+// off. The registry holds exact buckets for the first 4096 distinct
+// callers; later callers share one overflow bucket so unbounded caller
+// names cannot grow engine memory.
+func WithCallerQuota(rate float64, burst int) Option {
+	return func(s *Server) {
+		if rate <= 0 {
+			return
+		}
+		a := s.admissionConfig()
+		a.rate = rate
+		a.burst = float64(burst)
+		if a.burst < 1 {
+			a.burst = 1
+		}
+	}
+}
+
+// WithMaxInflight bounds the transactions concurrently inside the engine
+// across all callers and paths. At the bound new work is refused with
+// ErrOverloaded (HTTP 429 "overloaded") instead of queueing, so overload
+// sheds fast and the admitted traffic keeps its latency envelope.
+// n <= 0 leaves the engine unbounded.
+func WithMaxInflight(n int) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.admissionConfig().maxInflight = int64(n)
+		}
+	}
+}
+
 func defaultWorkers() int { return runtime.GOMAXPROCS(0) }

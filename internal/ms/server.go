@@ -60,6 +60,10 @@ type Server struct {
 	// decisioning on an engine the operator left it off.
 	policyConfigured bool
 
+	// Admission gate (see admission.go): per-caller quotas and the
+	// inflight bound. nil: every request is admitted.
+	adm *admission
+
 	alert        Alert
 	workers      int
 	strict       bool
@@ -441,6 +445,11 @@ func (s *Server) runOne(ctx context.Context, t *txn.Transaction, visit func(*sco
 // batch path at batch size one — a pooled one-row matrix through the
 // same ensemble core — so single and batch scoring cannot drift.
 func (s *Server) Score(ctx context.Context, t *txn.Transaction) (Verdict, error) {
+	release, err := s.Admit(ctx, 1)
+	if err != nil {
+		return Verdict{}, err
+	}
+	defer release()
 	var v Verdict
 	var epoch int64
 	if err := s.runOne(ctx, t, func(sb *scoredBatch) error {
@@ -469,6 +478,11 @@ func (s *Server) ScoreBatch(ctx context.Context, txns []txn.Transaction) ([]Verd
 	if len(txns) == 0 {
 		return nil, nil
 	}
+	release, err := s.Admit(ctx, len(txns))
+	if err != nil {
+		return nil, err
+	}
+	defer release()
 	var verdicts []Verdict
 	var epoch int64
 	if err := s.runBatch(ctx, txns, func(sb *scoredBatch) error {

@@ -1,0 +1,217 @@
+package synth
+
+import (
+	"reflect"
+	"testing"
+
+	"titant/internal/txn"
+)
+
+// TestComposeEmptyMixIsBaseWorld: composition is purely additive — the
+// zero mix returns the base world's log bit-for-bit, with ring manifests
+// only.
+func TestComposeEmptyMixIsBaseWorld(t *testing.T) {
+	cfg := TestConfig()
+	base := Generate(cfg)
+	w, man := Compose(cfg, ScenarioMix{})
+	if !reflect.DeepEqual(base.Log, w.Log) {
+		t.Fatalf("empty-mix composed log differs from base log (%d vs %d txns)", len(w.Log), len(base.Log))
+	}
+	if !reflect.DeepEqual(base.Users, w.Users) {
+		t.Fatal("empty-mix composed users differ from base users")
+	}
+	for i := range man.Scenarios {
+		if man.Scenarios[i].Kind != KindRing {
+			t.Fatalf("empty mix produced scenario kind %q", man.Scenarios[i].Kind)
+		}
+	}
+	if len(man.Scenarios) != len(base.Rings) {
+		t.Fatalf("ring manifests = %d, want %d", len(man.Scenarios), len(base.Rings))
+	}
+}
+
+// TestComposeDeterministic: the same (seed, mix) always yields the same
+// log and manifest.
+func TestComposeDeterministic(t *testing.T) {
+	cfg := TestConfig()
+	mix := DefaultScenarioMix()
+	w1, m1 := Compose(cfg, mix)
+	w2, m2 := Compose(cfg, mix)
+	if !reflect.DeepEqual(w1.Log, w2.Log) {
+		t.Fatal("composed logs differ across identical runs")
+	}
+	if !reflect.DeepEqual(m1, m2) {
+		t.Fatal("manifests differ across identical runs")
+	}
+	// A different seed yields a different world.
+	cfg2 := cfg
+	cfg2.Seed = cfg.Seed + 1
+	w3, _ := Compose(cfg2, mix)
+	if len(w3.Log) == len(w1.Log) && reflect.DeepEqual(w3.Log, w1.Log) {
+		t.Fatal("different seeds produced identical logs")
+	}
+}
+
+// TestComposePreservesBaseTraffic: every base-world transaction survives
+// composition unchanged (scenario traffic only appends, never rewrites).
+func TestComposePreservesBaseTraffic(t *testing.T) {
+	cfg := TestConfig()
+	base := Generate(cfg)
+	w, _ := Compose(cfg, DefaultScenarioMix())
+	if len(w.Log) <= len(base.Log) {
+		t.Fatalf("composed log has %d txns, base has %d — nothing was added", len(w.Log), len(base.Log))
+	}
+	byID := make(map[txn.TxnID]txn.Transaction, len(w.Log))
+	for _, tr := range w.Log {
+		if _, dup := byID[tr.ID]; dup {
+			t.Fatalf("duplicate transaction ID %d in composed log", tr.ID)
+		}
+		byID[tr.ID] = tr
+	}
+	for _, bt := range base.Log {
+		got, ok := byID[bt.ID]
+		if !ok {
+			t.Fatalf("base transaction %d missing from composed log", bt.ID)
+		}
+		if got != bt {
+			t.Fatalf("base transaction %d rewritten by composition:\n base %+v\n composed %+v", bt.ID, bt, got)
+		}
+	}
+}
+
+// TestComposeManifestIntegrity: the manifest is a faithful index of the
+// composed log — every kind requested appears, every manifest fraud txn
+// exists in the log with Fraud=true inside its incident's window, every
+// log fraud txn belongs to exactly one manifest, and incidents never
+// share attacker accounts.
+func TestComposeManifestIntegrity(t *testing.T) {
+	cfg := TestConfig()
+	mix := DefaultScenarioMix()
+	w, man := Compose(cfg, mix)
+
+	byID := make(map[txn.TxnID]*txn.Transaction, len(w.Log))
+	for i := range w.Log {
+		byID[w.Log[i].ID] = &w.Log[i]
+	}
+
+	counts := map[string]int{}
+	seenUser := map[txn.UserID]string{}
+	manifestFraud := map[txn.TxnID]bool{}
+	for i := range man.Scenarios {
+		s := &man.Scenarios[i]
+		counts[s.Kind]++
+		if s.StartDay < 0 || s.EndDay <= s.StartDay || int(s.EndDay) > w.Config.Days {
+			t.Fatalf("%s/%d: bad window [%d, %d)", s.Kind, s.ID, s.StartDay, s.EndDay)
+		}
+		if len(s.Users) == 0 {
+			t.Fatalf("%s/%d: no involved users", s.Kind, s.ID)
+		}
+		if s.DecisionScenario == "" {
+			t.Fatalf("%s/%d: no decision scenario tag", s.Kind, s.ID)
+		}
+		if s.Kind != KindRing {
+			if len(s.FraudTxns) == 0 {
+				t.Fatalf("%s/%d: no labeled fraud", s.Kind, s.ID)
+			}
+			for _, u := range s.Users {
+				if prev, dup := seenUser[u]; dup {
+					t.Fatalf("user %d claimed by both %s and %s/%d", u, prev, s.Kind, s.ID)
+				}
+				seenUser[u] = s.Kind
+			}
+		}
+		for _, id := range s.FraudTxns {
+			tr, ok := byID[id]
+			if !ok {
+				t.Fatalf("%s/%d: manifest fraud txn %d not in log", s.Kind, s.ID, id)
+			}
+			if !tr.Fraud {
+				t.Fatalf("%s/%d: manifest txn %d not labeled fraud in log", s.Kind, s.ID, id)
+			}
+			if s.Kind != KindRing && (tr.Day < s.StartDay || tr.Day >= s.EndDay) {
+				t.Fatalf("%s/%d: fraud txn %d on day %d outside window [%d, %d)",
+					s.Kind, s.ID, id, tr.Day, s.StartDay, s.EndDay)
+			}
+			if manifestFraud[id] {
+				t.Fatalf("fraud txn %d claimed by two manifests", id)
+			}
+			manifestFraud[id] = true
+		}
+	}
+	want := map[string]int{
+		KindATO: mix.ATO, KindBustOut: mix.BustOut,
+		KindMuleChain: mix.MuleChains, KindCardTesting: mix.CardTesting,
+	}
+	for kind, n := range want {
+		if counts[kind] != n {
+			t.Fatalf("manifest has %d %s incidents, want %d", counts[kind], kind, n)
+		}
+	}
+	// Every labeled fraud transaction in the log belongs to some manifest:
+	// one generator, one truth source.
+	for i := range w.Log {
+		if w.Log[i].Fraud && !manifestFraud[w.Log[i].ID] {
+			t.Fatalf("fraud txn %d (day %d) not claimed by any manifest", w.Log[i].ID, w.Log[i].Day)
+		}
+	}
+}
+
+// TestComposeCoversTrainAndTestWindows: the striped placement guarantees
+// every composed kind has labeled fraud both in the training window (the
+// model can learn the pattern) and in the final test week (a gate can
+// measure recall on it).
+func TestComposeCoversTrainAndTestWindows(t *testing.T) {
+	cfg := TestConfig()
+	w, man := Compose(cfg, DefaultScenarioMix())
+	byID := make(map[txn.TxnID]txn.Day, len(w.Log))
+	for _, tr := range w.Log {
+		byID[tr.ID] = tr.Day
+	}
+	testStart := txn.Day(txn.NetworkDays + txn.TrainDays) // first test day (dataset 1)
+	inTrain := map[string]int{}
+	inTest := map[string]int{}
+	for i := range man.Scenarios {
+		s := &man.Scenarios[i]
+		for _, id := range s.FraudTxns {
+			switch d := byID[id]; {
+			case d >= testStart:
+				inTest[s.Kind]++
+			case d >= txn.NetworkDays:
+				inTrain[s.Kind]++
+			}
+		}
+	}
+	for _, kind := range []string{KindATO, KindBustOut, KindMuleChain, KindCardTesting} {
+		if inTrain[kind] == 0 {
+			t.Errorf("%s: no labeled fraud in the training window", kind)
+		}
+		if inTest[kind] == 0 {
+			t.Errorf("%s: no labeled fraud in the test week", kind)
+		}
+	}
+}
+
+// TestManifestRoundTrip: Encode/DecodeManifest is lossless.
+func TestManifestRoundTrip(t *testing.T) {
+	_, man := Compose(TestConfig(), ScenarioMix{ATO: 2, CardTesting: 1})
+	raw, err := man.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeManifest(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(man, got) {
+		t.Fatal("manifest round trip not lossless")
+	}
+	idx := got.FraudByTxn()
+	if len(idx) == 0 {
+		t.Fatal("FraudByTxn returned an empty index")
+	}
+	for _, kind := range idx {
+		if kind != KindRing && kind != KindATO && kind != KindCardTesting {
+			t.Fatalf("unexpected kind %q in fraud index", kind)
+		}
+	}
+}

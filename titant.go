@@ -69,6 +69,16 @@ type (
 	WorldConfig = synth.Config
 	// World is a generated environment: users, fraud rings, transaction log.
 	World = synth.World
+	// ScenarioMix selects how many incidents of each attack scenario
+	// (account takeover, merchant bust-out, mule chains, card testing)
+	// ComposeWorld layers onto the base ring-fraud world.
+	ScenarioMix = synth.ScenarioMix
+	// ScenarioManifest is one scenario incident's machine-readable ground
+	// truth: kind, involved users, activation window and fraud txn IDs.
+	ScenarioManifest = synth.ScenarioManifest
+	// WorldManifest indexes every labeled scenario of a composed world —
+	// the ground truth load harnesses grade detection against.
+	WorldManifest = synth.Manifest
 	// Dataset is one "T+1" experiment unit (network/train/test windows).
 	Dataset = txn.Dataset
 	// Transaction is a single transfer record.
@@ -155,6 +165,9 @@ type (
 	PolicyInfo = ms.PolicyInfo
 	// HealthInfo is the engine's readiness snapshot (GET /healthz).
 	HealthInfo = ms.HealthInfo
+	// AdmissionStats snapshots the engine's admission-control counters
+	// (see WithCallerQuota, WithMaxInflight and /v1/stats "admission").
+	AdmissionStats = ms.AdmissionStats
 	// DriftConfig tunes the score drift monitor (see WithDriftMonitor).
 	DriftConfig = decision.DriftConfig
 	// DriftStats is one score series' drift snapshot (PSI/KS vs the
@@ -244,6 +257,22 @@ func DefaultWorldConfig() WorldConfig { return synth.DefaultConfig() }
 
 // Generate builds a synthetic world from the configuration.
 func Generate(cfg WorldConfig) *World { return synth.Generate(cfg) }
+
+// DefaultScenarioMix returns the laptop-scale attack mix: a handful of
+// incidents per scenario kind layered onto the base ring-fraud world.
+func DefaultScenarioMix() ScenarioMix { return synth.DefaultScenarioMix() }
+
+// ComposeWorld layers the scenario mix's attack incidents onto the base
+// ring-fraud world generated from cfg, returning the composed world and
+// the ground-truth manifest. Deterministic in cfg.Seed.
+func ComposeWorld(cfg WorldConfig, mix ScenarioMix) (*World, *WorldManifest) {
+	return synth.Compose(cfg, mix)
+}
+
+// DecodeWorldManifest parses a manifest written by WorldManifest.Encode.
+func DecodeWorldManifest(data []byte) (*WorldManifest, error) {
+	return synth.DecodeManifest(data)
+}
 
 // DefaultOptions returns the paper-aligned hyperparameters.
 func DefaultOptions() Options { return core.DefaultOptions() }
@@ -353,6 +382,22 @@ func WithModelToken(token string) EngineOption { return ms.WithModelToken(token)
 
 // WithIngestToken guards POST /v1/ingest[/batch] behind a bearer token.
 func WithIngestToken(token string) EngineOption { return ms.WithIngestToken(token) }
+
+// WithCallerQuota rate-limits each caller identity (the X-Caller header,
+// or WithCallerContext in process) to a token bucket of rate requests
+// per second with the given burst. Refusals surface as HTTP 429
+// "rate_limited".
+func WithCallerQuota(rate float64, burst int) EngineOption { return ms.WithCallerQuota(rate, burst) }
+
+// WithMaxInflight sheds load once n requests are concurrently admitted;
+// refusals surface as HTTP 429 "overloaded".
+func WithMaxInflight(n int) EngineOption { return ms.WithMaxInflight(n) }
+
+// WithCallerContext tags ctx with a caller identity for per-caller
+// quotas on the in-process API (Score, Decide, Admit).
+func WithCallerContext(ctx context.Context, caller string) context.Context {
+	return ms.WithCallerContext(ctx, caller)
+}
 
 // NewStreamStore builds a streaming aggregate store. The defaults mirror
 // the paper's reference window: 90 day-wide buckets over 64 lock stripes.
