@@ -14,7 +14,7 @@ test:
 	go build ./... && go test ./...
 
 race:
-	go test -race ./internal/feature/stream/ ./internal/ms/... ./internal/hbase/ ./internal/decision/ ./internal/eventlog/ ./internal/logio/ ./internal/loadgen/ ./internal/synth/
+	go test -race ./internal/feature/stream/ ./internal/ms/... ./internal/router/ ./internal/hbase/ ./internal/decision/ ./internal/eventlog/ ./internal/logio/ ./internal/loadgen/ ./internal/synth/
 
 # bench-serving runs the hot serving read-path benchmarks (user fetch,
 # multi-get, point read, cached and uncached batch scoring, plus the
@@ -30,7 +30,7 @@ bench-serving:
 	@set -o pipefail; { \
 	  go test -run '^$$' -bench 'BenchmarkGet$$|BenchmarkMultiGet' -benchmem -benchtime=$(BENCHTIME) ./internal/hbase/ && \
 	  go test -run '^$$' -bench 'BenchmarkFetchUser' -benchmem -benchtime=$(BENCHTIME) ./internal/ms/ && \
-	  go test -run '^$$' -bench 'BenchmarkScoreSequential|BenchmarkScoreBatch$$|BenchmarkScoreBatchCached|BenchmarkDecideBatch|BenchmarkIngestLogged|BenchmarkReplay$$' -benchmem -benchtime=$(BENCHTIME) . ; \
+	  go test -run '^$$' -bench 'BenchmarkScoreSequential|BenchmarkScoreBatch$$|BenchmarkScoreBatchCached|BenchmarkScoreBatchSharded|BenchmarkDecideBatch|BenchmarkIngestLogged|BenchmarkReplay$$' -benchmem -benchtime=$(BENCHTIME) . ; \
 	} | tee /dev/stderr | go run ./cmd/benchjson > BENCH_serving.json
 	@echo "wrote BENCH_serving.json"
 
@@ -39,9 +39,11 @@ bench-serving:
 # engine under admission control — and writes LOADGEN_report.json
 # (throughput, p50/p99/p999 from scheduled arrival, per-scenario recall
 # and precision against the manifests) next to BENCH_serving.json, so
-# every PR leaves a detection-quality and tail-latency trajectory.
+# every PR leaves a detection-quality and tail-latency trajectory. The
+# run doubles as an SLO gate: ci/slo.json pins tail-latency ceilings and
+# per-scenario recall floors, and a breach fails the target.
 loadgen-smoke:
 	go run ./cmd/titant loadgen -users 1200 -detectors gbdt -schedule spike \
 	  -rate 1500 -duration 5s -quota 1200 -burst 600 -max-inflight 256 \
-	  -out LOADGEN_report.json
+	  -out LOADGEN_report.json -slo ci/slo.json
 	@echo "wrote LOADGEN_report.json"

@@ -224,6 +224,111 @@ func BenchmarkScoreBatchCached(b *testing.B) {
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(txns)), "ns/txn")
 }
 
+// shardedFixture is servingFixture over the consistent-hash sharded
+// engine: the same 1000 users partitioned across n shard tables by
+// ms.ShardOf, the same hot-prefix 1k-transaction batch. Every shard is
+// pinned to one internal worker (ms.WithWorkers(1)) so the measured
+// speedup is the horizontal scatter across shards, not each shard's own
+// batch fan-out double-counting the cores.
+func shardedFixture(b *testing.B, n int, opts ...ms.Option) (*ms.ShardedEngine, []*hbase.Table, []txn.Transaction) {
+	b.Helper()
+	const (
+		users  = 1000
+		hot    = 200
+		embDim = 8
+		nTxns  = 1000
+	)
+	tabs := make([]*hbase.Table, n)
+	for i := range tabs {
+		tab, err := hbase.Open(hbase.Config{Dir: b.TempDir()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { tab.Close() })
+		tabs[i] = tab
+	}
+	r := rng.New(3)
+	up := ms.NewShardedUploader(tabs, 0)
+	for i := 0; i < users; i++ {
+		u := txn.User{ID: txn.UserID(i), Age: uint8(20 + i%50), AvgAmount: float32(50 + i%200)}
+		emb := make([]float32, embDim)
+		for j := range emb {
+			emb[j] = float32(r.Float64() - 0.5)
+		}
+		if err := up.PutUser(&u, feature.UserStats{OutCount: float64(i % 10)}, emb); err != nil {
+			b.Fatal(err)
+		}
+	}
+	clf, city := benchToyLR(embDim)
+	bundle, err := ms.NewBundle("bench", clf, 0.5, city, embDim)
+	if err != nil {
+		b.Fatal(err)
+	}
+	se, err := ms.NewSharded(tabs, bundle, append([]ms.Option{ms.WithWorkers(1)}, opts...)...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(se.Close)
+	txns := make([]txn.Transaction, nTxns)
+	for i := range txns {
+		txns[i] = txn.Transaction{
+			ID:   txn.TxnID(i + 1),
+			From: txn.UserID(r.Intn(hot)), To: txn.UserID(r.Intn(hot)),
+			Amount: float32(r.Float64() * 2000),
+		}
+	}
+	return se, tabs, txns
+}
+
+// BenchmarkScoreBatchSharded scores the 1k-transaction batch through the
+// in-process sharded engine at ring widths 1, 2, 4 and 8. Shards score
+// concurrently (one worker each), so on a multi-core runner throughput
+// scales with the ring until cores run out; on a single core the widths
+// collapse to the same wall time and the metric records the scatter
+// overhead instead. The shards-1 case first proves bitwise verdict
+// identity against the unsharded engine over the same table — the
+// rebalance-safety invariant the sharded tests pin, re-checked where the
+// numbers are produced.
+func BenchmarkScoreBatchSharded(b *testing.B) {
+	ctx := context.Background()
+	for _, n := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards-%d", n), func(b *testing.B) {
+			se, tabs, txns := shardedFixture(b, n)
+			if n == 1 {
+				clf, city := benchToyLR(8) // deterministic: same bundle the fixture built
+				bundle, err := ms.NewBundle("bench", clf, 0.5, city, 8)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ref, err := ms.New(tabs[0], bundle, ms.WithWorkers(1))
+				if err != nil {
+					b.Fatal(err)
+				}
+				want, err := ref.ScoreBatch(ctx, txns)
+				if err != nil {
+					b.Fatal(err)
+				}
+				got, err := se.ScoreBatch(ctx, txns)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for i := range want {
+					if math.Float64bits(got[i].Score) != math.Float64bits(want[i].Score) {
+						b.Fatalf("txn %d: sharded score %v != unsharded %v", i, got[i].Score, want[i].Score)
+					}
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := se.ScoreBatch(ctx, txns); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(txns)), "ns/txn")
+		})
+	}
+}
+
 // BenchmarkDecideBatch measures the decision path against the plain
 // scoring path on the same workload: the "policy" variant (policy
 // enabled, shadow off — the acceptance configuration, compare its ns/txn

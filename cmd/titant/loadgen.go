@@ -2,11 +2,14 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"syscall"
@@ -40,8 +43,10 @@ func cmdLoadgen(args []string) {
 	mixSpec := fs.String("opmix", "", `op weights "score:decide:ingest" (empty = 0.25:0.65:0.10)`)
 	maxOut := fs.Int("max-outstanding", 0, "client-side concurrency cap (0 = 4096)")
 	out := fs.String("out", "LOADGEN_report.json", "JSON report path")
+	slo := fs.String("slo", "", "SLO gate JSON (max_p99_ms, max_error_rate, min_recall); violations fail the run")
 	// In-process engine mode.
 	users, seed := worldFlags(fs)
+	shards := fs.Int("shards", 1, "in-process engine shards (users partitioned by consistent hash; ignored with -addr)")
 	detectors := fs.String("detectors", "lr", "detectors for the in-process engine (several = ensemble)")
 	combineName := fs.String("combine", "mean", "ensemble combiner when several detectors are named")
 	fast := fs.Bool("fast", true, "reduced training budget for the in-process engine")
@@ -79,11 +84,15 @@ func cmdLoadgen(args []string) {
 		if err := loadHTTPReplay(&cfg, *replayPath, *manifestPath); err != nil {
 			log.Fatalf("loadgen: %v", err)
 		}
-		tgt = &loadgen.HTTPTarget{BaseURL: strings.TrimRight(*addr, "/"), Caller: *caller}
-		log.Printf("driving %s: schedule %s, rate %.0f/s for %s (%d replay txns)",
-			*addr, sched.Name(), *rate, *duration, len(cfg.Replay))
+		base := strings.TrimRight(*addr, "/")
+		tgt = &loadgen.HTTPTarget{BaseURL: base, Caller: *caller}
+		// Record the serving width behind the URL: a router or sharded
+		// server reports it on /v1/stats; anything else counts as 1.
+		cfg.Shards = probeShards(base)
+		log.Printf("driving %s: schedule %s, rate %.0f/s for %s (%d replay txns, %d shard(s))",
+			*addr, sched.Name(), *rate, *duration, len(cfg.Replay), cfg.Shards)
 	} else {
-		eng, cleanup, err := buildLoadgenEngine(&cfg, *users, *seed, *detectors, *combineName,
+		eng, cleanup, err := buildLoadgenEngine(&cfg, *users, *seed, *shards, *detectors, *combineName,
 			*fast, *quota, *burst, *maxInflight)
 		if err != nil {
 			log.Fatalf("loadgen: %v", err)
@@ -91,8 +100,8 @@ func cmdLoadgen(args []string) {
 		defer cleanup()
 		tgt = &loadgen.EngineTarget{Server: eng}
 		ctx = titant.WithCallerContext(ctx, *caller)
-		log.Printf("driving in-process engine: schedule %s, rate %.0f/s for %s (%d replay txns, quota %.0f/s, max-inflight %d)",
-			sched.Name(), *rate, *duration, len(cfg.Replay), *quota, *maxInflight)
+		log.Printf("driving in-process engine: schedule %s, rate %.0f/s for %s (%d replay txns, %d shard(s), quota %.0f/s, max-inflight %d)",
+			sched.Name(), *rate, *duration, len(cfg.Replay), cfg.Shards, *quota, *maxInflight)
 	}
 
 	rep, err := loadgen.Run(ctx, cfg, tgt)
@@ -107,6 +116,43 @@ func cmdLoadgen(args []string) {
 		log.Fatalf("loadgen: %v", err)
 	}
 	printReport(rep, *out)
+	if *slo != "" {
+		gateRaw, err := os.ReadFile(*slo)
+		if err != nil {
+			log.Fatalf("loadgen: %v", err)
+		}
+		gate, err := loadgen.ParseSLO(gateRaw)
+		if err != nil {
+			log.Fatalf("loadgen: %v", err)
+		}
+		if violations := rep.CheckSLO(gate); len(violations) > 0 {
+			for _, v := range violations {
+				fmt.Fprintf(os.Stderr, "SLO VIOLATION: %s\n", v)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("SLO gate %s: pass\n", *slo)
+	}
+}
+
+// probeShards asks a live server how wide it is: GET /v1/stats carries
+// a "shards" count on both the single server and the router's merged
+// view. Unreachable or unparseable stats report as 1 — the probe is
+// informational, not a gate.
+func probeShards(base string) int {
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(base + "/v1/stats")
+	if err != nil {
+		return 1
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Shards int `json:"shards"`
+	}
+	if resp.StatusCode != http.StatusOK || json.NewDecoder(resp.Body).Decode(&body) != nil || body.Shards < 1 {
+		return 1
+	}
+	return body.Shards
 }
 
 // parseOpMix parses "score:decide:ingest" weights; empty keeps the
@@ -180,9 +226,10 @@ func loadHTTPReplay(cfg *loadgen.Config, replayPath, manifestPath string) error 
 // bundle to a temp feature store, and assembles the in-process engine
 // the harness drives: policy enabled (so decide traffic works), stream
 // aggregates warmed from the reference window, admission control from
-// the CLI flags.
-func buildLoadgenEngine(cfg *loadgen.Config, users int, seed uint64, detectors, combineName string,
-	fast bool, quota float64, burst int, maxInflight int) (*titant.Engine, func(), error) {
+// the CLI flags. shards > 1 builds the consistent-hash sharded engine
+// over a ring of shard tables — same API, horizontal scoring.
+func buildLoadgenEngine(cfg *loadgen.Config, users int, seed uint64, shards int, detectors, combineName string,
+	fast bool, quota float64, burst int, maxInflight int) (loadgen.Engine, func(), error) {
 	wcfg := titant.DefaultWorldConfig()
 	if users > 0 {
 		wcfg.Users = users
@@ -216,22 +263,40 @@ func buildLoadgenEngine(cfg *loadgen.Config, users int, seed uint64, detectors, 
 	if err != nil {
 		return nil, nil, err
 	}
+	if shards < 1 {
+		shards = 1
+	}
 	dir, err := os.MkdirTemp("", "titant-loadgen-*")
 	if err != nil {
 		return nil, nil, err
 	}
-	cleanup := func() { os.RemoveAll(dir) }
-	tab, err := titant.OpenFeatureTable(dir)
-	if err != nil {
-		cleanup()
-		return nil, nil, err
+	rmdir := func() { os.RemoveAll(dir) }
+	tabs := make([]*titant.FeatureTable, shards)
+	closeTabs := func() {
+		for _, tb := range tabs {
+			if tb != nil {
+				tb.Close()
+			}
+		}
+	}
+	for i := range tabs {
+		sd := dir
+		if shards > 1 {
+			sd = filepath.Join(dir, fmt.Sprintf("shard-%03d", i))
+		}
+		if tabs[i], err = titant.OpenFeatureTable(sd); err != nil {
+			closeTabs()
+			rmdir()
+			return nil, nil, err
+		}
 	}
 	version := "loadgen-" + time.Now().Format("2006-01-02T15:04:05")
-	log.Printf("uploading %d users to the feature store...", len(w.Users))
-	bundle, err := titant.DeployEnsemble(w.Users, ds, emb, members, combine, threshold, opts, tab, version)
+	log.Printf("uploading %d users to the feature store (%d shard(s))...", len(w.Users), shards)
+	bundle, err := titant.DeployEnsembleTo(w.Users, ds, emb, members, combine, threshold, opts,
+		titant.NewShardedUploader(tabs, 0), version)
 	if err != nil {
-		tab.Close()
-		cleanup()
+		closeTabs()
+		rmdir()
 		return nil, nil, err
 	}
 	st := titant.NewStreamStore(titant.WithStreamCities(opts.Cities))
@@ -249,15 +314,29 @@ func buildLoadgenEngine(cfg *loadgen.Config, users int, seed uint64, detectors, 
 	if maxInflight > 0 {
 		engOpts = append(engOpts, titant.WithMaxInflight(maxInflight))
 	}
-	eng, err := titant.NewEngine(tab, bundle, engOpts...)
-	if err != nil {
-		tab.Close()
-		cleanup()
-		return nil, nil, err
+	var eng loadgen.Engine
+	var closeEng func()
+	if shards > 1 {
+		se, err := titant.NewShardedEngine(tabs, bundle, engOpts...)
+		if err != nil {
+			closeTabs()
+			rmdir()
+			return nil, nil, err
+		}
+		eng, closeEng = se, se.Close
+	} else {
+		e, err := titant.NewEngine(tabs[0], bundle, engOpts...)
+		if err != nil {
+			closeTabs()
+			rmdir()
+			return nil, nil, err
+		}
+		eng, closeEng = e, e.Close
 	}
 	cfg.Replay = testWindow(w.Log)
 	cfg.Manifest = man
-	return eng, func() { eng.Close(); tab.Close(); cleanup() }, nil
+	cfg.Shards = shards
+	return eng, func() { closeEng(); closeTabs(); rmdir() }, nil
 }
 
 // printReport summarises the run on stdout; the full report is in the

@@ -9,20 +9,24 @@
 //	      [-data dir] [-users N] [-seed N] [-dataset N]
 //	                                          train an ensemble bundle file
 //	serve [-addr :8070] [-users N] [-seed N] [-workers N] [-model-token T]
-//	      [-detectors gbdt,...] [-combine mean] [-usercache N]
+//	      [-detectors gbdt,...] [-combine mean] [-usercache N] [-shards N]
 //	      [-stream] [-stream-shards N] [-stream-buckets N] [-stream-bucket-secs N]
 //	      [-policy default|file.json] [-shadow lr,...] [-shadow-queue N] [-drift]
 //	      [-eventlog DIR] [-eventlog-fsync D] [-eventlog-segment-mb N]
 //	      [-eventlog-snapshot-every N] [-scenarios]
 //	      [-quota N] [-quota-burst N] [-max-inflight N]
 //	                                          train, deploy and serve over HTTP
+//	route -shards URL,URL,... [-addr :9090] [-timeout D]
+//	                                          stateless scatter/gather router over
+//	                                          a ring of shard servers (see route.go)
 //	logctl <inspect|compact> -dir DIR [-retain N] [-json]
 //	                                          inspect or compact an event log directory
 //	loadgen [-addr URL] [-schedule constant|diurnal|spike] [-rate N] [-duration D]
-//	        [-opmix S:D:I] [-load-users N] [-zipf S] [-load-seed N]
-//	        [-quota N] [-burst N] [-max-inflight N] [-out report.json]
+//	        [-opmix S:D:I] [-load-users N] [-zipf S] [-load-seed N] [-shards N]
+//	        [-quota N] [-burst N] [-max-inflight N] [-out report.json] [-slo slo.json]
 //	                                          open-loop load run graded against the
-//	                                          scenario manifests (see loadgen.go)
+//	                                          scenario manifests (see loadgen.go);
+//	                                          -slo turns the run into a pass/fail gate
 //
 // train runs the offline pipeline for several detectors at once (the
 // paper deploys Isolation Forest, ID3/C5.0, LR and GBDT side by side) and
@@ -59,6 +63,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -80,6 +85,8 @@ func main() {
 		cmdTrain(os.Args[2:])
 	case "serve":
 		cmdServe(os.Args[2:])
+	case "route":
+		cmdRoute(os.Args[2:])
 	case "logctl":
 		cmdLogctl(os.Args[2:])
 	case "loadgen":
@@ -90,7 +97,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: titant <gen|eval|train|serve|logctl|loadgen> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: titant <gen|eval|train|serve|route|logctl|loadgen> [flags]")
 	os.Exit(2)
 }
 
@@ -269,6 +276,7 @@ func cmdServe(args []string) {
 	addr := fs.String("addr", ":8070", "listen address")
 	dir := fs.String("data", "", "feature store directory (default: temp)")
 	workers := fs.Int("workers", 0, "batch fan-out width (0 = GOMAXPROCS)")
+	shards := fs.Int("shards", 1, "in-process engine shards: users partition by consistent hash across N engines (shard tables under -data/shard-NNN)")
 	detectors := fs.String("detectors", "gbdt", "comma-separated detectors to serve (several = ensemble bundle)")
 	combineName := fs.String("combine", "mean", "ensemble combiner when several detectors are named")
 	token := fs.String("model-token", "", "bearer token guarding POST /v1/models and /v1/policy (empty = open)")
@@ -319,6 +327,13 @@ func cmdServe(args []string) {
 	if err != nil {
 		log.Fatalf("serve: %v", err)
 	}
+	nShards := *shards
+	if nShards < 1 {
+		nShards = 1
+	}
+	if nShards > 1 && *elogDir != "" {
+		log.Fatal("serve: -eventlog does not compose with -shards > 1 in one process; run one `titant serve -eventlog` per shard behind `titant route`")
+	}
 	d := *dir
 	if d == "" {
 		d, err = os.MkdirTemp("", "titant-hbase-*")
@@ -326,11 +341,25 @@ func cmdServe(args []string) {
 			log.Fatal(err)
 		}
 	}
-	tab, err := titant.OpenFeatureTable(d)
-	if err != nil {
-		log.Fatal(err)
+	tabs := make([]*titant.FeatureTable, nShards)
+	for i := range tabs {
+		sd := d
+		if nShards > 1 {
+			sd = filepath.Join(d, fmt.Sprintf("shard-%03d", i))
+		}
+		if tabs[i], err = titant.OpenFeatureTable(sd); err != nil {
+			log.Fatal(err)
+		}
 	}
-	defer tab.Close()
+	defer func() {
+		for _, tb := range tabs {
+			tb.Close()
+		}
+	}()
+	// The sharded uploader routes each user to its owner table by the
+	// same hash the engine scores with; over one table it degenerates to
+	// the plain upload path.
+	sink := titant.NewShardedUploader(tabs, 0)
 	version := time.Now().Format("2006-01-02T15:04:05")
 	var bundle *titant.Bundle
 	var threshold float64
@@ -342,8 +371,8 @@ func cmdServe(args []string) {
 		if err != nil {
 			log.Fatal(err)
 		}
-		log.Printf("uploading %d users to the feature store...", len(w.Users))
-		bundle, err = titant.Deploy(w.Users, ds, emb, clf, threshold, opts, tab, version)
+		log.Printf("uploading %d users to the feature store (%d shard(s))...", len(w.Users), nShards)
+		bundle, err = titant.DeployTo(w.Users, ds, emb, clf, threshold, opts, sink, version)
 	} else {
 		log.Printf("training %d-member ensemble (%s, combiner %s)...", len(dets), *detectors, combine)
 		var members []titant.EnsembleMember
@@ -352,8 +381,8 @@ func cmdServe(args []string) {
 		if err != nil {
 			log.Fatal(err)
 		}
-		log.Printf("uploading %d users to the feature store...", len(w.Users))
-		bundle, err = titant.DeployEnsemble(w.Users, ds, emb, members, combine, threshold, opts, tab, version)
+		log.Printf("uploading %d users to the feature store (%d shard(s))...", len(w.Users), nShards)
+		bundle, err = titant.DeployEnsembleTo(w.Users, ds, emb, members, combine, threshold, opts, sink, version)
 	}
 	if err != nil {
 		log.Fatal(err)
@@ -445,19 +474,35 @@ func cmdServe(args []string) {
 			engOpts = append(engOpts, titant.WithSnapshotEvery(*elogSnapEvery))
 		}
 	}
-	eng, err := titant.NewEngine(tab, bundle, engOpts...)
-	if err != nil {
-		log.Fatal(err)
+	// Both engine shapes serve the same v1 API; the local interface is
+	// just what this function needs from either.
+	type serveEngine interface {
+		Close()
+		ListenAndServe(ctx context.Context, addr string) error
+	}
+	var eng serveEngine
+	if nShards > 1 {
+		se, err := titant.NewShardedEngine(tabs, bundle, engOpts...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		eng = se
+	} else {
+		e, err := titant.NewEngine(tabs[0], bundle, engOpts...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *elogDir != "" {
+			log.Printf("event log %s: replayed %d records, next offset %d",
+				*elogDir, e.EventLogReplayed(), e.EventLogStats().NextOffset)
+		}
+		eng = e
 	}
 	defer eng.Close()
-	if *elogDir != "" {
-		log.Printf("event log %s: replayed %d records, next offset %d",
-			*elogDir, eng.EventLogReplayed(), eng.EventLogStats().NextOffset)
-	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	log.Printf("model server %s listening on %s (%d member(s), threshold %.3f, streaming=%v, usercache=%d, policy=%v, shadow=%v, drift=%v)",
-		version, *addr, bundle.NumMembers(), threshold, *streaming, *userCache, *policySpec != "", *shadowSpec != "", *drift)
+	log.Printf("model server %s listening on %s (%d member(s), threshold %.3f, shards=%d, streaming=%v, usercache=%d, policy=%v, shadow=%v, drift=%v)",
+		version, *addr, bundle.NumMembers(), threshold, nShards, *streaming, *userCache, *policySpec != "", *shadowSpec != "", *drift)
 	log.Printf("v1 API: POST /v1/score[/batch], POST /v1/decide[/batch], POST /v1/ingest[/batch], GET|POST /v1/models, GET|POST /v1/policy, GET /v1/stats, GET /healthz")
 	if err := eng.ListenAndServe(ctx, *addr); err != nil {
 		log.Fatal(err)

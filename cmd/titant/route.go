@@ -1,0 +1,53 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"titant/internal/router"
+)
+
+// cmdRoute runs the stateless scatter/gather tier in front of a ring of
+// shard servers (each a `titant serve` process). Single-transaction
+// calls forward to the owner shard, batches scatter by user hash and
+// gather in input order, model/policy swaps replicate to every shard,
+// and /v1/stats and /healthz merge the fleet view. The router keeps no
+// model or feature state: kill one and start another, the ring is the
+// only configuration.
+func cmdRoute(args []string) {
+	fs := flag.NewFlagSet("route", flag.ExitOnError)
+	addr := fs.String("addr", ":9090", "listen address")
+	shards := fs.String("shards", "", "comma-separated shard server base URLs, ring order (required; the order IS the hash ring)")
+	timeout := fs.Duration("timeout", 0, "per-shard upstream request timeout (0 = default, 10s)")
+	_ = fs.Parse(args)
+	if *shards == "" {
+		log.Fatal("route: -shards is required (comma-separated shard base URLs)")
+	}
+	var ring []string
+	for _, s := range strings.Split(*shards, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			ring = append(ring, s)
+		}
+	}
+	var opts []router.Option
+	if *timeout > 0 {
+		opts = append(opts, router.WithTimeout(*timeout))
+	}
+	rt, err := router.New(ring, opts...)
+	if err != nil {
+		log.Fatalf("route: %v", err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	log.Printf("router listening on %s over %d shard(s): %s", *addr, rt.Shards(), strings.Join(ring, ", "))
+	log.Printf("v1 API: POST /v1/score[/batch], /v1/decide[/batch], /v1/ingest[/batch] (scatter/gather); GET|POST /v1/models, /v1/policy (replicated); GET /v1/stats, /healthz (merged)")
+	if err := rt.ListenAndServe(ctx, *addr); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("shut down cleanly")
+}

@@ -338,17 +338,24 @@ func TrainMatrix(users []txn.User, ds *txn.Dataset, fs FeatureSet, emb *Embeddin
 	return buildMatrix(ex, ds.Train, fs, emb, opts.Dim), feature.LabelsOf(ds.Train)
 }
 
-// uploadUsers materialises every user's profile, aggregate fragment and
-// DW embedding into the feature table.
-func uploadUsers(users []txn.User, agg *feature.Aggregates, emb *Embeddings, tab *hbase.Table) error {
-	up := &ms.Uploader{Table: tab}
+// UserSink receives deployed user rows. The plain feature-table
+// Uploader satisfies it, as does the sharded uploader that routes each
+// row to its owner table by consistent hash — so one deployment path
+// feeds a single store and a ring of shard stores alike.
+type UserSink interface {
+	PutUser(u *txn.User, stats feature.UserStats, vec []float32) error
+}
+
+// uploadUsersTo materialises every user's profile, aggregate fragment
+// and DW embedding into the sink.
+func uploadUsersTo(users []txn.User, agg *feature.Aggregates, emb *Embeddings, sink UserSink) error {
 	for i := range users {
 		u := &users[i]
 		var vec []float32
 		if emb != nil && emb.DW != nil {
 			vec = emb.DW.Lookup(u.ID)
 		}
-		if err := up.PutUser(u, agg.Stats(u.ID), vec); err != nil {
+		if err := sink.PutUser(u, agg.Stats(u.ID), vec); err != nil {
 			return fmt.Errorf("core: upload user %d: %w", u.ID, err)
 		}
 	}
@@ -367,8 +374,14 @@ func embDim(emb *Embeddings) int {
 // the model bundle for the Model Server. version follows the paper's
 // date-time convention.
 func Deploy(users []txn.User, ds *txn.Dataset, emb *Embeddings, clf model.Classifier, threshold float64, opts Options, tab *hbase.Table, version string) (*ms.Bundle, error) {
+	return DeployTo(users, ds, emb, clf, threshold, opts, &ms.Uploader{Table: tab}, version)
+}
+
+// DeployTo is Deploy against any UserSink: pass a sharded uploader to
+// partition the upload wave across a ring of shard tables in one pass.
+func DeployTo(users []txn.User, ds *txn.Dataset, emb *Embeddings, clf model.Classifier, threshold float64, opts Options, sink UserSink, version string) (*ms.Bundle, error) {
 	agg := feature.BuildAggregates(ds.Network, opts.Cities)
-	if err := uploadUsers(users, agg, emb, tab); err != nil {
+	if err := uploadUsersTo(users, agg, emb, sink); err != nil {
 		return nil, err
 	}
 	return ms.NewBundle(version, clf, threshold, agg.CityTable(), embDim(emb))
@@ -385,8 +398,13 @@ func BuildEnsembleBundle(ds *txn.Dataset, emb *Embeddings, members []ms.Ensemble
 // DeployEnsemble is Deploy for ensemble bundles: uploads every user's
 // fragments and returns a v2 bundle combining the trained members.
 func DeployEnsemble(users []txn.User, ds *txn.Dataset, emb *Embeddings, members []ms.EnsembleMember, combine ms.Combiner, threshold float64, opts Options, tab *hbase.Table, version string) (*ms.Bundle, error) {
+	return DeployEnsembleTo(users, ds, emb, members, combine, threshold, opts, &ms.Uploader{Table: tab}, version)
+}
+
+// DeployEnsembleTo is DeployEnsemble against any UserSink (see DeployTo).
+func DeployEnsembleTo(users []txn.User, ds *txn.Dataset, emb *Embeddings, members []ms.EnsembleMember, combine ms.Combiner, threshold float64, opts Options, sink UserSink, version string) (*ms.Bundle, error) {
 	agg := feature.BuildAggregates(ds.Network, opts.Cities)
-	if err := uploadUsers(users, agg, emb, tab); err != nil {
+	if err := uploadUsersTo(users, agg, emb, sink); err != nil {
 		return nil, err
 	}
 	return ms.NewEnsembleBundle(version, members, combine, threshold, agg.CityTable(), embDim(emb))

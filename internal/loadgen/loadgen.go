@@ -26,6 +26,12 @@ type Config struct {
 	Users int     // background user population (Zipf-distributed)
 	ZipfS float64 // Zipf exponent; <= 1 uses the 1.07 default
 
+	// Shards records the width of the engine under test (an in-process
+	// sharded engine's shard count, or the ring size behind a router);
+	// 0 reports as 1. Informational: it flows into the report so a run
+	// archive says what topology produced the numbers.
+	Shards int
+
 	// MaxOutstanding caps the requests concurrently in flight on the
 	// client side (0: 4096). Arrivals beyond the cap still keep their
 	// scheduled start time — they queue client-side and the wait shows up
@@ -67,6 +73,7 @@ type Report struct {
 	Schedule    string  `json:"schedule"`
 	DurationSec float64 `json:"duration_seconds"`
 	Seed        uint64  `json:"seed"`
+	Shards      int     `json:"shards"` // engine width behind the run (>= 1)
 
 	Offered     int     `json:"offered"`        // scheduled arrivals
 	Completed   int64   `json:"completed"`      // requests served 2xx
@@ -217,10 +224,15 @@ dispatch:
 	wg.Wait()
 	wall := time.Since(start)
 
+	shards := cfg.Shards
+	if shards < 1 {
+		shards = 1
+	}
 	rep := &Report{
 		Schedule:    cfg.Schedule.Name(),
 		DurationSec: cfg.Duration.Seconds(),
 		Seed:        cfg.Seed,
+		Shards:      shards,
 		Offered:     len(items),
 		Completed:   completed.Load(),
 		Shed:        shed.Load(),

@@ -1,0 +1,88 @@
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// SLO is a pinned serving-quality floor a load run must clear. The smoke
+// run in CI carries one (ci/slo.json): instead of merely archiving
+// LOADGEN_report.json, the gate fails the build when tail latency or
+// per-scenario detection regresses past the pinned thresholds.
+//
+// Zero-valued ceilings are unchecked, so a gate can pin only what it
+// cares about. Recall floors are keyed by scenario kind as reported in
+// Report.Scenarios; the reserved key "overall" pins Report.Recall. A
+// pinned scenario missing from the report entirely is itself a violation
+// — silently losing a scenario from the replay must not read as passing.
+type SLO struct {
+	MaxP99Ms     float64            `json:"max_p99_ms"`     // client-measured p99 ceiling (0: unchecked)
+	MaxP999Ms    float64            `json:"max_p999_ms"`    // p99.9 ceiling (0: unchecked)
+	MaxErrorRate float64            `json:"max_error_rate"` // errors / offered ceiling (0: unchecked)
+	MinRecall    map[string]float64 `json:"min_recall"`     // per-scenario floors; "overall" = total recall
+}
+
+// ParseSLO decodes an SLO document, rejecting unknown fields so a typo
+// in a threshold name cannot silently disable the gate.
+func ParseSLO(raw []byte) (*SLO, error) {
+	var s SLO
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("loadgen: parse SLO: %w", err)
+	}
+	return &s, nil
+}
+
+// CheckSLO grades the report against the gate and returns one violation
+// message per breached threshold (nil: the run passes).
+func (r *Report) CheckSLO(s *SLO) []string {
+	var violations []string
+	if s.MaxP99Ms > 0 {
+		if got := float64(r.Latency.P99) / 1000; got > s.MaxP99Ms {
+			violations = append(violations, fmt.Sprintf("p99 latency %.2fms exceeds SLO %.2fms", got, s.MaxP99Ms))
+		}
+	}
+	if s.MaxP999Ms > 0 {
+		if got := float64(r.Latency.P999) / 1000; got > s.MaxP999Ms {
+			violations = append(violations, fmt.Sprintf("p99.9 latency %.2fms exceeds SLO %.2fms", got, s.MaxP999Ms))
+		}
+	}
+	if s.MaxErrorRate > 0 && r.Offered > 0 {
+		if got := float64(r.Errors) / float64(r.Offered); got > s.MaxErrorRate {
+			violations = append(violations, fmt.Sprintf("error rate %.4f exceeds SLO %.4f (%d errors / %d offered)",
+				got, s.MaxErrorRate, r.Errors, r.Offered))
+		}
+	}
+	if len(s.MinRecall) > 0 {
+		byKind := make(map[string]float64, len(r.Scenarios))
+		for _, sc := range r.Scenarios {
+			byKind[sc.Kind] = sc.Recall
+		}
+		kinds := make([]string, 0, len(s.MinRecall))
+		for kind := range s.MinRecall {
+			kinds = append(kinds, kind)
+		}
+		sort.Strings(kinds) // deterministic violation order
+		for _, kind := range kinds {
+			floor := s.MinRecall[kind]
+			if kind == "overall" {
+				if r.Recall < floor {
+					violations = append(violations, fmt.Sprintf("overall recall %.3f below SLO %.3f", r.Recall, floor))
+				}
+				continue
+			}
+			got, ok := byKind[kind]
+			if !ok {
+				violations = append(violations, fmt.Sprintf("scenario %q pinned by SLO but absent from the report", kind))
+				continue
+			}
+			if got < floor {
+				violations = append(violations, fmt.Sprintf("scenario %q recall %.3f below SLO %.3f", kind, got, floor))
+			}
+		}
+	}
+	return violations
+}

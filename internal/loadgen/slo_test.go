@@ -1,0 +1,99 @@
+package loadgen
+
+import (
+	"strings"
+	"testing"
+)
+
+func sloReport() *Report {
+	return &Report{
+		Offered: 1000,
+		Errors:  2,
+		Latency: LatencyReport{P50: 800, P99: 4000, P999: 9000, Max: 20000},
+		Recall:  0.80,
+		Scenarios: []ScenarioReport{
+			{Kind: "card_testing", Replayed: 40, Flagged: 36, Recall: 0.90},
+			{Kind: "account_takeover", Replayed: 30, Flagged: 21, Recall: 0.70},
+		},
+	}
+}
+
+func TestCheckSLOPasses(t *testing.T) {
+	s := &SLO{
+		MaxP99Ms:     5,
+		MaxP999Ms:    10,
+		MaxErrorRate: 0.01,
+		MinRecall: map[string]float64{
+			"overall":      0.75,
+			"card_testing": 0.85,
+		},
+	}
+	if v := sloReport().CheckSLO(s); v != nil {
+		t.Fatalf("clean run flagged: %v", v)
+	}
+}
+
+func TestCheckSLOLatencyAndErrors(t *testing.T) {
+	s := &SLO{MaxP99Ms: 3, MaxP999Ms: 8, MaxErrorRate: 0.001}
+	v := sloReport().CheckSLO(s)
+	if len(v) != 3 {
+		t.Fatalf("want 3 violations, got %v", v)
+	}
+	for i, frag := range []string{"p99 latency 4.00ms", "p99.9 latency 9.00ms", "error rate 0.0020"} {
+		if !strings.Contains(v[i], frag) {
+			t.Fatalf("violation %d = %q, want fragment %q", i, v[i], frag)
+		}
+	}
+}
+
+func TestCheckSLORecallFloors(t *testing.T) {
+	s := &SLO{MinRecall: map[string]float64{
+		"account_takeover": 0.75, // report has 0.70 -> violation
+		"card_testing":     0.85, // report has 0.90 -> ok
+		"overall":          0.85, // report has 0.80 -> violation
+	}}
+	v := sloReport().CheckSLO(s)
+	if len(v) != 2 {
+		t.Fatalf("want 2 violations, got %v", v)
+	}
+	if !strings.Contains(v[0], `"account_takeover" recall 0.700`) {
+		t.Fatalf("violation 0 = %q", v[0])
+	}
+	if !strings.Contains(v[1], "overall recall 0.800") {
+		t.Fatalf("violation 1 = %q", v[1])
+	}
+}
+
+func TestCheckSLOMissingScenarioIsViolation(t *testing.T) {
+	s := &SLO{MinRecall: map[string]float64{"mule_ring": 0.5}}
+	v := sloReport().CheckSLO(s)
+	if len(v) != 1 || !strings.Contains(v[0], `"mule_ring"`) || !strings.Contains(v[0], "absent") {
+		t.Fatalf("missing scenario: %v", v)
+	}
+}
+
+func TestCheckSLOZeroCeilingsUnchecked(t *testing.T) {
+	if v := sloReport().CheckSLO(&SLO{}); v != nil {
+		t.Fatalf("empty SLO produced violations: %v", v)
+	}
+}
+
+func TestParseSLO(t *testing.T) {
+	s, err := ParseSLO([]byte(`{
+	  "max_p99_ms": 5,
+	  "max_error_rate": 0.01,
+	  "min_recall": {"overall": 0.7, "card_testing": 0.8}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.MaxP99Ms != 5 || s.MaxErrorRate != 0.01 || s.MinRecall["card_testing"] != 0.8 {
+		t.Fatalf("parsed = %+v", s)
+	}
+	if _, err := ParseSLO([]byte(`{"max_p99ms_typo": 5}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	if _, err := ParseSLO([]byte(`{`)); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+}

@@ -205,7 +205,11 @@ type AdmissionStats struct {
 // AdmissionStats snapshots the admission counters (zero value when
 // admission control is disabled).
 func (s *Server) AdmissionStats() AdmissionStats {
-	a := s.adm
+	return s.adm.stats()
+}
+
+// stats snapshots the gate's counters; a nil gate reads as all zeros.
+func (a *admission) stats() AdmissionStats {
 	if a == nil {
 		return AdmissionStats{}
 	}

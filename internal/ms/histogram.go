@@ -86,6 +86,48 @@ func (h *histogram) snapshot() ([]int64, int64) {
 	return counts, total
 }
 
+// mergeHistograms sums same-shaped histograms bucket-wise and returns
+// the merged snapshot (bounds, counts, total, max). All inputs must
+// share bounds — true for the engine's histograms, which are all built
+// from one option set (the sharded engine constructs every shard with
+// identical options, and the wire router only merges stats bodies whose
+// bounds_ns arrays match).
+func mergeHistograms(hs []*histogram) (bounds []time.Duration, counts []int64, total int64, max time.Duration) {
+	if len(hs) == 0 {
+		return nil, nil, 0, 0
+	}
+	bounds = hs[0].bounds
+	counts = make([]int64, len(hs[0].counts))
+	for _, h := range hs {
+		cs, t := h.snapshot()
+		for i := range counts {
+			counts[i] += cs[i]
+		}
+		total += t
+		if m := time.Duration(h.max.Load()); m > max {
+			max = m
+		}
+	}
+	return bounds, counts, total, max
+}
+
+// histBodyFrom renders a histogram snapshot as its raw wire form:
+// nanosecond bucket bounds, counts (last entry is the overflow bucket)
+// and the observed maximum. Raw buckets are what make the fleet view
+// lossless — the router sums counts across shards and recomputes
+// quantiles, instead of averaging per-shard percentiles (meaningless).
+func histBodyFrom(bounds []time.Duration, counts []int64, total int64, max time.Duration) map[string]interface{} {
+	boundsNS := make([]int64, len(bounds))
+	for i, b := range bounds {
+		boundsNS[i] = int64(b)
+	}
+	return map[string]interface{}{
+		"bounds_ns": boundsNS,
+		"counts":    counts,
+		"max_ns":    int64(max),
+	}
+}
+
 // quantileFrom reads the p-quantile (0 < p <= 1) out of a snapshot.
 func quantileFrom(bounds []time.Duration, counts []int64, total int64, max time.Duration, p float64) time.Duration {
 	if total == 0 {

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"titant/internal/decision"
+	"titant/internal/ms/usercache"
 	"titant/internal/txn"
 )
 
@@ -185,6 +186,39 @@ func decodeBody(w http.ResponseWriter, r *http.Request, limit int64, v interface
 	return false
 }
 
+// engineAPI is the serving surface the HTTP layer drives. Both the
+// single-shard *Server and the horizontally sharded *ShardedEngine
+// satisfy it, so the v1 wire protocol is engine-shape-agnostic: the same
+// mux, auth, limits and error mapping serve one shard or N.
+type engineAPI interface {
+	Score(ctx context.Context, t *txn.Transaction) (Verdict, error)
+	ScoreBatch(ctx context.Context, txns []txn.Transaction) ([]Verdict, error)
+	Decide(ctx context.Context, t *txn.Transaction, sc decision.Scenario) (Decision, error)
+	DecideBatch(ctx context.Context, txns []txn.Transaction, scenarios []decision.Scenario) ([]Decision, error)
+	Ingest(t *txn.Transaction) error
+	IngestBatch(txns []txn.Transaction) error
+	Admit(ctx context.Context, n int) (func(), error)
+	ModelInfo() ModelInfo
+	SetBundle(b *Bundle) error
+	currentPolicy() *decision.Policy
+	SetPolicy(p *decision.Policy) error
+	PolicyInfo() PolicyInfo
+	StatsBody() map[string]interface{}
+	Health() HealthInfo
+}
+
+// api binds one engine to the v1 mux along with the request-shaping
+// configuration (batch limit, tokens, per-endpoint histograms) the
+// handlers need outside the engine interface.
+type api struct {
+	e           engineAPI
+	maxBatch    int
+	modelToken  string
+	ingestToken string
+	ingestHist  *histogram
+	decideHist  *histogram
+}
+
 // Handler returns the v1 HTTP mux:
 //
 //	POST /v1/score         score one transaction
@@ -208,24 +242,43 @@ func decodeBody(w http.ResponseWriter, r *http.Request, limit int64, v interface
 // The pre-v1 routes POST /score and GET /stats remain as deprecated
 // aliases.
 func (s *Server) Handler() http.Handler {
+	return (&api{
+		e: s, maxBatch: s.maxBatch,
+		modelToken: s.modelToken, ingestToken: s.ingestToken,
+		ingestHist: s.ingestHist, decideHist: s.decideHist,
+	}).handler()
+}
+
+// Handler returns the v1 HTTP mux over the sharded engine — the same
+// routes, auth and error contract as Server.Handler, with batch bodies
+// scattered across shards and stats/health merged fleet-wide.
+func (se *ShardedEngine) Handler() http.Handler {
+	return (&api{
+		e: se, maxBatch: se.maxBatch,
+		modelToken: se.modelToken, ingestToken: se.ingestToken,
+		ingestHist: se.ingestHist, decideHist: se.decideHist,
+	}).handler()
+}
+
+func (a *api) handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/score", s.handleScore)
-	mux.HandleFunc("/v1/score/batch", s.handleScoreBatch)
-	mux.HandleFunc("/v1/decide", s.handleDecide)
-	mux.HandleFunc("/v1/decide/batch", s.handleDecideBatch)
-	mux.HandleFunc("/v1/ingest", s.handleIngest)
-	mux.HandleFunc("/v1/ingest/batch", s.handleIngestBatch)
-	mux.HandleFunc("/v1/models", s.handleModels)
-	mux.HandleFunc("/v1/policy", s.handlePolicy)
-	mux.HandleFunc("/v1/stats", s.handleStats)
-	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/v1/score", a.handleScore)
+	mux.HandleFunc("/v1/score/batch", a.handleScoreBatch)
+	mux.HandleFunc("/v1/decide", a.handleDecide)
+	mux.HandleFunc("/v1/decide/batch", a.handleDecideBatch)
+	mux.HandleFunc("/v1/ingest", a.handleIngest)
+	mux.HandleFunc("/v1/ingest/batch", a.handleIngestBatch)
+	mux.HandleFunc("/v1/models", a.handleModels)
+	mux.HandleFunc("/v1/policy", a.handlePolicy)
+	mux.HandleFunc("/v1/stats", a.handleStats)
+	mux.HandleFunc("/healthz", a.handleHealthz)
 	// Deprecated pre-v1 aliases.
-	mux.HandleFunc("/score", s.handleScore)
-	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/score", a.handleScore)
+	mux.HandleFunc("/stats", a.handleStats)
 	return mux
 }
 
-func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
+func (a *api) handleScore(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "POST only")
 		return
@@ -235,7 +288,7 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	t := req.Txn()
-	v, err := s.Score(callerContext(r), &t)
+	v, err := a.e.Score(callerContext(r), &t)
 	if err != nil {
 		writeScoreError(w, err)
 		return
@@ -246,36 +299,36 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 // batchBodyLimit derives a batch route's body cap from the engine's batch
 // limit (clamped to the hard ceiling), keeping parse cost proportional to
 // the configured batch size.
-func (s *Server) batchBodyLimit() int64 {
+func (a *api) batchBodyLimit() int64 {
 	limit := int64(maxBatchBytes)
-	if s.maxBatch > 0 {
-		if l := int64(s.maxBatch)*maxTxnJSONBytes + 1024; l < limit {
+	if a.maxBatch > 0 {
+		if l := int64(a.maxBatch)*maxTxnJSONBytes + 1024; l < limit {
 			limit = l
 		}
 	}
 	return limit
 }
 
-func (s *Server) handleScoreBatch(w http.ResponseWriter, r *http.Request) {
+func (a *api) handleScoreBatch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "POST only")
 		return
 	}
 	var req BatchRequest
-	if !decodeBody(w, r, s.batchBodyLimit(), &req) {
+	if !decodeBody(w, r, a.batchBodyLimit(), &req) {
 		return
 	}
 	// Reject oversize batches before converting, so a body of minimal
 	// JSON objects can't cost a second large allocation.
-	if s.maxBatch > 0 && len(req.Transactions) > s.maxBatch {
-		writeScoreError(w, batchTooLarge(len(req.Transactions), s.maxBatch))
+	if a.maxBatch > 0 && len(req.Transactions) > a.maxBatch {
+		writeScoreError(w, batchTooLarge(len(req.Transactions), a.maxBatch))
 		return
 	}
 	txns := make([]txn.Transaction, len(req.Transactions))
 	for i := range req.Transactions {
 		txns[i] = req.Transactions[i].Txn()
 	}
-	verdicts, err := s.ScoreBatch(callerContext(r), txns)
+	verdicts, err := a.e.ScoreBatch(callerContext(r), txns)
 	if err != nil {
 		writeScoreError(w, err)
 		return
@@ -303,8 +356,8 @@ type DecideBatchResponse struct {
 	Decisions []Decision `json:"decisions"`
 }
 
-func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
-	defer s.recordEndpoint(s.decideHist, time.Now())
+func (a *api) handleDecide(w http.ResponseWriter, r *http.Request) {
+	defer a.recordEndpoint(a.decideHist, time.Now())
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "POST only")
 		return
@@ -319,7 +372,7 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	t := req.TxnRequest.Txn()
-	d, err := s.Decide(callerContext(r), &t, sc)
+	d, err := a.e.Decide(callerContext(r), &t, sc)
 	if err != nil {
 		writeScoreError(w, err)
 		return
@@ -327,18 +380,18 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, d)
 }
 
-func (s *Server) handleDecideBatch(w http.ResponseWriter, r *http.Request) {
-	defer s.recordEndpoint(s.decideHist, time.Now())
+func (a *api) handleDecideBatch(w http.ResponseWriter, r *http.Request) {
+	defer a.recordEndpoint(a.decideHist, time.Now())
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "POST only")
 		return
 	}
 	var req DecideBatchRequest
-	if !decodeBody(w, r, s.batchBodyLimit(), &req) {
+	if !decodeBody(w, r, a.batchBodyLimit(), &req) {
 		return
 	}
-	if s.maxBatch > 0 && len(req.Transactions) > s.maxBatch {
-		writeScoreError(w, batchTooLarge(len(req.Transactions), s.maxBatch))
+	if a.maxBatch > 0 && len(req.Transactions) > a.maxBatch {
+		writeScoreError(w, batchTooLarge(len(req.Transactions), a.maxBatch))
 		return
 	}
 	txns := make([]txn.Transaction, len(req.Transactions))
@@ -352,7 +405,7 @@ func (s *Server) handleDecideBatch(w http.ResponseWriter, r *http.Request) {
 		txns[i] = req.Transactions[i].TxnRequest.Txn()
 		scenarios[i] = sc
 	}
-	decisions, err := s.DecideBatch(callerContext(r), txns, scenarios)
+	decisions, err := a.e.DecideBatch(callerContext(r), txns, scenarios)
 	if err != nil {
 		writeScoreError(w, err)
 		return
@@ -363,10 +416,10 @@ func (s *Server) handleDecideBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, DecideBatchResponse{Decisions: decisions})
 }
 
-func (s *Server) handlePolicy(w http.ResponseWriter, r *http.Request) {
+func (a *api) handlePolicy(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
 	case http.MethodGet:
-		pol := s.currentPolicy()
+		pol := a.e.currentPolicy()
 		if pol == nil {
 			writeError(w, http.StatusNotFound, "policy_disabled", ErrPolicyDisabled.Error())
 			return
@@ -382,7 +435,7 @@ func (s *Server) handlePolicy(w http.ResponseWriter, r *http.Request) {
 	case http.MethodPost:
 		// Same guard as POST /v1/models: a policy swap changes live risk
 		// decisions exactly as a model swap does.
-		if s.modelToken != "" && !CheckBearer(r, s.modelToken) {
+		if a.modelToken != "" && !CheckBearer(r, a.modelToken) {
 			writeError(w, http.StatusUnauthorized, "unauthorized", "policy swap requires a valid bearer token")
 			return
 		}
@@ -401,7 +454,7 @@ func (s *Server) handlePolicy(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, "policy_invalid", err.Error())
 			return
 		}
-		if err := s.SetPolicy(pol); err != nil {
+		if err := a.e.SetPolicy(pol); err != nil {
 			// Replace-only: decisioning cannot be switched on over the
 			// wire when the operator left it off.
 			if errors.Is(err, ErrPolicyDisabled) {
@@ -411,7 +464,7 @@ func (s *Server) handlePolicy(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, "policy_invalid", err.Error())
 			return
 		}
-		writeJSON(w, http.StatusOK, s.PolicyInfo())
+		writeJSON(w, http.StatusOK, a.e.PolicyInfo())
 	default:
 		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "GET or POST only")
 	}
@@ -419,27 +472,27 @@ func (s *Server) handlePolicy(w http.ResponseWriter, r *http.Request) {
 
 // recordEndpoint lands one request's wall time in a per-endpoint
 // histogram (deferred at handler entry, so errors are measured too).
-func (s *Server) recordEndpoint(h *histogram, start time.Time) {
+func (a *api) recordEndpoint(h *histogram, start time.Time) {
 	h.record(time.Since(start))
 }
 
 // checkIngestAuth enforces the optional ingest bearer token, writing the
 // 401 envelope on failure.
-func (s *Server) checkIngestAuth(w http.ResponseWriter, r *http.Request) bool {
-	if s.ingestToken != "" && !CheckBearer(r, s.ingestToken) {
+func (a *api) checkIngestAuth(w http.ResponseWriter, r *http.Request) bool {
+	if a.ingestToken != "" && !CheckBearer(r, a.ingestToken) {
 		writeError(w, http.StatusUnauthorized, "unauthorized", "ingest requires a valid bearer token")
 		return false
 	}
 	return true
 }
 
-func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
-	defer s.recordEndpoint(s.ingestHist, time.Now())
+func (a *api) handleIngest(w http.ResponseWriter, r *http.Request) {
+	defer a.recordEndpoint(a.ingestHist, time.Now())
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "POST only")
 		return
 	}
-	if !s.checkIngestAuth(w, r) {
+	if !a.checkIngestAuth(w, r) {
 		return
 	}
 	var req IngestRequest
@@ -449,38 +502,38 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	// Ingest takes no context, so admission runs here: the one request
 	// path that bypasses Score/Decide still honors quotas and the
 	// inflight bound.
-	release, err := s.Admit(callerContext(r), 1)
+	release, err := a.e.Admit(callerContext(r), 1)
 	if err != nil {
 		writeScoreError(w, err)
 		return
 	}
 	defer release()
 	t := req.Txn()
-	if err := s.Ingest(&t); err != nil {
+	if err := a.e.Ingest(&t); err != nil {
 		writeScoreError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, IngestResponse{Ingested: 1})
 }
 
-func (s *Server) handleIngestBatch(w http.ResponseWriter, r *http.Request) {
-	defer s.recordEndpoint(s.ingestHist, time.Now())
+func (a *api) handleIngestBatch(w http.ResponseWriter, r *http.Request) {
+	defer a.recordEndpoint(a.ingestHist, time.Now())
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "POST only")
 		return
 	}
-	if !s.checkIngestAuth(w, r) {
+	if !a.checkIngestAuth(w, r) {
 		return
 	}
 	var req IngestBatchRequest
-	if !decodeBody(w, r, s.batchBodyLimit(), &req) {
+	if !decodeBody(w, r, a.batchBodyLimit(), &req) {
 		return
 	}
-	if s.maxBatch > 0 && len(req.Transactions) > s.maxBatch {
-		writeScoreError(w, batchTooLarge(len(req.Transactions), s.maxBatch))
+	if a.maxBatch > 0 && len(req.Transactions) > a.maxBatch {
+		writeScoreError(w, batchTooLarge(len(req.Transactions), a.maxBatch))
 		return
 	}
-	release, err := s.Admit(callerContext(r), len(req.Transactions))
+	release, err := a.e.Admit(callerContext(r), len(req.Transactions))
 	if err != nil {
 		writeScoreError(w, err)
 		return
@@ -490,19 +543,19 @@ func (s *Server) handleIngestBatch(w http.ResponseWriter, r *http.Request) {
 	for i := range req.Transactions {
 		txns[i] = req.Transactions[i].Txn()
 	}
-	if err := s.IngestBatch(txns); err != nil {
+	if err := a.e.IngestBatch(txns); err != nil {
 		writeScoreError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, IngestResponse{Ingested: len(txns)})
 }
 
-func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+func (a *api) handleModels(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
 	case http.MethodGet:
-		writeJSON(w, http.StatusOK, s.ModelInfo())
+		writeJSON(w, http.StatusOK, a.e.ModelInfo())
 	case http.MethodPost:
-		if s.modelToken != "" && !CheckBearer(r, s.modelToken) {
+		if a.modelToken != "" && !CheckBearer(r, a.modelToken) {
 			writeError(w, http.StatusUnauthorized, "unauthorized", "model swap requires a valid bearer token")
 			return
 		}
@@ -521,26 +574,91 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, "bundle_invalid", err.Error())
 			return
 		}
-		if err := s.SetBundle(b); err != nil {
+		if err := a.e.SetBundle(b); err != nil {
 			writeError(w, http.StatusBadRequest, "bundle_invalid", err.Error())
 			return
 		}
-		writeJSON(w, http.StatusOK, s.ModelInfo())
+		writeJSON(w, http.StatusOK, a.e.ModelInfo())
 	default:
 		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "GET or POST only")
 	}
 }
 
-func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+func (a *api) handleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "GET only")
 		return
 	}
+	writeJSON(w, http.StatusOK, a.e.StatsBody())
+}
+
+// Stats-section builders shared by Server.StatsBody and
+// ShardedEngine.StatsBody, so the two bodies cannot drift apart in shape.
+
+func cacheStatsBody(cs usercache.Stats) map[string]interface{} {
+	return map[string]interface{}{
+		"hits": cs.Hits, "misses": cs.Misses, "collapsed": cs.Collapsed,
+		"evictions": cs.Evictions, "invalidations": cs.Invalidations,
+		"negatives": cs.Negatives, "size": cs.Size, "capacity": cs.Capacity,
+	}
+}
+
+func policyStatsBody(version string, ds DecisionStats) map[string]interface{} {
+	return map[string]interface{}{
+		"version": version, "decided": ds.Decided,
+		"approved": ds.Approved, "challenged": ds.Challenged,
+		"denied": ds.Denied, "rule_overrides": ds.RuleOverrides,
+	}
+}
+
+func admissionStatsBody(as AdmissionStats) map[string]interface{} {
+	return map[string]interface{}{
+		"admitted": as.Admitted, "shed_quota": as.ShedQuota,
+		"shed_inflight": as.ShedInflight, "inflight": as.Inflight,
+		"max_inflight": as.MaxInflight, "rate": as.Rate,
+		"burst": as.Burst, "callers": as.Callers,
+	}
+}
+
+func shadowStatsBody(version string, sh decision.ShadowStats, queueDepth int) map[string]interface{} {
+	return map[string]interface{}{
+		"challenger_version": version,
+		"scored":             sh.Scored, "dropped": sh.Dropped,
+		"errors": sh.Errors, "agreed": sh.Agreed, "flipped": sh.Flipped,
+		"agreement": sh.Agreement, "mean_divergence": sh.MeanAbsDiff,
+		"queue_depth": queueDepth,
+	}
+}
+
+func driftStatsBody(series []decision.DriftStats) map[string]interface{} {
+	// One snapshot pass: the top-level alert derives from the same
+	// series the body reports, so the two cannot contradict.
+	alert := false
+	for i := range series {
+		alert = alert || series[i].Alert
+	}
+	return map[string]interface{}{
+		"alert":  alert,
+		"series": series,
+	}
+}
+
+// StatsBody builds the GET /v1/stats body. Every latency section carries
+// both human-readable microsecond percentiles and the raw nanosecond
+// histogram ("latency_hist" top-level, "hist" per endpoint): the raw
+// buckets let the wire router merge shard bodies losslessly — counts sum
+// and quantiles recompute, where merging pre-computed percentiles would
+// be meaningless. "shards" reports the engine's width (1 here).
+func (s *Server) StatsBody() map[string]interface{} {
 	st := s.Latency()
+	counts, total := s.hist.snapshot()
+	max := time.Duration(s.hist.max.Load())
 	body := map[string]interface{}{
 		"scored": st.Count, "alerted": st.Alerted,
 		"p50_us": st.P50.Microseconds(), "p99_us": st.P99.Microseconds(),
 		"max_us": st.Max.Microseconds(), "version": s.BundleVersion(),
+		"shards":       1,
+		"latency_hist": histBodyFrom(s.hist.bounds, counts, total, max),
 	}
 	endpoints := map[string]interface{}{}
 	if s.StreamEnabled() {
@@ -548,43 +666,20 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		endpoints["ingest"] = endpointStats(s.ingestHist)
 	}
 	if s.UserCacheEnabled() {
-		cs := s.UserCacheStats()
-		body["user_cache"] = map[string]interface{}{
-			"hits": cs.Hits, "misses": cs.Misses, "collapsed": cs.Collapsed,
-			"evictions": cs.Evictions, "invalidations": cs.Invalidations,
-			"negatives": cs.Negatives, "size": cs.Size, "capacity": cs.Capacity,
-		}
+		body["user_cache"] = cacheStatsBody(s.UserCacheStats())
 	}
 	if s.PolicyEnabled() {
-		ds := s.DecisionStats()
-		body["policy"] = map[string]interface{}{
-			"version": s.PolicyVersion(), "decided": ds.Decided,
-			"approved": ds.Approved, "challenged": ds.Challenged,
-			"denied": ds.Denied, "rule_overrides": ds.RuleOverrides,
-		}
+		body["policy"] = policyStatsBody(s.PolicyVersion(), s.DecisionStats())
 		endpoints["decide"] = endpointStats(s.decideHist)
 	}
 	if len(endpoints) > 0 {
 		body["endpoints"] = endpoints
 	}
 	if s.AdmissionEnabled() {
-		as := s.AdmissionStats()
-		body["admission"] = map[string]interface{}{
-			"admitted": as.Admitted, "shed_quota": as.ShedQuota,
-			"shed_inflight": as.ShedInflight, "inflight": as.Inflight,
-			"max_inflight": as.MaxInflight, "rate": as.Rate,
-			"burst": as.Burst, "callers": as.Callers,
-		}
+		body["admission"] = admissionStatsBody(s.AdmissionStats())
 	}
 	if s.ShadowEnabled() {
-		sh := s.ShadowStats()
-		body["shadow"] = map[string]interface{}{
-			"challenger_version": s.ShadowVersion(),
-			"scored":             sh.Scored, "dropped": sh.Dropped,
-			"errors": sh.Errors, "agreed": sh.Agreed, "flipped": sh.Flipped,
-			"agreement": sh.Agreement, "mean_divergence": sh.MeanAbsDiff,
-			"queue_depth": s.ShadowQueueDepth(),
-		}
+		body["shadow"] = shadowStatsBody(s.ShadowVersion(), s.ShadowStats(), s.ShadowQueueDepth())
 	}
 	if s.EventLogEnabled() {
 		es := s.EventLogStats()
@@ -600,22 +695,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if series := s.DriftStats(); series != nil {
-		// One snapshot pass: the top-level alert derives from the same
-		// series the body reports, so the two cannot contradict.
-		alert := false
-		for i := range series {
-			alert = alert || series[i].Alert
-		}
-		body["drift"] = map[string]interface{}{
-			"alert":  alert,
-			"series": series,
-		}
+		body["drift"] = driftStatsBody(series)
 	}
-	writeJSON(w, http.StatusOK, body)
+	return body
 }
 
 // endpointStats snapshots one per-endpoint latency histogram for the
-// stats body.
+// stats body, percentiles plus the raw buckets the router merges by.
 func endpointStats(h *histogram) map[string]interface{} {
 	counts, total := h.snapshot()
 	max := time.Duration(h.max.Load())
@@ -624,6 +710,7 @@ func endpointStats(h *histogram) map[string]interface{} {
 		"p50_us": quantileFrom(h.bounds, counts, total, max, 0.50).Microseconds(),
 		"p99_us": quantileFrom(h.bounds, counts, total, max, 0.99).Microseconds(),
 		"max_us": max.Microseconds(),
+		"hist":   histBodyFrom(h.bounds, counts, total, max),
 	}
 }
 
@@ -644,6 +731,7 @@ type HealthInfo struct {
 	DriftAlert    bool   `json:"drift_alert,omitempty"`
 	EventLog      bool   `json:"event_log"`
 	Replayed      int64  `json:"replayed,omitempty"`
+	Shards        int    `json:"shards,omitempty"` // >1 on a sharded engine
 }
 
 // Health snapshots the readiness view served by GET /healthz.
@@ -664,14 +752,14 @@ func (s *Server) Health() HealthInfo {
 	}
 }
 
-func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+func (a *api) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	// HEAD stays allowed: load balancers commonly probe liveness with it
 	// (net/http suppresses the body automatically).
 	if r.Method != http.MethodGet && r.Method != http.MethodHead {
 		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "GET only")
 		return
 	}
-	writeJSON(w, http.StatusOK, s.Health())
+	writeJSON(w, http.StatusOK, a.e.Health())
 }
 
 // ListenAndServe serves the v1 API on addr until ctx is cancelled, then
@@ -679,6 +767,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // seconds. It returns nil after a clean shutdown.
 func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
 	return ListenAndServe(ctx, addr, s.Handler())
+}
+
+// ListenAndServe serves the sharded v1 API on addr with the same
+// graceful-shutdown contract as Server.ListenAndServe.
+func (se *ShardedEngine) ListenAndServe(ctx context.Context, addr string) error {
+	return ListenAndServe(ctx, addr, se.Handler())
 }
 
 // ListenAndServe serves handler on addr with the same graceful-shutdown

@@ -50,6 +50,16 @@ type Server struct {
 	table *hbase.Table
 	cache *userCache // nil: every fetch reads the store
 
+	// peers is the shard ring this server belongs to when it runs inside
+	// a ShardedEngine (nil: unsharded, every user is local). User-keyed
+	// reads and negative-cache invalidations route to the owner shard
+	// ShardOf picks, so each user's table rows, cache entries and
+	// known-absent markers live on exactly one shard regardless of which
+	// shard processes the transaction — the invariant the rebalance
+	// bitwise-stability guarantee rests on. Set once by NewSharded before
+	// the engine is shared; never mutated afterwards.
+	peers []*Server
+
 	mu      sync.RWMutex
 	bundle  *Bundle
 	citySrc feature.CitySource // city view scoring reads through; rebuilt on swap
@@ -658,25 +668,37 @@ func copyEmb(dst []float64, src []float32, u txn.UserID) error {
 	return nil
 }
 
+// ownerOf resolves the shard that owns a user's state: the peer the
+// ring's consistent hash picks when sharded, the server itself otherwise.
+func (s *Server) ownerOf(u txn.UserID) *Server {
+	if s.peers == nil {
+		return s
+	}
+	return s.peers[ShardOf(u, len(s.peers))]
+}
+
 // fetchOne reads one user's fragments, applying the strict-users policy.
 // With a cache the read goes through GetOrLoad: hits return the decoded
 // fragments with no store access, concurrent misses for the same user
 // collapse to a single store read, and unknown users are remembered as
 // negative entries so cold-start traffic stops costing point reads.
+// Sharded, the read goes to the owner shard's table and cache — a
+// transaction's receiver may be another shard's user.
 func (s *Server) fetchOne(u txn.UserID) (userParts, error) {
+	o := s.ownerOf(u)
 	var (
 		parts userParts
 		found bool
 		err   error
 	)
-	if s.cache != nil {
-		parts, found, err = s.cache.GetOrLoad(u, func() (userParts, bool, error) {
+	if o.cache != nil {
+		parts, found, err = o.cache.GetOrLoad(u, func() (userParts, bool, error) {
 			var p userParts
-			ok, lerr := fetchUserInto(s.table, u, &p)
+			ok, lerr := fetchUserInto(o.table, u, &p)
 			return p, ok, lerr
 		})
 	} else {
-		found, err = fetchUserInto(s.table, u, &parts)
+		found, err = fetchUserInto(o.table, u, &parts)
 	}
 	if err != nil {
 		return parts, fmt.Errorf("ms: fetch user %d: %w", u, err)
@@ -707,12 +729,55 @@ func (s *Server) fetchPair(from, to txn.UserID) (userParts, userParts, error) {
 const fetchChunk = 256
 
 // fetchUsers resolves a deduped user set into parts/found (both indexed
-// like ids). Cached entries are peeked first; the misses batch into
-// chunked multi-get rounds fanned out over the worker pool, and — with a
-// cache — the loaded entries are inserted for subsequent batches, each
-// guarded by its shard generation captured before the store read so a
-// concurrent upload's invalidation wins over the stale read.
+// like ids), routing each user to its owner shard. Unsharded (or when
+// every id is local) it is one local pass; sharded, ids group by owner
+// and each group resolves against that shard's cache and table. Groups
+// run sequentially — each group's miss rounds already fan out over the
+// owner's worker pool, and a scoring sub-batch rarely spans more than a
+// handful of owners.
 func (s *Server) fetchUsers(ctx context.Context, ids []txn.UserID, parts []userParts, found []bool) error {
+	if s.peers == nil {
+		return s.fetchUsersLocal(ctx, ids, parts, found)
+	}
+	n := len(s.peers)
+	groups := make([][]int, n)
+	for i, u := range ids {
+		si := ShardOf(u, n)
+		groups[si] = append(groups[si], i)
+	}
+	for si, idxs := range groups {
+		if len(idxs) == 0 {
+			continue
+		}
+		peer := s.peers[si]
+		if len(idxs) == len(ids) {
+			return peer.fetchUsersLocal(ctx, ids, parts, found)
+		}
+		gids := make([]txn.UserID, len(idxs))
+		for k, i := range idxs {
+			gids[k] = ids[i]
+		}
+		gparts := make([]userParts, len(idxs))
+		gfound := make([]bool, len(idxs))
+		if err := peer.fetchUsersLocal(ctx, gids, gparts, gfound); err != nil {
+			return err
+		}
+		for k, i := range idxs {
+			parts[i] = gparts[k]
+			found[i] = gfound[k]
+		}
+	}
+	return nil
+}
+
+// fetchUsersLocal resolves a user set against this server's own cache
+// and table (the pre-sharding fetchUsers). Cached entries are peeked
+// first; the misses batch into chunked multi-get rounds fanned out over
+// the worker pool, and — with a cache — the loaded entries are inserted
+// for subsequent batches, each guarded by its shard generation captured
+// before the store read so a concurrent upload's invalidation wins over
+// the stale read.
+func (s *Server) fetchUsersLocal(ctx context.Context, ids []txn.UserID, parts []userParts, found []bool) error {
 	if s.cache == nil {
 		rows := make([]string, len(ids))
 		for i, u := range ids {
@@ -868,13 +933,17 @@ func (s *Server) Ingest(t *txn.Transaction) error {
 }
 
 // dropNegative clears cold-start cache markers for a transaction's
-// endpoints (no-op without a cache).
+// endpoints, each on its owner shard's cache (no-op without caches): the
+// receiver's marker may live on another shard than the one ingesting.
 func (s *Server) dropNegative(t *txn.Transaction) {
-	if s.cache == nil {
-		return
+	s.ownerOf(t.From).dropNegativeLocal(t.From)
+	s.ownerOf(t.To).dropNegativeLocal(t.To)
+}
+
+func (s *Server) dropNegativeLocal(u txn.UserID) {
+	if s.cache != nil {
+		s.cache.InvalidateNegative(u)
 	}
-	s.cache.InvalidateNegative(t.From)
-	s.cache.InvalidateNegative(t.To)
 }
 
 // IngestBatch ingests a slice in order, subject to the engine's batch

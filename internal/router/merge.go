@@ -1,0 +1,409 @@
+package router
+
+import (
+	"math"
+	"sort"
+)
+
+// MergeStats deep-merges per-shard GET /v1/stats bodies (as decoded
+// JSON, so every number is a float64) into one fleet view:
+//
+//   - counters (scored, alerted, ingested, cache, policy, admission,
+//     shadow, eventlog throughput) sum;
+//   - latency histograms sum bucket-wise — every shard server is built
+//     with the same bounds — and the p50/p99 percentiles are recomputed
+//     from the merged buckets, because percentiles themselves do not
+//     merge;
+//   - distribution statistics that cannot sum (drift PSI/KS, consumer
+//     lag, fsync age) take the worst shard;
+//   - derived ratios (shadow agreement, mean divergence) recompute from
+//     the summed numerators and denominators;
+//   - versions come from shard 0, with "version_mixed": true flagged
+//     when shards disagree (mid-rollout);
+//   - "shards" sums each body's own width, so a ring of sharded engines
+//     reports the true total.
+//
+// Sections absent from every body stay absent; a section present on any
+// shard merges over the bodies that carry it.
+func MergeStats(bodies []map[string]interface{}) map[string]interface{} {
+	if len(bodies) == 0 {
+		return map[string]interface{}{}
+	}
+	out := map[string]interface{}{}
+
+	// Versions: shard 0 speaks for the fleet; disagreement is flagged,
+	// not hidden, so a stuck rollout is visible from the merged view.
+	if v, ok := bodies[0]["version"]; ok {
+		out["version"] = v
+		for _, b := range bodies[1:] {
+			if bv, ok := b["version"]; ok && bv != v {
+				out["version_mixed"] = true
+				break
+			}
+		}
+	}
+
+	sumKey(out, bodies, "scored")
+	sumKey(out, bodies, "alerted")
+	sumKey(out, bodies, "ingested")
+	out["shards"] = sumOr(bodies, "shards", 1)
+
+	// Scoring latency: merge raw buckets, recompute percentiles.
+	if h := mergeHistBodies(collectMaps(bodies, "latency_hist")); h != nil {
+		out["latency_hist"] = h
+		p50, p99, max := histQuantiles(h)
+		out["p50_us"], out["p99_us"], out["max_us"] = p50, p99, max
+	} else {
+		// No raw buckets (pre-sharding shard build): worst-shard fallback.
+		for _, k := range []string{"p50_us", "p99_us", "max_us"} {
+			maxKey(out, bodies, k)
+		}
+	}
+
+	if ms := collectMaps(bodies, "user_cache"); len(ms) > 0 {
+		out["user_cache"] = sumSection(ms)
+	}
+	if ms := collectMaps(bodies, "policy"); len(ms) > 0 {
+		sec := sumSection(ms)
+		sec["version"] = ms[0]["version"]
+		out["policy"] = sec
+	}
+	if ms := collectMaps(bodies, "admission"); len(ms) > 0 {
+		// Capacity fields (rate, burst, max_inflight) sum: the fleet
+		// admits N shards' worth. "callers" takes the max — the same
+		// caller population hits every shard, so summing would overcount.
+		sec := sumSection(ms)
+		sec["callers"] = maxOf(ms, "callers")
+		out["admission"] = sec
+	}
+	if ms := collectMaps(bodies, "shadow"); len(ms) > 0 {
+		sec := sumSection(ms)
+		sec["challenger_version"] = ms[0]["challenger_version"]
+		scored := num(sec["scored"])
+		if scored > 0 {
+			sec["agreement"] = num(sec["agreed"]) / scored
+			var diff float64
+			for _, m := range ms {
+				diff += num(m["mean_divergence"]) * num(m["scored"])
+			}
+			sec["mean_divergence"] = diff / scored
+		} else {
+			sec["agreement"] = 1.0
+			sec["mean_divergence"] = 0.0
+		}
+		out["shadow"] = sec
+	}
+	if ms := collectMaps(bodies, "eventlog"); len(ms) > 0 {
+		sec := map[string]interface{}{}
+		for _, k := range []string{"appended", "fsyncs", "bytes", "segments", "unsynced_bytes", "replayed", "append_errors"} {
+			sec[k] = sumOf(ms, k)
+		}
+		// Offsets are per-log coordinates, meaningless fleet-wide; lag
+		// and fsync age report the worst shard.
+		for _, k := range []string{"max_consumer_lag", "last_fsync_age_seconds"} {
+			sec[k] = maxOf(ms, k)
+		}
+		out["eventlog"] = sec
+	}
+	if ms := collectMaps(bodies, "drift"); len(ms) > 0 {
+		out["drift"] = mergeDrift(ms)
+	}
+	if eps := collectMaps(bodies, "endpoints"); len(eps) > 0 {
+		merged := map[string]interface{}{}
+		for _, name := range endpointNames(eps) {
+			var sub []map[string]interface{}
+			for _, e := range eps {
+				if m, ok := e[name].(map[string]interface{}); ok {
+					sub = append(sub, m)
+				}
+			}
+			merged[name] = mergeEndpoint(sub)
+		}
+		out["endpoints"] = merged
+	}
+	return out
+}
+
+// num reads any JSON number (or nil) as float64.
+func num(v interface{}) float64 {
+	switch x := v.(type) {
+	case float64:
+		return x
+	case int:
+		return float64(x)
+	case int64:
+		return float64(x)
+	default:
+		return 0
+	}
+}
+
+func sumKey(out map[string]interface{}, bodies []map[string]interface{}, key string) {
+	present := false
+	var sum float64
+	for _, b := range bodies {
+		if v, ok := b[key]; ok {
+			present = true
+			sum += num(v)
+		}
+	}
+	if present {
+		out[key] = sum
+	}
+}
+
+func maxKey(out map[string]interface{}, bodies []map[string]interface{}, key string) {
+	present := false
+	var max float64
+	for _, b := range bodies {
+		if v, ok := b[key]; ok {
+			present = true
+			if n := num(v); n > max {
+				max = n
+			}
+		}
+	}
+	if present {
+		out[key] = max
+	}
+}
+
+// sumOr sums key over the bodies, substituting def where absent.
+func sumOr(bodies []map[string]interface{}, key string, def float64) float64 {
+	var sum float64
+	for _, b := range bodies {
+		if v, ok := b[key]; ok {
+			sum += num(v)
+		} else {
+			sum += def
+		}
+	}
+	return sum
+}
+
+// collectMaps gathers the bodies' map-valued sections under key.
+func collectMaps(bodies []map[string]interface{}, key string) []map[string]interface{} {
+	var out []map[string]interface{}
+	for _, b := range bodies {
+		if m, ok := b[key].(map[string]interface{}); ok {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// sumSection sums every numeric field across the section instances;
+// non-numeric fields keep the first instance's value.
+func sumSection(ms []map[string]interface{}) map[string]interface{} {
+	out := map[string]interface{}{}
+	for _, m := range ms {
+		for k, v := range m {
+			if _, isNum := v.(float64); isNum {
+				out[k] = num(out[k]) + num(v)
+			} else if _, seen := out[k]; !seen {
+				out[k] = v
+			}
+		}
+	}
+	return out
+}
+
+func sumOf(ms []map[string]interface{}, key string) float64 {
+	var sum float64
+	for _, m := range ms {
+		sum += num(m[key])
+	}
+	return sum
+}
+
+func maxOf(ms []map[string]interface{}, key string) float64 {
+	var max float64
+	for _, m := range ms {
+		if n := num(m[key]); n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+// mergeHistBodies sums raw histogram bodies ({bounds_ns, counts,
+// max_ns}) bucket-wise. Returns nil when no shard carries one or the
+// bucket shapes disagree (mixed server builds) — callers fall back to
+// worst-shard percentiles rather than merging incompatible buckets.
+func mergeHistBodies(hs []map[string]interface{}) map[string]interface{} {
+	if len(hs) == 0 {
+		return nil
+	}
+	bounds, ok := floatSlice(hs[0]["bounds_ns"])
+	if !ok {
+		return nil
+	}
+	counts := make([]float64, len(bounds)+1)
+	var maxNS float64
+	for _, h := range hs {
+		hb, ok := floatSlice(h["bounds_ns"])
+		if !ok || len(hb) != len(bounds) {
+			return nil
+		}
+		for i := range bounds {
+			if hb[i] != bounds[i] {
+				return nil
+			}
+		}
+		hc, ok := floatSlice(h["counts"])
+		if !ok || len(hc) != len(counts) {
+			return nil
+		}
+		for i := range counts {
+			counts[i] += hc[i]
+		}
+		if m := num(h["max_ns"]); m > maxNS {
+			maxNS = m
+		}
+	}
+	return map[string]interface{}{"bounds_ns": bounds, "counts": counts, "max_ns": maxNS}
+}
+
+// floatSlice coerces a decoded JSON array (or a native slice from an
+// in-process StatsBody) to []float64.
+func floatSlice(v interface{}) ([]float64, bool) {
+	switch xs := v.(type) {
+	case []float64:
+		return xs, true
+	case []interface{}:
+		out := make([]float64, len(xs))
+		for i, x := range xs {
+			f, ok := x.(float64)
+			if !ok {
+				return nil, false
+			}
+			out[i] = f
+		}
+		return out, true
+	case []int64:
+		out := make([]float64, len(xs))
+		for i, x := range xs {
+			out[i] = float64(x)
+		}
+		return out, true
+	default:
+		return nil, false
+	}
+}
+
+// histQuantiles reads p50/p99/max (microseconds) out of a merged raw
+// histogram, the same conservative upper-bound estimate the shard
+// servers report.
+func histQuantiles(h map[string]interface{}) (p50, p99, max float64) {
+	bounds, _ := floatSlice(h["bounds_ns"])
+	counts, _ := floatSlice(h["counts"])
+	maxNS := num(h["max_ns"])
+	var total float64
+	for _, c := range counts {
+		total += c
+	}
+	q := func(p float64) float64 {
+		if total == 0 {
+			return 0
+		}
+		target := math.Ceil(p * total)
+		if target < 1 {
+			target = 1
+		}
+		var cum float64
+		for i, c := range counts {
+			cum += c
+			if cum >= target {
+				if i < len(bounds) && bounds[i] < maxNS {
+					return bounds[i]
+				}
+				return maxNS
+			}
+		}
+		return maxNS
+	}
+	const us = 1000
+	return math.Floor(q(0.50) / us), math.Floor(q(0.99) / us), math.Floor(maxNS / us)
+}
+
+// mergeEndpoint merges per-endpoint latency sections, preferring the raw
+// nested histogram, falling back to worst-shard percentiles.
+func mergeEndpoint(ms []map[string]interface{}) map[string]interface{} {
+	out := map[string]interface{}{"count": sumOf(ms, "count")}
+	if h := mergeHistBodies(collectMaps(ms, "hist")); h != nil {
+		p50, p99, max := histQuantiles(h)
+		out["p50_us"], out["p99_us"], out["max_us"] = p50, p99, max
+		out["hist"] = h
+	} else {
+		for _, k := range []string{"p50_us", "p99_us", "max_us"} {
+			out[k] = maxOf(ms, k)
+		}
+	}
+	return out
+}
+
+// endpointNames returns the union of endpoint keys in stable order.
+func endpointNames(eps []map[string]interface{}) []string {
+	seen := map[string]bool{}
+	var names []string
+	for _, e := range eps {
+		for k := range e {
+			if !seen[k] {
+				seen[k] = true
+				names = append(names, k)
+			}
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// mergeDrift folds the drift sections: the alert ORs, and each named
+// series sums its counts while PSI/KS report the most-drifted shard.
+func mergeDrift(ms []map[string]interface{}) map[string]interface{} {
+	alert := false
+	type agg struct {
+		baseline, live, psi, ks float64
+		alert                   bool
+	}
+	order := []string{}
+	byName := map[string]*agg{}
+	for _, m := range ms {
+		if a, ok := m["alert"].(bool); ok && a {
+			alert = true
+		}
+		series, ok := m["series"].([]interface{})
+		if !ok {
+			continue
+		}
+		for _, s := range series {
+			sm, ok := s.(map[string]interface{})
+			if !ok {
+				continue
+			}
+			name, _ := sm["name"].(string)
+			a := byName[name]
+			if a == nil {
+				a = &agg{}
+				byName[name] = a
+				order = append(order, name)
+			}
+			a.baseline += num(sm["baseline"])
+			a.live += num(sm["live"])
+			a.psi = math.Max(a.psi, num(sm["psi"]))
+			a.ks = math.Max(a.ks, num(sm["ks"]))
+			if sa, ok := sm["alert"].(bool); ok && sa {
+				a.alert = true
+			}
+		}
+	}
+	out := []interface{}{}
+	for _, name := range order {
+		a := byName[name]
+		out = append(out, map[string]interface{}{
+			"name": name, "baseline": a.baseline, "live": a.live,
+			"psi": a.psi, "ks": a.ks, "alert": a.alert,
+		})
+	}
+	return map[string]interface{}{"alert": alert, "series": out}
+}

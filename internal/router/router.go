@@ -1,0 +1,505 @@
+// Package router is the scatter/gather tier that lifts the in-process
+// shard split over the wire: a stateless daemon owning no model, no
+// table and no window, only the hash ring. It fans the v1 batch routes
+// out to shard servers with ms.ShardOf — the same jump hash the
+// in-process engine partitions by — merges the responses in input order,
+// replicates control-plane swaps (models, policy) to every shard, and
+// folds the fleet's stats and health into single bodies.
+//
+// Shard servers are plain `titant serve` processes: each carries the
+// full read-only feature table (replicated T+1 artifacts are cheap to
+// copy) while the hot user-keyed state — user cache, stream window,
+// event log — partitions naturally because each server only ever sees
+// its owners' traffic. Delivery semantics on the data plane are
+// at-most-once per shard: if one shard fails mid-batch the router
+// relays that shard's error and does not retry siblings, exactly the
+// all-or-nothing surface the in-process engine presents (minus the
+// rollback the wire cannot give).
+package router
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"titant/internal/ms"
+	"titant/internal/txn"
+)
+
+// Request-body ceilings, mirroring the shard servers' own limits: the
+// router never buffers more than a shard would accept.
+const (
+	maxSingleBytes  = 1 << 20
+	maxBatchBytes   = 64 << 20
+	maxControlBytes = 64 << 20
+)
+
+// Option configures a Router.
+type Option func(*Router)
+
+// WithTimeout bounds each proxied shard call (default 10s).
+func WithTimeout(d time.Duration) Option {
+	return func(rt *Router) { rt.client.Timeout = d }
+}
+
+// Router fans v1 traffic across a fixed shard ring.
+type Router struct {
+	shards []string // base URLs, index = shard number
+	client *http.Client
+
+	// Observability counters for the /v1/stats "router" section.
+	singles  atomic.Int64 // single-row requests forwarded to one owner
+	batches  atomic.Int64 // batch requests scattered
+	fanouts  atomic.Int64 // sub-batches dispatched by scatters
+	controls atomic.Int64 // model/policy swaps replicated
+	errors   atomic.Int64 // upstream failures relayed or detected
+}
+
+// New builds a router over the given shard base URLs (e.g.
+// "http://10.0.0.1:8080"). Order is identity: index i is shard i of
+// len(shards), and must stay stable across router restarts or users
+// would re-partition silently.
+func New(shards []string, opts ...Option) (*Router, error) {
+	if len(shards) == 0 {
+		return nil, errors.New("router: no shards")
+	}
+	cleaned := make([]string, len(shards))
+	for i, s := range shards {
+		s = strings.TrimRight(strings.TrimSpace(s), "/")
+		if s == "" {
+			return nil, fmt.Errorf("router: empty shard URL at index %d", i)
+		}
+		if !strings.Contains(s, "://") {
+			s = "http://" + s
+		}
+		cleaned[i] = s
+	}
+	rt := &Router{shards: cleaned, client: &http.Client{Timeout: 10 * time.Second}}
+	for _, o := range opts {
+		o(rt)
+	}
+	return rt, nil
+}
+
+// Shards returns the ring width.
+func (rt *Router) Shards() int { return len(rt.shards) }
+
+// ownerURL returns the base URL of the shard owning user u.
+func (rt *Router) ownerURL(u txn.UserID) string {
+	return rt.shards[ms.ShardOf(u, len(rt.shards))]
+}
+
+// Handler returns the router's mux: the shard servers' v1 surface, one
+// hop up.
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/score", rt.single)
+	mux.HandleFunc("/v1/decide", rt.single)
+	mux.HandleFunc("/v1/ingest", rt.single)
+	mux.HandleFunc("/v1/score/batch", func(w http.ResponseWriter, r *http.Request) {
+		rt.batch(w, r, "verdicts")
+	})
+	mux.HandleFunc("/v1/decide/batch", func(w http.ResponseWriter, r *http.Request) {
+		rt.batch(w, r, "decisions")
+	})
+	mux.HandleFunc("/v1/ingest/batch", func(w http.ResponseWriter, r *http.Request) {
+		rt.batch(w, r, "")
+	})
+	mux.HandleFunc("/v1/models", rt.control)
+	mux.HandleFunc("/v1/policy", rt.control)
+	mux.HandleFunc("/v1/stats", rt.stats)
+	mux.HandleFunc("/healthz", rt.healthz)
+	return mux
+}
+
+// ListenAndServe serves the router on addr with the shard servers'
+// graceful-shutdown contract.
+func (rt *Router) ListenAndServe(ctx context.Context, addr string) error {
+	return ms.ListenAndServe(ctx, addr, rt.Handler())
+}
+
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]interface{}{
+		"error": map[string]string{"code": code, "message": msg},
+	})
+}
+
+// forwardHeaders copies the request headers shard servers act on.
+func forwardHeaders(dst *http.Request, src *http.Request) {
+	for _, k := range []string{"Content-Type", "Authorization", "X-Caller"} {
+		if v := src.Header.Get(k); v != "" {
+			dst.Header.Set(k, v)
+		}
+	}
+}
+
+// upstream is one proxied shard response, fully buffered.
+type upstream struct {
+	status int
+	header http.Header
+	body   []byte
+	err    error // transport failure (no response)
+}
+
+// call POSTs (or GETs) body to shard base+path, relaying headers from r.
+func (rt *Router) call(r *http.Request, method, base, path string, body []byte) upstream {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(r.Context(), method, base+path, rd)
+	if err != nil {
+		return upstream{err: err}
+	}
+	forwardHeaders(req, r)
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return upstream{err: err}
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxControlBytes))
+	if err != nil {
+		return upstream{err: err}
+	}
+	return upstream{status: resp.StatusCode, header: resp.Header, body: data}
+}
+
+// relay writes one upstream response through unchanged (a transport
+// failure maps to 502 shard_unreachable).
+func (rt *Router) relay(w http.ResponseWriter, u upstream) {
+	if u.err != nil {
+		rt.errors.Add(1)
+		writeError(w, http.StatusBadGateway, "shard_unreachable", u.err.Error())
+		return
+	}
+	if u.status >= 400 {
+		rt.errors.Add(1)
+	}
+	if ct := u.header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	if ra := u.header.Get("Retry-After"); ra != "" {
+		w.Header().Set("Retry-After", ra)
+	}
+	w.WriteHeader(u.status)
+	_, _ = w.Write(u.body)
+}
+
+// fromPeek reads just the routing key out of a transaction body.
+type fromPeek struct {
+	From int32 `json:"from"`
+}
+
+// single forwards a one-transaction request (score/decide/ingest) whole
+// to the sender's owner shard.
+func (rt *Router) single(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "POST only")
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxSingleBytes))
+	if err != nil {
+		rt.readError(w, err)
+		return
+	}
+	var peek fromPeek
+	if err := json.Unmarshal(body, &peek); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "malformed JSON: "+err.Error())
+		return
+	}
+	rt.singles.Add(1)
+	rt.relay(w, rt.call(r, http.MethodPost, rt.ownerURL(txn.UserID(peek.From)), r.URL.Path, body))
+}
+
+func (rt *Router) readError(w http.ResponseWriter, err error) {
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		writeError(w, http.StatusRequestEntityTooLarge, "body_too_large", err.Error())
+		return
+	}
+	writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+}
+
+// batchBody is a batch request with each transaction kept raw, so the
+// router routes on the "from" field alone and never re-encodes fields it
+// does not understand (labels, scenarios, future additions all survive).
+type batchBody struct {
+	Transactions []json.RawMessage `json:"transactions"`
+}
+
+// batch scatters a batch route across owner shards and gathers the
+// responses in input order. itemsKey names the response array to merge
+// ("verdicts", "decisions"); "" merges ingest {"ingested": n} counts.
+func (rt *Router) batch(w http.ResponseWriter, r *http.Request, itemsKey string) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "POST only")
+		return
+	}
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBatchBytes))
+	if err != nil {
+		rt.readError(w, err)
+		return
+	}
+	var req batchBody
+	if err := json.Unmarshal(raw, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "malformed JSON: "+err.Error())
+		return
+	}
+	rt.batches.Add(1)
+	n := len(rt.shards)
+	groups := make([][]int, n)
+	for i, tx := range req.Transactions {
+		var peek fromPeek
+		if err := json.Unmarshal(tx, &peek); err != nil {
+			writeError(w, http.StatusBadRequest, "bad_request",
+				fmt.Sprintf("transaction %d: malformed JSON: %v", i, err))
+			return
+		}
+		si := ms.ShardOf(txn.UserID(peek.From), n)
+		groups[si] = append(groups[si], i)
+	}
+
+	ups := make([]upstream, n)
+	var wg sync.WaitGroup
+	for si, idxs := range groups {
+		if len(idxs) == 0 {
+			continue
+		}
+		wg.Add(1)
+		rt.fanouts.Add(1)
+		go func(si int, idxs []int) {
+			defer wg.Done()
+			sub := batchBody{Transactions: make([]json.RawMessage, len(idxs))}
+			for k, i := range idxs {
+				sub.Transactions[k] = req.Transactions[i]
+			}
+			body, err := json.Marshal(sub)
+			if err != nil {
+				ups[si] = upstream{err: err}
+				return
+			}
+			ups[si] = rt.call(r, http.MethodPost, rt.shards[si], r.URL.Path, body)
+		}(si, idxs)
+	}
+	wg.Wait()
+
+	// Lowest failing shard index wins, the in-process engine's
+	// deterministic error order.
+	for si, idxs := range groups {
+		if len(idxs) == 0 {
+			continue
+		}
+		if u := ups[si]; u.err != nil || u.status != http.StatusOK {
+			rt.relay(w, u)
+			return
+		}
+	}
+
+	if itemsKey == "" {
+		// Ingest: the per-shard counts sum.
+		total := 0
+		for si, idxs := range groups {
+			if len(idxs) == 0 {
+				continue
+			}
+			var ir struct {
+				Ingested int `json:"ingested"`
+			}
+			if err := json.Unmarshal(ups[si].body, &ir); err != nil {
+				rt.errors.Add(1)
+				writeError(w, http.StatusBadGateway, "shard_bad_response", err.Error())
+				return
+			}
+			total += ir.Ingested
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]int{"ingested": total})
+		return
+	}
+
+	// Score/decide: scatter each shard's ordered sub-array back into the
+	// callers' positions.
+	merged := make([]json.RawMessage, len(req.Transactions))
+	for si, idxs := range groups {
+		if len(idxs) == 0 {
+			continue
+		}
+		var resp map[string]json.RawMessage
+		if err := json.Unmarshal(ups[si].body, &resp); err != nil {
+			rt.errors.Add(1)
+			writeError(w, http.StatusBadGateway, "shard_bad_response", err.Error())
+			return
+		}
+		var items []json.RawMessage
+		if err := json.Unmarshal(resp[itemsKey], &items); err != nil || len(items) != len(idxs) {
+			rt.errors.Add(1)
+			writeError(w, http.StatusBadGateway, "shard_bad_response",
+				fmt.Sprintf("shard %d returned %d %s for %d transactions", si, len(items), itemsKey, len(idxs)))
+			return
+		}
+		for k, i := range idxs {
+			merged[i] = items[k]
+		}
+	}
+	for i := range merged {
+		if merged[i] == nil {
+			merged[i] = json.RawMessage("null")
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]interface{}{itemsKey: merged})
+}
+
+// control handles /v1/models and /v1/policy: GET reads shard 0 (the
+// fleet is swapped in lockstep, so any shard answers); POST replicates
+// the swap to every shard in ring order and relays the first failure.
+// A mid-ring failure leaves a mixed fleet — the operator retries the
+// idempotent swap until it lands everywhere; /v1/stats surfaces the
+// mix via "version_mixed".
+func (rt *Router) control(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		rt.relay(w, rt.call(r, http.MethodGet, rt.shards[0], r.URL.Path, nil))
+	case http.MethodPost:
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxControlBytes))
+		if err != nil {
+			rt.readError(w, err)
+			return
+		}
+		rt.controls.Add(1)
+		var last upstream
+		for si, base := range rt.shards {
+			u := rt.call(r, http.MethodPost, base, r.URL.Path, body)
+			if u.err != nil || u.status != http.StatusOK {
+				rt.errors.Add(1)
+				if u.err != nil {
+					writeError(w, http.StatusBadGateway, "shard_unreachable",
+						fmt.Sprintf("shard %d: %v (swap applied to %d of %d shards)", si, u.err, si, len(rt.shards)))
+					return
+				}
+				rt.relay(w, u)
+				return
+			}
+			last = u
+		}
+		rt.relay(w, last)
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "GET or POST only")
+	}
+}
+
+// stats fans GET /v1/stats to every shard and deep-merges the bodies
+// (see MergeStats), adding a "router" section with the ring and the
+// router's own counters.
+func (rt *Router) stats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "GET only")
+		return
+	}
+	bodies := make([]map[string]interface{}, len(rt.shards))
+	ups := rt.fanGet(r, "/v1/stats")
+	for si, u := range ups {
+		if u.err != nil || u.status != http.StatusOK {
+			rt.errors.Add(1)
+			writeError(w, http.StatusBadGateway, "shard_unreachable",
+				fmt.Sprintf("shard %d stats unavailable", si))
+			return
+		}
+		if err := json.Unmarshal(u.body, &bodies[si]); err != nil {
+			rt.errors.Add(1)
+			writeError(w, http.StatusBadGateway, "shard_bad_response", err.Error())
+			return
+		}
+	}
+	merged := MergeStats(bodies)
+	merged["router"] = map[string]interface{}{
+		"shards":   rt.shards,
+		"singles":  rt.singles.Load(),
+		"batches":  rt.batches.Load(),
+		"fanouts":  rt.fanouts.Load(),
+		"controls": rt.controls.Load(),
+		"errors":   rt.errors.Load(),
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(merged)
+}
+
+// fanGet issues one GET per shard concurrently.
+func (rt *Router) fanGet(r *http.Request, path string) []upstream {
+	ups := make([]upstream, len(rt.shards))
+	var wg sync.WaitGroup
+	for si, base := range rt.shards {
+		wg.Add(1)
+		go func(si int, base string) {
+			defer wg.Done()
+			ups[si] = rt.call(r, http.MethodGet, base, path, nil)
+		}(si, base)
+	}
+	wg.Wait()
+	return ups
+}
+
+// healthz folds the fleet's readiness: 200 "ok" only when every shard
+// answers "ok"; any unreachable or degraded shard turns the fleet body
+// into a 503 naming the sick shards, which is what a load balancer in
+// front of the router needs to stop sending traffic.
+func (rt *Router) healthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "GET only")
+		return
+	}
+	ups := rt.fanGet(r, "/healthz")
+	type shardHealth struct {
+		Shard  int    `json:"shard"`
+		Status string `json:"status"`
+		Error  string `json:"error,omitempty"`
+	}
+	out := map[string]interface{}{"shards": len(rt.shards)}
+	statuses := make([]shardHealth, len(ups))
+	healthy := true
+	for si, u := range ups {
+		sh := shardHealth{Shard: si, Status: "ok"}
+		switch {
+		case u.err != nil:
+			sh.Status, sh.Error = "unreachable", u.err.Error()
+			healthy = false
+		case u.status != http.StatusOK:
+			sh.Status = fmt.Sprintf("http_%d", u.status)
+			healthy = false
+		default:
+			var body map[string]interface{}
+			if err := json.Unmarshal(u.body, &body); err != nil || body["status"] != "ok" {
+				sh.Status = "degraded"
+				healthy = false
+			} else if si == 0 {
+				out["bundle_version"] = body["bundle_version"]
+				if pv, ok := body["policy_version"]; ok {
+					out["policy_version"] = pv
+				}
+			}
+		}
+		statuses[si] = sh
+	}
+	out["shard_status"] = statuses
+	status := http.StatusOK
+	if healthy {
+		out["status"] = "ok"
+	} else {
+		rt.errors.Add(1)
+		out["status"] = "degraded"
+		status = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(out)
+}

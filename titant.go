@@ -117,6 +117,15 @@ type (
 	// Score, batch-first ScoreBatch, functional options, typed errors and
 	// the versioned HTTP API.
 	Engine = ms.Server
+	// ShardedEngine is N engines behind one consistent-hash ring: every
+	// user's rows, cache entries and stream state live on exactly one
+	// shard, batches scatter/gather across shards, and model/policy
+	// swaps apply atomically to all of them (see NewShardedEngine).
+	ShardedEngine = ms.ShardedEngine
+	// UserSink receives deployed user rows (see DeployTo); the sharded
+	// uploader from NewShardedUploader partitions them across a table
+	// ring by the same hash the sharded engine routes with.
+	UserSink = core.UserSink
 	// EngineOption configures the scoring engine (see WithAlert,
 	// WithWorkers, WithHistogram, WithStrictUsers, WithMaxBatch).
 	EngineOption = ms.Option
@@ -333,6 +342,40 @@ func BuildEnsembleBundle(ds *Dataset, emb *Embeddings, members []EnsembleMember,
 // NewEngine builds the v1 online scoring engine over the feature table.
 func NewEngine(tab *FeatureTable, bundle *Bundle, opts ...EngineOption) (*Engine, error) {
 	return ms.New(tab, bundle, opts...)
+}
+
+// NewShardedEngine builds an engine partitioned across len(tables)
+// in-process shards: users map to shards by consistent hash (ShardOf),
+// each shard owns its table, user cache and per-user hot state, batches
+// scatter to the owning shards and gather in input order, and
+// SetBundle/SetPolicy swap every shard atomically. One shard behaves
+// bitwise-identically to NewEngine over the same table.
+func NewShardedEngine(tables []*FeatureTable, bundle *Bundle, opts ...EngineOption) (*ShardedEngine, error) {
+	return ms.NewSharded(tables, bundle, opts...)
+}
+
+// NewShardedUploader returns a UserSink that routes each deployed user
+// row to its owner table in the ring by the same hash the sharded
+// engine scores with. version follows the Uploader convention
+// (0 = auto wall-clock).
+func NewShardedUploader(tables []*FeatureTable, version int64) UserSink {
+	return ms.NewShardedUploader(tables, version)
+}
+
+// ShardOf reports which of n shards owns user u — the consistent hash
+// the sharded engine, the sharded uploader and the scatter/gather
+// router all agree on.
+func ShardOf(u txn.UserID, n int) int { return ms.ShardOf(u, n) }
+
+// DeployTo is Deploy against any UserSink — pass NewShardedUploader's
+// sink to partition the upload wave across a ring of shard tables.
+func DeployTo(users []User, ds *Dataset, emb *Embeddings, clf Classifier, threshold float64, opts Options, sink UserSink, version string) (*Bundle, error) {
+	return core.DeployTo(users, ds, emb, clf, threshold, opts, sink, version)
+}
+
+// DeployEnsembleTo is DeployEnsemble against any UserSink (see DeployTo).
+func DeployEnsembleTo(users []User, ds *Dataset, emb *Embeddings, members []EnsembleMember, combine Combiner, threshold float64, opts Options, sink UserSink, version string) (*Bundle, error) {
+	return core.DeployEnsembleTo(users, ds, emb, members, combine, threshold, opts, sink, version)
 }
 
 // WithAlert sets the fraud-interruption callback.
