@@ -8,13 +8,13 @@ SHELL := /bin/bash
 
 BENCHTIME ?= 100x
 
-.PHONY: test race bench-serving loadgen-smoke
+.PHONY: test race bench-serving loadgen-smoke chaos-smoke
 
 test:
 	go build ./... && go test ./...
 
 race:
-	go test -race ./internal/feature/stream/ ./internal/ms/... ./internal/router/ ./internal/hbase/ ./internal/decision/ ./internal/eventlog/ ./internal/logio/ ./internal/loadgen/ ./internal/synth/
+	go test -race ./internal/feature/stream/ ./internal/ms/... ./internal/router/ ./internal/faultinject/ ./internal/hbase/ ./internal/decision/ ./internal/eventlog/ ./internal/logio/ ./internal/loadgen/ ./internal/synth/
 
 # bench-serving runs the hot serving read-path benchmarks (user fetch,
 # multi-get, point read, cached and uncached batch scoring, plus the
@@ -47,3 +47,15 @@ loadgen-smoke:
 	  -rate 1500 -duration 5s -quota 1200 -burst 600 -max-inflight 256 \
 	  -out LOADGEN_report.json -slo ci/slo.json
 	@echo "wrote LOADGEN_report.json"
+
+# chaos-smoke runs the scripted fault scenario (ci/chaos.json) against an
+# in-process wire fleet — four shard servers behind the resilient router,
+# the fault transport wedged between them — under the race detector. The
+# run's built-in gate fails if a scripted rule never fires, if a
+# blackholed shard's breaker never opens, or if the breaker has not
+# half-opened and closed again once the fault window ends; errors stay
+# separate from typed degraded answers in LOADGEN_chaos.json.
+chaos-smoke:
+	go run -race ./cmd/titant loadgen -chaos ci/chaos.json -shards 4 \
+	  -rate 250 -duration 12s -out LOADGEN_chaos.json
+	@echo "wrote LOADGEN_chaos.json"

@@ -9,7 +9,6 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
-	"path/filepath"
 	"strconv"
 	"strings"
 	"syscall"
@@ -56,6 +55,9 @@ func cmdLoadgen(args []string) {
 	// HTTP-mode grading inputs.
 	replayPath := fs.String("replay", "", "transaction log to replay labeled traffic from (HTTP mode)")
 	manifestPath := fs.String("manifest", "", "scenario manifest JSON grading the replay (HTTP mode)")
+	// Chaos mode.
+	chaosPath := fs.String("chaos", "", "fault scenario JSON: build an in-process wire fleet (-shards servers behind a resilient router) and inject the scripted faults; breaker lifecycle violations fail the run")
+	chaosSeed := fs.Uint64("chaos-seed", 1, "router backoff-jitter seed for chaos runs")
 	_ = fs.Parse(args)
 
 	sched, err := loadgen.ParseSchedule(*scheduleName, *rate, *duration)
@@ -80,7 +82,21 @@ func cmdLoadgen(args []string) {
 	defer stop()
 
 	var tgt loadgen.Target
-	if *addr != "" {
+	var chaos *chaosFleet
+	if *chaosPath != "" {
+		if *addr != "" {
+			log.Fatal("loadgen: -chaos builds its own in-process fleet; drop -addr")
+		}
+		chaos, err = buildChaosFleet(&cfg, *chaosPath, *shards, *users, *seed, *detectors, *combineName,
+			*fast, *quota, *burst, *maxInflight, *duration, *chaosSeed)
+		if err != nil {
+			log.Fatalf("loadgen: %v", err)
+		}
+		defer chaos.cleanup()
+		tgt = &loadgen.HTTPTarget{BaseURL: chaos.routerURL, Caller: *caller, Client: chaos.client}
+		log.Printf("driving chaos fleet at %s: %d shards, %d scripted rules, schedule %s, rate %.0f/s for %s (%d replay txns)",
+			chaos.routerURL, cfg.Shards, len(chaos.scenario.Rules), sched.Name(), *rate, *duration, len(cfg.Replay))
+	} else if *addr != "" {
 		if err := loadHTTPReplay(&cfg, *replayPath, *manifestPath); err != nil {
 			log.Fatalf("loadgen: %v", err)
 		}
@@ -116,6 +132,18 @@ func cmdLoadgen(args []string) {
 		log.Fatalf("loadgen: %v", err)
 	}
 	printReport(rep, *out)
+	if chaos != nil {
+		violations := chaos.check(*duration)
+		fmt.Println(chaos.summary(rep))
+		if len(violations) > 0 {
+			chaos.cleanup()
+			for _, v := range violations {
+				fmt.Fprintf(os.Stderr, "CHAOS VIOLATION: %s\n", v)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("chaos gate %s: pass\n", *chaosPath)
+	}
 	if *slo != "" {
 		gateRaw, err := os.ReadFile(*slo)
 		if err != nil {
@@ -126,6 +154,9 @@ func cmdLoadgen(args []string) {
 			log.Fatalf("loadgen: %v", err)
 		}
 		if violations := rep.CheckSLO(gate); len(violations) > 0 {
+			if chaos != nil {
+				chaos.cleanup()
+			}
 			for _, v := range violations {
 				fmt.Fprintf(os.Stderr, "SLO VIOLATION: %s\n", v)
 			}
@@ -230,113 +261,35 @@ func loadHTTPReplay(cfg *loadgen.Config, replayPath, manifestPath string) error 
 // over a ring of shard tables — same API, horizontal scoring.
 func buildLoadgenEngine(cfg *loadgen.Config, users int, seed uint64, shards int, detectors, combineName string,
 	fast bool, quota float64, burst int, maxInflight int) (loadgen.Engine, func(), error) {
-	wcfg := titant.DefaultWorldConfig()
-	if users > 0 {
-		wcfg.Users = users
-	}
-	if seed > 0 {
-		wcfg.Seed = seed
-	}
-	w, man := titant.ComposeWorld(wcfg, titant.DefaultScenarioMix())
-	ds, err := w.Dataset(1)
-	if err != nil {
-		return nil, nil, err
-	}
-	dets, err := parseDetectors(detectors)
-	if err != nil {
-		return nil, nil, err
-	}
-	combine, err := titant.ParseCombiner(combineName)
-	if err != nil {
-		return nil, nil, err
-	}
-	opts := titant.DefaultOptions()
-	if fast {
-		opts.GBDT.Trees = 40
-		opts.LR.Iterations = 5
-		opts.DW.WalksPerNode = 3
-		opts.S2V.Epochs = 2
-	}
-	log.Printf("composing scenario world (%d users, seed %d): %d labeled scenarios", wcfg.Users, wcfg.Seed, len(man.Scenarios))
-	log.Printf("training %d-member ensemble (%s, combiner %s)...", len(dets), detectors, combine)
-	members, emb, threshold, err := titant.TrainEnsembleForServing(w.Users, ds, dets, combine, opts)
-	if err != nil {
-		return nil, nil, err
-	}
 	if shards < 1 {
 		shards = 1
 	}
-	dir, err := os.MkdirTemp("", "titant-loadgen-*")
+	f, err := composeAndDeploy(users, seed, shards, detectors, combineName, fast)
 	if err != nil {
 		return nil, nil, err
 	}
-	rmdir := func() { os.RemoveAll(dir) }
-	tabs := make([]*titant.FeatureTable, shards)
-	closeTabs := func() {
-		for _, tb := range tabs {
-			if tb != nil {
-				tb.Close()
-			}
-		}
-	}
-	for i := range tabs {
-		sd := dir
-		if shards > 1 {
-			sd = filepath.Join(dir, fmt.Sprintf("shard-%03d", i))
-		}
-		if tabs[i], err = titant.OpenFeatureTable(sd); err != nil {
-			closeTabs()
-			rmdir()
-			return nil, nil, err
-		}
-	}
-	version := "loadgen-" + time.Now().Format("2006-01-02T15:04:05")
-	log.Printf("uploading %d users to the feature store (%d shard(s))...", len(w.Users), shards)
-	bundle, err := titant.DeployEnsembleTo(w.Users, ds, emb, members, combine, threshold, opts,
-		titant.NewShardedUploader(tabs, 0), version)
-	if err != nil {
-		closeTabs()
-		rmdir()
-		return nil, nil, err
-	}
-	st := titant.NewStreamStore(titant.WithStreamCities(opts.Cities))
-	st.IngestBatch(ds.Network)
-	engOpts := []titant.EngineOption{
-		titant.WithPolicy(titant.DefaultPolicy(version, threshold)),
-		titant.WithStreamAggregates(st),
-	}
-	if quota > 0 {
-		if burst <= 0 {
-			burst = int(2 * quota)
-		}
-		engOpts = append(engOpts, titant.WithCallerQuota(quota, burst))
-	}
-	if maxInflight > 0 {
-		engOpts = append(engOpts, titant.WithMaxInflight(maxInflight))
-	}
+	engOpts := f.engineOpts(quota, burst, maxInflight)
 	var eng loadgen.Engine
 	var closeEng func()
 	if shards > 1 {
-		se, err := titant.NewShardedEngine(tabs, bundle, engOpts...)
+		se, err := titant.NewShardedEngine(f.tabs, f.bundle, engOpts...)
 		if err != nil {
-			closeTabs()
-			rmdir()
+			f.cleanup()
 			return nil, nil, err
 		}
 		eng, closeEng = se, se.Close
 	} else {
-		e, err := titant.NewEngine(tabs[0], bundle, engOpts...)
+		e, err := titant.NewEngine(f.tabs[0], f.bundle, engOpts...)
 		if err != nil {
-			closeTabs()
-			rmdir()
+			f.cleanup()
 			return nil, nil, err
 		}
 		eng, closeEng = e, e.Close
 	}
-	cfg.Replay = testWindow(w.Log)
-	cfg.Manifest = man
+	cfg.Replay = testWindow(f.world.Log)
+	cfg.Manifest = f.man
 	cfg.Shards = shards
-	return eng, func() { closeEng(); closeTabs(); rmdir() }, nil
+	return eng, func() { closeEng(); f.cleanup() }, nil
 }
 
 // printReport summarises the run on stdout; the full report is in the

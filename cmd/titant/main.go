@@ -16,17 +16,27 @@
 //	      [-eventlog-snapshot-every N] [-scenarios]
 //	      [-quota N] [-quota-burst N] [-max-inflight N]
 //	                                          train, deploy and serve over HTTP
-//	route -shards URL,URL,... [-addr :9090] [-timeout D]
-//	                                          stateless scatter/gather router over
-//	                                          a ring of shard servers (see route.go)
+//	route -shards URL,URL,... [-addr :9090] [-timeout D] [-budget D]
+//	      [-retries N] [-retry-backoff D] [-hedge D] [-fallback ACTION]
+//	      [-quorum N] [-breaker-fails N] [-breaker-cooldown D]
+//	                                          stateless scatter/gather router over a
+//	                                          ring of shard servers, carrying the
+//	                                          resilience plane: deadline budgets,
+//	                                          retries, per-shard circuit breakers,
+//	                                          hedged reads, typed degraded answers
+//	                                          (see route.go)
 //	logctl <inspect|compact> -dir DIR [-retain N] [-json]
 //	                                          inspect or compact an event log directory
 //	loadgen [-addr URL] [-schedule constant|diurnal|spike] [-rate N] [-duration D]
 //	        [-opmix S:D:I] [-load-users N] [-zipf S] [-load-seed N] [-shards N]
 //	        [-quota N] [-burst N] [-max-inflight N] [-out report.json] [-slo slo.json]
+//	        [-chaos scenario.json] [-chaos-seed N]
 //	                                          open-loop load run graded against the
 //	                                          scenario manifests (see loadgen.go);
-//	                                          -slo turns the run into a pass/fail gate
+//	                                          -slo turns the run into a pass/fail gate;
+//	                                          -chaos drives an in-process wire fleet
+//	                                          through a scripted fault scenario and
+//	                                          gates on the breaker lifecycle
 //
 // train runs the offline pipeline for several detectors at once (the
 // paper deploys Isolation Forest, ID3/C5.0, LR and GBDT side by side) and

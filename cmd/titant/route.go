@@ -19,11 +19,26 @@ import (
 // and /v1/stats and /healthz merge the fleet view. The router keeps no
 // model or feature state: kill one and start another, the ring is the
 // only configuration.
+//
+// The wire tier is where partial failure lives, so the router carries
+// the resilience plane: per-request deadline budgets (X-Deadline-Ms),
+// bounded retries with jittered backoff for idempotent calls, a circuit
+// breaker per shard, optional tail-latency hedging for single-shard
+// reads, and typed degraded answers (decide falls back to -fallback)
+// when an owner shard is gone.
 func cmdRoute(args []string) {
 	fs := flag.NewFlagSet("route", flag.ExitOnError)
 	addr := fs.String("addr", ":9090", "listen address")
 	shards := fs.String("shards", "", "comma-separated shard server base URLs, ring order (required; the order IS the hash ring)")
-	timeout := fs.Duration("timeout", 0, "per-shard upstream request timeout (0 = default, 10s)")
+	timeout := fs.Duration("timeout", 0, "per-attempt upstream timeout (0 = default, 2s)")
+	budget := fs.Duration("budget", 0, "server-side deadline budget per request, capping X-Deadline-Ms (0 = default, 10s)")
+	retries := fs.Int("retries", -1, "retry budget for idempotent calls (-1 = default, 2; 0 disables)")
+	backoff := fs.Duration("retry-backoff", 0, "base retry backoff, doubled per attempt with full jitter (0 = default, 25ms)")
+	hedge := fs.Duration("hedge", 0, "hedge single-shard reads after this floor or the shard's observed p99 (0 = off)")
+	fallback := fs.String("fallback", "review", "decide action when the owner shard is unavailable (fail-closed)")
+	quorum := fs.Int("quorum", 0, "healthy shards needed for /healthz 200 (0 = majority)")
+	brkFails := fs.Int("breaker-fails", 0, "consecutive upstream failures that open a shard's circuit (0 = default, 5)")
+	brkCooldown := fs.Duration("breaker-cooldown", 0, "open-circuit cooldown before a half-open probe (0 = default, 1s)")
 	_ = fs.Parse(args)
 	if *shards == "" {
 		log.Fatal("route: -shards is required (comma-separated shard base URLs)")
@@ -34,9 +49,25 @@ func cmdRoute(args []string) {
 			ring = append(ring, s)
 		}
 	}
-	var opts []router.Option
+	opts := []router.Option{
+		router.WithFallbackAction(*fallback),
+		router.WithQuorum(*quorum),
+		router.WithHedge(*hedge),
+	}
 	if *timeout > 0 {
 		opts = append(opts, router.WithTimeout(*timeout))
+	}
+	if *budget > 0 {
+		opts = append(opts, router.WithBudget(*budget, 0))
+	}
+	if *retries >= 0 {
+		opts = append(opts, router.WithRetries(*retries, *backoff, 0))
+	}
+	if *brkFails > 0 || *brkCooldown > 0 {
+		opts = append(opts, router.WithBreaker(router.BreakerConfig{
+			ConsecutiveFails: *brkFails,
+			Cooldown:         *brkCooldown,
+		}))
 	}
 	rt, err := router.New(ring, opts...)
 	if err != nil {

@@ -1,0 +1,227 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func testServer(t *testing.T, hits *atomic.Int64) *httptest.Server {
+	t.Helper()
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		io.WriteString(w, "ok")
+	}))
+	t.Cleanup(hs.Close)
+	return hs
+}
+
+func get(t *testing.T, c *http.Client, url string) (*http.Response, error) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c.Do(req)
+}
+
+func TestParseScenarioRejectsBadScripts(t *testing.T) {
+	cases := []string{
+		`{"rules":[{"shard":0,"kind":"nope"}]}`,                           // unknown kind
+		`{"rules":[{"shard":0,"kind":"latency"}]}`,                        // latency without delay
+		`{"rules":[{"shard":0,"kind":"reset","prob":1.5}]}`,               // probability out of range
+		`{"rules":[{"shard":0,"kind":"reset","start_ms":10,"end_ms":5}]}`, // inverted window
+		`{"rules":[{"shard":0,"kind":"reset","typo":true}]}`,              // unknown field
+	}
+	for _, raw := range cases {
+		if _, err := ParseScenario([]byte(raw)); err == nil {
+			t.Errorf("accepted bad scenario %s", raw)
+		}
+	}
+	sc, err := ParseScenario([]byte(`{"seed":7,"rules":[{"shard":-1,"kind":"latency","latency_ms":5}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Seed != 7 || len(sc.Rules) != 1 {
+		t.Fatalf("parsed scenario = %+v", sc)
+	}
+	if enc, err := sc.Encode(); err != nil || !strings.Contains(string(enc), `"latency"`) {
+		t.Fatalf("round trip: %s (%v)", enc, err)
+	}
+}
+
+func TestTransportFaults(t *testing.T) {
+	var hits atomic.Int64
+	hs := testServer(t, &hits)
+	shardOf := ShardByHost([]string{hs.URL})
+
+	t.Run("reset never reaches the server", func(t *testing.T) {
+		hits.Store(0)
+		sc := &Scenario{Rules: []Rule{{Shard: 0, Kind: KindReset}}}
+		tr := NewTransport(nil, sc, shardOf)
+		c := &http.Client{Transport: tr}
+		if _, err := get(t, c, hs.URL); err == nil || !errors.Is(err, ErrReset) && !strings.Contains(err.Error(), ErrReset.Error()) {
+			t.Fatalf("err = %v, want reset", err)
+		}
+		if hits.Load() != 0 || tr.Forwarded() != 0 {
+			t.Fatalf("reset forwarded: hits=%d fwd=%d", hits.Load(), tr.Forwarded())
+		}
+	})
+
+	t.Run("http_error synthesizes without forwarding", func(t *testing.T) {
+		hits.Store(0)
+		sc := &Scenario{Rules: []Rule{{Shard: 0, Kind: KindHTTPError, Status: 502}}}
+		c := &http.Client{Transport: NewTransport(nil, sc, shardOf)}
+		resp, err := get(t, c, hs.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 502 || hits.Load() != 0 {
+			t.Fatalf("status=%d hits=%d", resp.StatusCode, hits.Load())
+		}
+	})
+
+	t.Run("drop_response delivers then loses the reply", func(t *testing.T) {
+		hits.Store(0)
+		sc := &Scenario{Rules: []Rule{{Shard: 0, Kind: KindDropResponse}}}
+		tr := NewTransport(nil, sc, shardOf)
+		c := &http.Client{Transport: tr}
+		if _, err := get(t, c, hs.URL); err == nil {
+			t.Fatal("dropped response returned no error")
+		}
+		if hits.Load() != 1 || tr.Forwarded() != 1 {
+			t.Fatalf("side effect accounting: hits=%d fwd=%d, want 1/1", hits.Load(), tr.Forwarded())
+		}
+	})
+
+	t.Run("blackhole blocks until the context dies", func(t *testing.T) {
+		hits.Store(0)
+		sc := &Scenario{Rules: []Rule{{Shard: 0, Kind: KindBlackhole}}}
+		c := &http.Client{Transport: NewTransport(nil, sc, shardOf)}
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+		defer cancel()
+		req, _ := http.NewRequestWithContext(ctx, http.MethodGet, hs.URL, nil)
+		start := time.Now()
+		_, err := c.Do(req)
+		if err == nil || !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("blackhole err = %v", err)
+		}
+		if d := time.Since(start); d < 25*time.Millisecond {
+			t.Fatalf("blackhole returned after %v, before the context expired", d)
+		}
+		if hits.Load() != 0 {
+			t.Fatal("blackholed request reached the server")
+		}
+	})
+
+	t.Run("latency delays then forwards", func(t *testing.T) {
+		hits.Store(0)
+		sc := &Scenario{Rules: []Rule{{Shard: 0, Kind: KindLatency, LatencyMs: 40}}}
+		tr := NewTransport(nil, sc, shardOf)
+		c := &http.Client{Transport: tr}
+		start := time.Now()
+		resp, err := get(t, c, hs.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if d := time.Since(start); d < 40*time.Millisecond {
+			t.Fatalf("latency fault added only %v", d)
+		}
+		if hits.Load() != 1 {
+			t.Fatal("latency fault swallowed the request")
+		}
+		st := tr.Stats()
+		if len(st) != 1 || st[0].Hits != 1 || st[0].Applied != 1 {
+			t.Fatalf("rule stats = %+v", st)
+		}
+	})
+}
+
+// TestTransportWindowing: rules only fire inside their time window, so
+// a scripted outage starts and ends on schedule — the revival half of
+// every chaos scenario.
+func TestTransportWindowing(t *testing.T) {
+	var hits atomic.Int64
+	hs := testServer(t, &hits)
+	sc := &Scenario{Rules: []Rule{{Shard: 0, Kind: KindReset, StartMs: 50, EndMs: 100}}}
+	tr := NewTransport(nil, sc, ShardByHost([]string{hs.URL}))
+	base := time.Now()
+	tr.Start(base.Add(-70 * time.Millisecond)) // we are now 70ms "into" the scenario
+	c := &http.Client{Transport: tr}
+	if _, err := get(t, c, hs.URL); err == nil {
+		t.Fatal("inside the window the reset must fire")
+	}
+	// Wait until past EndMs; the same request now flows.
+	time.Sleep(40 * time.Millisecond)
+	resp, err := get(t, c, hs.URL)
+	if err != nil {
+		t.Fatalf("after the window: %v", err)
+	}
+	resp.Body.Close()
+	if hits.Load() != 1 {
+		t.Fatalf("hits = %d, want 1", hits.Load())
+	}
+}
+
+// TestTransportShardScoping: a rule scoped to shard 1 leaves shard 0
+// traffic untouched, and unmapped hosts bypass all rules.
+func TestTransportShardScoping(t *testing.T) {
+	var hits0, hits1 atomic.Int64
+	hs0, hs1 := testServer(t, &hits0), testServer(t, &hits1)
+	sc := &Scenario{Rules: []Rule{{Shard: 1, Kind: KindReset}}}
+	tr := NewTransport(nil, sc, ShardByHost([]string{hs0.URL, hs1.URL}))
+	c := &http.Client{Transport: tr}
+	resp, err := get(t, c, hs0.URL)
+	if err != nil {
+		t.Fatalf("shard 0 caught shard 1's fault: %v", err)
+	}
+	resp.Body.Close()
+	if _, err := get(t, c, hs1.URL); err == nil {
+		t.Fatal("shard 1's fault did not fire")
+	}
+	if hits0.Load() != 1 || hits1.Load() != 0 {
+		t.Fatalf("hits = %d/%d", hits0.Load(), hits1.Load())
+	}
+}
+
+// TestTransportSeededProbability: probabilistic rules draw from the
+// scenario seed — two transports with the same seed fault the same
+// requests in the same order.
+func TestTransportSeededProbability(t *testing.T) {
+	var hits atomic.Int64
+	hs := testServer(t, &hits)
+	run := func() []bool {
+		sc := &Scenario{Seed: 42, Rules: []Rule{{Shard: 0, Kind: KindReset, Prob: 0.5}}}
+		c := &http.Client{Transport: NewTransport(nil, sc, ShardByHost([]string{hs.URL}))}
+		out := make([]bool, 40)
+		for i := range out {
+			resp, err := get(t, c, hs.URL)
+			out[i] = err != nil
+			if err == nil {
+				resp.Body.Close()
+			}
+		}
+		return out
+	}
+	a, b := run(), run()
+	faulted := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("request %d: seeded runs diverged", i)
+		}
+		if a[i] {
+			faulted++
+		}
+	}
+	if faulted == 0 || faulted == len(a) {
+		t.Fatalf("prob 0.5 faulted %d of %d", faulted, len(a))
+	}
+}

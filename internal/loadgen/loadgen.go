@@ -54,6 +54,7 @@ type ScenarioReport struct {
 	Replayed int     `json:"replayed"` // labeled fraud transactions replayed
 	Flagged  int     `json:"flagged"`  // of those, flagged by the engine
 	Shed     int     `json:"shed"`     // of those, shed by admission control
+	Degraded int     `json:"degraded"` // of those, answered with a degraded envelope
 	Recall   float64 `json:"recall"`
 }
 
@@ -78,6 +79,7 @@ type Report struct {
 	Offered     int     `json:"offered"`        // scheduled arrivals
 	Completed   int64   `json:"completed"`      // requests served 2xx
 	Shed        int64   `json:"shed"`           // typed 429 refusals
+	Degraded    int64   `json:"degraded"`       // typed degraded envelopes (wire tier fallback)
 	Errors      int64   `json:"errors"`         // any other failure
 	OfferedRPS  float64 `json:"offered_rps"`    // offered / duration
 	Throughput  float64 `json:"throughput_rps"` // completed / wall time
@@ -127,6 +129,7 @@ type grade struct {
 	fraudReplayed   map[string]int // per scenario kind
 	fraudFlagged    map[string]int
 	fraudShed       map[string]int
+	fraudDegraded   map[string]int
 	cleanReplayed   int
 	cleanFlagged    int
 	replayShedClean int
@@ -159,6 +162,7 @@ func Run(ctx context.Context, cfg Config, tgt Target) (*Report, error) {
 		wg        sync.WaitGroup
 		completed atomic.Int64
 		shed      atomic.Int64
+		degraded  atomic.Int64
 		errCount  atomic.Int64
 		opCounts  [numOps]atomic.Int64
 		bgFlagged atomic.Int64
@@ -169,6 +173,7 @@ func Run(ctx context.Context, cfg Config, tgt Target) (*Report, error) {
 		fraudReplayed: map[string]int{},
 		fraudFlagged:  map[string]int{},
 		fraudShed:     map[string]int{},
+		fraudDegraded: map[string]int{},
 	}
 	fraudKind := map[txn.TxnID]string{}
 	if cfg.Manifest != nil {
@@ -208,6 +213,8 @@ dispatch:
 				opCounts[it.op].Add(1)
 			case errors.Is(err, ErrShed):
 				shed.Add(1)
+			case errors.Is(err, ErrDegraded):
+				degraded.Add(1)
 			default:
 				errCount.Add(1)
 			}
@@ -236,6 +243,7 @@ dispatch:
 		Offered:     len(items),
 		Completed:   completed.Load(),
 		Shed:        shed.Load(),
+		Degraded:    degraded.Load(),
 		Errors:      errCount.Load(),
 		OfferedRPS:  float64(len(items)) / cfg.Duration.Seconds(),
 		Throughput:  float64(completed.Load()) / wall.Seconds(),
@@ -270,6 +278,8 @@ func gradeReplay(g *grade, fraudKind map[txn.TxnID]string, it *workItem, flagged
 			g.fraudFlagged[kind]++
 		case errors.Is(err, ErrShed):
 			g.fraudShed[kind]++
+		case errors.Is(err, ErrDegraded):
+			g.fraudDegraded[kind]++
 		}
 		return
 	}
@@ -295,7 +305,7 @@ func fillDetection(rep *Report, g *grade) {
 		n, f := g.fraudReplayed[k], g.fraudFlagged[k]
 		fraudTotal += n
 		flaggedTotal += f
-		sr := ScenarioReport{Kind: k, Replayed: n, Flagged: f, Shed: g.fraudShed[k]}
+		sr := ScenarioReport{Kind: k, Replayed: n, Flagged: f, Shed: g.fraudShed[k], Degraded: g.fraudDegraded[k]}
 		if n > 0 {
 			sr.Recall = float64(f) / float64(n)
 		}

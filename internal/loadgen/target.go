@@ -20,6 +20,14 @@ import (
 // admission control working, not the engine failing.
 var ErrShed = errors.New("loadgen: request shed")
 
+// ErrDegraded is the typed outcome for a request the wire tier answered
+// with a degraded envelope instead of a real verdict: a router whose
+// owner shard was unavailable (typed shard_unavailable / deadline
+// errors, or a decide fallback action). The runner counts these apart
+// from errors — during a chaos run they are the resilience plane
+// degrading by design, and the count is what the chaos gate asserts on.
+var ErrDegraded = errors.New("loadgen: degraded verdict")
+
 // Target is one way to reach a scoring engine. Do performs op on t,
 // reporting whether the engine flagged the transaction (a fraud verdict,
 // or any decide action other than approve); flagged is meaningless for
@@ -150,6 +158,15 @@ func (h *HTTPTarget) Do(ctx context.Context, op Op, t *txn.Transaction, sc decis
 	}
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		var env struct {
+			Error struct {
+				Code string `json:"code"`
+			} `json:"error"`
+		}
+		if json.Unmarshal(msg, &env) == nil &&
+			(env.Error.Code == ms.CodeShardUnavailable || env.Error.Code == ms.CodeDeadlineExceeded) {
+			return false, fmt.Errorf("%w: %s: %s", ErrDegraded, path, env.Error.Code)
+		}
 		return false, fmt.Errorf("loadgen: %s: status %d: %s", path, resp.StatusCode, bytes.TrimSpace(msg))
 	}
 	if op == OpIngest {
@@ -157,11 +174,17 @@ func (h *HTTPTarget) Do(ctx context.Context, op Op, t *txn.Transaction, sc decis
 		return false, nil
 	}
 	var out struct {
-		Fraud  bool   `json:"fraud"`
-		Action string `json:"action"`
+		Fraud    bool   `json:"fraud"`
+		Action   string `json:"action"`
+		Degraded bool   `json:"degraded"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 		return false, fmt.Errorf("loadgen: %s: decode response: %w", path, err)
+	}
+	if out.Degraded {
+		// A fallback action is a placeholder, not a verdict; grading it
+		// as flagged would hide the outage from the recall numbers.
+		return false, fmt.Errorf("%w: %s: fallback action %q", ErrDegraded, path, out.Action)
 	}
 	if op == OpDecide {
 		return out.Action != "" && out.Action != "approve", nil

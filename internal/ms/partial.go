@@ -1,0 +1,77 @@
+package ms
+
+import (
+	"fmt"
+
+	"titant/internal/txn"
+)
+
+// Typed partial-failure surface of the wire tier. When the router cannot
+// reach a shard (circuit open, retries exhausted, deadline spent) it
+// degrades the affected items instead of failing the whole batch: each
+// unservable item carries an ItemError naming the failure and the shard,
+// and decide items additionally carry a policy-driven fallback action so
+// a risk verdict still *arrives* — fail-closed, never silently wrong.
+// The shapes live here, next to the healthy-path wire types, so shard
+// servers, the router and clients agree on one contract.
+
+// Partial-failure error codes carried by ItemError.Code.
+const (
+	// CodeShardUnavailable marks items owned by a shard the router could
+	// not get an answer from: circuit open, connection failed, retries
+	// exhausted, or only 5xx responses.
+	CodeShardUnavailable = "shard_unavailable"
+	// CodeDeadlineExceeded marks items abandoned because the caller's
+	// deadline budget (X-Deadline-Ms) ran out before the shard answered.
+	CodeDeadlineExceeded = "deadline_exceeded"
+)
+
+// ItemError is the typed per-item error inside a partially-degraded
+// batch response.
+type ItemError struct {
+	Code    string `json:"code"`
+	Shard   int    `json:"shard"`
+	Message string `json:"message,omitempty"`
+}
+
+// DegradedVerdict is the wire shape of one unservable score item: the
+// transaction id it answers for, the degraded marker, and the typed
+// error. It carries no score and no fraud flag — a missing verdict is
+// reported, never guessed.
+type DegradedVerdict struct {
+	TxnID    txn.TxnID  `json:"txn_id"`
+	Degraded bool       `json:"degraded"`
+	Error    *ItemError `json:"error"`
+}
+
+// DegradedDecision is the wire shape of one unservable decide item. The
+// action is the fallback policy's — by default "review", the fail-closed
+// stance: when the system cannot score a transaction it routes it to
+// manual review rather than approving blind or dropping the verdict.
+type DegradedDecision struct {
+	DegradedVerdict
+	Action string `json:"action"`
+	Reason string `json:"reason"`
+}
+
+// FallbackActionReview is the fail-closed fallback: unservable
+// transactions go to manual review. It extends the decision plane's
+// approve/challenge/deny vocabulary with an action only the degradation
+// path may emit — a policy document cannot map a *score* to "review",
+// so a review action in a response always means "this item was not
+// scored".
+const FallbackActionReview = "review"
+
+// ParseFallbackAction validates a configured fallback action for
+// degraded decide items: "review" (default, fail-closed), or one of the
+// decision plane's actions for operators who prefer e.g. fail-closed
+// "deny" or (discouraged) fail-open "approve".
+func ParseFallbackAction(s string) (string, error) {
+	switch s {
+	case "", FallbackActionReview:
+		return FallbackActionReview, nil
+	case "approve", "challenge", "deny":
+		return s, nil
+	}
+	return "", fmt.Errorf("ms: unknown fallback action %q (want review, approve, challenge or deny)", s)
+}

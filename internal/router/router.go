@@ -10,11 +10,20 @@
 // full read-only feature table (replicated T+1 artifacts are cheap to
 // copy) while the hot user-keyed state — user cache, stream window,
 // event log — partitions naturally because each server only ever sees
-// its owners' traffic. Delivery semantics on the data plane are
-// at-most-once per shard: if one shard fails mid-batch the router
-// relays that shard's error and does not retry siblings, exactly the
-// all-or-nothing surface the in-process engine presents (minus the
-// rollback the wire cannot give).
+// its owners' traffic.
+//
+// Partial failure is the steady state, and every proxied call runs
+// through the resilience plane (see resilience.go): a deadline budget
+// propagated from the caller's X-Deadline-Ms, bounded full-jitter
+// retries for idempotent ops, a circuit breaker per shard, and optional
+// tail-latency hedging for single-shard reads. Delivery semantics on
+// the data plane stay at-most-once for ingest (no retry unless the
+// caller sends X-Idempotency-Key); score and decide are read-only and
+// retry freely. When a shard stays unreachable the router degrades
+// rather than fails: batch responses carry per-item typed errors
+// (ms.CodeShardUnavailable) and decide items fall back to a configured
+// fail-closed action, so a verdict always arrives and is never silently
+// wrong.
 package router
 
 import (
@@ -25,6 +34,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -42,12 +52,96 @@ const (
 	maxControlBytes = 64 << 20
 )
 
+// Headers the resilience plane acts on.
+const (
+	// HeaderDeadline carries the caller's remaining budget in
+	// milliseconds; the router re-propagates the per-attempt remainder
+	// downstream so a shard never works past the caller's patience.
+	HeaderDeadline = "X-Deadline-Ms"
+	// HeaderIdempotencyKey opts an ingest request into retries: the
+	// caller asserts replays are safe to deduplicate on its side.
+	HeaderIdempotencyKey = "X-Idempotency-Key"
+)
+
 // Option configures a Router.
 type Option func(*Router)
 
-// WithTimeout bounds each proxied shard call (default 10s).
+// WithTimeout bounds each proxied shard attempt (default 2s). Retries
+// get a fresh attempt timeout each, inside the overall budget.
 func WithTimeout(d time.Duration) Option {
-	return func(rt *Router) { rt.client.Timeout = d }
+	return func(rt *Router) {
+		if d > 0 {
+			rt.perTry = d
+		}
+	}
+}
+
+// WithBudget sets the default overall request budget used when the
+// caller sends no X-Deadline-Ms (default 10s), and the gather margin
+// reserved from every budget for merging (default 50ms).
+func WithBudget(budget, margin time.Duration) Option {
+	return func(rt *Router) {
+		if budget > 0 {
+			rt.budget = budget
+		}
+		if margin > 0 {
+			rt.margin = margin
+		}
+	}
+}
+
+// WithRetries sets the retry budget for idempotent calls (default 2,
+// i.e. up to 3 attempts) and the full-jitter backoff base/cap
+// (defaults 25ms/250ms). retries 0 disables retrying.
+func WithRetries(retries int, base, cap time.Duration) Option {
+	return func(rt *Router) {
+		if retries >= 0 {
+			rt.retries = retries
+		}
+		if base > 0 {
+			rt.backoff = base
+		}
+		if cap > 0 {
+			rt.backoffCap = cap
+		}
+	}
+}
+
+// WithBreaker tunes the per-shard circuit breakers.
+func WithBreaker(cfg BreakerConfig) Option {
+	return func(rt *Router) { rt.brkCfg = cfg }
+}
+
+// WithHedge enables tail-latency hedging for single-shard reads: a
+// second identical request launches if the first has not answered
+// within max(floor, shard p99); the first success wins and the loser is
+// cancelled. floor <= 0 disables hedging (the default).
+func WithHedge(floor time.Duration) Option {
+	return func(rt *Router) { rt.hedgeFloor = floor }
+}
+
+// WithFallbackAction sets the action degraded decide items carry
+// (default ms.FallbackActionReview, the fail-closed stance).
+func WithFallbackAction(action string) Option {
+	return func(rt *Router) { rt.fallback = action }
+}
+
+// WithQuorum sets how many healthy shards /healthz needs to answer 200
+// (default: a majority, n/2+1). Below quorum the fleet reports 503.
+func WithQuorum(q int) Option {
+	return func(rt *Router) { rt.quorum = q }
+}
+
+// WithTransport swaps the underlying HTTP transport — the seam the
+// faultinject chaos layer plugs into.
+func WithTransport(t http.RoundTripper) Option {
+	return func(rt *Router) { rt.client.Transport = t }
+}
+
+// WithSeed seeds the backoff-jitter RNG (default 1), keeping chaos runs
+// reproducible end to end.
+func WithSeed(seed uint64) Option {
+	return func(rt *Router) { rt.seed = seed }
 }
 
 // Router fans v1 traffic across a fixed shard ring.
@@ -55,12 +149,35 @@ type Router struct {
 	shards []string // base URLs, index = shard number
 	client *http.Client
 
+	// Resilience-plane tuning (see the Option funcs for semantics).
+	perTry     time.Duration
+	budget     time.Duration
+	margin     time.Duration
+	retries    int
+	backoff    time.Duration
+	backoffCap time.Duration
+	hedgeFloor time.Duration
+	fallback   string
+	quorum     int
+	brkCfg     BreakerConfig
+	seed       uint64
+
+	brk []*breaker
+	lat []*latTracker
+	rnd *lockedRand
+	now func() time.Time
+
 	// Observability counters for the /v1/stats "router" section.
-	singles  atomic.Int64 // single-row requests forwarded to one owner
-	batches  atomic.Int64 // batch requests scattered
-	fanouts  atomic.Int64 // sub-batches dispatched by scatters
-	controls atomic.Int64 // model/policy swaps replicated
-	errors   atomic.Int64 // upstream failures relayed or detected
+	singles   atomic.Int64 // single-row requests forwarded to one owner
+	batches   atomic.Int64 // batch requests scattered
+	fanouts   atomic.Int64 // sub-batches dispatched by scatters
+	controls  atomic.Int64 // model/policy swaps replicated
+	errors    atomic.Int64 // upstream failures relayed or detected
+	retried   atomic.Int64 // retry attempts issued
+	hedges    atomic.Int64 // hedge legs launched
+	hedgeWins atomic.Int64 // hedge legs that answered first
+	degraded  atomic.Int64 // items answered with a degraded envelope
+	deadlines atomic.Int64 // calls abandoned on an exhausted caller budget
 }
 
 // New builds a router over the given shard base URLs (e.g.
@@ -82,9 +199,39 @@ func New(shards []string, opts ...Option) (*Router, error) {
 		}
 		cleaned[i] = s
 	}
-	rt := &Router{shards: cleaned, client: &http.Client{Timeout: 10 * time.Second}}
+	rt := &Router{
+		shards:     cleaned,
+		client:     &http.Client{},
+		perTry:     2 * time.Second,
+		budget:     10 * time.Second,
+		margin:     50 * time.Millisecond,
+		retries:    2,
+		backoff:    25 * time.Millisecond,
+		backoffCap: 250 * time.Millisecond,
+		fallback:   ms.FallbackActionReview,
+		seed:       1,
+		now:        time.Now,
+	}
 	for _, o := range opts {
 		o(rt)
+	}
+	fb, err := ms.ParseFallbackAction(rt.fallback)
+	if err != nil {
+		return nil, err
+	}
+	rt.fallback = fb
+	if rt.quorum < 0 || rt.quorum > len(cleaned) {
+		return nil, fmt.Errorf("router: quorum %d out of range for %d shards", rt.quorum, len(cleaned))
+	}
+	if rt.quorum == 0 {
+		rt.quorum = len(cleaned)/2 + 1
+	}
+	rt.rnd = newLockedRand(rt.seed)
+	rt.brk = make([]*breaker, len(cleaned))
+	rt.lat = make([]*latTracker, len(cleaned))
+	for i := range cleaned {
+		rt.brk[i] = newBreaker(rt.brkCfg, rt.now)
+		rt.lat[i] = newLatTracker()
 	}
 	return rt, nil
 }
@@ -92,9 +239,9 @@ func New(shards []string, opts ...Option) (*Router, error) {
 // Shards returns the ring width.
 func (rt *Router) Shards() int { return len(rt.shards) }
 
-// ownerURL returns the base URL of the shard owning user u.
-func (rt *Router) ownerURL(u txn.UserID) string {
-	return rt.shards[ms.ShardOf(u, len(rt.shards))]
+// ownerShard returns the index of the shard owning user u.
+func (rt *Router) ownerShard(u txn.UserID) int {
+	return ms.ShardOf(u, len(rt.shards))
 }
 
 // Handler returns the router's mux: the shard servers' v1 surface, one
@@ -134,9 +281,20 @@ func writeError(w http.ResponseWriter, status int, code, msg string) {
 	})
 }
 
+func writeJSON(w http.ResponseWriter, status int, body interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(body)
+}
+
 // forwardHeaders copies the request headers shard servers act on.
+// X-Caller rides through so per-caller admission quotas hold across the
+// wire tier; X-Idempotency-Key rides through so shards (and the retry
+// classifier) see the caller's dedup assertion. X-Deadline-Ms is NOT
+// copied — the router re-derives it per attempt from the remaining
+// budget.
 func forwardHeaders(dst *http.Request, src *http.Request) {
-	for _, k := range []string{"Content-Type", "Authorization", "X-Caller"} {
+	for _, k := range []string{"Content-Type", "Authorization", "X-Caller", HeaderIdempotencyKey} {
 		if v := src.Header.Get(k); v != "" {
 			dst.Header.Set(k, v)
 		}
@@ -151,19 +309,63 @@ type upstream struct {
 	err    error // transport failure (no response)
 }
 
-// call POSTs (or GETs) body to shard base+path, relaying headers from r.
-func (rt *Router) call(r *http.Request, method, base, path string, body []byte) upstream {
-	var rd io.Reader
-	if body != nil {
-		rd = bytes.NewReader(body)
+// failed reports whether the upstream is a transport failure or 5xx —
+// the failure class that counts against breakers and triggers
+// degradation. 4xx means the shard is healthy and refusing.
+func (u upstream) failed() bool { return u.err != nil || u.status >= 500 }
+
+// callSpec describes one logical shard call for the resilience plane.
+type callSpec struct {
+	method string
+	path   string
+	body   []byte
+	shard  int
+	// retryable marks idempotent ops (score/decide/stats/healthz, and
+	// ingest only with an idempotency key) eligible for the retry loop.
+	retryable bool
+	// hedged marks single-shard reads eligible for tail-latency hedging.
+	hedged bool
+	// noBreaker bypasses the circuit breaker entirely (health probes
+	// must tell the truth, not echo the breaker's opinion).
+	noBreaker bool
+}
+
+// attempt issues one HTTP attempt for spec, bounded by the smaller of
+// the per-try timeout and the remaining deadline budget, propagating
+// the remainder downstream as X-Deadline-Ms.
+func (rt *Router) attempt(ctx context.Context, src *http.Request, deadline time.Time, spec callSpec) upstream {
+	rem := deadline.Sub(rt.now())
+	if rem <= 0 {
+		return upstream{err: errBudgetExhausted}
 	}
-	req, err := http.NewRequestWithContext(r.Context(), method, base+path, rd)
+	per := rt.perTry
+	clamped := false
+	if per <= 0 || rem < per {
+		per = rem
+		clamped = true
+	}
+	actx, cancel := context.WithTimeout(ctx, per)
+	defer cancel()
+	var rd io.Reader
+	if spec.body != nil {
+		rd = bytes.NewReader(spec.body)
+	}
+	req, err := http.NewRequestWithContext(actx, spec.method, rt.shards[spec.shard]+spec.path, rd)
 	if err != nil {
 		return upstream{err: err}
 	}
-	forwardHeaders(req, r)
+	forwardHeaders(req, src)
+	req.Header.Set(HeaderDeadline, strconv.FormatInt(per.Milliseconds(), 10))
 	resp, err := rt.client.Do(req)
 	if err != nil {
+		// A timeout on an attempt that was clamped to the remaining
+		// budget IS the budget running out, not the shard being slow.
+		if clamped && errors.Is(err, context.DeadlineExceeded) {
+			return upstream{err: errBudgetExhausted}
+		}
+		if ctx.Err() != nil && deadline.Sub(rt.now()) <= 0 {
+			return upstream{err: errBudgetExhausted}
+		}
 		return upstream{err: err}
 	}
 	defer resp.Body.Close()
@@ -174,8 +376,62 @@ func (rt *Router) call(r *http.Request, method, base, path string, body []byte) 
 	return upstream{status: resp.StatusCode, header: resp.Header, body: data}
 }
 
+// requestBudget derives this request's work deadline: the caller's
+// X-Deadline-Ms (capped by the router's own budget) minus the gather
+// margin, so merging finishes before the caller hangs up. The margin
+// never eats more than half the budget.
+func (rt *Router) requestBudget(r *http.Request) (context.Context, context.CancelFunc, time.Time) {
+	budget := rt.budget
+	if h := r.Header.Get(HeaderDeadline); h != "" {
+		if msv, err := strconv.ParseInt(h, 10, 64); err == nil && msv > 0 {
+			if d := time.Duration(msv) * time.Millisecond; d < budget {
+				budget = d
+			}
+		}
+	}
+	work := budget - rt.margin
+	if work < budget/2 {
+		work = budget / 2
+	}
+	deadline := rt.now().Add(work)
+	ctx, cancel := context.WithDeadline(r.Context(), deadline)
+	return ctx, cancel, deadline
+}
+
+// itemError classifies one failed upstream into the typed per-item
+// error the degraded envelopes carry.
+func (rt *Router) itemError(u upstream, shard int) *ms.ItemError {
+	code := ms.CodeShardUnavailable
+	msg := fmt.Sprintf("shard %d unavailable", shard)
+	switch {
+	case errors.Is(u.err, errBudgetExhausted):
+		code = ms.CodeDeadlineExceeded
+		msg = fmt.Sprintf("deadline budget exhausted before shard %d answered", shard)
+	case errors.Is(u.err, errCircuitOpen):
+		msg = fmt.Sprintf("shard %d circuit open", shard)
+	case u.err != nil:
+		msg = fmt.Sprintf("shard %d: %v", shard, u.err)
+	case u.status >= 500:
+		msg = fmt.Sprintf("shard %d answered %d", shard, u.status)
+	}
+	return &ms.ItemError{Code: code, Shard: shard, Message: msg}
+}
+
+// writeFailure writes the typed error for a wholly-failed call:
+// 504 deadline_exceeded when the caller's budget ran out, 503
+// shard_unavailable otherwise.
+func (rt *Router) writeFailure(w http.ResponseWriter, u upstream, shard int) {
+	ie := rt.itemError(u, shard)
+	status := http.StatusServiceUnavailable
+	if ie.Code == ms.CodeDeadlineExceeded {
+		status = http.StatusGatewayTimeout
+	}
+	writeError(w, status, ie.Code, ie.Message)
+}
+
 // relay writes one upstream response through unchanged (a transport
-// failure maps to 502 shard_unreachable).
+// failure maps to 502 shard_unreachable). A Retry-After already set on
+// w (the cross-shard max) is not overwritten.
 func (rt *Router) relay(w http.ResponseWriter, u upstream) {
 	if u.err != nil {
 		rt.errors.Add(1)
@@ -188,20 +444,49 @@ func (rt *Router) relay(w http.ResponseWriter, u upstream) {
 	if ct := u.header.Get("Content-Type"); ct != "" {
 		w.Header().Set("Content-Type", ct)
 	}
-	if ra := u.header.Get("Retry-After"); ra != "" {
+	if ra := u.header.Get("Retry-After"); ra != "" && w.Header().Get("Retry-After") == "" {
 		w.Header().Set("Retry-After", ra)
 	}
 	w.WriteHeader(u.status)
 	_, _ = w.Write(u.body)
 }
 
-// fromPeek reads just the routing key out of a transaction body.
-type fromPeek struct {
+// maxRetryAfter returns the largest Retry-After advertised by any
+// upstream: a caller backing off a sharded fleet must wait for the
+// slowest shard, not whichever happened to answer last.
+func maxRetryAfter(ups []upstream) string {
+	best, bestN := "", -1.0
+	for _, u := range ups {
+		if u.header == nil {
+			continue
+		}
+		ra := u.header.Get("Retry-After")
+		if ra == "" {
+			continue
+		}
+		if n, err := strconv.ParseFloat(ra, 64); err == nil {
+			if n > bestN {
+				bestN, best = n, ra
+			}
+		} else if best == "" {
+			best = ra
+		}
+	}
+	return best
+}
+
+// txnPeek reads just the routing key and id out of a transaction body.
+type txnPeek struct {
+	ID   int64 `json:"id"`
 	From int32 `json:"from"`
 }
 
 // single forwards a one-transaction request (score/decide/ingest) whole
-// to the sender's owner shard.
+// to the sender's owner shard. Score and decide are idempotent reads:
+// they retry, and hedge when enabled. Ingest is at-most-once — one
+// attempt, no retry — unless the caller opts in with X-Idempotency-Key.
+// A decide that cannot be served still answers 200, carrying the
+// fail-closed fallback action and a degraded marker.
 func (rt *Router) single(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "POST only")
@@ -212,13 +497,41 @@ func (rt *Router) single(w http.ResponseWriter, r *http.Request) {
 		rt.readError(w, err)
 		return
 	}
-	var peek fromPeek
+	var peek txnPeek
 	if err := json.Unmarshal(body, &peek); err != nil {
 		writeError(w, http.StatusBadRequest, "bad_request", "malformed JSON: "+err.Error())
 		return
 	}
 	rt.singles.Add(1)
-	rt.relay(w, rt.call(r, http.MethodPost, rt.ownerURL(txn.UserID(peek.From)), r.URL.Path, body))
+	ctx, cancel, deadline := rt.requestBudget(r)
+	defer cancel()
+	spec := callSpec{method: http.MethodPost, path: r.URL.Path, body: body, shard: rt.ownerShard(txn.UserID(peek.From))}
+	switch r.URL.Path {
+	case "/v1/ingest":
+		spec.retryable = r.Header.Get(HeaderIdempotencyKey) != ""
+	default: // score, decide
+		spec.retryable, spec.hedged = true, true
+	}
+	u := rt.hedgedCall(ctx, r, deadline, spec)
+	if !u.failed() {
+		rt.relay(w, u)
+		return
+	}
+	rt.errors.Add(1)
+	if r.URL.Path == "/v1/decide" {
+		rt.degraded.Add(1)
+		writeJSON(w, http.StatusOK, ms.DegradedDecision{
+			DegradedVerdict: ms.DegradedVerdict{
+				TxnID:    txn.TxnID(peek.ID),
+				Degraded: true,
+				Error:    rt.itemError(u, spec.shard),
+			},
+			Action: rt.fallback,
+			Reason: "fallback: owner shard unavailable",
+		})
+		return
+	}
+	rt.writeFailure(w, u, spec.shard)
 }
 
 func (rt *Router) readError(w http.ResponseWriter, err error) {
@@ -240,6 +553,14 @@ type batchBody struct {
 // batch scatters a batch route across owner shards and gathers the
 // responses in input order. itemsKey names the response array to merge
 // ("verdicts", "decisions"); "" merges ingest {"ingested": n} counts.
+//
+// Gather degrades instead of failing: a shard that cannot answer
+// (circuit open, retries exhausted, 5xx) turns only its own items into
+// typed degraded envelopes — score items report shard_unavailable,
+// decide items additionally carry the fallback action — while the rest
+// of the batch returns real verdicts. A shard answering 4xx still fails
+// the whole batch (lowest shard index wins, the in-process engine's
+// deterministic error order) with Retry-After maxed across shards.
 func (rt *Router) batch(w http.ResponseWriter, r *http.Request, itemsKey string) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "POST only")
@@ -258,17 +579,22 @@ func (rt *Router) batch(w http.ResponseWriter, r *http.Request, itemsKey string)
 	rt.batches.Add(1)
 	n := len(rt.shards)
 	groups := make([][]int, n)
+	ids := make([]int64, len(req.Transactions))
 	for i, tx := range req.Transactions {
-		var peek fromPeek
+		var peek txnPeek
 		if err := json.Unmarshal(tx, &peek); err != nil {
 			writeError(w, http.StatusBadRequest, "bad_request",
 				fmt.Sprintf("transaction %d: malformed JSON: %v", i, err))
 			return
 		}
+		ids[i] = peek.ID
 		si := ms.ShardOf(txn.UserID(peek.From), n)
 		groups[si] = append(groups[si], i)
 	}
 
+	ctx, cancel, deadline := rt.requestBudget(r)
+	defer cancel()
+	retryable := itemsKey != "" || r.Header.Get(HeaderIdempotencyKey) != ""
 	ups := make([]upstream, n)
 	var wg sync.WaitGroup
 	for si, idxs := range groups {
@@ -288,54 +614,107 @@ func (rt *Router) batch(w http.ResponseWriter, r *http.Request, itemsKey string)
 				ups[si] = upstream{err: err}
 				return
 			}
-			ups[si] = rt.call(r, http.MethodPost, rt.shards[si], r.URL.Path, body)
+			ups[si] = rt.resilientCall(ctx, r, deadline, callSpec{
+				method: http.MethodPost, path: r.URL.Path, body: body,
+				shard: si, retryable: retryable,
+			})
 		}(si, idxs)
 	}
 	wg.Wait()
 
-	// Lowest failing shard index wins, the in-process engine's
-	// deterministic error order.
+	// A 4xx is the shard refusing a request the router faithfully
+	// forwarded (malformed row, over quota): relay it whole, lowest
+	// failing shard index first, with the cross-shard max Retry-After.
 	for si, idxs := range groups {
 		if len(idxs) == 0 {
 			continue
 		}
-		if u := ups[si]; u.err != nil || u.status != http.StatusOK {
+		if u := ups[si]; u.err == nil && u.status >= 400 && u.status < 500 {
+			if ra := maxRetryAfter(ups); ra != "" {
+				w.Header().Set("Retry-After", ra)
+			}
 			rt.relay(w, u)
 			return
 		}
 	}
 
 	if itemsKey == "" {
-		// Ingest: the per-shard counts sum.
-		total := 0
-		for si, idxs := range groups {
-			if len(idxs) == 0 {
-				continue
-			}
-			var ir struct {
-				Ingested int `json:"ingested"`
-			}
-			if err := json.Unmarshal(ups[si].body, &ir); err != nil {
-				rt.errors.Add(1)
-				writeError(w, http.StatusBadGateway, "shard_bad_response", err.Error())
-				return
-			}
-			total += ir.Ingested
-		}
-		w.Header().Set("Content-Type", "application/json")
-		_ = json.NewEncoder(w).Encode(map[string]int{"ingested": total})
+		rt.gatherIngest(w, groups, ups)
 		return
 	}
+	rt.gatherItems(w, itemsKey, req, groups, ids, ups)
+}
 
-	// Score/decide: scatter each shard's ordered sub-array back into the
-	// callers' positions.
-	merged := make([]json.RawMessage, len(req.Transactions))
+// gatherIngest merges per-shard ingest counts. Failed shards surface as
+// a "failed" count plus typed per-shard errors; ingest has no per-item
+// bodies to degrade.
+func (rt *Router) gatherIngest(w http.ResponseWriter, groups [][]int, ups []upstream) {
+	total, failedCount := 0, 0
+	var failedShards []map[string]interface{}
 	for si, idxs := range groups {
 		if len(idxs) == 0 {
 			continue
 		}
+		u := ups[si]
+		if u.failed() {
+			rt.errors.Add(1)
+			failedCount += len(idxs)
+			failedShards = append(failedShards, map[string]interface{}{
+				"shard": si, "count": len(idxs), "error": rt.itemError(u, si),
+			})
+			continue
+		}
+		var ir struct {
+			Ingested int `json:"ingested"`
+		}
+		if err := json.Unmarshal(u.body, &ir); err != nil {
+			rt.errors.Add(1)
+			writeError(w, http.StatusBadGateway, "shard_bad_response", err.Error())
+			return
+		}
+		total += ir.Ingested
+	}
+	out := map[string]interface{}{"ingested": total}
+	if failedCount > 0 {
+		out["failed"] = failedCount
+		out["failed_shards"] = failedShards
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// gatherItems merges per-shard score/decide sub-arrays back into caller
+// order, substituting typed degraded envelopes for items owned by
+// failed shards.
+func (rt *Router) gatherItems(w http.ResponseWriter, itemsKey string, req batchBody, groups [][]int, ids []int64, ups []upstream) {
+	merged := make([]json.RawMessage, len(req.Transactions))
+	degradedCount := 0
+	for si, idxs := range groups {
+		if len(idxs) == 0 {
+			continue
+		}
+		u := ups[si]
+		if u.failed() {
+			rt.errors.Add(1)
+			ie := rt.itemError(u, si)
+			for _, i := range idxs {
+				degradedCount++
+				rt.degraded.Add(1)
+				dv := ms.DegradedVerdict{TxnID: txn.TxnID(ids[i]), Degraded: true, Error: ie}
+				var item interface{} = dv
+				if itemsKey == "decisions" {
+					item = ms.DegradedDecision{
+						DegradedVerdict: dv,
+						Action:          rt.fallback,
+						Reason:          "fallback: owner shard unavailable",
+					}
+				}
+				enc, _ := json.Marshal(item)
+				merged[i] = enc
+			}
+			continue
+		}
 		var resp map[string]json.RawMessage
-		if err := json.Unmarshal(ups[si].body, &resp); err != nil {
+		if err := json.Unmarshal(u.body, &resp); err != nil {
 			rt.errors.Add(1)
 			writeError(w, http.StatusBadGateway, "shard_bad_response", err.Error())
 			return
@@ -356,20 +735,39 @@ func (rt *Router) batch(w http.ResponseWriter, r *http.Request, itemsKey string)
 			merged[i] = json.RawMessage("null")
 		}
 	}
-	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(map[string]interface{}{itemsKey: merged})
+	out := map[string]interface{}{itemsKey: merged}
+	if degradedCount > 0 {
+		out["degraded"] = degradedCount
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
-// control handles /v1/models and /v1/policy: GET reads shard 0 (the
-// fleet is swapped in lockstep, so any shard answers); POST replicates
-// the swap to every shard in ring order and relays the first failure.
-// A mid-ring failure leaves a mixed fleet — the operator retries the
-// idempotent swap until it lands everywhere; /v1/stats surfaces the
-// mix via "version_mixed".
+// control handles /v1/models and /v1/policy. GET reads shard 0 (the
+// fleet is swapped in lockstep, so any shard answers) and fails over in
+// ring order when it cannot answer. POST replicates the swap to every
+// shard in ring order with NO automatic retry — replication is
+// at-most-once per shard, and a mid-ring failure leaves a mixed fleet
+// with a response naming the failed shard and how far the swap got; the
+// operator retries the idempotent swap until it lands everywhere, and
+// /v1/stats surfaces the mix via "version_mixed".
 func (rt *Router) control(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
 	case http.MethodGet:
-		rt.relay(w, rt.call(r, http.MethodGet, rt.shards[0], r.URL.Path, nil))
+		ctx, cancel, deadline := rt.requestBudget(r)
+		defer cancel()
+		var last upstream
+		for si := range rt.shards {
+			u := rt.resilientCall(ctx, r, deadline, callSpec{
+				method: http.MethodGet, path: r.URL.Path, shard: si,
+			})
+			if !u.failed() {
+				rt.relay(w, u)
+				return
+			}
+			last = u
+		}
+		rt.errors.Add(1)
+		rt.writeFailure(w, last, len(rt.shards)-1)
 	case http.MethodPost:
 		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxControlBytes))
 		if err != nil {
@@ -377,9 +775,13 @@ func (rt *Router) control(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		rt.controls.Add(1)
+		ctx, cancel, deadline := rt.requestBudget(r)
+		defer cancel()
 		var last upstream
-		for si, base := range rt.shards {
-			u := rt.call(r, http.MethodPost, base, r.URL.Path, body)
+		for si := range rt.shards {
+			u := rt.resilientCall(ctx, r, deadline, callSpec{
+				method: http.MethodPost, path: r.URL.Path, body: body, shard: si,
+			})
 			if u.err != nil || u.status != http.StatusOK {
 				rt.errors.Add(1)
 				if u.err != nil {
@@ -398,108 +800,148 @@ func (rt *Router) control(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// stats fans GET /v1/stats to every shard and deep-merges the bodies
-// (see MergeStats), adding a "router" section with the ring and the
-// router's own counters.
+// routerStats builds the /v1/stats "router" section.
+func (rt *Router) routerStats() map[string]interface{} {
+	breakers := make([]map[string]interface{}, len(rt.brk))
+	for si, b := range rt.brk {
+		breakers[si] = b.snapshot(si, rt.lat[si].p99())
+	}
+	return map[string]interface{}{
+		"shards":             rt.shards,
+		"singles":            rt.singles.Load(),
+		"batches":            rt.batches.Load(),
+		"fanouts":            rt.fanouts.Load(),
+		"controls":           rt.controls.Load(),
+		"errors":             rt.errors.Load(),
+		"retries":            rt.retried.Load(),
+		"hedges":             rt.hedges.Load(),
+		"hedge_wins":         rt.hedgeWins.Load(),
+		"degraded_items":     rt.degraded.Load(),
+		"deadline_exhausted": rt.deadlines.Load(),
+		"fallback_action":    rt.fallback,
+		"breakers":           breakers,
+	}
+}
+
+// stats fans GET /v1/stats to every shard and deep-merges the reachable
+// bodies (see MergeStats), adding a "router" section with the ring, the
+// router's own counters and per-shard breaker state. Unreachable shards
+// are listed, not fatal — stats is how operators see a degraded fleet,
+// so it must answer while the fleet is degraded. Only a fully
+// unreachable fleet is a 502.
 func (rt *Router) stats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "GET only")
 		return
 	}
-	bodies := make([]map[string]interface{}, len(rt.shards))
-	ups := rt.fanGet(r, "/v1/stats")
+	ups := rt.fanGet(r, "/v1/stats", callSpec{retryable: true})
+	var bodies []map[string]interface{}
+	var unreachable []int
 	for si, u := range ups {
-		if u.err != nil || u.status != http.StatusOK {
+		if u.failed() {
 			rt.errors.Add(1)
-			writeError(w, http.StatusBadGateway, "shard_unreachable",
-				fmt.Sprintf("shard %d stats unavailable", si))
-			return
+			unreachable = append(unreachable, si)
+			continue
 		}
-		if err := json.Unmarshal(u.body, &bodies[si]); err != nil {
+		var body map[string]interface{}
+		if err := json.Unmarshal(u.body, &body); err != nil {
 			rt.errors.Add(1)
 			writeError(w, http.StatusBadGateway, "shard_bad_response", err.Error())
 			return
 		}
+		bodies = append(bodies, body)
+	}
+	if len(bodies) == 0 {
+		writeError(w, http.StatusBadGateway, "shard_unreachable", "no shard answered /v1/stats")
+		return
 	}
 	merged := MergeStats(bodies)
-	merged["router"] = map[string]interface{}{
-		"shards":   rt.shards,
-		"singles":  rt.singles.Load(),
-		"batches":  rt.batches.Load(),
-		"fanouts":  rt.fanouts.Load(),
-		"controls": rt.controls.Load(),
-		"errors":   rt.errors.Load(),
+	rs := rt.routerStats()
+	if len(unreachable) > 0 {
+		rs["unreachable"] = unreachable
 	}
-	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(merged)
+	merged["router"] = rs
+	writeJSON(w, http.StatusOK, merged)
 }
 
-// fanGet issues one GET per shard concurrently.
-func (rt *Router) fanGet(r *http.Request, path string) []upstream {
+// fanGet issues one GET per shard concurrently through the resilience
+// plane.
+func (rt *Router) fanGet(r *http.Request, path string, spec callSpec) []upstream {
+	ctx, cancel, deadline := rt.requestBudget(r)
+	defer cancel()
 	ups := make([]upstream, len(rt.shards))
 	var wg sync.WaitGroup
-	for si, base := range rt.shards {
+	for si := range rt.shards {
 		wg.Add(1)
-		go func(si int, base string) {
+		go func(si int) {
 			defer wg.Done()
-			ups[si] = rt.call(r, http.MethodGet, base, path, nil)
-		}(si, base)
+			s := spec
+			s.method, s.path, s.shard = http.MethodGet, path, si
+			ups[si] = rt.resilientCall(ctx, r, deadline, s)
+		}(si)
 	}
 	wg.Wait()
 	return ups
 }
 
-// healthz folds the fleet's readiness: 200 "ok" only when every shard
-// answers "ok"; any unreachable or degraded shard turns the fleet body
-// into a 503 naming the sick shards, which is what a load balancer in
-// front of the router needs to stop sending traffic.
+// healthz folds the fleet's readiness with quorum semantics: 200 "ok"
+// when every shard answers ok, 200 "degraded" (with per-shard detail)
+// while at least quorum shards are healthy — a load balancer must keep
+// sending traffic to a fleet that can still serve most users — and 503
+// "unavailable" only below quorum. Probes bypass the circuit breakers:
+// health must report what the shard says now, not what the breaker
+// remembers.
 func (rt *Router) healthz(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet && r.Method != http.MethodHead {
 		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "GET only")
 		return
 	}
-	ups := rt.fanGet(r, "/healthz")
+	ups := rt.fanGet(r, "/healthz", callSpec{retryable: true, noBreaker: true})
 	type shardHealth struct {
-		Shard  int    `json:"shard"`
-		Status string `json:"status"`
-		Error  string `json:"error,omitempty"`
+		Shard   int    `json:"shard"`
+		Status  string `json:"status"`
+		Breaker string `json:"breaker"`
+		Error   string `json:"error,omitempty"`
 	}
-	out := map[string]interface{}{"shards": len(rt.shards)}
+	out := map[string]interface{}{"shards": len(rt.shards), "quorum": rt.quorum}
 	statuses := make([]shardHealth, len(ups))
-	healthy := true
+	healthy := 0
 	for si, u := range ups {
-		sh := shardHealth{Shard: si, Status: "ok"}
+		sh := shardHealth{Shard: si, Status: "ok", Breaker: breakerStateName(rt.brk[si].currentState())}
 		switch {
 		case u.err != nil:
 			sh.Status, sh.Error = "unreachable", u.err.Error()
-			healthy = false
 		case u.status != http.StatusOK:
 			sh.Status = fmt.Sprintf("http_%d", u.status)
-			healthy = false
 		default:
 			var body map[string]interface{}
 			if err := json.Unmarshal(u.body, &body); err != nil || body["status"] != "ok" {
 				sh.Status = "degraded"
-				healthy = false
-			} else if si == 0 {
-				out["bundle_version"] = body["bundle_version"]
-				if pv, ok := body["policy_version"]; ok {
-					out["policy_version"] = pv
+			} else {
+				healthy++
+				if _, ok := out["bundle_version"]; !ok {
+					out["bundle_version"] = body["bundle_version"]
+					if pv, ok := body["policy_version"]; ok {
+						out["policy_version"] = pv
+					}
 				}
 			}
 		}
 		statuses[si] = sh
 	}
 	out["shard_status"] = statuses
+	out["healthy"] = healthy
 	status := http.StatusOK
-	if healthy {
+	switch {
+	case healthy == len(rt.shards):
 		out["status"] = "ok"
-	} else {
+	case healthy >= rt.quorum:
 		rt.errors.Add(1)
 		out["status"] = "degraded"
+	default:
+		rt.errors.Add(1)
+		out["status"] = "unavailable"
 		status = http.StatusServiceUnavailable
 	}
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(out)
+	writeJSON(w, status, out)
 }

@@ -70,7 +70,7 @@ type fleet struct {
 	ref     *ms.Server
 }
 
-func newFleet(t *testing.T, n int, shardOpts func() []ms.Option) *fleet {
+func newFleet(t *testing.T, n int, shardOpts func() []ms.Option, rtOpts ...Option) *fleet {
 	t.Helper()
 	b := toyBundle(t)
 	f := &fleet{}
@@ -93,7 +93,7 @@ func newFleet(t *testing.T, n int, shardOpts func() []ms.Option) *fleet {
 	}
 	t.Cleanup(ref.Close)
 	f.ref = ref
-	rt, err := New(urls)
+	rt, err := New(urls, rtOpts...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -377,26 +377,39 @@ func TestRouterStatsMerge(t *testing.T) {
 	}
 }
 
-// TestRouterHealth: all-ok fleets answer 200; losing one shard flips the
-// router to 503 naming the sick shard.
+// TestRouterHealth: all-ok fleets answer 200 "ok"; losing one of three
+// shards keeps the fleet load-balancer-green — 200 "degraded" naming the
+// sick shard — because a quorum can still serve; losing a second drops
+// below quorum and only then does the router answer 503.
 func TestRouterHealth(t *testing.T) {
-	f := newFleet(t, 3, streamOpts)
+	f := newFleet(t, 3, streamOpts, WithRetries(0, 0, 0))
 	h := f.rt.Handler()
 	var health map[string]interface{}
 	if code := getJSON(t, h, "/healthz", &health); code != http.StatusOK {
 		t.Fatalf("healthy fleet: %d (%v)", code, health)
 	}
-	if health["status"] != "ok" || health["shards"].(float64) != 3 {
+	if health["status"] != "ok" || health["shards"].(float64) != 3 || health["quorum"].(float64) != 2 {
 		t.Fatalf("healthy fleet body = %v", health)
 	}
 
 	f.web[1].Close()
-	if code := getJSON(t, h, "/healthz", &health); code != http.StatusServiceUnavailable {
-		t.Fatalf("degraded fleet: %d, want 503", code)
+	if code := getJSON(t, h, "/healthz", &health); code != http.StatusOK {
+		t.Fatalf("one shard down with quorum up: %d, want 200", code)
+	}
+	if health["status"] != "degraded" || health["healthy"].(float64) != 2 {
+		t.Fatalf("degraded fleet body = %v", health)
 	}
 	sick := health["shard_status"].([]interface{})[1].(map[string]interface{})
 	if sick["status"] != "unreachable" {
 		t.Fatalf("shard 1 status = %v", sick["status"])
+	}
+
+	f.web[2].Close()
+	if code := getJSON(t, h, "/healthz", &health); code != http.StatusServiceUnavailable {
+		t.Fatalf("below quorum: %d, want 503", code)
+	}
+	if health["status"] != "unavailable" || health["healthy"].(float64) != 1 {
+		t.Fatalf("below-quorum body = %v", health)
 	}
 }
 
