@@ -8,13 +8,13 @@ SHELL := /bin/bash
 
 BENCHTIME ?= 100x
 
-.PHONY: test race bench-serving loadgen-smoke chaos-smoke
+.PHONY: test race bench-serving loadgen-smoke chaos-smoke metrics-smoke
 
 test:
 	go build ./... && go test ./...
 
 race:
-	go test -race ./internal/feature/stream/ ./internal/ms/... ./internal/router/ ./internal/faultinject/ ./internal/hbase/ ./internal/decision/ ./internal/eventlog/ ./internal/logio/ ./internal/loadgen/ ./internal/synth/
+	go test -race ./internal/feature/stream/ ./internal/ms/... ./internal/router/ ./internal/faultinject/ ./internal/hbase/ ./internal/decision/ ./internal/eventlog/ ./internal/logio/ ./internal/loadgen/ ./internal/synth/ ./internal/telemetry/
 
 # bench-serving runs the hot serving read-path benchmarks (user fetch,
 # multi-get, point read, cached and uncached batch scoring, plus the
@@ -23,14 +23,17 @@ race:
 # have machine-readable numbers to compare against; in particular,
 # BenchmarkDecideBatch/policy vs BenchmarkScoreBatch tracks the decision
 # path's overhead budget, BenchmarkIngestLogged/logged vs /unlogged the
-# event log's ingest overhead (must stay allocation-flat), and
-# BenchmarkReplay the crash-recovery ns/record budget. BENCHTIME trades
-# precision for wall clock (use e.g. BENCHTIME=2s locally).
+# event log's ingest overhead (must stay allocation-flat),
+# BenchmarkScoreBatchTraced/traced vs /untraced the telemetry plane's
+# span-aggregation overhead (its built-in guard fails the run past 5%
+# or one extra alloc/op), and BenchmarkReplay the crash-recovery
+# ns/record budget. BENCHTIME trades precision for wall clock (use e.g.
+# BENCHTIME=2s locally).
 bench-serving:
 	@set -o pipefail; { \
 	  go test -run '^$$' -bench 'BenchmarkGet$$|BenchmarkMultiGet' -benchmem -benchtime=$(BENCHTIME) ./internal/hbase/ && \
 	  go test -run '^$$' -bench 'BenchmarkFetchUser' -benchmem -benchtime=$(BENCHTIME) ./internal/ms/ && \
-	  go test -run '^$$' -bench 'BenchmarkScoreSequential|BenchmarkScoreBatch$$|BenchmarkScoreBatchCached|BenchmarkScoreBatchSharded|BenchmarkDecideBatch|BenchmarkIngestLogged|BenchmarkReplay$$' -benchmem -benchtime=$(BENCHTIME) . ; \
+	  go test -run '^$$' -bench 'BenchmarkScoreSequential|BenchmarkScoreBatch$$|BenchmarkScoreBatchCached|BenchmarkScoreBatchTraced|BenchmarkScoreBatchSharded|BenchmarkDecideBatch|BenchmarkIngestLogged|BenchmarkReplay$$' -benchmem -benchtime=$(BENCHTIME) . ; \
 	} | tee /dev/stderr | go run ./cmd/benchjson > BENCH_serving.json
 	@echo "wrote BENCH_serving.json"
 
@@ -59,3 +62,17 @@ chaos-smoke:
 	go run -race ./cmd/titant loadgen -chaos ci/chaos.json -shards 4 \
 	  -rate 250 -duration 12s -out LOADGEN_chaos.json
 	@echo "wrote LOADGEN_chaos.json"
+
+# metrics-smoke is the CI gate over the Prometheus surface: boot an
+# in-process sharded fleet (the chaos fixture minus the faults), drive
+# mixed traffic through the router, scrape /metrics from the router and
+# every shard, then lint every page, require the full serving-counter
+# and stage-histogram family set on the router page, and diff the
+# router's re-labeled self-scrape against the union of the raw shard
+# pages — a shard series the router drops, or a shard-labeled series no
+# shard emitted, fails the target. The scraped pages land in
+# METRICS_scrape/ as the CI artifact.
+metrics-smoke:
+	go run ./cmd/titant metrics-smoke -users 1200 -shards 2 -requests 200 \
+	  -out METRICS_scrape
+	@echo "wrote METRICS_scrape/"

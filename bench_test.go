@@ -26,6 +26,7 @@ import (
 	"titant/internal/model/lr"
 	"titant/internal/ms"
 	"titant/internal/rng"
+	"titant/internal/telemetry"
 	"titant/internal/txn"
 )
 
@@ -222,6 +223,70 @@ func BenchmarkScoreBatchCached(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(txns)), "ns/txn")
+}
+
+// BenchmarkScoreBatchTraced pins the telemetry plane's hot-path cost.
+// Two engines run the BenchmarkScoreBatch workload: one with span
+// aggregation off (ms.WithoutTracing) and one fully traced — a trace
+// ID on the context, per-stage spans recorded into the stage
+// histograms, every batch offered to the slow-exemplar ring. The guard
+// is enforced before the reported sub-runs, on the minimum of eight
+// timed batches per engine (the minimum filters scheduler noise):
+// tracing may add at most 5% to batch latency and may not allocate a
+// single extra object per op.
+func BenchmarkScoreBatchTraced(b *testing.B) {
+	untracedSrv, untracedTxns := servingFixture(b, ms.WithoutTracing())
+	tracedSrv, tracedTxns := servingFixture(b)
+	id, ok := telemetry.ParseTraceID("00112233445566778899aabbccddeeff")
+	if !ok {
+		b.Fatal("bad trace-ID literal")
+	}
+	untracedCtx := context.Background()
+	tracedCtx := telemetry.WithTrace(context.Background(), id)
+
+	score := func(srv *ms.Server, ctx context.Context, txns []txn.Transaction) {
+		if _, err := srv.ScoreBatch(ctx, txns); err != nil {
+			b.Fatal(err)
+		}
+	}
+	minBatch := func(srv *ms.Server, ctx context.Context, txns []txn.Transaction) time.Duration {
+		score(srv, ctx, txns) // warm the matrix pools and the exemplar ring
+		best := time.Duration(math.MaxInt64)
+		for i := 0; i < 8; i++ {
+			start := time.Now()
+			score(srv, ctx, txns)
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	base := minBatch(untracedSrv, untracedCtx, untracedTxns)
+	traced := minBatch(tracedSrv, tracedCtx, tracedTxns)
+	if float64(traced) > float64(base)*1.05 {
+		b.Errorf("tracing overhead %.1f%% exceeds the 5%% budget (untraced %v/batch, traced %v/batch)",
+			100*(float64(traced)/float64(base)-1), base, traced)
+	}
+	baseAllocs := testing.AllocsPerRun(3, func() { score(untracedSrv, untracedCtx, untracedTxns) })
+	tracedAllocs := testing.AllocsPerRun(3, func() { score(tracedSrv, tracedCtx, tracedTxns) })
+	if tracedAllocs-baseAllocs >= 1 {
+		b.Errorf("tracing allocates: %.0f allocs/op untraced, %.0f traced", baseAllocs, tracedAllocs)
+	}
+
+	run := func(srv *ms.Server, ctx context.Context, txns []txn.Transaction) func(*testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := srv.ScoreBatch(ctx, txns); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(txns)), "ns/txn")
+		}
+	}
+	b.Run("untraced", run(untracedSrv, untracedCtx, untracedTxns))
+	b.Run("traced", run(tracedSrv, tracedCtx, tracedTxns))
 }
 
 // shardedFixture is servingFixture over the consistent-hash sharded

@@ -18,6 +18,7 @@ import (
 	"titant/internal/loadgen"
 	"titant/internal/ms"
 	"titant/internal/router"
+	"titant/internal/telemetry"
 	"titant/internal/txn"
 )
 
@@ -263,7 +264,17 @@ func TestChaosWireTierShardOutage(t *testing.T) {
 		t.Fatal("victim breaker never tripped under the blackhole")
 	}
 
-	resp, err := http.Post(front.URL+"/v1/decide", "application/json", bytes.NewReader(single))
+	// The degraded decide path must not lose the caller's trace identity:
+	// the adopted X-Trace-Id rides through the breaker-open fallback onto
+	// both the response header and the fallback envelope itself.
+	const chaosTrace = "c4a05c4a05c4a05c4a05c4a05c4a05aa"
+	dreq, err := http.NewRequest(http.MethodPost, front.URL+"/v1/decide", bytes.NewReader(single))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dreq.Header.Set("Content-Type", "application/json")
+	dreq.Header.Set(telemetry.TraceHeader, chaosTrace)
+	resp, err := http.DefaultClient.Do(dreq)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -276,6 +287,12 @@ func TestChaosWireTierShardOutage(t *testing.T) {
 	if !dd.Degraded || dd.Action != ms.FallbackActionReview ||
 		dd.Error == nil || dd.Error.Code != ms.CodeShardUnavailable || dd.Error.Shard != victim {
 		t.Fatalf("degraded decide envelope = %+v", dd)
+	}
+	if got := resp.Header.Get(telemetry.TraceHeader); got != chaosTrace {
+		t.Fatalf("degraded decide response trace = %q, want adopted %q", got, chaosTrace)
+	}
+	if dd.TraceID != chaosTrace {
+		t.Fatalf("degraded decide envelope trace_id = %q, want %q", dd.TraceID, chaosTrace)
 	}
 
 	// Phase 2: traffic through the degraded fleet. The victim's items

@@ -13,6 +13,7 @@
 //	    [-usercache N] [-stream] [-stream-shards N] [-stream-buckets N] [-stream-bucket-secs N]
 //	    [-policy default|file.json] [-shadow-bundle file.bin] [-shadow-queue N] [-drift]
 //	    [-eventlog DIR] [-eventlog-fsync D] [-eventlog-segment-mb N] [-eventlog-snapshot-every N]
+//	    [-pprof ADDR]
 //
 // The bundle file is produced by the offline pipeline (see cmd/titant
 // serve for an all-in-one variant, or core.Deploy + Bundle.Encode in
@@ -49,6 +50,7 @@ import (
 	"titant/internal/feature/stream"
 	"titant/internal/hbase"
 	"titant/internal/ms"
+	"titant/internal/telemetry"
 	"titant/internal/txn"
 )
 
@@ -73,10 +75,18 @@ func main() {
 	elogFsync := flag.Duration("eventlog-fsync", 0, "event log group-commit fsync interval (0 = default, 50ms)")
 	elogSegMB := flag.Int64("eventlog-segment-mb", 0, "event log segment rotation size in MiB (0 = default, 64)")
 	elogSnapEvery := flag.Int64("eventlog-snapshot-every", 0, "log events between derived-state snapshots (0 = default, 65536; negative disables)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this separate address (empty = off)")
 	flag.Parse()
 	if *bundlePath == "" || *dataDir == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *pprofAddr != "" {
+		bound, err := telemetry.StartPprof(*pprofAddr)
+		if err != nil {
+			log.Fatalf("msd: pprof: %v", err)
+		}
+		log.Printf("msd: pprof listening on %s (GET /debug/pprof/)", bound)
 	}
 	raw, err := os.ReadFile(*bundlePath)
 	if err != nil {

@@ -58,6 +58,7 @@ func cmdLoadgen(args []string) {
 	// Chaos mode.
 	chaosPath := fs.String("chaos", "", "fault scenario JSON: build an in-process wire fleet (-shards servers behind a resilient router) and inject the scripted faults; breaker lifecycle violations fail the run")
 	chaosSeed := fs.Uint64("chaos-seed", 1, "router backoff-jitter seed for chaos runs")
+	traceSample := fs.Int("trace-sample", 0, "keep the N slowest requests' trace IDs (X-Trace-Id) in the report; HTTP and chaos targets only")
 	_ = fs.Parse(args)
 
 	sched, err := loadgen.ParseSchedule(*scheduleName, *rate, *duration)
@@ -76,6 +77,7 @@ func cmdLoadgen(args []string) {
 		Users:          *loadUsers,
 		ZipfS:          *zipfS,
 		MaxOutstanding: *maxOut,
+		TraceSample:    *traceSample,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

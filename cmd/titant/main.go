@@ -14,11 +14,11 @@
 //	      [-policy default|file.json] [-shadow lr,...] [-shadow-queue N] [-drift]
 //	      [-eventlog DIR] [-eventlog-fsync D] [-eventlog-segment-mb N]
 //	      [-eventlog-snapshot-every N] [-scenarios]
-//	      [-quota N] [-quota-burst N] [-max-inflight N]
+//	      [-quota N] [-quota-burst N] [-max-inflight N] [-pprof ADDR]
 //	                                          train, deploy and serve over HTTP
 //	route -shards URL,URL,... [-addr :9090] [-timeout D] [-budget D]
 //	      [-retries N] [-retry-backoff D] [-hedge D] [-fallback ACTION]
-//	      [-quorum N] [-breaker-fails N] [-breaker-cooldown D]
+//	      [-quorum N] [-breaker-fails N] [-breaker-cooldown D] [-pprof ADDR]
 //	                                          stateless scatter/gather router over a
 //	                                          ring of shard servers, carrying the
 //	                                          resilience plane: deadline budgets,
@@ -30,13 +30,23 @@
 //	loadgen [-addr URL] [-schedule constant|diurnal|spike] [-rate N] [-duration D]
 //	        [-opmix S:D:I] [-load-users N] [-zipf S] [-load-seed N] [-shards N]
 //	        [-quota N] [-burst N] [-max-inflight N] [-out report.json] [-slo slo.json]
-//	        [-chaos scenario.json] [-chaos-seed N]
+//	        [-chaos scenario.json] [-chaos-seed N] [-trace-sample N]
 //	                                          open-loop load run graded against the
 //	                                          scenario manifests (see loadgen.go);
 //	                                          -slo turns the run into a pass/fail gate;
 //	                                          -chaos drives an in-process wire fleet
 //	                                          through a scripted fault scenario and
-//	                                          gates on the breaker lifecycle
+//	                                          gates on the breaker lifecycle;
+//	                                          -trace-sample keeps the N slowest
+//	                                          requests' X-Trace-Id in the report
+//	metrics-smoke [-shards N] [-requests N] [-out DIR] [-users N] [-seed N]
+//	              [-detectors lr] [-combine mean] [-fast]
+//	                                          boot an in-process sharded fleet, drive
+//	                                          traffic through the router, scrape every
+//	                                          /metrics page, lint the exposition and
+//	                                          diff the router's re-labeled series
+//	                                          against the shard union (CI gate, see
+//	                                          metricsmoke.go)
 //
 // train runs the offline pipeline for several detectors at once (the
 // paper deploys Isolation Forest, ID3/C5.0, LR and GBDT side by side) and
@@ -101,13 +111,15 @@ func main() {
 		cmdLogctl(os.Args[2:])
 	case "loadgen":
 		cmdLoadgen(os.Args[2:])
+	case "metrics-smoke":
+		cmdMetricsSmoke(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: titant <gen|eval|train|serve|route|logctl|loadgen> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: titant <gen|eval|train|serve|route|logctl|loadgen|metrics-smoke> [flags]")
 	os.Exit(2)
 }
 
@@ -308,7 +320,9 @@ func cmdServe(args []string) {
 	quota := fs.Float64("quota", 0, "per-caller admission quota, requests/second (0 = unlimited)")
 	quotaBurst := fs.Int("quota-burst", 0, "admission quota burst size (0 = 2x quota, min 1)")
 	maxInflight := fs.Int("max-inflight", 0, "shed load beyond this many admitted requests (0 = unlimited)")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this separate address (empty = off)")
 	_ = fs.Parse(args)
+	startPprof(*pprofAddr)
 	var w *titant.World
 	if *scenarios {
 		cfg := titant.DefaultWorldConfig()

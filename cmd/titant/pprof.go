@@ -1,0 +1,21 @@
+package main
+
+import (
+	"log"
+
+	"titant/internal/telemetry"
+)
+
+// startPprof wires a -pprof flag: empty means off, anything else mounts
+// the profiling listener or dies trying — a profiling flag that
+// silently does nothing is worse than none.
+func startPprof(addr string) {
+	if addr == "" {
+		return
+	}
+	bound, err := telemetry.StartPprof(addr)
+	if err != nil {
+		log.Fatalf("pprof: %v", err)
+	}
+	log.Printf("pprof listening on %s (GET /debug/pprof/)", bound)
+}

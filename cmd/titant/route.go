@@ -39,7 +39,9 @@ func cmdRoute(args []string) {
 	quorum := fs.Int("quorum", 0, "healthy shards needed for /healthz 200 (0 = majority)")
 	brkFails := fs.Int("breaker-fails", 0, "consecutive upstream failures that open a shard's circuit (0 = default, 5)")
 	brkCooldown := fs.Duration("breaker-cooldown", 0, "open-circuit cooldown before a half-open probe (0 = default, 1s)")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this separate address (empty = off)")
 	_ = fs.Parse(args)
+	startPprof(*pprofAddr)
 	if *shards == "" {
 		log.Fatal("route: -shards is required (comma-separated shard base URLs)")
 	}

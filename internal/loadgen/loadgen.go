@@ -13,6 +13,7 @@ import (
 	"titant/internal/decision"
 	"titant/internal/rng"
 	"titant/internal/synth"
+	"titant/internal/telemetry"
 	"titant/internal/txn"
 )
 
@@ -37,6 +38,13 @@ type Config struct {
 	// scheduled start time — they queue client-side and the wait shows up
 	// in their measured latency, never as a thinned arrival process.
 	MaxOutstanding int
+
+	// TraceSample, when positive, keeps the N slowest requests' trace
+	// IDs (as answered in the X-Trace-Id response header) in the report,
+	// so a slow run's report links straight into the serving tier's
+	// GET /v1/debug/trace exemplars. Only targets that see response
+	// headers (HTTPTarget) can sample; in-process targets report none.
+	TraceSample int
 
 	// Replay is labeled scenario traffic (typically the composed world's
 	// test window) spread evenly across the run's arrivals. Replayed
@@ -96,6 +104,16 @@ type Report struct {
 	Recall            float64          `json:"recall"`              // flagged fraud / replayed fraud
 	Precision         float64          `json:"precision"`           // flagged fraud / flagged replayed
 	FalsePositiveRate float64          `json:"false_positive_rate"` // flagged clean / replayed clean
+
+	// Traces are the slowest sampled requests' trace IDs (Config.
+	// TraceSample > 0 against an HTTP target), slowest first.
+	Traces []TraceExemplar `json:"trace_samples,omitempty"`
+}
+
+// TraceExemplar links one sampled slow request to its trace ID.
+type TraceExemplar struct {
+	TraceID   string `json:"trace_id"`
+	LatencyUS int64  `json:"latency_us"`
 }
 
 // Encode renders the report as indented JSON.
@@ -167,8 +185,17 @@ func Run(ctx context.Context, cfg Config, tgt Target) (*Report, error) {
 		opCounts  [numOps]atomic.Int64
 		bgFlagged atomic.Int64
 		bgCount   atomic.Int64
-		h         = newHist()
+		h         = telemetry.NewHistogram(nil)
 	)
+	var traces *traceCollector
+	if cfg.TraceSample > 0 {
+		if ts, ok := tgt.(interface {
+			SetTraceSink(func(traceID string, d time.Duration))
+		}); ok {
+			traces = newTraceCollector(cfg.TraceSample)
+			ts.SetTraceSink(traces.observe)
+		}
+	}
 	g := &grade{
 		fraudReplayed: map[string]int{},
 		fraudFlagged:  map[string]int{},
@@ -206,7 +233,7 @@ dispatch:
 			flagged, err := tgt.Do(ctx, it.op, &it.t, it.scenario)
 			// Latency from the scheduled arrival, not the dispatch or the
 			// semaphore acquisition.
-			h.record(time.Since(start.Add(it.at)))
+			h.Record(time.Since(start.Add(it.at)))
 			switch {
 			case err == nil:
 				completed.Add(1)
@@ -249,14 +276,17 @@ dispatch:
 		Throughput:  float64(completed.Load()) / wall.Seconds(),
 		WallSeconds: wall.Seconds(),
 		Latency: LatencyReport{
-			P50:  h.quantile(0.50).Microseconds(),
-			P99:  h.quantile(0.99).Microseconds(),
-			P999: h.quantile(0.999).Microseconds(),
-			Max:  time.Duration(h.max.Load()).Microseconds(),
+			P50:  h.Quantile(0.50).Microseconds(),
+			P99:  h.Quantile(0.99).Microseconds(),
+			P999: h.Quantile(0.999).Microseconds(),
+			Max:  h.Max().Microseconds(),
 		},
 		Ops:               map[string]int64{},
 		Background:        bgCount.Load(),
 		BackgroundFlagged: bgFlagged.Load(),
+	}
+	if traces != nil {
+		rep.Traces = traces.samples()
 	}
 	for op := Op(0); op < numOps; op++ {
 		if n := opCounts[op].Load(); n > 0 {
@@ -265,6 +295,53 @@ dispatch:
 	}
 	fillDetection(rep, g)
 	return rep, nil
+}
+
+// traceCollector keeps the K slowest sampled trace IDs. Recording takes
+// a mutex but runs only for requests that answered with a trace header
+// on a run that asked for sampling, off the latency-measured section.
+type traceCollector struct {
+	mu      sync.Mutex
+	entries []TraceExemplar // occupied prefix, unsorted
+	minIdx  int
+	k       int
+}
+
+func newTraceCollector(k int) *traceCollector {
+	return &traceCollector{entries: make([]TraceExemplar, 0, k), k: k}
+}
+
+func (c *traceCollector) observe(traceID string, d time.Duration) {
+	if traceID == "" {
+		return
+	}
+	us := d.Microseconds()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch {
+	case len(c.entries) < c.k:
+		c.entries = append(c.entries, TraceExemplar{TraceID: traceID, LatencyUS: us})
+	case us > c.entries[c.minIdx].LatencyUS:
+		c.entries[c.minIdx] = TraceExemplar{TraceID: traceID, LatencyUS: us}
+	default:
+		return
+	}
+	c.minIdx = 0
+	for i := 1; i < len(c.entries); i++ {
+		if c.entries[i].LatencyUS < c.entries[c.minIdx].LatencyUS {
+			c.minIdx = i
+		}
+	}
+}
+
+// samples returns the collected exemplars, slowest first.
+func (c *traceCollector) samples() []TraceExemplar {
+	c.mu.Lock()
+	out := make([]TraceExemplar, len(c.entries))
+	copy(out, c.entries)
+	c.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].LatencyUS > out[j].LatencyUS })
+	return out
 }
 
 // gradeReplay records one replayed transaction's outcome.

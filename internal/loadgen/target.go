@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"time"
 
 	"titant/internal/decision"
 	"titant/internal/ms"
@@ -92,6 +93,18 @@ type HTTPTarget struct {
 	BaseURL string       // e.g. "http://localhost:8080"
 	Caller  string       // X-Caller identity; empty omits the header
 	Client  *http.Client // nil uses http.DefaultClient
+
+	// TraceSink, when set, receives every response's X-Trace-Id with the
+	// request's HTTP round-trip time. The runner wires this to the trace
+	// sampler when Config.TraceSample > 0; set it before Run starts — it
+	// is read concurrently afterwards.
+	TraceSink func(traceID string, d time.Duration)
+}
+
+// SetTraceSink installs the trace sink (the seam Run uses, so callers
+// composing their own Target wrappers can forward it).
+func (h *HTTPTarget) SetTraceSink(fn func(traceID string, d time.Duration)) {
+	h.TraceSink = fn
 }
 
 func (h *HTTPTarget) client() *http.Client {
@@ -147,11 +160,15 @@ func (h *HTTPTarget) Do(ctx context.Context, op Op, t *txn.Transaction, sc decis
 	if h.Caller != "" {
 		req.Header.Set("X-Caller", h.Caller)
 	}
+	rtStart := time.Now()
 	resp, err := h.client().Do(req)
 	if err != nil {
 		return false, err
 	}
 	defer resp.Body.Close()
+	if h.TraceSink != nil {
+		h.TraceSink(resp.Header.Get("X-Trace-Id"), time.Since(rtStart))
+	}
 	if resp.StatusCode == http.StatusTooManyRequests {
 		io.Copy(io.Discard, resp.Body)
 		return false, ErrShed

@@ -3,6 +3,7 @@ package ms
 import (
 	"context"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -103,6 +104,77 @@ type admission struct {
 	admitted     atomic.Int64 // transactions admitted
 	shedQuota    atomic.Int64 // transactions refused by a caller quota
 	shedInflight atomic.Int64 // transactions refused by the inflight bound
+
+	// Per-caller counters back the /metrics caller label. Registered
+	// under the same maxQuotaCallers bound as quota buckets — callers
+	// beyond it share the "_overflow" row — so unbounded caller names
+	// cannot grow the exposition.
+	callers        map[string]*callerStat
+	callerOverflow *callerStat
+}
+
+// callerStat is one caller's admission outcome counters.
+type callerStat struct {
+	admitted     atomic.Int64
+	shedQuota    atomic.Int64
+	shedInflight atomic.Int64
+}
+
+// callerStat resolves caller's counter row, creating it on first use.
+func (a *admission) callerStat(caller string) *callerStat {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if cs, ok := a.callers[caller]; ok {
+		return cs
+	}
+	if len(a.callers) >= maxQuotaCallers {
+		if a.callerOverflow == nil {
+			a.callerOverflow = &callerStat{}
+		}
+		return a.callerOverflow
+	}
+	if a.callers == nil {
+		a.callers = make(map[string]*callerStat)
+	}
+	cs := &callerStat{}
+	a.callers[caller] = cs
+	return cs
+}
+
+// callerAdmission is one caller's row in the metrics exposition.
+type callerAdmission struct {
+	name                              string
+	admitted, shedQuota, shedInflight int64
+}
+
+// callerSnapshot lists every caller's counters (sorted by name, with the
+// shared overflow row last as "_overflow").
+func (a *admission) callerSnapshot() []callerAdmission {
+	if a == nil {
+		return nil
+	}
+	a.mu.Lock()
+	out := make([]callerAdmission, 0, len(a.callers)+1)
+	for name, cs := range a.callers {
+		out = append(out, callerAdmission{
+			name:         name,
+			admitted:     cs.admitted.Load(),
+			shedQuota:    cs.shedQuota.Load(),
+			shedInflight: cs.shedInflight.Load(),
+		})
+	}
+	overflow := a.callerOverflow
+	a.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	if overflow != nil {
+		out = append(out, callerAdmission{
+			name:         "_overflow",
+			admitted:     overflow.admitted.Load(),
+			shedQuota:    overflow.shedQuota.Load(),
+			shedInflight: overflow.shedInflight.Load(),
+		})
+	}
+	return out
 }
 
 // bucket returns caller's quota bucket, creating it on first use. Once
@@ -147,11 +219,13 @@ func noRelease() {}
 // shed. The inflight slot is reserved before the quota check and
 // released if the quota refuses, so a shed request leaves no residue.
 func (a *admission) admit(caller string, n int) (releaseFunc, error) {
+	cs := a.callerStat(caller)
 	release := noRelease
 	if a.maxInflight > 0 {
 		if cur := a.inflight.Add(int64(n)); cur > a.maxInflight {
 			a.inflight.Add(int64(-n))
 			a.shedInflight.Add(int64(n))
+			cs.shedInflight.Add(int64(n))
 			return nil, fmt.Errorf("%w: %d transactions in flight, limit %d", ErrOverloaded, cur-int64(n), a.maxInflight)
 		}
 		release = func() { a.inflight.Add(int64(-n)) }
@@ -161,10 +235,12 @@ func (a *admission) admit(caller string, n int) (releaseFunc, error) {
 		if !a.bucket(caller, now).take(float64(n), now) {
 			release()
 			a.shedQuota.Add(int64(n))
+			cs.shedQuota.Add(int64(n))
 			return nil, fmt.Errorf("%w: caller %q over %g tx/s (burst %g)", ErrRateLimited, caller, a.rate, a.burst)
 		}
 	}
 	a.admitted.Add(int64(n))
+	cs.admitted.Add(int64(n))
 	return release, nil
 }
 

@@ -4,8 +4,10 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"titant/internal/decision"
+	"titant/internal/telemetry"
 	"titant/internal/txn"
 )
 
@@ -103,22 +105,30 @@ func (s *Server) Decide(ctx context.Context, t *txn.Transaction, sc decision.Sce
 	if pol == nil {
 		return Decision{}, ErrPolicyDisabled
 	}
+	start := time.Now()
+	var spans telemetry.Spans
 	release, err := s.Admit(ctx, 1)
 	if err != nil {
 		return Decision{}, err
 	}
 	defer release()
+	spans[telemetry.StageAdmit] = time.Since(start)
 	var d Decision
 	var epoch int64
-	if err := s.runOne(ctx, t, func(sb *scoredBatch) error {
+	if err := s.runOne(ctx, t, &spans, func(sb *scoredBatch) error {
+		decideStart := time.Now()
 		s.fillDecision(&d, pol, t, sc, sb, 0)
+		spans[telemetry.StageDecide] = time.Since(decideStart)
 		d.Latency = sb.perItem
 		epoch = sb.shadowEpoch
 		return nil
 	}); err != nil {
 		return Decision{}, err
 	}
+	shadowStart := time.Now()
 	s.observeDecision(t, &d, epoch)
+	spans[telemetry.StageShadow] = time.Since(shadowStart)
+	s.traceObserve(ctx, s.telDecide, time.Since(start), &spans)
 	return d, nil
 }
 
@@ -139,14 +149,18 @@ func (s *Server) DecideBatch(ctx context.Context, txns []txn.Transaction, scenar
 	if len(txns) == 0 {
 		return nil, nil
 	}
+	start := time.Now()
+	var spans telemetry.Spans
 	release, err := s.Admit(ctx, len(txns))
 	if err != nil {
 		return nil, err
 	}
 	defer release()
+	spans[telemetry.StageAdmit] = time.Since(start)
 	var decisions []Decision
 	var epoch int64
-	if err := s.runBatch(ctx, txns, func(sb *scoredBatch) error {
+	if err := s.runBatch(ctx, txns, &spans, func(sb *scoredBatch) error {
+		decideStart := time.Now()
 		decisions = make([]Decision, len(txns))
 		epoch = sb.shadowEpoch
 		in := s.inputTemplate(sb)
@@ -162,13 +176,17 @@ func (s *Server) DecideBatch(ctx context.Context, txns []txn.Transaction, scenar
 			d.Latency = sb.perItem
 			applyOutcome(d, pol, in.Scenario, pol.Decide(&in))
 		}
+		spans[telemetry.StageDecide] = time.Since(decideStart)
 		return nil
 	}); err != nil {
 		return nil, err
 	}
+	shadowStart := time.Now()
 	for i := range decisions {
 		s.observeDecision(&txns[i], &decisions[i], epoch)
 	}
+	spans[telemetry.StageShadow] = time.Since(shadowStart)
+	s.traceObserve(ctx, s.telDecideBatch, time.Since(start), &spans)
 	return decisions, nil
 }
 

@@ -12,6 +12,7 @@ import (
 
 	"titant/internal/decision"
 	"titant/internal/ms/usercache"
+	"titant/internal/telemetry"
 	"titant/internal/txn"
 )
 
@@ -94,10 +95,13 @@ type BatchResponse struct {
 }
 
 // APIError is the JSON error envelope body of every non-2xx v1 response:
-// {"error": {"code": "...", "message": "..."}}.
+// {"error": {"code": "...", "message": "...", "trace_id": "..."}}. The
+// trace ID ties the error to its request trace; it is present whenever
+// the request passed through the trace middleware (all HTTP serving).
 type APIError struct {
 	Code    string `json:"code"`
 	Message string `json:"message"`
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 type errorEnvelope struct {
@@ -120,8 +124,15 @@ func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 	_, _ = w.Write(append(data, '\n'))
 }
 
+// writeError writes the error envelope, folding in the request's trace
+// ID from the response header the trace middleware stamped — so the
+// body of every error names the trace to grep for, without threading
+// the ID through each handler.
 func writeError(w http.ResponseWriter, status int, code, msg string) {
-	writeJSON(w, status, errorEnvelope{APIError{Code: code, Message: msg}})
+	writeJSON(w, status, errorEnvelope{APIError{
+		Code: code, Message: msg,
+		TraceID: w.Header().Get(telemetry.TraceHeader),
+	}})
 }
 
 // CheckBearer reports whether the request carries the given bearer token,
@@ -204,6 +215,8 @@ type engineAPI interface {
 	SetPolicy(p *decision.Policy) error
 	PolicyInfo() PolicyInfo
 	StatsBody() map[string]interface{}
+	MetricsBody() []byte
+	TraceBody() map[string]interface{}
 	Health() HealthInfo
 }
 
@@ -215,8 +228,9 @@ type api struct {
 	maxBatch    int
 	modelToken  string
 	ingestToken string
-	ingestHist  *histogram
-	decideHist  *histogram
+	ingestHist  *telemetry.Histogram
+	decideHist  *telemetry.Histogram
+	minter      *telemetry.Minter
 }
 
 // Handler returns the v1 HTTP mux:
@@ -246,6 +260,7 @@ func (s *Server) Handler() http.Handler {
 		e: s, maxBatch: s.maxBatch,
 		modelToken: s.modelToken, ingestToken: s.ingestToken,
 		ingestHist: s.ingestHist, decideHist: s.decideHist,
+		minter: s.minter,
 	}).handler()
 }
 
@@ -257,6 +272,7 @@ func (se *ShardedEngine) Handler() http.Handler {
 		e: se, maxBatch: se.maxBatch,
 		modelToken: se.modelToken, ingestToken: se.ingestToken,
 		ingestHist: se.ingestHist, decideHist: se.decideHist,
+		minter: se.minter,
 	}).handler()
 }
 
@@ -271,11 +287,50 @@ func (a *api) handler() http.Handler {
 	mux.HandleFunc("/v1/models", a.handleModels)
 	mux.HandleFunc("/v1/policy", a.handlePolicy)
 	mux.HandleFunc("/v1/stats", a.handleStats)
+	mux.HandleFunc("/v1/debug/trace", a.handleDebugTrace)
+	mux.HandleFunc("/metrics", a.handleMetrics)
 	mux.HandleFunc("/healthz", a.handleHealthz)
 	// Deprecated pre-v1 aliases.
 	mux.HandleFunc("/score", a.handleScore)
 	mux.HandleFunc("/stats", a.handleStats)
-	return mux
+	return a.traceMiddleware(mux)
+}
+
+// traceMiddleware assigns every request its trace identity: a
+// well-formed X-Trace-Id header is adopted (so a trace spans router →
+// shard → response), anything else gets a freshly minted ID. The ID is
+// stamped on the response header before the handler runs — success,
+// error and degraded responses all carry it — and injected into the
+// request context so the engine's span tracker can attribute stage
+// timings to it.
+func (a *api) traceMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id, ok := telemetry.ParseTraceID(r.Header.Get(telemetry.TraceHeader))
+		if !ok {
+			id = a.minter.Mint()
+		}
+		w.Header().Set(telemetry.TraceHeader, id.String())
+		next.ServeHTTP(w, r.WithContext(telemetry.WithTrace(r.Context(), id)))
+	})
+}
+
+// handleMetrics serves the Prometheus text exposition (format 0.0.4).
+func (a *api) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "GET only")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write(a.e.MetricsBody())
+}
+
+// handleDebugTrace serves the stage-timing and slow-exemplar dump.
+func (a *api) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "GET only")
+		return
+	}
+	writeJSON(w, http.StatusOK, a.e.TraceBody())
 }
 
 func (a *api) handleScore(w http.ResponseWriter, r *http.Request) {
@@ -472,8 +527,8 @@ func (a *api) handlePolicy(w http.ResponseWriter, r *http.Request) {
 
 // recordEndpoint lands one request's wall time in a per-endpoint
 // histogram (deferred at handler entry, so errors are measured too).
-func (a *api) recordEndpoint(h *histogram, start time.Time) {
-	h.record(time.Since(start))
+func (a *api) recordEndpoint(h *telemetry.Histogram, start time.Time) {
+	h.Record(time.Since(start))
 }
 
 // checkIngestAuth enforces the optional ingest bearer token, writing the
@@ -651,14 +706,14 @@ func driftStatsBody(series []decision.DriftStats) map[string]interface{} {
 // be meaningless. "shards" reports the engine's width (1 here).
 func (s *Server) StatsBody() map[string]interface{} {
 	st := s.Latency()
-	counts, total := s.hist.snapshot()
-	max := time.Duration(s.hist.max.Load())
+	counts, total := s.hist.Snapshot()
+	max := s.hist.Max()
 	body := map[string]interface{}{
 		"scored": st.Count, "alerted": st.Alerted,
 		"p50_us": st.P50.Microseconds(), "p99_us": st.P99.Microseconds(),
 		"max_us": st.Max.Microseconds(), "version": s.BundleVersion(),
 		"shards":       1,
-		"latency_hist": histBodyFrom(s.hist.bounds, counts, total, max),
+		"latency_hist": telemetry.HistBody(s.hist.Bounds(), counts, total, max),
 	}
 	endpoints := map[string]interface{}{}
 	if s.StreamEnabled() {
@@ -702,15 +757,15 @@ func (s *Server) StatsBody() map[string]interface{} {
 
 // endpointStats snapshots one per-endpoint latency histogram for the
 // stats body, percentiles plus the raw buckets the router merges by.
-func endpointStats(h *histogram) map[string]interface{} {
-	counts, total := h.snapshot()
-	max := time.Duration(h.max.Load())
+func endpointStats(h *telemetry.Histogram) map[string]interface{} {
+	counts, total := h.Snapshot()
+	max := h.Max()
 	return map[string]interface{}{
 		"count":  total,
-		"p50_us": quantileFrom(h.bounds, counts, total, max, 0.50).Microseconds(),
-		"p99_us": quantileFrom(h.bounds, counts, total, max, 0.99).Microseconds(),
+		"p50_us": telemetry.Quantile(h.Bounds(), counts, total, max, 0.50).Microseconds(),
+		"p99_us": telemetry.Quantile(h.Bounds(), counts, total, max, 0.99).Microseconds(),
 		"max_us": max.Microseconds(),
-		"hist":   histBodyFrom(h.bounds, counts, total, max),
+		"hist":   telemetry.HistBody(h.Bounds(), counts, total, max),
 	}
 }
 

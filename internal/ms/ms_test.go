@@ -469,50 +469,6 @@ func TestMillisecondLatency(t *testing.T) {
 	}
 }
 
-func TestHistogram(t *testing.T) {
-	h := newHistogram([]time.Duration{time.Millisecond, 10 * time.Millisecond, 100 * time.Millisecond})
-	for i := 0; i < 98; i++ {
-		h.record(500 * time.Microsecond) // first bucket
-	}
-	h.record(5 * time.Millisecond)   // second bucket
-	h.record(250 * time.Millisecond) // overflow bucket
-	counts, total := h.snapshot()
-	if total != 100 {
-		t.Fatalf("total = %d", total)
-	}
-	if counts[0] != 98 || counts[1] != 1 || counts[3] != 1 {
-		t.Fatalf("counts = %v", counts)
-	}
-	max := time.Duration(h.max.Load())
-	if max != 250*time.Millisecond {
-		t.Fatalf("max = %v", max)
-	}
-	if p50 := quantileFrom(h.bounds, counts, total, max, 0.50); p50 != time.Millisecond {
-		t.Fatalf("p50 = %v", p50)
-	}
-	if p99 := quantileFrom(h.bounds, counts, total, max, 0.99); p99 != 10*time.Millisecond {
-		t.Fatalf("p99 = %v", p99)
-	}
-	if p100 := quantileFrom(h.bounds, counts, total, max, 1); p100 != max {
-		t.Fatalf("p100 = %v", p100)
-	}
-	if empty := quantileFrom(h.bounds, make([]int64, 4), 0, 0, 0.99); empty != 0 {
-		t.Fatalf("empty quantile = %v", empty)
-	}
-}
-
-func TestHistogramSanitisesBounds(t *testing.T) {
-	// Unordered, duplicated and non-positive bounds are cleaned up.
-	h := newHistogram([]time.Duration{time.Second, -1, time.Millisecond, time.Second, 0})
-	if len(h.bounds) != 2 || h.bounds[0] != time.Millisecond || h.bounds[1] != time.Second {
-		t.Fatalf("bounds = %v", h.bounds)
-	}
-	// An all-invalid set falls back to the defaults.
-	if h := newHistogram(nil); len(h.bounds) != len(defaultHistBounds()) {
-		t.Fatalf("default bounds = %v", h.bounds)
-	}
-}
-
 func TestNewServerValidation(t *testing.T) {
 	tab := table(t)
 	if _, err := New(nil, trainToy(t, 0)); err == nil {

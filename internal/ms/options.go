@@ -6,6 +6,7 @@ import (
 
 	"titant/internal/decision"
 	"titant/internal/ms/usercache"
+	"titant/internal/telemetry"
 	"titant/internal/txn"
 )
 
@@ -42,7 +43,28 @@ func WithWorkers(n int) Option {
 // the bucket spacing, so tune the bounds to the deployment's latency
 // envelope.
 func WithHistogram(bounds []time.Duration) Option {
-	return func(s *Server) { s.hist = newHistogram(bounds) }
+	return func(s *Server) { s.hist = telemetry.NewHistogram(bounds) }
+}
+
+// WithTraceSeed seeds the engine's trace-ID minter. Requests that
+// arrive without an X-Trace-Id header are assigned IDs from this
+// deterministic stream, so a replayed workload produces the same trace
+// IDs — exemplars in a trace dump can be cross-referenced across runs.
+// The default seed is 0; a sharded engine diversifies the seed per
+// shard so co-resident shards never mint colliding IDs.
+func WithTraceSeed(seed uint64) Option {
+	return func(s *Server) { s.traceSeed = seed }
+}
+
+// WithoutTracing turns off per-stage span aggregation on this engine:
+// Score/Decide and the batch paths skip the stage histograms and the
+// slow-exemplar ring, so /v1/debug/trace and the stage series on
+// /metrics stay empty. The stage clocks are still read either way —
+// spans live in stack buffers — so this option exists to A/B-measure
+// the aggregation cost (see BenchmarkScoreBatchTraced), not to save
+// meaningful work in production.
+func WithoutTracing() Option {
+	return func(s *Server) { s.noTrace = true }
 }
 
 // WithStrictUsers makes scoring fail with ErrUserNotFound when the sender

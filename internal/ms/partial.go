@@ -42,6 +42,10 @@ type DegradedVerdict struct {
 	TxnID    txn.TxnID  `json:"txn_id"`
 	Degraded bool       `json:"degraded"`
 	Error    *ItemError `json:"error"`
+	// TraceID carries the request's trace ID into the degraded envelope,
+	// so a degraded item can be correlated with the trace dump and the
+	// router's logs even when the caller dropped the response header.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // DegradedDecision is the wire shape of one unservable decide item. The

@@ -26,6 +26,7 @@ import (
 	"titant/internal/hbase"
 	"titant/internal/ms/usercache"
 	"titant/internal/rng"
+	"titant/internal/telemetry"
 	"titant/internal/txn"
 )
 
@@ -104,13 +105,28 @@ type Server struct {
 	elogReplayed  atomic.Int64
 	elogErrs      atomic.Int64 // append failures on paths with no caller to return to
 
-	hist       *histogram
-	ingestHist *histogram // per-endpoint: POST /v1/ingest[/batch] request latency
-	decideHist *histogram // per-endpoint: POST /v1/decide[/batch] request latency
+	hist       *telemetry.Histogram
+	ingestHist *telemetry.Histogram // per-endpoint: POST /v1/ingest[/batch] request latency
+	decideHist *telemetry.Histogram // per-endpoint: POST /v1/decide[/batch] request latency
 	scored     atomic.Int64
 	alerted    atomic.Int64
 	actions    [decision.NumActions]atomic.Int64
 	ruleHits   atomic.Int64
+
+	// Observability plane (see internal/telemetry): per-stage span
+	// aggregation with slow-exemplar rings, one track per scoring
+	// endpoint (held as direct pointers so the hot path pays no map
+	// lookup), and the trace-ID minter the HTTP layer adopts-or-mints
+	// with. traceSeed keeps minted IDs deterministic per engine;
+	// NewSharded diversifies it per shard.
+	traceSeed      uint64
+	noTrace        bool
+	minter         *telemetry.Minter
+	tel            *telemetry.Tracker
+	telScore       *telemetry.EndpointTrack
+	telScoreBatch  *telemetry.EndpointTrack
+	telDecide      *telemetry.EndpointTrack
+	telDecideBatch *telemetry.EndpointTrack
 }
 
 // New builds the v1 scoring engine over a feature table.
@@ -135,10 +151,23 @@ func New(table *hbase.Table, bundle *Bundle, opts ...Option) (*Server, error) {
 		o(s)
 	}
 	if s.hist == nil {
-		s.hist = newHistogram(defaultHistBounds())
+		s.hist = telemetry.NewHistogram(nil)
 	}
-	s.ingestHist = newHistogram(defaultHistBounds())
-	s.decideHist = newHistogram(defaultHistBounds())
+	s.ingestHist = telemetry.NewHistogram(nil)
+	s.decideHist = telemetry.NewHistogram(nil)
+	s.minter = telemetry.NewMinter(s.traceSeed)
+	endpoints := []string{"score", "score_batch", "decide", "decide_batch"}
+	if s.noTrace {
+		// An empty tracker keeps /metrics and /v1/debug/trace functional
+		// while every Endpoint lookup below comes back nil — the seam
+		// traceObserve treats as "tracing off".
+		endpoints = nil
+	}
+	s.tel = telemetry.NewTracker(endpoints, 0)
+	s.telScore = s.tel.Endpoint("score")
+	s.telScoreBatch = s.tel.Endpoint("score_batch")
+	s.telDecide = s.tel.Endpoint("decide")
+	s.telDecideBatch = s.tel.Endpoint("decide_batch")
 	s.citySrc = s.cityView(bundle)
 	if s.policy != nil {
 		if err := s.policy.Validate(); err != nil {
@@ -408,7 +437,11 @@ type scoredBatch struct {
 // Cancellation and deadlines on ctx are honoured; a cancelled context
 // returns promptly with ctx.Err() and visit never runs (so alerts and
 // decisions are never derived from an abandoned request).
-func (s *Server) runOne(ctx context.Context, t *txn.Transaction, visit func(*scoredBatch) error) error {
+//
+// spans receives the fetch/assemble/score stage timings — a stack
+// buffer owned by the caller, so stage tracing costs a few monotonic
+// clock reads and no allocation.
+func (s *Server) runOne(ctx context.Context, t *txn.Transaction, spans *telemetry.Spans, visit func(*scoredBatch) error) error {
 	start := time.Now()
 	if err := ctx.Err(); err != nil {
 		return err
@@ -422,11 +455,15 @@ func (s *Server) runOne(ctx context.Context, t *txn.Transaction, visit func(*sco
 	if err != nil {
 		return err
 	}
+	asmStart := time.Now()
+	spans[telemetry.StageFetch] = asmStart.Sub(start)
 	m := getMatrix(1, feature.NumBasic+2*bundle.EmbeddingDim)
 	defer putMatrix(m)
 	if err := assembleRow(t, &from, &to, bundle, city, m.Row(0)); err != nil {
 		return err
 	}
+	scoreStart := time.Now()
+	spans[telemetry.StageAssemble] = scoreStart.Sub(asmStart)
 	var combined [1]float64
 	var memberScores [][]float64
 	if !ens.single {
@@ -442,6 +479,7 @@ func (s *Server) runOne(ctx context.Context, t *txn.Transaction, visit func(*sco
 		return err
 	}
 	s.recordScores(mon, combined[:], memberScores)
+	spans[telemetry.StageScore] = time.Since(scoreStart)
 	return visit(&scoredBatch{
 		bundle: bundle, ens: ens,
 		combined: combined[:], memberScores: memberScores,
@@ -455,14 +493,17 @@ func (s *Server) runOne(ctx context.Context, t *txn.Transaction, visit func(*sco
 // batch path at batch size one — a pooled one-row matrix through the
 // same ensemble core — so single and batch scoring cannot drift.
 func (s *Server) Score(ctx context.Context, t *txn.Transaction) (Verdict, error) {
+	start := time.Now()
+	var spans telemetry.Spans
 	release, err := s.Admit(ctx, 1)
 	if err != nil {
 		return Verdict{}, err
 	}
 	defer release()
+	spans[telemetry.StageAdmit] = time.Since(start)
 	var v Verdict
 	var epoch int64
-	if err := s.runOne(ctx, t, func(sb *scoredBatch) error {
+	if err := s.runOne(ctx, t, &spans, func(sb *scoredBatch) error {
 		v = verdictOf(t, sb.combined[0], sb.memberScores, 0, sb.bundle, sb.ens)
 		v.Latency = sb.perItem
 		epoch = sb.shadowEpoch
@@ -470,7 +511,10 @@ func (s *Server) Score(ctx context.Context, t *txn.Transaction) (Verdict, error)
 	}); err != nil {
 		return Verdict{}, err
 	}
+	shadowStart := time.Now()
 	s.observe(t, &v, epoch)
+	spans[telemetry.StageShadow] = time.Since(shadowStart)
+	s.traceObserve(ctx, s.telScore, time.Since(start), &spans)
 	return v, nil
 }
 
@@ -488,14 +532,17 @@ func (s *Server) ScoreBatch(ctx context.Context, txns []txn.Transaction) ([]Verd
 	if len(txns) == 0 {
 		return nil, nil
 	}
+	start := time.Now()
+	var spans telemetry.Spans
 	release, err := s.Admit(ctx, len(txns))
 	if err != nil {
 		return nil, err
 	}
 	defer release()
+	spans[telemetry.StageAdmit] = time.Since(start)
 	var verdicts []Verdict
 	var epoch int64
-	if err := s.runBatch(ctx, txns, func(sb *scoredBatch) error {
+	if err := s.runBatch(ctx, txns, &spans, func(sb *scoredBatch) error {
 		verdicts = make([]Verdict, len(txns))
 		for i := range txns {
 			verdicts[i] = verdictOf(&txns[i], sb.combined[i], sb.memberScores, i, sb.bundle, sb.ens)
@@ -506,17 +553,22 @@ func (s *Server) ScoreBatch(ctx context.Context, txns []txn.Transaction) ([]Verd
 	}); err != nil {
 		return nil, err
 	}
+	shadowStart := time.Now()
 	for i := range verdicts {
 		s.observe(&txns[i], &verdicts[i], epoch)
 	}
+	spans[telemetry.StageShadow] = time.Since(shadowStart)
+	s.traceObserve(ctx, s.telScoreBatch, time.Since(start), &spans)
 	return verdicts, nil
 }
 
 // runBatch is the batch scoring core shared by ScoreBatch and
 // DecideBatch: dedup-fetch, pooled assembly, one vectorised ensemble
 // pass, drift observation, then the visit callback over the live
-// scratch (see scoredBatch).
-func (s *Server) runBatch(ctx context.Context, txns []txn.Transaction, visit func(*scoredBatch) error) error {
+// scratch (see scoredBatch). spans receives the fetch/assemble/score
+// stage timings — a caller-owned stack buffer, so tracing adds clock
+// reads, not allocations.
+func (s *Server) runBatch(ctx context.Context, txns []txn.Transaction, spans *telemetry.Spans, visit func(*scoredBatch) error) error {
 	if s.maxBatch > 0 && len(txns) > s.maxBatch {
 		return batchTooLarge(len(txns), s.maxBatch)
 	}
@@ -557,6 +609,8 @@ func (s *Server) runBatch(ctx context.Context, txns []txn.Transaction, visit fun
 			}
 		}
 	}
+	asmStart := time.Now()
+	spans[telemetry.StageFetch] = asmStart.Sub(fetchStart)
 
 	// Phase 2: assemble the batch's feature matrix over the pool.
 	m := getMatrix(len(txns), feature.NumBasic+2*bundle.EmbeddingDim)
@@ -570,6 +624,9 @@ func (s *Server) runBatch(ctx context.Context, txns []txn.Transaction, visit fun
 	}); err != nil {
 		return err
 	}
+
+	scoreStart := time.Now()
+	spans[telemetry.StageAssemble] = scoreStart.Sub(asmStart)
 
 	// Phase 3: one vectorised ensemble pass over the whole matrix.
 	combined := getVec(len(txns))
@@ -586,11 +643,24 @@ func (s *Server) runBatch(ctx context.Context, txns []txn.Transaction, visit fun
 		return err
 	}
 	s.recordScores(mon, combined, memberScores)
+	spans[telemetry.StageScore] = time.Since(scoreStart)
 	return visit(&scoredBatch{
 		bundle: bundle, ens: ens,
 		combined: combined, memberScores: memberScores,
 		perItem: time.Since(fetchStart) / time.Duration(len(txns)), shadowEpoch: epoch,
 	})
+}
+
+// traceObserve folds one request's spans into the endpoint's stage
+// histograms and exemplar ring. A nil track means tracing is off for
+// this endpoint; a request without a context trace ID is still
+// aggregated, just with a zero exemplar ID.
+func (s *Server) traceObserve(ctx context.Context, et *telemetry.EndpointTrack, total time.Duration, spans *telemetry.Spans) {
+	if et == nil {
+		return
+	}
+	id, _ := telemetry.TraceFrom(ctx)
+	et.Observe(id, total, spans)
 }
 
 // observeDrift feeds one scoring pass's scores into mon (a no-op when
@@ -891,7 +961,7 @@ func (s *Server) runPool(ctx context.Context, n int, fn func(int) error) error {
 // of polluting the new champion's meter.
 func (s *Server) observe(t *txn.Transaction, v *Verdict, epoch int64) {
 	s.scored.Add(1)
-	s.hist.record(v.Latency)
+	s.hist.Record(v.Latency)
 	if v.Fraud {
 		s.alerted.Add(1)
 		if s.alert != nil {
@@ -999,13 +1069,13 @@ type LatencyStats struct {
 // read is O(buckets): percentiles come from the bounded histogram, not a
 // sample log.
 func (s *Server) Latency() LatencyStats {
-	counts, total := s.hist.snapshot()
-	max := time.Duration(s.hist.max.Load())
+	counts, total := s.hist.Snapshot()
+	max := s.hist.Max()
 	return LatencyStats{
 		Count:   s.scored.Load(),
 		Alerted: s.alerted.Load(),
-		P50:     quantileFrom(s.hist.bounds, counts, total, max, 0.50),
-		P99:     quantileFrom(s.hist.bounds, counts, total, max, 0.99),
+		P50:     telemetry.Quantile(s.hist.Bounds(), counts, total, max, 0.50),
+		P99:     telemetry.Quantile(s.hist.Bounds(), counts, total, max, 0.99),
 		Max:     max,
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"titant/internal/hbase"
 	"titant/internal/ms/usercache"
 	"titant/internal/rng"
+	"titant/internal/telemetry"
 	"titant/internal/txn"
 )
 
@@ -63,8 +64,9 @@ type ShardedEngine struct {
 	modelToken  string
 	ingestToken string
 
-	ingestHist *histogram // POST /v1/ingest[/batch] request latency
-	decideHist *histogram // POST /v1/decide[/batch] request latency
+	ingestHist *telemetry.Histogram // POST /v1/ingest[/batch] request latency
+	decideHist *telemetry.Histogram // POST /v1/decide[/batch] request latency
+	minter     *telemetry.Minter    // fleet-level trace minting (HTTP middleware)
 }
 
 // NewSharded builds a horizontally sharded engine: one Server per table,
@@ -104,12 +106,16 @@ func NewSharded(tables []*hbase.Table, bundle *Bundle, opts ...Option) (*Sharded
 		perShardCache = (probe.cache.Stats().Capacity + n - 1) / n
 	}
 	se := &ShardedEngine{
-		ingestHist: newHistogram(defaultHistBounds()),
-		decideHist: newHistogram(defaultHistBounds()),
+		ingestHist: telemetry.NewHistogram(nil),
+		decideHist: telemetry.NewHistogram(nil),
+		minter:     telemetry.NewMinter(probe.traceSeed),
 	}
 	shards := make([]*Server, n)
 	for i, tab := range tables {
-		srv, err := New(tab, bundle, opts...)
+		// Diversify each shard's trace seed so co-resident shards never
+		// mint colliding IDs from identical streams.
+		shardOpts := append(append([]Option{}, opts...), WithTraceSeed(probe.traceSeed+uint64(i)+1))
+		srv, err := New(tab, bundle, shardOpts...)
 		if err != nil {
 			for _, built := range shards[:i] {
 				built.Close()
@@ -546,19 +552,19 @@ func (se *ShardedEngine) ShadowQueueDepth() int {
 // the shards share bounds by construction) and reports fleet-wide
 // percentiles with summed counters.
 func (se *ShardedEngine) Latency() LatencyStats {
-	hs := make([]*histogram, len(se.shards))
+	hs := make([]*telemetry.Histogram, len(se.shards))
 	var count, alerted int64
 	for i, s := range se.shards {
 		hs[i] = s.hist
 		count += s.scored.Load()
 		alerted += s.alerted.Load()
 	}
-	bounds, counts, total, max := mergeHistograms(hs)
+	bounds, counts, total, max := telemetry.Merge(hs)
 	return LatencyStats{
 		Count:   count,
 		Alerted: alerted,
-		P50:     quantileFrom(bounds, counts, total, max, 0.50),
-		P99:     quantileFrom(bounds, counts, total, max, 0.99),
+		P50:     telemetry.Quantile(bounds, counts, total, max, 0.50),
+		P99:     telemetry.Quantile(bounds, counts, total, max, 0.99),
 		Max:     max,
 	}
 }
@@ -580,17 +586,17 @@ func (se *ShardedEngine) Health() HealthInfo {
 // cannot tell one engine from a sharded one except by the shard count.
 func (se *ShardedEngine) StatsBody() map[string]interface{} {
 	lat := se.Latency()
-	hs := make([]*histogram, len(se.shards))
+	hs := make([]*telemetry.Histogram, len(se.shards))
 	for i, s := range se.shards {
 		hs[i] = s.hist
 	}
-	bounds, counts, total, max := mergeHistograms(hs)
+	bounds, counts, total, max := telemetry.Merge(hs)
 	body := map[string]interface{}{
 		"scored": lat.Count, "alerted": lat.Alerted,
 		"p50_us": lat.P50.Microseconds(), "p99_us": lat.P99.Microseconds(),
 		"max_us": lat.Max.Microseconds(), "version": se.BundleVersion(),
 		"shards":       len(se.shards),
-		"latency_hist": histBodyFrom(bounds, counts, total, max),
+		"latency_hist": telemetry.HistBody(bounds, counts, total, max),
 	}
 	endpoints := map[string]interface{}{}
 	if se.StreamEnabled() {

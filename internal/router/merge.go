@@ -3,6 +3,9 @@ package router
 import (
 	"math"
 	"sort"
+	"time"
+
+	"titant/internal/telemetry"
 )
 
 // MergeStats deep-merges per-shard GET /v1/stats bodies (as decoded
@@ -292,38 +295,29 @@ func floatSlice(v interface{}) ([]float64, bool) {
 }
 
 // histQuantiles reads p50/p99/max (microseconds) out of a merged raw
-// histogram, the same conservative upper-bound estimate the shard
-// servers report.
+// histogram through telemetry.Quantile — the one quantile definition
+// every surface shares, so the fleet view's merged percentiles are
+// bitwise-identical to what a single engine holding all the samples
+// would report.
 func histQuantiles(h map[string]interface{}) (p50, p99, max float64) {
-	bounds, _ := floatSlice(h["bounds_ns"])
-	counts, _ := floatSlice(h["counts"])
+	boundsF, _ := floatSlice(h["bounds_ns"])
+	countsF, _ := floatSlice(h["counts"])
 	maxNS := num(h["max_ns"])
-	var total float64
-	for _, c := range counts {
-		total += c
+	bounds := make([]time.Duration, len(boundsF))
+	for i, b := range boundsF {
+		bounds[i] = time.Duration(b)
+	}
+	counts := make([]int64, len(countsF))
+	var total int64
+	for i, c := range countsF {
+		counts[i] = int64(c)
+		total += counts[i]
 	}
 	q := func(p float64) float64 {
-		if total == 0 {
-			return 0
-		}
-		target := math.Ceil(p * total)
-		if target < 1 {
-			target = 1
-		}
-		var cum float64
-		for i, c := range counts {
-			cum += c
-			if cum >= target {
-				if i < len(bounds) && bounds[i] < maxNS {
-					return bounds[i]
-				}
-				return maxNS
-			}
-		}
-		return maxNS
+		return float64(telemetry.Quantile(bounds, counts, total, time.Duration(maxNS), p).Microseconds())
 	}
 	const us = 1000
-	return math.Floor(q(0.50) / us), math.Floor(q(0.99) / us), math.Floor(maxNS / us)
+	return q(0.50), q(0.99), math.Floor(maxNS / us)
 }
 
 // mergeEndpoint merges per-endpoint latency sections, preferring the raw

@@ -1,0 +1,122 @@
+package router
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"titant/internal/telemetry"
+)
+
+// The router's Prometheus surface. GET /metrics answers with two layers
+// merged into one page: the router's own series (scatter/gather
+// counters, per-shard breaker and latency state, wire-tier stage
+// histograms), plus a live self-scrape of every shard's /metrics page
+// re-labeled with shard="<i>" — the outer topology stamps the label, so
+// one scrape of the router sees the whole fleet without a separate
+// scrape config per shard. Unreachable shards degrade the page (their
+// series are absent and counted in titant_router_scrape_unreachable),
+// never fail it: metrics must answer while the fleet is broken.
+
+// ownMetrics renders the router-owned series.
+func (rt *Router) ownMetrics() *telemetry.Expo {
+	e := telemetry.NewExpo()
+	e.Counter("titant_router_singles_total", "single-row requests forwarded to an owner shard", float64(rt.singles.Load()))
+	e.Counter("titant_router_batches_total", "batch requests scattered across the ring", float64(rt.batches.Load()))
+	e.Counter("titant_router_fanouts_total", "sub-batches dispatched by scatters", float64(rt.fanouts.Load()))
+	e.Counter("titant_router_controls_total", "model/policy swaps replicated", float64(rt.controls.Load()))
+	e.Counter("titant_router_errors_total", "upstream failures relayed or detected", float64(rt.errors.Load()))
+	e.Counter("titant_router_retries_total", "retry attempts issued", float64(rt.retried.Load()))
+	e.Counter("titant_router_hedges_total", "hedge legs launched", float64(rt.hedges.Load()))
+	e.Counter("titant_router_hedge_wins_total", "hedge legs that answered first", float64(rt.hedgeWins.Load()))
+	e.Counter("titant_router_degraded_items_total", "items answered with a degraded envelope", float64(rt.degraded.Load()))
+	e.Counter("titant_router_deadline_exhausted_total", "calls abandoned on an exhausted caller budget", float64(rt.deadlines.Load()))
+	e.Gauge("titant_router_shards", "shard ring width", float64(len(rt.shards)))
+	e.Gauge("titant_router_quorum", "healthy shards /healthz requires for 200", float64(rt.quorum))
+
+	for si := range rt.shards {
+		shard := strconv.Itoa(si)
+		state, opens, halfOpens, probes, failures, successes := rt.brk[si].counters()
+		e.Gauge("titant_router_breaker_state", "per-shard breaker state (value is always 1)", 1, "shard", shard, "state", state)
+		e.Counter("titant_router_breaker_opens_total", "breaker trips to open", float64(opens), "shard", shard)
+		e.Counter("titant_router_breaker_half_opens_total", "breaker transitions to half-open", float64(halfOpens), "shard", shard)
+		e.Counter("titant_router_breaker_probes_total", "half-open probes launched", float64(probes), "shard", shard)
+		e.Counter("titant_router_breaker_failures_total", "shard call failures recorded by the breaker", float64(failures), "shard", shard)
+		e.Counter("titant_router_breaker_successes_total", "shard call successes recorded by the breaker", float64(successes), "shard", shard)
+		h := rt.lat[si]
+		counts, _ := h.Snapshot()
+		e.Histogram("titant_router_shard_latency_seconds", "successful shard call latency", h.Bounds(), counts, int64(h.Sum()), "shard", shard)
+	}
+
+	// Wire-tier stage histograms, same family name the engines use so a
+	// stage dashboard spans tiers; the router's series carry no shard
+	// label, which keeps them distinct from the re-labeled shard series.
+	for _, name := range rt.tel.Endpoints() {
+		et := rt.tel.Endpoint(name)
+		for st := telemetry.Stage(0); st < telemetry.NumStages; st++ {
+			h := et.StageHistogram(st)
+			if h.Total() == 0 {
+				continue
+			}
+			sc, _ := h.Snapshot()
+			e.Histogram("titant_stage_latency_seconds", "hot-path stage latency by endpoint",
+				h.Bounds(), sc, int64(h.Sum()), "endpoint", name, "stage", st.String())
+		}
+	}
+	return e
+}
+
+// metrics serves GET /metrics: the router's own series merged with a
+// live re-labeled self-scrape of every shard's page.
+func (rt *Router) metrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "GET only")
+		return
+	}
+	ups := rt.fanGet(r, "/metrics", callSpec{retryable: true})
+	unreachable := 0
+	page, err := telemetry.ParseExpo(rt.ownMetrics().Bytes())
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "internal", err.Error())
+		return
+	}
+	for si, u := range ups {
+		if u.failed() || u.status != http.StatusOK {
+			rt.errors.Add(1)
+			unreachable++
+			continue
+		}
+		sc, err := telemetry.ParseExpo(u.body)
+		if err != nil {
+			rt.errors.Add(1)
+			writeError(w, http.StatusBadGateway, "shard_bad_response",
+				fmt.Sprintf("shard %d /metrics: %v", si, err))
+			return
+		}
+		sc.AddLabel("shard", strconv.Itoa(si))
+		if err := page.Merge(sc); err != nil {
+			rt.errors.Add(1)
+			writeError(w, http.StatusBadGateway, "shard_bad_response", err.Error())
+			return
+		}
+	}
+	un := telemetry.NewExpo()
+	un.Gauge("titant_router_scrape_unreachable", "shards whose /metrics could not be scraped", float64(unreachable))
+	unScrape, err := telemetry.ParseExpo(un.Bytes())
+	if err == nil {
+		_ = page.Merge(unScrape)
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write(page.Render())
+}
+
+// debugTrace serves GET /v1/debug/trace: the router's own wire-tier
+// stage aggregation and slowest exemplars. Shard-side spans live on each
+// shard's own /v1/debug/trace; the trace ID is the join key.
+func (rt *Router) debugTrace(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "GET only")
+		return
+	}
+	writeJSON(w, http.StatusOK, telemetry.TraceBody(rt.tel))
+}

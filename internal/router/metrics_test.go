@@ -1,0 +1,143 @@
+package router
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"titant/internal/telemetry"
+)
+
+// promShard serves a scripted exposition page on /metrics and a minimal
+// score handler so the router accepts the ring.
+func promShard(t *testing.T, page string) *httptest.Server {
+	t.Helper()
+	return fakeShard(t, func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/metrics" {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			fmt.Fprint(w, page)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"txn_id":1,"score":0.5}`)
+	})
+}
+
+// TestRouterMetricsSelfScrape: GET /metrics on the router merges its own
+// series with a re-labeled scrape of every shard — each shard's series
+// reappear stamped shard="<i>", the page lints clean, and TYPE is
+// declared once per family even when every shard carries it.
+func TestRouterMetricsSelfScrape(t *testing.T) {
+	mk := func(scored int) string {
+		return fmt.Sprintf(`# HELP titant_scoring_scored_total transactions scored
+# TYPE titant_scoring_scored_total counter
+titant_scoring_scored_total %d
+`, scored)
+	}
+	s0, s1 := promShard(t, mk(5)), promShard(t, mk(7))
+	rt := newTestRouter(t, []string{s0.URL, s1.URL})
+
+	w := doReq(t, rt.Handler(), http.MethodGet, "/metrics", nil, nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	if ct := w.Header().Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("Content-Type %q, want the 0.0.4 exposition type", ct)
+	}
+	page := w.Body.Bytes()
+	if err := telemetry.Lint(page); err != nil {
+		t.Fatalf("merged page fails lint: %v", err)
+	}
+	sc, err := telemetry.ParseExpo(page)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := sc.SeriesSet()
+	for _, want := range []string{
+		`titant_scoring_scored_total{shard=0}`,
+		`titant_scoring_scored_total{shard=1}`,
+		`titant_router_singles_total`,
+		`titant_router_shards`,
+		`titant_router_breaker_state{shard=0}{state=closed}`,
+		`titant_router_scrape_unreachable`,
+	} {
+		if !set[want] {
+			t.Errorf("merged page is missing series %s", want)
+		}
+	}
+	if n := strings.Count(string(page), "# TYPE titant_scoring_scored_total"); n != 1 {
+		t.Fatalf("TYPE declared %d times for the merged family, want once", n)
+	}
+}
+
+// TestRouterMetricsUnreachableShardDegrades: a dead shard never fails
+// the page — its series are absent and the unreachable gauge counts it.
+func TestRouterMetricsUnreachableShardDegrades(t *testing.T) {
+	page := `# TYPE titant_scoring_scored_total counter
+titant_scoring_scored_total 5
+`
+	s0, s1 := promShard(t, page), promShard(t, page)
+	rt := newTestRouter(t, []string{s0.URL, s1.URL}, WithRetries(0, 0, 0))
+	s1.Close()
+
+	w := doReq(t, rt.Handler(), http.MethodGet, "/metrics", nil, nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status with a dead shard: %d", w.Code)
+	}
+	sc, err := telemetry.ParseExpo(w.Body.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := sc.SeriesSet()
+	if !set[`titant_scoring_scored_total{shard=0}`] {
+		t.Error("healthy shard's series missing")
+	}
+	if set[`titant_scoring_scored_total{shard=1}`] {
+		t.Error("dead shard's series present")
+	}
+	if !strings.Contains(w.Body.String(), "titant_router_scrape_unreachable 1") {
+		t.Fatalf("unreachable gauge should read 1:\n%s", w.Body.String())
+	}
+}
+
+// TestRouterMetricsTypeConflictIs502: a shard page whose TYPE disagrees
+// with the fleet's is a bug, not a merge policy — the router answers
+// 502 shard_bad_response instead of rendering a corrupt page.
+func TestRouterMetricsTypeConflictIs502(t *testing.T) {
+	counter := `# TYPE titant_scoring_scored_total counter
+titant_scoring_scored_total 5
+`
+	gauge := `# TYPE titant_scoring_scored_total gauge
+titant_scoring_scored_total 5
+`
+	s0, s1 := promShard(t, counter), promShard(t, gauge)
+	rt := newTestRouter(t, []string{s0.URL, s1.URL})
+	w := doReq(t, rt.Handler(), http.MethodGet, "/metrics", nil, nil)
+	if w.Code != http.StatusBadGateway {
+		t.Fatalf("TYPE conflict: status %d, want 502", w.Code)
+	}
+	if !strings.Contains(w.Body.String(), "shard_bad_response") {
+		t.Fatalf("envelope = %s", w.Body.String())
+	}
+}
+
+// TestRouterDebugTrace: GET /v1/debug/trace answers with the wire-tier
+// stage aggregation after traffic has flowed.
+func TestRouterDebugTrace(t *testing.T) {
+	shard := promShard(t, "")
+	rt := newTestRouter(t, []string{shard.URL})
+	h := rt.Handler()
+	doReq(t, h, http.MethodPost, "/v1/score", []byte(`{"id":1,"from":3}`), nil)
+
+	w := doReq(t, h, http.MethodGet, "/v1/debug/trace", nil, nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d", w.Code)
+	}
+	body, _ := io.ReadAll(w.Body)
+	if !strings.Contains(string(body), `"route"`) {
+		t.Fatalf("trace dump carries no route stage: %s", body)
+	}
+}

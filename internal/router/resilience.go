@@ -4,11 +4,11 @@ import (
 	"context"
 	"errors"
 	"net/http"
-	"sort"
 	"sync"
 	"time"
 
 	"titant/internal/rng"
+	"titant/internal/telemetry"
 )
 
 // The resilience plane: every proxied shard call runs through a
@@ -214,61 +214,28 @@ func (b *breaker) currentState() int {
 	return b.state
 }
 
-// snapshot builds the breaker's stats body.
-func (b *breaker) snapshot(shard int, p99 time.Duration) map[string]interface{} {
-	state := breakerStateName(b.currentState())
+// counters snapshots the breaker's state name and lifetime counters
+// (shared by the stats section and the /metrics exposition).
+func (b *breaker) counters() (state string, opens, halfOpens, probes, failures, successes int64) {
+	state = breakerStateName(b.currentState())
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	return state, b.opens, b.halfOpens, b.probes, b.failures, b.successes
+}
+
+// snapshot builds the breaker's stats body.
+func (b *breaker) snapshot(shard int, p99 time.Duration) map[string]interface{} {
+	state, opens, halfOpens, probes, failures, successes := b.counters()
 	return map[string]interface{}{
 		"shard":      shard,
 		"state":      state,
-		"opens":      b.opens,
-		"half_opens": b.halfOpens,
-		"probes":     b.probes,
-		"failures":   b.failures,
-		"successes":  b.successes,
+		"opens":      opens,
+		"half_opens": halfOpens,
+		"probes":     probes,
+		"failures":   failures,
+		"successes":  successes,
 		"p99_us":     p99.Microseconds(),
 	}
-}
-
-// latTracker keeps a sliding window of successful per-shard call
-// latencies and a cached p99 over it, feeding the hedge delay.
-type latTracker struct {
-	mu   sync.Mutex
-	buf  []int64 // nanoseconds, ring
-	n    int
-	idx  int
-	tick int
-	p99v int64
-}
-
-func newLatTracker() *latTracker { return &latTracker{buf: make([]int64, 128)} }
-
-func (l *latTracker) record(d time.Duration) {
-	l.mu.Lock()
-	l.buf[l.idx] = int64(d)
-	l.idx = (l.idx + 1) % len(l.buf)
-	if l.n < len(l.buf) {
-		l.n++
-	}
-	l.tick++
-	// Recompute every 32 samples: the hedge delay needs a trend, not a
-	// per-request quantile.
-	if l.tick >= 32 || l.p99v == 0 {
-		l.tick = 0
-		tmp := make([]int64, l.n)
-		copy(tmp, l.buf[:l.n])
-		sort.Slice(tmp, func(i, j int) bool { return tmp[i] < tmp[j] })
-		l.p99v = tmp[(l.n-1)*99/100]
-	}
-	l.mu.Unlock()
-}
-
-// p99 returns the cached p99 estimate (0 before any sample).
-func (l *latTracker) p99() time.Duration {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return time.Duration(l.p99v)
 }
 
 // lockedRand is a mutex-guarded seeded RNG for backoff jitter. A fixed
@@ -328,8 +295,12 @@ func (rt *Router) resilientCall(ctx context.Context, src *http.Request, deadline
 	var last upstream
 	for a := 0; a < attempts; a++ {
 		if a > 0 {
+			bstart := rt.now()
 			if !rt.backoffWait(ctx, a, deadline) {
 				break
+			}
+			if spec.spans != nil {
+				spec.spans[telemetry.StageRetry] += rt.now().Sub(bstart)
 			}
 			rt.retried.Add(1)
 		}
@@ -356,7 +327,7 @@ func (rt *Router) resilientCall(ctx context.Context, src *http.Request, deadline
 			rt.brk[spec.shard].record(fail, probe)
 		}
 		if !fail {
-			rt.lat[spec.shard].record(rt.now().Sub(start))
+			rt.lat[spec.shard].Record(rt.now().Sub(start))
 			return u
 		}
 		last = u
@@ -374,7 +345,7 @@ func (rt *Router) hedgedCall(ctx context.Context, src *http.Request, deadline ti
 	if rt.hedgeFloor <= 0 || !spec.hedged {
 		return rt.resilientCall(ctx, src, deadline, spec)
 	}
-	delay := rt.lat[spec.shard].p99()
+	delay := rt.lat[spec.shard].Quantile(0.99)
 	if delay < rt.hedgeFloor {
 		delay = rt.hedgeFloor
 	}
@@ -388,14 +359,27 @@ func (rt *Router) hedgedCall(ctx context.Context, src *http.Request, deadline ti
 	cctx, cancel := context.WithCancel(ctx)
 	defer cancel() // cancels the losing leg
 	ch := make(chan legResult, 2)
+	// Each leg records into its own span buffer — the two legs run
+	// concurrently, so they must not share the caller's. The winner's
+	// retry time folds back into the caller's spans on return.
+	parent := spec.spans
+	var legSpans [2]telemetry.Spans
 	launch := func(leg int) {
-		go func() { ch <- legResult{rt.resilientCall(cctx, src, deadline, spec), leg} }()
+		s := spec
+		s.spans = &legSpans[leg]
+		go func() { ch <- legResult{rt.resilientCall(cctx, src, deadline, s), leg} }()
+	}
+	merge := func(leg int) {
+		if parent != nil {
+			parent[telemetry.StageRetry] += legSpans[leg][telemetry.StageRetry]
+		}
 	}
 	launch(0)
 	timer := time.NewTimer(delay)
 	defer timer.Stop()
 	launched, pending := 1, 1
 	var firstFail *upstream
+	firstFailLeg := 0
 	for {
 		select {
 		case <-timer.C:
@@ -403,6 +387,9 @@ func (rt *Router) hedgedCall(ctx context.Context, src *http.Request, deadline ti
 				launched++
 				pending++
 				rt.hedges.Add(1)
+				if parent != nil {
+					parent[telemetry.StageHedge] = delay
+				}
 				launch(1)
 			}
 		case r := <-ch:
@@ -411,17 +398,17 @@ func (rt *Router) hedgedCall(ctx context.Context, src *http.Request, deadline ti
 				if r.leg == 1 {
 					rt.hedgeWins.Add(1)
 				}
+				merge(r.leg)
 				return r.u
 			}
 			if firstFail == nil {
 				firstFail = &r.u
-			}
-			if pending == 0 && launched == 2 {
-				return *firstFail
+				firstFailLeg = r.leg
 			}
 			if pending == 0 {
-				// Only leg failed before the hedge fired: don't hedge a
-				// failure, report it.
+				// Both legs failed — or the only leg failed before the
+				// hedge fired: don't hedge a failure, report it.
+				merge(firstFailLeg)
 				return *firstFail
 			}
 		}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -13,6 +14,7 @@ import (
 	"titant/internal/decision"
 	"titant/internal/faultinject"
 	"titant/internal/ms"
+	"titant/internal/telemetry"
 	"titant/internal/txn"
 )
 
@@ -671,5 +673,190 @@ func TestRouterControlGetFailover(t *testing.T) {
 	}
 	if doc["version"] != "pol-9" {
 		t.Fatalf("failover GET version = %v", doc["version"])
+	}
+}
+
+// --- trace propagation through the resilience plane ---
+
+// TestRouterTraceAdoptedThroughRetries: a caller-supplied X-Trace-Id is
+// adopted, echoed on the response, and rides every retry attempt — the
+// shard sees one consistent ID across all three deliveries.
+func TestRouterTraceAdoptedThroughRetries(t *testing.T) {
+	const want = "00112233445566778899aabbccddeeff"
+	var mu sync.Mutex
+	var seen []string
+	var calls atomic.Int64
+	shard := fakeShard(t, func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		seen = append(seen, r.Header.Get(telemetry.TraceHeader))
+		mu.Unlock()
+		if calls.Add(1) <= 2 {
+			http.Error(w, `{"error":{"code":"boom"}}`, http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"txn_id":1,"score":0.25,"fraud":false}`)
+	})
+	rt := newTestRouter(t, []string{shard.URL},
+		WithRetries(2, time.Millisecond, 5*time.Millisecond))
+	w := doReq(t, rt.Handler(), http.MethodPost, "/v1/score", []byte(`{"id":1,"from":3}`),
+		map[string]string{telemetry.TraceHeader: want})
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	if got := w.Header().Get(telemetry.TraceHeader); got != want {
+		t.Fatalf("response %s = %q, want the adopted %q", telemetry.TraceHeader, got, want)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != 3 {
+		t.Fatalf("shard saw %d attempts, want 3", len(seen))
+	}
+	for i, s := range seen {
+		if s != want {
+			t.Fatalf("attempt %d carried trace %q, want %q", i, s, want)
+		}
+	}
+}
+
+// TestRouterTraceMintedWhenAbsent: with no caller header the router
+// mints a valid ID per request, distinct across requests; a malformed
+// caller header is replaced, not echoed.
+func TestRouterTraceMintedWhenAbsent(t *testing.T) {
+	shard := fakeShard(t, func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"txn_id":1,"score":0.5}`)
+	})
+	rt := newTestRouter(t, []string{shard.URL})
+	h := rt.Handler()
+	body := []byte(`{"id":1,"from":3}`)
+
+	w1 := doReq(t, h, http.MethodPost, "/v1/score", body, nil)
+	id1 := w1.Header().Get(telemetry.TraceHeader)
+	if _, ok := telemetry.ParseTraceID(id1); !ok {
+		t.Fatalf("minted trace %q is not a valid 32-hex ID", id1)
+	}
+	w2 := doReq(t, h, http.MethodPost, "/v1/score", body, nil)
+	if id2 := w2.Header().Get(telemetry.TraceHeader); id2 == id1 {
+		t.Fatalf("two requests minted the same trace %q", id1)
+	}
+	w3 := doReq(t, h, http.MethodPost, "/v1/score", body,
+		map[string]string{telemetry.TraceHeader: "not-a-trace"})
+	if id3 := w3.Header().Get(telemetry.TraceHeader); id3 == "not-a-trace" {
+		t.Fatal("malformed caller trace ID was echoed instead of replaced")
+	} else if _, ok := telemetry.ParseTraceID(id3); !ok {
+		t.Fatalf("replacement trace %q is not valid", id3)
+	}
+}
+
+// TestRouterTraceHedgedLegsShareID: when a hedge leg is launched both
+// legs carry the original trace ID — one trace names the whole race.
+func TestRouterTraceHedgedLegsShareID(t *testing.T) {
+	const want = "ffeeddccbbaa99887766554433221100"
+	var mu sync.Mutex
+	var seen []string
+	var calls atomic.Int64
+	shard := fakeShard(t, func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		seen = append(seen, r.Header.Get(telemetry.TraceHeader))
+		mu.Unlock()
+		if calls.Add(1) == 1 {
+			select {
+			case <-r.Context().Done():
+				return
+			case <-time.After(2 * time.Second):
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"txn_id":1,"score":0.5}`)
+	})
+	rt := newTestRouter(t, []string{shard.URL}, WithHedge(20*time.Millisecond))
+	w := doReq(t, rt.Handler(), http.MethodPost, "/v1/score", []byte(`{"id":1,"from":3}`),
+		map[string]string{telemetry.TraceHeader: want})
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	if got := w.Header().Get(telemetry.TraceHeader); got != want {
+		t.Fatalf("hedged response trace = %q, want %q", got, want)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) < 2 {
+		t.Fatalf("shard saw %d legs, want both", len(seen))
+	}
+	for i, s := range seen {
+		if s != want {
+			t.Fatalf("leg %d carried trace %q, want %q", i, s, want)
+		}
+	}
+}
+
+// TestRouterTraceOnDegradedPaths: when the owner shard is gone the trace
+// ID survives into every degraded shape — the decide fallback envelope,
+// the typed 503 error body, and each degraded batch item — so an outage
+// is correlatable even when the caller only kept response bodies.
+func TestRouterTraceOnDegradedPaths(t *testing.T) {
+	const want = "0123456789abcdef0123456789abcdef"
+	hdr := map[string]string{telemetry.TraceHeader: want}
+	f := newFleet(t, 2, policyOpts(t), WithRetries(0, 0, 0), WithTimeout(time.Second))
+	h := f.rt.Handler()
+	u0, u1 := userOwnedBy(t, 0, 2), userOwnedBy(t, 1, 2)
+	f.web[0].Close() // shard 0 dies
+
+	// Single decide: fail-closed fallback carries the trace.
+	w := doReq(t, h, http.MethodPost, "/v1/decide",
+		[]byte(fmt.Sprintf(`{"id":7,"from":%d,"amount":10}`, u0)), hdr)
+	if w.Code != http.StatusOK {
+		t.Fatalf("degraded decide: %d", w.Code)
+	}
+	var dd ms.DegradedDecision
+	if err := json.Unmarshal(w.Body.Bytes(), &dd); err != nil {
+		t.Fatal(err)
+	}
+	if dd.TraceID != want {
+		t.Fatalf("degraded decision trace_id = %q, want %q", dd.TraceID, want)
+	}
+	if got := w.Header().Get(telemetry.TraceHeader); got != want {
+		t.Fatalf("degraded decide header trace = %q, want %q", got, want)
+	}
+
+	// Single score: the typed 503 envelope carries the trace.
+	w = doReq(t, h, http.MethodPost, "/v1/score",
+		[]byte(fmt.Sprintf(`{"id":8,"from":%d,"amount":10}`, u0)), hdr)
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("degraded score: %d, want 503", w.Code)
+	}
+	var env struct {
+		Error struct {
+			Code    string `json:"code"`
+			TraceID string `json:"trace_id"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Error.Code != ms.CodeShardUnavailable || env.Error.TraceID != want {
+		t.Fatalf("503 envelope = %s", w.Body.String())
+	}
+
+	// Batch: the dead shard's items carry the trace, item by item.
+	body := []byte(fmt.Sprintf(
+		`{"transactions":[{"id":1,"from":%d,"amount":10},{"id":2,"from":%d,"amount":10}]}`, u0, u1))
+	w = doReq(t, h, http.MethodPost, "/v1/score/batch", body, hdr)
+	if w.Code != http.StatusOK {
+		t.Fatalf("degraded batch: %d", w.Code)
+	}
+	var resp struct {
+		Verdicts []json.RawMessage `json:"verdicts"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	var dv ms.DegradedVerdict
+	if err := json.Unmarshal(resp.Verdicts[0], &dv); err != nil {
+		t.Fatal(err)
+	}
+	if !dv.Degraded || dv.TraceID != want {
+		t.Fatalf("degraded batch item = %s", resp.Verdicts[0])
 	}
 }

@@ -41,6 +41,7 @@ import (
 	"time"
 
 	"titant/internal/ms"
+	"titant/internal/telemetry"
 	"titant/internal/txn"
 )
 
@@ -163,9 +164,15 @@ type Router struct {
 	seed       uint64
 
 	brk []*breaker
-	lat []*latTracker
+	lat []*telemetry.Histogram // successful per-shard call latency, feeds the hedge delay
 	rnd *lockedRand
 	now func() time.Time
+
+	// Observability plane: the trace-ID minter for requests arriving
+	// without an X-Trace-Id, and the per-endpoint stage span tracker
+	// behind /v1/debug/trace and the router's /metrics page.
+	minter *telemetry.Minter
+	tel    *telemetry.Tracker
 
 	// Observability counters for the /v1/stats "router" section.
 	singles   atomic.Int64 // single-row requests forwarded to one owner
@@ -228,11 +235,15 @@ func New(shards []string, opts ...Option) (*Router, error) {
 	}
 	rt.rnd = newLockedRand(rt.seed)
 	rt.brk = make([]*breaker, len(cleaned))
-	rt.lat = make([]*latTracker, len(cleaned))
+	rt.lat = make([]*telemetry.Histogram, len(cleaned))
 	for i := range cleaned {
 		rt.brk[i] = newBreaker(rt.brkCfg, rt.now)
-		rt.lat[i] = newLatTracker()
+		rt.lat[i] = telemetry.NewHistogram(nil)
 	}
+	rt.minter = telemetry.NewMinter(rt.seed)
+	rt.tel = telemetry.NewTracker([]string{
+		"score", "decide", "ingest", "score_batch", "decide_batch", "ingest_batch",
+	}, 0)
 	return rt, nil
 }
 
@@ -263,8 +274,28 @@ func (rt *Router) Handler() http.Handler {
 	mux.HandleFunc("/v1/models", rt.control)
 	mux.HandleFunc("/v1/policy", rt.control)
 	mux.HandleFunc("/v1/stats", rt.stats)
+	mux.HandleFunc("/v1/debug/trace", rt.debugTrace)
+	mux.HandleFunc("/metrics", rt.metrics)
 	mux.HandleFunc("/healthz", rt.healthz)
-	return mux
+	return rt.traceMiddleware(mux)
+}
+
+// traceMiddleware adopts the caller's X-Trace-Id (minting one when the
+// header is absent or malformed), echoes it on the response, rewrites it
+// onto the inbound request so forwardHeaders propagates one consistent
+// ID to every shard attempt, and carries it in the request context for
+// span observation.
+func (rt *Router) traceMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id, ok := telemetry.ParseTraceID(r.Header.Get(telemetry.TraceHeader))
+		if !ok {
+			id = rt.minter.Mint()
+		}
+		hex := id.String()
+		w.Header().Set(telemetry.TraceHeader, hex)
+		r.Header.Set(telemetry.TraceHeader, hex)
+		next.ServeHTTP(w, r.WithContext(telemetry.WithTrace(r.Context(), id)))
+	})
 }
 
 // ListenAndServe serves the router on addr with the shard servers'
@@ -276,9 +307,14 @@ func (rt *Router) ListenAndServe(ctx context.Context, addr string) error {
 func writeError(w http.ResponseWriter, status int, code, msg string) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(map[string]interface{}{
-		"error": map[string]string{"code": code, "message": msg},
-	})
+	e := map[string]string{"code": code, "message": msg}
+	// The trace middleware stamps X-Trace-Id on the response header
+	// before any handler runs; fold it into the envelope so error bodies
+	// are greppable even when the caller dropped the headers.
+	if id := w.Header().Get(telemetry.TraceHeader); id != "" {
+		e["trace_id"] = id
+	}
+	_ = json.NewEncoder(w).Encode(map[string]interface{}{"error": e})
 }
 
 func writeJSON(w http.ResponseWriter, status int, body interface{}) {
@@ -290,11 +326,14 @@ func writeJSON(w http.ResponseWriter, status int, body interface{}) {
 // forwardHeaders copies the request headers shard servers act on.
 // X-Caller rides through so per-caller admission quotas hold across the
 // wire tier; X-Idempotency-Key rides through so shards (and the retry
-// classifier) see the caller's dedup assertion. X-Deadline-Ms is NOT
-// copied — the router re-derives it per attempt from the remaining
-// budget.
+// classifier) see the caller's dedup assertion; X-Trace-Id (rewritten by
+// the trace middleware to the adopted-or-minted ID) rides through so one
+// trace names a verdict's whole path across tiers — retries and hedge
+// legs included, since every attempt copies from the same source
+// request. X-Deadline-Ms is NOT copied — the router re-derives it per
+// attempt from the remaining budget.
 func forwardHeaders(dst *http.Request, src *http.Request) {
-	for _, k := range []string{"Content-Type", "Authorization", "X-Caller", HeaderIdempotencyKey} {
+	for _, k := range []string{"Content-Type", "Authorization", "X-Caller", HeaderIdempotencyKey, telemetry.TraceHeader} {
 		if v := src.Header.Get(k); v != "" {
 			dst.Header.Set(k, v)
 		}
@@ -328,6 +367,10 @@ type callSpec struct {
 	// noBreaker bypasses the circuit breaker entirely (health probes
 	// must tell the truth, not echo the breaker's opinion).
 	noBreaker bool
+	// spans, when set, accumulates the call's retry-backoff and hedge
+	// stage durations. Each concurrent call (scatter goroutine, hedge
+	// leg) must have its own buffer; the handler folds them together.
+	spans *telemetry.Spans
 }
 
 // attempt issues one HTTP attempt for spec, bounded by the smaller of
@@ -503,16 +546,21 @@ func (rt *Router) single(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	rt.singles.Add(1)
+	start := rt.now()
+	var spans telemetry.Spans
+	defer func() { rt.observe(r, endpointName(r.URL.Path), rt.now().Sub(start), &spans) }()
 	ctx, cancel, deadline := rt.requestBudget(r)
 	defer cancel()
-	spec := callSpec{method: http.MethodPost, path: r.URL.Path, body: body, shard: rt.ownerShard(txn.UserID(peek.From))}
+	spec := callSpec{method: http.MethodPost, path: r.URL.Path, body: body, shard: rt.ownerShard(txn.UserID(peek.From)), spans: &spans}
 	switch r.URL.Path {
 	case "/v1/ingest":
 		spec.retryable = r.Header.Get(HeaderIdempotencyKey) != ""
 	default: // score, decide
 		spec.retryable, spec.hedged = true, true
 	}
+	rstart := rt.now()
 	u := rt.hedgedCall(ctx, r, deadline, spec)
+	spans[telemetry.StageRoute] = rt.now().Sub(rstart)
 	if !u.failed() {
 		rt.relay(w, u)
 		return
@@ -525,6 +573,7 @@ func (rt *Router) single(w http.ResponseWriter, r *http.Request) {
 				TxnID:    txn.TxnID(peek.ID),
 				Degraded: true,
 				Error:    rt.itemError(u, spec.shard),
+				TraceID:  w.Header().Get(telemetry.TraceHeader),
 			},
 			Action: rt.fallback,
 			Reason: "fallback: owner shard unavailable",
@@ -532,6 +581,23 @@ func (rt *Router) single(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	rt.writeFailure(w, u, spec.shard)
+}
+
+// endpointName maps a /v1 data-plane path to its span-tracker endpoint
+// ("/v1/score/batch" → "score_batch").
+func endpointName(path string) string {
+	return strings.ReplaceAll(strings.TrimPrefix(path, "/v1/"), "/", "_")
+}
+
+// observe folds one request's spans into the router's tracker under the
+// request's trace ID.
+func (rt *Router) observe(r *http.Request, endpoint string, total time.Duration, spans *telemetry.Spans) {
+	et := rt.tel.Endpoint(endpoint)
+	if et == nil {
+		return
+	}
+	id, _ := telemetry.TraceFrom(r.Context())
+	et.Observe(id, total, spans)
 }
 
 func (rt *Router) readError(w http.ResponseWriter, err error) {
@@ -577,6 +643,9 @@ func (rt *Router) batch(w http.ResponseWriter, r *http.Request, itemsKey string)
 		return
 	}
 	rt.batches.Add(1)
+	start := rt.now()
+	var spans telemetry.Spans
+	defer func() { rt.observe(r, endpointName(r.URL.Path), rt.now().Sub(start), &spans) }()
 	n := len(rt.shards)
 	groups := make([][]int, n)
 	ids := make([]int64, len(req.Transactions))
@@ -596,7 +665,9 @@ func (rt *Router) batch(w http.ResponseWriter, r *http.Request, itemsKey string)
 	defer cancel()
 	retryable := itemsKey != "" || r.Header.Get(HeaderIdempotencyKey) != ""
 	ups := make([]upstream, n)
+	callSpans := make([]telemetry.Spans, n) // one buffer per scatter goroutine
 	var wg sync.WaitGroup
+	scatterStart := rt.now()
 	for si, idxs := range groups {
 		if len(idxs) == 0 {
 			continue
@@ -616,11 +687,15 @@ func (rt *Router) batch(w http.ResponseWriter, r *http.Request, itemsKey string)
 			}
 			ups[si] = rt.resilientCall(ctx, r, deadline, callSpec{
 				method: http.MethodPost, path: r.URL.Path, body: body,
-				shard: si, retryable: retryable,
+				shard: si, retryable: retryable, spans: &callSpans[si],
 			})
 		}(si, idxs)
 	}
 	wg.Wait()
+	spans[telemetry.StageRoute] = rt.now().Sub(scatterStart)
+	for i := range callSpans {
+		spans[telemetry.StageRetry] += callSpans[i][telemetry.StageRetry]
+	}
 
 	// A 4xx is the shard refusing a request the router faithfully
 	// forwarded (malformed row, over quota): relay it whole, lowest
@@ -638,11 +713,13 @@ func (rt *Router) batch(w http.ResponseWriter, r *http.Request, itemsKey string)
 		}
 	}
 
+	gstart := rt.now()
 	if itemsKey == "" {
 		rt.gatherIngest(w, groups, ups)
-		return
+	} else {
+		rt.gatherItems(w, itemsKey, req, groups, ids, ups)
 	}
-	rt.gatherItems(w, itemsKey, req, groups, ids, ups)
+	spans[telemetry.StageGather] = rt.now().Sub(gstart)
 }
 
 // gatherIngest merges per-shard ingest counts. Failed shards surface as
@@ -696,10 +773,11 @@ func (rt *Router) gatherItems(w http.ResponseWriter, itemsKey string, req batchB
 		if u.failed() {
 			rt.errors.Add(1)
 			ie := rt.itemError(u, si)
+			traceID := w.Header().Get(telemetry.TraceHeader)
 			for _, i := range idxs {
 				degradedCount++
 				rt.degraded.Add(1)
-				dv := ms.DegradedVerdict{TxnID: txn.TxnID(ids[i]), Degraded: true, Error: ie}
+				dv := ms.DegradedVerdict{TxnID: txn.TxnID(ids[i]), Degraded: true, Error: ie, TraceID: traceID}
 				var item interface{} = dv
 				if itemsKey == "decisions" {
 					item = ms.DegradedDecision{
@@ -804,7 +882,7 @@ func (rt *Router) control(w http.ResponseWriter, r *http.Request) {
 func (rt *Router) routerStats() map[string]interface{} {
 	breakers := make([]map[string]interface{}, len(rt.brk))
 	for si, b := range rt.brk {
-		breakers[si] = b.snapshot(si, rt.lat[si].p99())
+		breakers[si] = b.snapshot(si, rt.lat[si].Quantile(0.99))
 	}
 	return map[string]interface{}{
 		"shards":             rt.shards,

@@ -1,0 +1,29 @@
+package telemetry
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// StartPprof mounts the net/http/pprof handlers on their own listener,
+// apart from the serving address, so profiling never shares a port (or
+// an exposure story) with the v1 API. An explicit mux keeps the rest of
+// the process off http.DefaultServeMux — importing net/http/pprof for
+// its side effect would silently publish /debug/pprof on every default
+// mux in the binary. Returns the bound address (useful with ":0") and
+// serves until the process exits.
+func StartPprof(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go func() { _ = http.Serve(ln, mux) }()
+	return ln.Addr().String(), nil
+}

@@ -1,0 +1,150 @@
+package telemetry
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Expo builds a Prometheus text exposition (format 0.0.4) by hand —
+// the serving tiers depend on nothing outside the standard library.
+// Samples may be added in any order; families are buffered and rendered
+// grouped, HELP and TYPE once per metric name, at Bytes time. Label
+// arguments are flat key/value pairs ("shard", "3", "stage", "fetch").
+type Expo struct {
+	families map[string]*expoFamily
+	order    []string
+}
+
+type expoFamily struct {
+	name, help, typ string
+	lines           []expoLine
+}
+
+type expoLine struct {
+	suffix string // "", "_bucket", "_sum", "_count"
+	labels string // rendered {k="v",...} or ""
+	value  float64
+}
+
+// NewExpo returns an empty exposition builder.
+func NewExpo() *Expo {
+	return &Expo{families: map[string]*expoFamily{}}
+}
+
+func (e *Expo) family(name, help, typ string) *expoFamily {
+	f, ok := e.families[name]
+	if !ok {
+		f = &expoFamily{name: name, help: help, typ: typ}
+		e.families[name] = f
+		e.order = append(e.order, name)
+	}
+	return f
+}
+
+// Counter adds one cumulative counter sample.
+func (e *Expo) Counter(name, help string, value float64, labels ...string) {
+	f := e.family(name, help, "counter")
+	f.lines = append(f.lines, expoLine{labels: renderLabels(labels, "", ""), value: value})
+}
+
+// Gauge adds one gauge sample.
+func (e *Expo) Gauge(name, help string, value float64, labels ...string) {
+	f := e.family(name, help, "gauge")
+	f.lines = append(f.lines, expoLine{labels: renderLabels(labels, "", ""), value: value})
+}
+
+// Histogram adds one histogram series from a snapshot in this package's
+// native shape: duration bucket upper bounds, per-bucket (non-
+// cumulative) counts with a final overflow entry, and the observed
+// nanosecond sum. Bounds are exposed in seconds, buckets cumulatively,
+// per the exposition format.
+func (e *Expo) Histogram(name, help string, bounds []time.Duration, counts []int64, sumNS int64, labels ...string) {
+	f := e.family(name, help, "histogram")
+	var cum int64
+	for i, b := range bounds {
+		if i < len(counts) {
+			cum += counts[i]
+		}
+		le := strconv.FormatFloat(b.Seconds(), 'g', -1, 64)
+		f.lines = append(f.lines, expoLine{suffix: "_bucket", labels: renderLabels(labels, "le", le), value: float64(cum)})
+	}
+	if len(counts) > len(bounds) {
+		cum += counts[len(bounds)]
+	}
+	f.lines = append(f.lines,
+		expoLine{suffix: "_bucket", labels: renderLabels(labels, "le", "+Inf"), value: float64(cum)},
+		expoLine{suffix: "_sum", labels: renderLabels(labels, "", ""), value: float64(sumNS) / 1e9},
+		expoLine{suffix: "_count", labels: renderLabels(labels, "", ""), value: float64(cum)},
+	)
+}
+
+// renderLabels renders flat key/value pairs (plus one optional extra
+// pair, used for le) as a label block, sorted by key for a stable
+// series identity.
+func renderLabels(kv []string, extraK, extraV string) string {
+	n := len(kv) / 2
+	if extraK != "" {
+		n++
+	}
+	if n == 0 {
+		return ""
+	}
+	type pair struct{ k, v string }
+	pairs := make([]pair, 0, n)
+	for i := 0; i+1 < len(kv); i += 2 {
+		pairs = append(pairs, pair{kv[i], kv[i+1]})
+	}
+	if extraK != "" {
+		pairs = append(pairs, pair{extraK, extraV})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(p.v))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+func escapeHelp(v string) string {
+	if !strings.ContainsAny(v, "\\\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// Bytes renders the exposition. Families appear in first-added order,
+// each preceded by its HELP and TYPE lines exactly once.
+func (e *Expo) Bytes() []byte {
+	var buf bytes.Buffer
+	for _, name := range e.order {
+		f := e.families[name]
+		fmt.Fprintf(&buf, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(&buf, "# TYPE %s %s\n", f.name, f.typ)
+		for _, ln := range f.lines {
+			fmt.Fprintf(&buf, "%s%s%s %s\n", f.name, ln.suffix, ln.labels,
+				strconv.FormatFloat(ln.value, 'g', -1, 64))
+		}
+	}
+	return buf.Bytes()
+}

@@ -1,0 +1,434 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is the read side of the exposition plane: a small parser
+// for the text format the Expo writer emits, used three ways — as the
+// CI linter behind `make metrics-smoke`, as the router's self-scrape
+// machinery (parse each shard's /metrics, stamp a shard label on every
+// series, merge into the router's own exposition), and in tests that
+// assert the /metrics surfaces agree with /v1/stats.
+
+// PromSample is one parsed sample line: the full sample name (with any
+// _bucket/_sum/_count suffix), its labels, and the value.
+type PromSample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// PromFamily is one metric family: name, TYPE, HELP and samples in
+// input order.
+type PromFamily struct {
+	Name    string
+	Type    string
+	Help    string
+	Samples []PromSample
+}
+
+// Scrape is one parsed exposition page.
+type Scrape struct {
+	Families map[string]*PromFamily
+	order    []string
+}
+
+// FamilyNames returns the family names in input order.
+func (s *Scrape) FamilyNames() []string { return s.order }
+
+// sampleFamily strips a histogram sample suffix down to its family
+// name, if that family is declared as a histogram.
+func (s *Scrape) sampleFamily(name string) (*PromFamily, bool) {
+	if f, ok := s.Families[name]; ok {
+		return f, true
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base, found := strings.CutSuffix(name, suf)
+		if !found {
+			continue
+		}
+		if f, ok := s.Families[base]; ok && f.Type == "histogram" {
+			return f, true
+		}
+	}
+	return nil, false
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	return validMetricName(s) && !strings.Contains(s, ":")
+}
+
+// ParseExpo parses a text exposition page, validating syntax as it
+// goes: metric and label name grammar, declared TYPEs, samples only
+// under a declared family, label-block quoting. Structural histogram
+// invariants (cumulative buckets, +Inf, _count agreement) are Lint's
+// job — parsing keeps a page readable even when it is inconsistent, so
+// the linter can report the real defect.
+func ParseExpo(b []byte) (*Scrape, error) {
+	s := &Scrape{Families: map[string]*PromFamily{}}
+	for ln, line := range strings.Split(string(b), "\n") {
+		line = strings.TrimRight(line, "\r")
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		fail := func(format string, args ...interface{}) error {
+			return fmt.Errorf("line %d: %s", ln+1, fmt.Sprintf(format, args...))
+		}
+		if strings.HasPrefix(line, "#") {
+			kind, rest, ok := strings.Cut(strings.TrimPrefix(line, "# "), " ")
+			if !ok || (kind != "HELP" && kind != "TYPE") {
+				continue // free-form comment
+			}
+			name, text, _ := strings.Cut(rest, " ")
+			if !validMetricName(name) {
+				return nil, fail("bad metric name %q in %s", name, kind)
+			}
+			f, ok := s.Families[name]
+			if !ok {
+				f = &PromFamily{Name: name}
+				s.Families[name] = f
+				s.order = append(s.order, name)
+			}
+			if kind == "HELP" {
+				f.Help = text
+				continue
+			}
+			switch text {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+				if f.Type != "" && f.Type != text {
+					return nil, fail("metric %q re-declared as %s (was %s)", name, text, f.Type)
+				}
+				f.Type = text
+			default:
+				return nil, fail("unknown TYPE %q for %q", text, name)
+			}
+			continue
+		}
+		name, labels, value, err := parseSampleLine(line)
+		if err != nil {
+			return nil, fail("%v", err)
+		}
+		if !validMetricName(name) {
+			return nil, fail("bad sample name %q", name)
+		}
+		for k := range labels {
+			if !validLabelName(k) {
+				return nil, fail("bad label name %q on %q", k, name)
+			}
+		}
+		f, ok := s.sampleFamily(name)
+		if !ok {
+			return nil, fail("sample %q has no TYPE declaration", name)
+		}
+		f.Samples = append(f.Samples, PromSample{Name: name, Labels: labels, Value: value})
+	}
+	return s, nil
+}
+
+// parseSampleLine splits `name{k="v",...} value [timestamp]`.
+func parseSampleLine(line string) (name string, labels map[string]string, value float64, err error) {
+	labels = map[string]string{}
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		rest = rest[i+1:]
+		for {
+			rest = strings.TrimLeft(rest, " ,")
+			if rest == "" {
+				return "", nil, 0, fmt.Errorf("unterminated label block")
+			}
+			if rest[0] == '}' {
+				rest = rest[1:]
+				break
+			}
+			eq := strings.IndexByte(rest, '=')
+			if eq < 0 {
+				return "", nil, 0, fmt.Errorf("label without '='")
+			}
+			k := strings.TrimSpace(rest[:eq])
+			rest = rest[eq+1:]
+			if rest == "" || rest[0] != '"' {
+				return "", nil, 0, fmt.Errorf("unquoted value for label %q", k)
+			}
+			rest = rest[1:]
+			var v strings.Builder
+			closed := false
+			for i := 0; i < len(rest); i++ {
+				c := rest[i]
+				if c == '\\' && i+1 < len(rest) {
+					i++
+					switch rest[i] {
+					case 'n':
+						v.WriteByte('\n')
+					default:
+						v.WriteByte(rest[i])
+					}
+					continue
+				}
+				if c == '"' {
+					rest = rest[i+1:]
+					closed = true
+					break
+				}
+				v.WriteByte(c)
+			}
+			if !closed {
+				return "", nil, 0, fmt.Errorf("unterminated value for label %q", k)
+			}
+			if _, dup := labels[k]; dup {
+				return "", nil, 0, fmt.Errorf("duplicate label %q", k)
+			}
+			labels[k] = v.String()
+		}
+	} else if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		name = rest[:i]
+		rest = rest[i:]
+	} else {
+		return "", nil, 0, fmt.Errorf("sample line without a value")
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", nil, 0, fmt.Errorf("want `value [timestamp]`, got %q", strings.TrimSpace(rest))
+	}
+	value, err = parsePromValue(fields[0])
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("bad value %q: %v", fields[0], err)
+	}
+	return name, labels, value, nil
+}
+
+func parsePromValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// seriesKey is a sample's identity: name plus sorted labels.
+func seriesKey(name string, labels map[string]string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(name)
+	for _, k := range keys {
+		b.WriteByte('{')
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(labels[k])
+		b.WriteByte('}')
+	}
+	return b.String()
+}
+
+// SeriesSet returns the identity (name + labels) of every sample on the
+// page — the metrics-smoke diff between the router's re-labeled view
+// and the shard union operates on these sets.
+func (s *Scrape) SeriesSet() map[string]bool {
+	set := map[string]bool{}
+	for _, name := range s.order {
+		for _, sm := range s.Families[name].Samples {
+			set[seriesKey(sm.Name, sm.Labels)] = true
+		}
+	}
+	return set
+}
+
+// AddLabel stamps one label onto every sample (the router's re-label
+// step: shard="3" onto a scraped shard page). Stamping a label the
+// sample already carries is an error-free overwrite — the inner value
+// loses, the outer topology wins.
+func (s *Scrape) AddLabel(k, v string) {
+	for _, name := range s.order {
+		for i := range s.Families[name].Samples {
+			sm := &s.Families[name].Samples[i]
+			if sm.Labels == nil {
+				sm.Labels = map[string]string{}
+			}
+			sm.Labels[k] = v
+		}
+	}
+}
+
+// Merge appends src's samples into s, declaring unseen families as they
+// arrive (first declaration's TYPE and HELP win; a TYPE conflict is an
+// error — two tiers disagreeing on a metric's kind is a bug, not a
+// merge policy).
+func (s *Scrape) Merge(src *Scrape) error {
+	for _, name := range src.order {
+		sf := src.Families[name]
+		f, ok := s.Families[name]
+		if !ok {
+			f = &PromFamily{Name: name, Type: sf.Type, Help: sf.Help}
+			s.Families[name] = f
+			s.order = append(s.order, name)
+		} else if f.Type != sf.Type {
+			return fmt.Errorf("telemetry: metric %q is %s here but %s in merged scrape", name, f.Type, sf.Type)
+		}
+		f.Samples = append(f.Samples, sf.Samples...)
+	}
+	return nil
+}
+
+// Render re-emits the page in exposition format, families in order,
+// HELP/TYPE once each.
+func (s *Scrape) Render() []byte {
+	e := NewExpo()
+	for _, name := range s.order {
+		f := s.Families[name]
+		ef := e.family(f.Name, f.Help, f.Type)
+		for _, sm := range f.Samples {
+			suffix := strings.TrimPrefix(sm.Name, f.Name)
+			labels := make([]string, 0, 2*len(sm.Labels))
+			var le string
+			for k, v := range sm.Labels {
+				if k == "le" && suffix == "_bucket" {
+					le = v
+					continue
+				}
+				labels = append(labels, k, v)
+			}
+			extraK := ""
+			if suffix == "_bucket" {
+				extraK = "le"
+			}
+			ef.lines = append(ef.lines, expoLine{
+				suffix: suffix,
+				labels: renderLabels(labels, extraK, le),
+				value:  sm.Value,
+			})
+		}
+	}
+	return e.Bytes()
+}
+
+// Lint parses the page and then enforces the structural invariants the
+// exposition format promises scrapers: no duplicate series, histograms
+// with a +Inf bucket per series, cumulative non-decreasing buckets, and
+// _count equal to the +Inf bucket. Returns nil for a clean page.
+func Lint(b []byte) error {
+	s, err := ParseExpo(b)
+	if err != nil {
+		return err
+	}
+	seen := map[string]bool{}
+	for _, name := range s.order {
+		f := s.Families[name]
+		if f.Type == "" {
+			return fmt.Errorf("metric %q has HELP but no TYPE", name)
+		}
+		for _, sm := range f.Samples {
+			key := seriesKey(sm.Name, sm.Labels)
+			if seen[key] {
+				return fmt.Errorf("duplicate series %s", key)
+			}
+			seen[key] = true
+		}
+		if f.Type == "histogram" {
+			if err := lintHistogram(f); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// lintHistogram checks one histogram family's per-series invariants.
+func lintHistogram(f *PromFamily) error {
+	type series struct {
+		lastLE    float64
+		lastCum   float64
+		infBucket float64
+		hasInf    bool
+		count     float64
+		hasCount  bool
+	}
+	byKey := map[string]*series{}
+	key := func(labels map[string]string) string {
+		rest := map[string]string{}
+		for k, v := range labels {
+			if k != "le" {
+				rest[k] = v
+			}
+		}
+		return seriesKey(f.Name, rest)
+	}
+	get := func(labels map[string]string) *series {
+		k := key(labels)
+		sr, ok := byKey[k]
+		if !ok {
+			sr = &series{lastLE: math.Inf(-1)}
+			byKey[k] = sr
+		}
+		return sr
+	}
+	for _, sm := range f.Samples {
+		switch strings.TrimPrefix(sm.Name, f.Name) {
+		case "_bucket":
+			le, ok := sm.Labels["le"]
+			if !ok {
+				return fmt.Errorf("%s_bucket without le label", f.Name)
+			}
+			bound, err := parsePromValue(le)
+			if err != nil {
+				return fmt.Errorf("%s_bucket: bad le %q", f.Name, le)
+			}
+			sr := get(sm.Labels)
+			if bound <= sr.lastLE {
+				return fmt.Errorf("%s: le %q out of order", f.Name, le)
+			}
+			if sm.Value < sr.lastCum {
+				return fmt.Errorf("%s: bucket counts not cumulative at le %q", f.Name, le)
+			}
+			sr.lastLE, sr.lastCum = bound, sm.Value
+			if math.IsInf(bound, 1) {
+				sr.hasInf, sr.infBucket = true, sm.Value
+			}
+		case "_count":
+			sr := get(sm.Labels)
+			sr.hasCount, sr.count = true, sm.Value
+		case "_sum":
+		case "":
+			return fmt.Errorf("%s: bare sample on a histogram family", f.Name)
+		}
+	}
+	for k, sr := range byKey {
+		if !sr.hasInf {
+			return fmt.Errorf("%s: series %s has no +Inf bucket", f.Name, k)
+		}
+		if sr.hasCount && sr.count != sr.infBucket {
+			return fmt.Errorf("%s: series %s _count %v != +Inf bucket %v", f.Name, k, sr.count, sr.infBucket)
+		}
+	}
+	return nil
+}
